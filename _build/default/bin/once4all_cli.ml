@@ -1,0 +1,194 @@
+(* once4all_cli — the Once4All fuzzing tool.
+
+   Subcommands:
+     construct   run Algorithm 1 (generator construction + self-correction)
+     fuzz        run a differential fuzzing campaign (Algorithm 2)
+     reduce      delta-debug a bug-triggering .smt2 file
+     lineup      list the comparison fuzzers and variants *)
+
+open Cmdliner
+
+let setup_logs verbose =
+  Logs.set_reporter (Logs.format_reporter ());
+  Logs.set_level (Some (if verbose then Logs.Debug else Logs.Warning))
+
+let profile_of_name name =
+  match Llm_sim.Profile.find name with
+  | Some p -> p
+  | None ->
+    Printf.eprintf "unknown profile '%s', using gpt-4\n" name;
+    Llm_sim.Profile.gpt4
+
+(* ---------------- construct ---------------- *)
+
+let construct seed profile_name verbose =
+  let profile = profile_of_name profile_name in
+  let client = Llm_sim.Client.create ~seed profile in
+  let solvers = [ Solver.Engine.zeal (); Solver.Engine.cove () ] in
+  Printf.printf "Constructing generators with %s (seed %d)...\n\n"
+    profile.Llm_sim.Profile.name seed;
+  List.iter
+    (fun theory ->
+      let gen, report = Gensynth.Synthesis.construct ~client ~solvers theory in
+      Printf.printf "%-14s initial %2d/%d  final %2d/%d  iterations %d%s\n"
+        report.Gensynth.Synthesis.theory_key report.initial_valid report.sample_num
+        report.final_valid report.sample_num report.iterations
+        (if Gensynth.Generator.is_clean gen then "" else "  (residual defects)");
+      if verbose then (
+        let rng = O4a_util.Rng.create (seed * 31) in
+        match Gensynth.Generator.generate gen ~rng with
+        | e ->
+          List.iter (fun d -> Printf.printf "    %s\n" d) e.Gensynth.Generator.decls;
+          Printf.printf "    term: %s\n" e.Gensynth.Generator.term
+        | exception Failure m -> Printf.printf "    (sample failed: %s)\n" m))
+    Theories.Theory.all;
+  Printf.printf "\nLLM usage: %d calls, %d tokens (one-time investment)\n"
+    (Llm_sim.Client.call_count client)
+    (Llm_sim.Client.token_count client);
+  0
+
+(* ---------------- fuzz ---------------- *)
+
+let fuzz seed budget profile_name no_skeletons show_formulas verbose =
+  setup_logs verbose;
+  let profile = profile_of_name profile_name in
+  let campaign = Once4all.Campaign.prepare ~seed ~profile () in
+  let seeds =
+    Seeds.Corpus.filtered ~zeal:campaign.Once4all.Campaign.zeal
+      ~cove:campaign.Once4all.Campaign.cove ()
+  in
+  Printf.printf "Generators ready (%d); fuzzing with %d seeds, budget %d...\n%!"
+    (List.length campaign.Once4all.Campaign.generators)
+    (List.length seeds) budget;
+  let config =
+    { Once4all.Fuzz.default_config with Once4all.Fuzz.use_skeletons = not no_skeletons }
+  in
+  let report = Once4all.Campaign.fuzz ~seed:(seed + 1) ~config campaign ~seeds ~budget in
+  let stats = report.Once4all.Campaign.stats in
+  Printf.printf "tests: %d  parse-ok: %d  solved: %d  bug-triggering: %d\n"
+    stats.Once4all.Fuzz.tests stats.parse_ok stats.solved
+    (List.length stats.findings);
+  Printf.printf "\n%d de-duplicated issues:\n" (List.length report.clusters);
+  List.iter
+    (fun (c : Once4all.Dedup.cluster) ->
+      Printf.printf "  [%s] %s  x%d%s\n"
+        (Solver.Bug_db.kind_to_string c.Once4all.Dedup.kind)
+        c.Once4all.Dedup.key c.count
+        (match c.bug_id with Some id -> "  -> " ^ id | None -> "");
+      if show_formulas then
+        print_endline
+          (O4a_util.Strx.indent 6 c.representative.Once4all.Dedup.source))
+    report.clusters;
+  0
+
+(* ---------------- reduce ---------------- *)
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+let reduce path =
+  let source = read_file path in
+  match Smtlib.Parser.parse_script source with
+  | Error e ->
+    Printf.eprintf "parse error: %s\n" (Smtlib.Parser.error_message e);
+    1
+  | Ok script ->
+    let zeal = Solver.Engine.zeal () in
+    let cove = Solver.Engine.cove () in
+    let signature_of script =
+      match
+        Once4all.Oracle.test ~zeal ~cove ~source:(Smtlib.Printer.script script) ()
+      with
+      | { Once4all.Oracle.finding = Some f; _ } -> Some f.Once4all.Oracle.signature
+      | _ -> None
+    in
+    (match signature_of script with
+    | None ->
+      print_endline "input does not trigger any bug; nothing to reduce";
+      1
+    | Some signature ->
+      Printf.printf "reducing against signature: %s\n%!" signature;
+      let reduced, stats =
+        Reduce_kit.Ddsmt.reduce
+          ~still_triggers:(fun candidate -> signature_of candidate = Some signature)
+          script
+      in
+      Printf.printf "size %d -> %d nodes (%d probes)\n\n"
+        stats.Reduce_kit.Ddsmt.initial_size stats.final_size stats.probes;
+      print_endline (Smtlib.Printer.script reduced);
+      0)
+
+(* ---------------- report ---------------- *)
+
+let report seed budget =
+  let campaign = Once4all.Campaign.prepare ~seed () in
+  let seeds =
+    Seeds.Corpus.filtered ~zeal:campaign.Once4all.Campaign.zeal
+      ~cove:campaign.Once4all.Campaign.cove ()
+  in
+  Printf.printf "fuzzing (budget %d) before writing reports...\n%!" budget;
+  let r = Once4all.Campaign.fuzz ~seed:(seed + 1) campaign ~seeds ~budget in
+  print_endline
+    (Once4all.Report.render_campaign ~zeal:campaign.Once4all.Campaign.zeal
+       ~cove:campaign.Once4all.Campaign.cove r.Once4all.Campaign.clusters);
+  0
+
+(* ---------------- lineup ---------------- *)
+
+let lineup () =
+  let client = Llm_sim.Client.create Llm_sim.Profile.gpt4 in
+  print_endline "Comparison fuzzers (RQ2):";
+  List.iter
+    (fun (f : Baselines.Fuzzer.t) ->
+      Printf.printf "  %-12s throughput %3d/100\n" f.Baselines.Fuzzer.name
+        f.tests_per_tick)
+    (Baselines.Registry.baselines ~client);
+  print_endline "Variants (RQ3): Once4All, Once4All_w/oS, Once4All_Gemini, Once4All_Claude";
+  0
+
+(* ---------------- command wiring ---------------- *)
+
+let seed_arg = Arg.(value & opt int 42 & info [ "seed" ] ~docv:"N")
+let profile_arg =
+  Arg.(value & opt string "gpt-4" & info [ "profile" ] ~docv:"NAME"
+         ~doc:"LLM profile: gpt-4, gemini-2.5-pro, claude-4.5-sonnet")
+
+let construct_cmd =
+  let verbose = Arg.(value & flag & info [ "verbose"; "v" ] ~doc:"print a sample per theory") in
+  Cmd.v
+    (Cmd.info "construct" ~doc:"run LLM-assisted generator construction (Algorithm 1)")
+    Term.(const construct $ seed_arg $ profile_arg $ verbose)
+
+let fuzz_cmd =
+  let budget = Arg.(value & opt int 2000 & info [ "budget" ] ~docv:"N" ~doc:"test cases") in
+  let no_skel = Arg.(value & flag & info [ "no-skeletons" ] ~doc:"the w/oS ablation") in
+  let show = Arg.(value & flag & info [ "show-formulas" ] ~doc:"print representative formulas") in
+  let verbose = Arg.(value & flag & info [ "verbose"; "v" ] ~doc:"log campaign progress") in
+  Cmd.v
+    (Cmd.info "fuzz" ~doc:"run a skeleton-guided differential campaign (Algorithm 2)")
+    Term.(const fuzz $ seed_arg $ budget $ profile_arg $ no_skel $ show $ verbose)
+
+let reduce_cmd =
+  let file = Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE") in
+  Cmd.v (Cmd.info "reduce" ~doc:"delta-debug a bug-triggering formula")
+    Term.(const reduce $ file)
+
+let report_cmd =
+  let budget = Arg.(value & opt int 800 & info [ "budget" ] ~docv:"N") in
+  Cmd.v
+    (Cmd.info "report" ~doc:"fuzz, then emit issue-style triage reports with reduced reproducers")
+    Term.(const report $ seed_arg $ budget)
+
+let lineup_cmd =
+  Cmd.v (Cmd.info "lineup" ~doc:"list comparison fuzzers") Term.(const lineup $ const ())
+
+let main =
+  Cmd.group
+    (Cmd.info "once4all" ~doc:"skeleton-guided SMT solver fuzzing with LLM-synthesized generators")
+    [ construct_cmd; fuzz_cmd; reduce_cmd; report_cmd; lineup_cmd ]
+
+let () = exit (Cmd.eval' main)

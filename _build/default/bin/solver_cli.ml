@@ -1,0 +1,131 @@
+(* solver_cli — run one of the two bundled SMT solvers on an .smt2 file.
+
+   Usage: solver_cli [--solver zeal|cove] [--commit N] [--model] FILE *)
+
+open Cmdliner
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+let run_incremental engine source =
+  match Smtlib.Parser.parse_script source with
+  | Error e ->
+    Printf.printf "(error \"%s\")\n" (Smtlib.Parser.error_message e);
+    1
+  | Ok script ->
+    (match Solver.Engine.solve_incremental engine script with
+    | steps ->
+      List.iter
+        (fun (s : Solver.Engine.incremental_step) ->
+          match s.Solver.Engine.step_outcome with
+          | Solver.Engine.Sat _ -> print_endline "sat"
+          | Solver.Engine.Unsat -> print_endline "unsat"
+          | Solver.Engine.Unknown reason -> Printf.printf "unknown ; %s\n" reason
+          | Solver.Engine.Error msg -> Printf.printf "(error \"%s\")\n" msg)
+        steps;
+      0
+    | exception Solver.Engine.Crash { signature; _ } ->
+      Printf.printf "Fatal failure: %s\n" signature;
+      134)
+
+let run_core engine source =
+  match Smtlib.Parser.parse_script source with
+  | Error e ->
+    Printf.printf "(error \"%s\")\n" (Smtlib.Parser.error_message e);
+    1
+  | Ok script ->
+    (match Solver.Engine.unsat_core engine script with
+    | Some core ->
+      print_endline "unsat";
+      Printf.printf "(\n%s\n)\n"
+        (String.concat "\n"
+           (List.map (fun t -> "  " ^ Smtlib.Printer.term t) core));
+      0
+    | None ->
+      print_endline "(error \"input is not unsat; no core\")";
+      1
+    | exception Solver.Engine.Crash { signature; _ } ->
+      Printf.printf "Fatal failure: %s\n" signature;
+      134)
+
+let run solver_name commit want_model incremental want_core path =
+  let tag =
+    match String.lowercase_ascii solver_name with
+    | "zeal" -> Ok O4a_coverage.Coverage.Zeal
+    | "cove" -> Ok O4a_coverage.Coverage.Cove
+    | other -> Error (Printf.sprintf "unknown solver '%s' (expected zeal or cove)" other)
+  in
+  match tag with
+  | Error msg ->
+    prerr_endline msg;
+    1
+  | Ok tag ->
+    let history = Solver.Version.history_of tag in
+    let commit = Option.value commit ~default:history.Solver.Version.trunk in
+    let engine = Solver.Engine.make tag ~commit in
+    let source = read_file path in
+    if incremental then run_incremental engine source
+    else if want_core then run_core engine source
+    else (match Solver.Runner.run_source engine source with
+    | Solver.Runner.R_sat model ->
+      print_endline "sat";
+      (match Smtlib.Parser.parse_script source with
+      | Ok script ->
+        if want_model then print_endline (Solver.Model.to_string script model);
+        (* honor any get-value commands in the script *)
+        List.iter
+          (fun cmd ->
+            match cmd with
+            | Smtlib.Command.Get_value terms ->
+              Printf.printf "(%s)\n"
+                (String.concat " "
+                   (List.map
+                      (fun (t, v) ->
+                        Printf.sprintf "(%s %s)" (Smtlib.Printer.term t) v)
+                      (Solver.Model.eval_terms script model terms)))
+            | _ -> ())
+          script
+      | Error _ -> ());
+      0
+    | Solver.Runner.R_unsat ->
+      print_endline "unsat";
+      0
+    | Solver.Runner.R_unknown reason ->
+      Printf.printf "unknown ; %s\n" reason;
+      0
+    | Solver.Runner.R_timeout ->
+      print_endline "unknown ; resource limit";
+      0
+    | Solver.Runner.R_error msg ->
+      Printf.printf "(error \"%s\")\n" msg;
+      1
+    | Solver.Runner.R_crash { signature; _ } ->
+      Printf.printf "Fatal failure: %s\n" signature;
+      134)
+
+let solver_arg =
+  Arg.(value & opt string "zeal" & info [ "solver"; "s" ] ~docv:"NAME" ~doc:"zeal or cove")
+
+let commit_arg =
+  Arg.(value & opt (some int) None & info [ "commit" ] ~docv:"N" ~doc:"commit (default trunk)")
+
+let model_arg = Arg.(value & flag & info [ "model"; "m" ] ~doc:"print a model on sat")
+
+let incremental_arg =
+  Arg.(value & flag & info [ "incremental"; "i" ] ~doc:"replay push/pop, one answer per check-sat")
+
+let core_arg =
+  Arg.(value & flag & info [ "core" ] ~doc:"on unsat, print a minimized unsat core")
+
+let file_arg = Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE")
+
+let cmd =
+  let doc = "run a bundled mini SMT solver on an SMT-LIB file" in
+  Cmd.v (Cmd.info "solver_cli" ~doc)
+    Term.(const run $ solver_arg $ commit_arg $ model_arg $ incremental_arg $ core_arg $ file_arg)
+
+let () = exit (Cmd.eval' cmd)

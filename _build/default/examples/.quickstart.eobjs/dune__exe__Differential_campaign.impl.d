@@ -1,0 +1,1 @@
+examples/differential_campaign.ml: List O4a_coverage Once4all Option Printf Reduce_kit Seeds Smtlib Solver

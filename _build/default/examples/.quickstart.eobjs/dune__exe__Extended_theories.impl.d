@@ -1,0 +1,1 @@
+examples/extended_theories.ml: List Once4all Option Printf Seeds Smtlib Solver Theories

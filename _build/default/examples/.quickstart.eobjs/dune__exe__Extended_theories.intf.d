@@ -1,0 +1,1 @@
+examples/extended_theories.mli:

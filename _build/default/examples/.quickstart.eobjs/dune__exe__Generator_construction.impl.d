@@ -1,0 +1,1 @@
+examples/generator_construction.ml: Gensynth List Llm_sim O4a_util Printf Solver Theories

@@ -1,0 +1,1 @@
+examples/generator_construction.mli:

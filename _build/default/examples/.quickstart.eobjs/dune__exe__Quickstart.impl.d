@@ -1,0 +1,1 @@
+examples/quickstart.ml: Gensynth List Once4all Printf Reduce_kit Seeds Smtlib Solver String Theories

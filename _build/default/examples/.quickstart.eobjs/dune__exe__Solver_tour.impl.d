@@ -1,0 +1,1 @@
+examples/solver_tour.ml: List O4a_coverage Printf Result Smtlib Solver

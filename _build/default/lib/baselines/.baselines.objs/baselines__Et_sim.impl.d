@@ -1,0 +1,1 @@
+lib/baselines/et_sim.ml: Fuzzer Gensynth Lazy List O4a_util Theories

@@ -1,0 +1,1 @@
+lib/baselines/et_sim.mli: Fuzzer

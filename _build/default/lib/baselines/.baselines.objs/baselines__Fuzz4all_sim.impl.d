@@ -1,0 +1,1 @@
+lib/baselines/fuzz4all_sim.ml: Fuzzer Gensynth Lazy List Llm_sim O4a_util String Theories

@@ -1,0 +1,1 @@
+lib/baselines/fuzz4all_sim.mli: Fuzzer Llm_sim

@@ -1,0 +1,1 @@
+lib/baselines/fuzzer.ml: List O4a_util Script Smtlib

@@ -1,0 +1,1 @@
+lib/baselines/fuzzer.mli: O4a_util Script Smtlib

@@ -1,0 +1,1 @@
+lib/baselines/histfuzz.ml: Command Fuzzer List O4a_util Once4all Printer Script Skeleton_view Smtlib Sort Term

@@ -1,0 +1,1 @@
+lib/baselines/histfuzz.mli: Fuzzer Script Smtlib Term

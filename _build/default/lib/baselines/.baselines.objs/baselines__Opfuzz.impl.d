@@ -1,0 +1,1 @@
+lib/baselines/opfuzz.ml: Fuzzer List O4a_util Printer Script Smtlib Term

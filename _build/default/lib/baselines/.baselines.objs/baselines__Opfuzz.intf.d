@@ -1,0 +1,1 @@
+lib/baselines/opfuzz.mli: Fuzzer O4a_util Smtlib Term

@@ -1,0 +1,1 @@
+lib/baselines/registry.ml: Et_sim Fuzz4all_sim Fuzzer Histfuzz List O4a_util Once4all Opfuzz Storm String Typefuzz Yinyang

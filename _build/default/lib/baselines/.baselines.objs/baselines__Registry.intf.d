@@ -1,0 +1,1 @@
+lib/baselines/registry.mli: Fuzzer Llm_sim Once4all

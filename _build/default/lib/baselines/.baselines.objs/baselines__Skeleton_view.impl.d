@@ -1,0 +1,1 @@
+lib/baselines/skeleton_view.ml: List Once4all Smtlib Term

@@ -1,0 +1,1 @@
+lib/baselines/skeleton_view.mli: Smtlib Term

@@ -1,0 +1,1 @@
+lib/baselines/storm.ml: Fuzzer List O4a_util Printer Script Skeleton_view Smtlib Term

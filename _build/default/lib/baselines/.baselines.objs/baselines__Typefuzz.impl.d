@@ -1,0 +1,1 @@
+lib/baselines/typefuzz.ml: Fuzzer List O4a_util Option Printer Script Smtlib Sort Term Theories

@@ -1,0 +1,1 @@
+lib/baselines/typefuzz.mli: Fuzzer O4a_util Smtlib Sort Term

@@ -1,0 +1,1 @@
+lib/baselines/yinyang.ml: Command Fuzzer List O4a_util Printer Script Smtlib Sort Term

@@ -1,0 +1,24 @@
+module Rng = O4a_util.Rng
+module Theory = Theories.Theory
+
+let generators =
+  lazy
+    (List.map Gensynth.Generator.perfect
+       (List.filter
+          (fun (t : Theory.info) ->
+            t.Theory.standard && t.Theory.id <> Theory.Datatypes)
+          Theory.all))
+
+(* A global enumeration cursor: depth grows slowly as the campaign proceeds,
+   emulating size-bounded enumeration order. *)
+let cursor = ref 0
+
+let generate ~rng ~seeds =
+  ignore seeds;
+  incr cursor;
+  let depth = 3 + min 3 (!cursor / 4000) in
+  let g = Rng.choose rng (Lazy.force generators) in
+  let emitted = Gensynth.Generator.generate ~max_depth:depth g ~rng in
+  Gensynth.Generator.render_script [ emitted ]
+
+let fuzzer = { Fuzzer.name = "ET"; tests_per_tick = 100; generate }

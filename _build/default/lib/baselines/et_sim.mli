@@ -1,0 +1,7 @@
+(** ET-style baseline (Winterer & Su, OOPSLA 2024): grammar-based bounded
+    enumeration from scratch over the standard theories. Enumeration is
+    systematic (depth-increasing), so diversity is high near the small end
+    but deep solver states are expensive to reach — the weakness the paper
+    attributes to from-scratch generation. *)
+
+val fuzzer : Fuzzer.t

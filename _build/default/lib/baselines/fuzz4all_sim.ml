@@ -1,0 +1,49 @@
+module Rng = O4a_util.Rng
+module Theory = Theories.Theory
+
+(* direct generation: a defect-free standard-theory generator stands in for
+   the model's best-case output... *)
+let standard_generators =
+  lazy
+    (List.map Gensynth.Generator.perfect
+       (List.filter
+          (fun (t : Theory.info) ->
+            t.Theory.standard && t.Theory.id <> Theory.Datatypes)
+          Theory.all))
+
+(* ...and a corruption pass reintroduces the ~50% invalid rate of raw LLM
+   formula generation (paper §1, §5.1) *)
+let corrupt ~rng source =
+  match Rng.int rng 4 with
+  | 0 -> String.sub source 0 (String.length source - 1) (* drop a paren *)
+  | 1 ->
+    (* misspell an operator-ish token *)
+    (match String.index_opt source '(' with
+    | Some i when i + 1 < String.length source ->
+      String.sub source 0 (i + 1) ^ "smt." ^ String.sub source (i + 1) (String.length source - i - 1)
+    | _ -> source ^ ")")
+  | 2 -> source ^ "\n(assert (= x_undeclared 0))" (* undeclared symbol *)
+  | _ ->
+    (* ill-sorted equality *)
+    "(declare-fun b () Bool)\n" ^ source ^ "\n(assert (= b 3))"
+
+let make ~client =
+  let generate ~rng ~seeds =
+    ignore seeds;
+    (* autoprompting + generation: every formula is a model call *)
+    let _ =
+      Llm_sim.Client.query client
+        (Llm_sim.Prompt.Free_form
+           { instruction = "Generate an SMT-LIB formula that stresses the solver." })
+    in
+    let generators = Lazy.force standard_generators in
+    let n_terms = 1 + Rng.int rng 3 in
+    let emissions =
+      List.init n_terms (fun _ ->
+          let g = Rng.choose rng generators in
+          Gensynth.Generator.generate g ~rng)
+    in
+    let source = Gensynth.Generator.render_script emissions in
+    if Rng.chance rng 0.5 then corrupt ~rng source else source
+  in
+  { Fuzzer.name = "Fuzz4All"; tests_per_tick = 25; generate }

@@ -1,0 +1,7 @@
+(** Fuzz4All-style baseline (Xia et al., ICSE 2024): direct whole-formula
+    generation by the LLM with an autoprompting step. Each test case costs a
+    model query (hence the low relative throughput) and roughly half of the
+    raw outputs are syntactically or semantically invalid, matching the
+    invalid-rate the paper reports for direct LLM generation. *)
+
+val make : client:Llm_sim.Client.t -> Fuzzer.t

@@ -1,0 +1,23 @@
+open Smtlib
+
+type t = {
+  name : string;
+  tests_per_tick : int;
+  generate : rng:O4a_util.Rng.t -> seeds:Script.t list -> string;
+}
+
+let extension_keys = [ "sets"; "bags"; "finite_fields" ]
+
+let standard_seeds seeds =
+  List.filter
+    (fun seed ->
+      not
+        (List.exists
+           (fun key -> List.mem key (Smtlib.Script.theories_used seed))
+           extension_keys))
+    seeds
+
+let mutate_seed ~rng seeds =
+  match standard_seeds seeds with
+  | [] -> O4a_util.Rng.choose rng seeds
+  | std -> O4a_util.Rng.choose rng std

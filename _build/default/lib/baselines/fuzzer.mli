@@ -1,0 +1,26 @@
+(** Common interface for the comparison fuzzers of RQ2 (§4.3). Each baseline
+    is reimplemented over the same substrate so the comparison is seed- and
+    solver-controlled, exactly as the paper's setup prescribes.
+
+    [tests_per_tick] is the fuzzer's relative throughput: how many test cases
+    it produces in one simulated "hour" per 100 units of budget. The
+    LLM-in-the-loop baseline (Fuzz4All-sim) is slower because every formula
+    costs a model query; all mutation-based fuzzers run at full speed. *)
+
+open Smtlib
+
+type t = {
+  name : string;
+  tests_per_tick : int;  (** out of 100 (= full speed) *)
+  generate : rng:O4a_util.Rng.t -> seeds:Script.t list -> string;
+      (** produce one test case (SMT-LIB source) *)
+}
+
+val standard_seeds : Script.t list -> Script.t list
+(** Seeds the baseline tools can parse: their frontends predate the cvc5
+    extension theories, so Sets/Bags/FiniteFields seeds are rejected (the
+    "fundamentally incapable" limitation of §4.2). Seq is kept — Z3-era
+    tooling understands it. *)
+
+val mutate_seed : rng:O4a_util.Rng.t -> Script.t list -> Script.t
+(** Pick a random standard-theory seed (shared by several baselines). *)

@@ -1,0 +1,84 @@
+open Smtlib
+module Rng = O4a_util.Rng
+
+let harvest_atoms seeds =
+  seeds
+  |> List.concat_map (fun seed ->
+         List.concat_map
+           (fun assertion ->
+             Skeleton_view.atoms assertion)
+           (Script.assertions seed))
+  |> O4a_util.Listx.dedup ~eq:Term.equal
+
+(* Rename an atom's free variables to sort-compatible variables of the target
+   seed; atoms with unmatched variables are dropped. *)
+let retarget ~rng ~target_vars ~atom_env atom =
+  let frees = Term.free_vars atom in
+  let rec rename term = function
+    | [] -> Some term
+    | name :: rest -> (
+      match List.assoc_opt name atom_env with
+      | None -> None
+      | Some sort -> (
+        match List.filter (fun (_, s) -> Sort.equal s sort) target_vars with
+        | [] -> None
+        | candidates ->
+          let replacement = fst (Rng.choose rng candidates) in
+          rename (Term.rename_var ~old_name:name ~new_name:replacement term) rest))
+  in
+  rename atom frees
+
+let generate_with ~rng ~seeds =
+  let seeds = Fuzzer.standard_seeds seeds in
+  let seed = Fuzzer.mutate_seed ~rng seeds in
+  let skeleton, holes =
+    Once4all.Skeleton.skeletonize ~rng ~keep_prob:0.4 seed
+  in
+  if holes = 0 then Printer.script seed
+  else (
+    (* atom pool from other seeds, with their own variable sorts *)
+    let pool =
+      seeds
+      |> List.concat_map (fun s ->
+             if s == seed then []
+             else (
+               let env = Script.declared_consts s in
+               List.concat_map
+                 (fun a -> List.map (fun atom -> (atom, env)) (Skeleton_view.atoms a))
+                 (Script.assertions s)))
+    in
+    let target_vars = Script.declared_consts seed in
+    let extra_decls = ref [] in
+    let fill _ =
+      let rec attempt tries =
+        if tries = 0 || pool = [] then Term.tru
+        else (
+          let atom, atom_env = Rng.choose rng pool in
+          match retarget ~rng ~target_vars ~atom_env atom with
+          | Some t -> t
+          | None ->
+            (* transplant the atom wholesale, importing its declarations *)
+            let needed =
+              List.filter (fun (n, _) -> List.mem n (Term.free_vars atom)) atom_env
+            in
+            if needed = [] then attempt (tries - 1)
+            else (
+              extra_decls :=
+                List.map (fun (n, s) -> Command.Declare_fun (n, [], s)) needed
+                @ !extra_decls;
+              atom))
+      in
+      attempt 4
+    in
+    let filled =
+      Script.map_assertions
+        (Term.map_bottom_up (fun node ->
+             match node with Term.Placeholder _ -> fill () | _ -> node))
+        skeleton
+    in
+    let filled = Script.add_declarations filled !extra_decls in
+    Printer.script filled)
+
+let generate ~rng ~seeds = generate_with ~rng ~seeds
+
+let fuzzer = { Fuzzer.name = "HistFuzz"; tests_per_tick = 90; generate }

@@ -1,0 +1,11 @@
+(** HistFuzz (Sun et al., ICSE 2023): skeleton enumeration over historical
+    bug-triggering formulas — skeletons come from one seed and the holes are
+    filled with {e atoms harvested from other seeds} (not freshly generated
+    terms; that difference from Once4All is the point of comparison). *)
+
+open Smtlib
+
+val harvest_atoms : Script.t list -> Term.t list
+(** Atomic boolean sub-formulas across the corpus, deduplicated. *)
+
+val fuzzer : Fuzzer.t

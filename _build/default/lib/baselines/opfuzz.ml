@@ -1,0 +1,55 @@
+open Smtlib
+module Rng = O4a_util.Rng
+
+let op_classes =
+  [
+    [ "<"; "<="; ">"; ">=" ];
+    [ "+"; "-"; "*" ];
+    [ "div"; "mod" ];
+    [ "and"; "or"; "xor" ];
+    [ "="; "distinct" ];
+    [ "bvadd"; "bvsub"; "bvmul" ];
+    [ "bvudiv"; "bvurem" ];
+    [ "bvand"; "bvor"; "bvxor" ];
+    [ "bvshl"; "bvlshr"; "bvashr" ];
+    [ "bvult"; "bvule"; "bvugt"; "bvuge"; "bvslt"; "bvsle"; "bvsgt"; "bvsge" ];
+    [ "str.contains"; "str.prefixof"; "str.suffixof" ];
+    [ "str.<"; "str.<=" ];
+    [ "str.replace"; "str.replace_all" ];
+    [ "re.union"; "re.inter" ];
+    [ "re.*"; "re.+"; "re.opt" ];
+    [ "seq.contains"; "seq.prefixof"; "seq.suffixof" ];
+    [ "set.union"; "set.inter"; "set.minus" ];
+    [ "bag.union_max"; "bag.union_disjoint"; "bag.inter_min" ];
+    [ "ff.add"; "ff.mul" ];
+  ]
+
+let class_of op = List.find_opt (fun cls -> List.mem op cls) op_classes
+
+let swap_op ~rng op =
+  match class_of op with
+  | Some cls -> (
+    match List.filter (fun o -> o <> op) cls with
+    | [] -> op
+    | others -> Rng.choose rng others)
+  | None -> op
+
+let mutate_term ~rng term =
+  let mutations = 1 + Rng.int rng 3 in
+  let budget = ref mutations in
+  Term.map_bottom_up
+    (fun node ->
+      match node with
+      | Term.App (op, args) when !budget > 0 && class_of op <> None && Rng.chance rng 0.3
+        ->
+        decr budget;
+        Term.App (swap_op ~rng op, args)
+      | _ -> node)
+    term
+
+let generate ~rng ~seeds =
+  let seed = Fuzzer.mutate_seed ~rng seeds in
+  let mutated = Script.map_assertions (mutate_term ~rng) seed in
+  Printer.script mutated
+
+let fuzzer = { Fuzzer.name = "OpFuzz"; tests_per_tick = 100; generate }

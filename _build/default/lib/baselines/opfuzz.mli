@@ -1,0 +1,13 @@
+(** OpFuzz (Winterer et al., OOPSLA 2020): type-aware operator mutation.
+    Every mutation swaps an operator occurrence for another operator of the
+    same rank class, so mutants stay well-sorted by construction. *)
+
+open Smtlib
+
+val op_classes : string list list
+(** Rank-equivalence classes used for swapping. *)
+
+val mutate_term : rng:O4a_util.Rng.t -> Term.t -> Term.t
+(** Swap 1–3 operator occurrences. *)
+
+val fuzzer : Fuzzer.t

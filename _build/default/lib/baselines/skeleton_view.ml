@@ -1,0 +1,24 @@
+open Smtlib
+
+let atoms term =
+  Once4all.Skeleton.boolean_atom_paths term
+  |> List.filter_map (Term.subterm_at term)
+
+let boolean_subterms term =
+  let acc = ref [] in
+  let rec walk in_bool t =
+    if in_bool then acc := t :: !acc;
+    match t with
+    | Term.App (("and" | "or" | "not" | "xor" | "=>"), args) ->
+      List.iter (walk true) args
+    | Term.App ("ite", [ c; a; b ]) ->
+      walk true c;
+      walk in_bool a;
+      walk in_bool b
+    | Term.Forall (_, body) | Term.Exists (_, body) -> walk true body
+    | Term.Annot (body, _) -> walk in_bool body
+    | Term.Let (_, body) -> walk in_bool body
+    | _ -> ()
+  in
+  walk true term;
+  List.rev !acc

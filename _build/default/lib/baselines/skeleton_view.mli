@@ -1,0 +1,9 @@
+(** Shared structural helpers for the mutation baselines. *)
+
+open Smtlib
+
+val atoms : Term.t -> Term.t list
+(** Atomic boolean sub-formulas of an assertion. *)
+
+val boolean_subterms : Term.t -> Term.t list
+(** All boolean-positioned subterms (atoms and composites). *)

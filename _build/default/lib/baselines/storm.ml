@@ -1,0 +1,24 @@
+open Smtlib
+module Rng = O4a_util.Rng
+
+let combine ~rng fragments =
+  let pick () = Rng.choose rng fragments in
+  match Rng.int rng 4 with
+  | 0 -> Term.and_ [ pick (); pick () ]
+  | 1 -> Term.or_ [ pick (); pick () ]
+  | 2 -> Term.not_ (pick ())
+  | _ -> Term.app "=>" [ pick (); pick () ]
+
+let generate ~rng ~seeds =
+  let seed = Fuzzer.mutate_seed ~rng seeds in
+  let fragments =
+    List.concat_map Skeleton_view.boolean_subterms (Script.assertions seed)
+  in
+  if fragments = [] then Printer.script seed
+  else (
+    let n_asserts = 1 + Rng.int rng 3 in
+    let new_asserts = List.init n_asserts (fun _ -> combine ~rng fragments) in
+    let rebuilt = Script.replace_assertions seed (Rng.shuffle rng new_asserts) in
+    Printer.script rebuilt)
+
+let fuzzer = { Fuzzer.name = "STORM"; tests_per_tick = 100; generate }

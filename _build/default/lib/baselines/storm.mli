@@ -1,0 +1,4 @@
+(** STORM (Mansur et al., ESEC/FSE 2020): blackbox mutational fuzzing that
+    recombines boolean sub-formulas of a seed into fresh assertion sets. *)
+
+val fuzzer : Fuzzer.t

@@ -1,0 +1,92 @@
+open Smtlib
+module Rng = O4a_util.Rng
+
+let var_of_sort ~rng ~vars sort =
+  match List.filter (fun (_, s) -> Sort.equal s sort) vars with
+  | [] -> None
+  | candidates -> Some (Term.var (fst (Rng.choose rng candidates)))
+
+let rec generate_of_sort ~rng ~vars ~depth sort =
+  let recurse s = generate_of_sort ~rng ~vars ~depth:(depth - 1) s in
+  let leaf () =
+    match var_of_sort ~rng ~vars sort with
+    | Some v when Rng.chance rng 0.6 -> Some v
+    | _ -> (
+      match sort with
+      | Sort.Bool -> Some (if Rng.bool rng then Term.tru else Term.fls)
+      | Sort.Int -> Some (Term.int (Rng.int_in rng (-2) 3))
+      | Sort.Real -> Some (Term.real (Rng.int_in rng 0 4) (1 + Rng.int rng 2))
+      | Sort.String_sort -> Some (Term.str (Rng.choose rng [ ""; "a"; "b"; "ab" ]))
+      | Sort.Bitvec w -> Some (Term.bv ~width:w (Rng.int rng (1 lsl min w 8)))
+      | _ -> var_of_sort ~rng ~vars sort)
+  in
+  if depth <= 0 then leaf ()
+  else (
+    let binop ops s =
+      let op = Rng.choose rng ops in
+      match (recurse s, recurse s) with
+      | Some a, Some b -> Some (Term.app op [ a; b ])
+      | _ -> None
+    in
+    match sort with
+    | Sort.Bool ->
+      (match Rng.int rng 4 with
+      | 0 -> binop [ "and"; "or"; "xor" ] Sort.Bool
+      | 1 -> (
+        match (recurse Sort.Int, recurse Sort.Int) with
+        | Some a, Some b ->
+          Some (Term.app (Rng.choose rng [ "<"; "<="; "=" ]) [ a; b ])
+        | _ -> leaf ())
+      | 2 -> Option.map Term.not_ (recurse Sort.Bool)
+      | _ -> leaf ())
+    | Sort.Int ->
+      (match Rng.int rng 3 with
+      | 0 -> binop [ "+"; "-"; "*" ] Sort.Int
+      | 1 -> binop [ "div"; "mod" ] Sort.Int
+      | _ -> leaf ())
+    | Sort.Real ->
+      (match Rng.int rng 3 with
+      | 0 -> binop [ "+"; "-"; "*"; "/" ] Sort.Real
+      | _ -> leaf ())
+    | Sort.String_sort ->
+      (match Rng.int rng 3 with
+      | 0 -> binop [ "str.++" ] Sort.String_sort
+      | 1 -> (
+        match (recurse Sort.String_sort, recurse Sort.Int) with
+        | Some s, Some i -> Some (Term.app "str.at" [ s; i ])
+        | _ -> leaf ())
+      | _ -> leaf ())
+    | Sort.Bitvec _ ->
+      (match Rng.int rng 3 with
+      | 0 -> binop [ "bvadd"; "bvand"; "bvor"; "bvmul" ] sort
+      | 1 -> Option.map (fun a -> Term.app "bvnot" [ a ]) (recurse sort)
+      | _ -> leaf ())
+    | _ -> leaf ())
+
+let mutate ~rng script =
+  let env = Theories.Typecheck.env_of_script script in
+  let vars = Theories.Typecheck.env_vars env in
+  Script.map_assertions
+    (fun assertion ->
+      let paths = Term.all_paths assertion in
+      let candidates =
+        List.filter
+          (fun (path, sub) -> path <> [] && Term.size sub <= 12)
+          paths
+      in
+      if candidates = [] || not (Rng.chance rng 0.8) then assertion
+      else (
+        let path, sub = Rng.choose rng candidates in
+        match Theories.Typecheck.infer env sub with
+        | Ok sort -> (
+          match generate_of_sort ~rng ~vars ~depth:(1 + Rng.int rng 3) sort with
+          | Some replacement -> Term.replace_at assertion path replacement
+          | None -> assertion)
+        | Error _ -> assertion))
+    script
+
+let generate ~rng ~seeds =
+  let seed = Fuzzer.mutate_seed ~rng seeds in
+  Printer.script (mutate ~rng seed)
+
+let fuzzer = { Fuzzer.name = "TypeFuzz"; tests_per_tick = 95; generate }

@@ -1,0 +1,14 @@
+(** TypeFuzz (Park et al., OOPSLA 2021): generative type-aware mutation —
+    replace a random subterm with a freshly generated expression of the same
+    sort, built from the seed's variables and {e standard-theory} operators
+    (extension theories are out of its vocabulary, which is exactly why it
+    cannot reach cvc5-specific code, per the paper's coverage analysis). *)
+
+open Smtlib
+
+val generate_of_sort :
+  rng:O4a_util.Rng.t -> vars:(string * Sort.t) list -> depth:int -> Sort.t ->
+  Term.t option
+(** Fresh expression of the sort, [None] for unsupported sorts. *)
+
+val fuzzer : Fuzzer.t

@@ -1,0 +1,74 @@
+open Smtlib
+module Rng = O4a_util.Rng
+
+(* rename all symbols of [script] with a suffix to avoid clashes *)
+let suffix_script suffix script =
+  let renames =
+    List.map (fun (n, _) -> (n, n ^ suffix)) (Script.declared_consts script)
+  in
+  let rename_term t =
+    List.fold_left
+      (fun t (old_name, new_name) -> Term.rename_var ~old_name ~new_name t)
+      t renames
+  in
+  List.map
+    (fun cmd ->
+      match cmd with
+      | Command.Declare_fun (n, args, r) when List.mem_assoc n renames ->
+        Command.Declare_fun (List.assoc n renames, args, r)
+      | Command.Declare_const (n, s) when List.mem_assoc n renames ->
+        Command.Declare_const (List.assoc n renames, s)
+      | Command.Assert t -> Command.Assert (rename_term t)
+      | c -> c)
+    script
+
+let generate ~rng ~seeds =
+  let a = Fuzzer.mutate_seed ~rng seeds in
+  let b = Fuzzer.mutate_seed ~rng seeds in
+  let a = suffix_script "_l" a and b = suffix_script "_r" b in
+  let decls_a = List.filter (fun c -> not (Command.is_assert c || c = Command.Check_sat)) a in
+  let decls_b =
+    List.filter
+      (fun c ->
+        match c with
+        | Command.Assert _ | Command.Check_sat | Command.Set_logic _ -> false
+        | Command.Declare_datatypes _ -> false (* avoid duplicate datatype decls *)
+        | _ -> true)
+      b
+  in
+  let asserts = List.map (fun t -> Command.Assert t) (Script.assertions a @ Script.assertions b) in
+  (* fusion: z = x + y over a shared sort *)
+  let int_vars s =
+    List.filter (fun (_, sort) -> Sort.equal sort Sort.Int) (Script.declared_consts s)
+  in
+  let fusion =
+    match (int_vars a, int_vars b) with
+    | (x, _) :: _, (y, _) :: _ ->
+      [
+        Command.Declare_fun ("z_fusion", [], Sort.Int);
+        Command.Assert (Term.eq (Term.var "z_fusion") (Term.app "+" [ Term.var x; Term.var y ]));
+      ]
+    | _ -> []
+  in
+  let fused = decls_a @ decls_b @ fusion @ asserts @ [ Command.Check_sat ] in
+  (* substitute some occurrences of x by (- z_fusion y) to entangle halves *)
+  let fused =
+    match (int_vars a, int_vars b, fusion) with
+    | (x, _) :: _, (y, _) :: _, _ :: _ when Rng.chance rng 0.7 ->
+      Script.map_assertions
+        (fun t ->
+          if Rng.chance rng 0.5 then
+            Term.map_bottom_up
+              (fun node ->
+                match node with
+                | Term.Var v when v = x && Rng.chance rng 0.5 ->
+                  Term.app "-" [ Term.var "z_fusion"; Term.var y ]
+                | _ -> node)
+              t
+          else t)
+        fused
+    | _ -> fused
+  in
+  Printer.script fused
+
+let fuzzer = { Fuzzer.name = "YinYang"; tests_per_tick = 90; generate }

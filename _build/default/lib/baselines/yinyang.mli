@@ -1,0 +1,6 @@
+(** YinYang (Winterer et al., PLDI 2020): semantic fusion — two seed
+    formulas are merged; a fresh fusion variable ties variables of the two
+    halves together, and occurrences are substituted through the fusion
+    function. *)
+
+val fuzzer : Fuzzer.t

@@ -1,0 +1,1 @@
+lib/coverage/coverage.mli:

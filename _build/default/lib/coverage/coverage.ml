@@ -1,0 +1,97 @@
+type solver_tag = Zeal | Cove
+
+type kind = Line | Function
+
+type point = {
+  id : int;
+  solver : solver_tag;
+  file : string;
+  func : string;
+  kind : kind;
+  label : string;
+  mutable count : int;
+  mutable chained : point option; (* function point hit alongside line 0 *)
+}
+
+let registry : (string, point) Hashtbl.t = Hashtbl.create 1024
+let all_points : point list ref = ref []
+let next_id = ref 0
+
+let identity ~solver ~file ~func ~kind label =
+  let s = match solver with Zeal -> "zeal" | Cove -> "cove" in
+  let k = match kind with Line -> "l" | Function -> "f" in
+  Printf.sprintf "%s|%s|%s|%s|%s" s file func k label
+
+let register ~solver ~file ~func ~kind label =
+  let key = identity ~solver ~file ~func ~kind label in
+  match Hashtbl.find_opt registry key with
+  | Some p -> p
+  | None ->
+    let p =
+      { id = !next_id; solver; file; func; kind; label; count = 0; chained = None }
+    in
+    incr next_id;
+    Hashtbl.add registry key p;
+    all_points := p :: !all_points;
+    p
+
+let hit p =
+  p.count <- p.count + 1;
+  match p.chained with
+  | Some f -> if p.count >= 1 then f.count <- f.count + 1
+  | None -> ()
+
+let hit_count p = p.count
+
+let register_lines ~solver ~file ~func n =
+  let fpoint = register ~solver ~file ~func ~kind:Function "entry" in
+  let lines =
+    Array.init n (fun i ->
+        register ~solver ~file ~func ~kind:Line (string_of_int i))
+  in
+  if n > 0 then lines.(0).chained <- Some fpoint;
+  lines
+
+type snapshot = {
+  lines_total : int;
+  lines_hit : int;
+  funcs_total : int;
+  funcs_hit : int;
+}
+
+let snapshot solver =
+  let init = { lines_total = 0; lines_hit = 0; funcs_total = 0; funcs_hit = 0 } in
+  List.fold_left
+    (fun acc p ->
+      if p.solver <> solver then acc
+      else (
+        match p.kind with
+        | Line ->
+          {
+            acc with
+            lines_total = acc.lines_total + 1;
+            lines_hit = (acc.lines_hit + if p.count > 0 then 1 else 0);
+          }
+        | Function ->
+          {
+            acc with
+            funcs_total = acc.funcs_total + 1;
+            funcs_hit = (acc.funcs_hit + if p.count > 0 then 1 else 0);
+          }))
+    init !all_points
+
+let pct hit total = if total = 0 then 0. else 100. *. float_of_int hit /. float_of_int total
+
+let line_pct s = pct s.lines_hit s.lines_total
+let func_pct s = pct s.funcs_hit s.funcs_total
+
+let reset () = List.iter (fun p -> p.count <- 0) !all_points
+
+let total_points solver =
+  List.length (List.filter (fun p -> p.solver = solver) !all_points)
+
+let hit_point_labels solver =
+  !all_points
+  |> List.filter (fun p -> p.solver = solver && p.count > 0)
+  |> List.map (fun p -> Printf.sprintf "%s:%s:%s" p.file p.func p.label)
+  |> List.sort compare

@@ -1,0 +1,57 @@
+(** Coverage instrumentation for the solver substrate.
+
+    The paper measures gcov line and function coverage of Z3 and cvc5 while
+    fuzzing (Figures 6 and 8). Our solvers are OCaml libraries, so instead of
+    gcov we instrument them directly: every solver module registers named
+    coverage {e points} at load time, tagged with the solver they belong to,
+    a file name, a function name, and a kind ([`Line] or [`Function]). During
+    solving, the code calls {!hit} on the points it passes through. A global
+    registry accumulates hit counts; {!snapshot} captures the current state
+    so experiments can compute coverage growth over time. *)
+
+type solver_tag = Zeal | Cove
+
+type kind = Line | Function
+
+type point
+(** An opaque registered coverage point. [hit] on a point is O(1). *)
+
+val register :
+  solver:solver_tag -> file:string -> func:string -> kind:kind -> string -> point
+(** [register ~solver ~file ~func ~kind label] creates (or retrieves, if the
+    same identity was registered before) a coverage point. Call once at module
+    load time and keep the [point] value. *)
+
+val register_lines :
+  solver:solver_tag -> file:string -> func:string -> int -> point array
+(** [register_lines ~solver ~file ~func n] registers a [Function] point plus
+    [n] [Line] points for a function body, returning the line points. The
+    function point is hit automatically whenever line 0 is hit. *)
+
+val hit : point -> unit
+
+val hit_count : point -> int
+
+(** {1 Snapshots and reporting} *)
+
+type snapshot = {
+  lines_total : int;
+  lines_hit : int;
+  funcs_total : int;
+  funcs_hit : int;
+}
+
+val snapshot : solver_tag -> snapshot
+(** Current totals for one solver. *)
+
+val line_pct : snapshot -> float
+val func_pct : snapshot -> float
+
+val reset : unit -> unit
+(** Zero all hit counters (registrations are kept). *)
+
+val total_points : solver_tag -> int
+
+val hit_point_labels : solver_tag -> string list
+(** Labels ["file:func:label"] of every point hit at least once — used to
+    compare which regions different fuzzers reach. *)

@@ -1,0 +1,1 @@
+lib/experiments/ablations.ml: Gensynth List Llm_sim O4a_coverage O4a_util Once4all Printf Render Seeds Solver Theories

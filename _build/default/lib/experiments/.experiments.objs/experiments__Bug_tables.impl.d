@@ -1,0 +1,1 @@
+lib/experiments/bug_tables.ml: List O4a_coverage Once4all Printf Render Seeds Solver String

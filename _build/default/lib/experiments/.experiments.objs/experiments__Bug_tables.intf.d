@@ -1,0 +1,1 @@
+lib/experiments/bug_tables.mli: Once4all Solver

@@ -1,0 +1,1 @@
+lib/experiments/coverage_growth.ml: Baselines Hashtbl List O4a_coverage O4a_util Option Printf Render Solver String

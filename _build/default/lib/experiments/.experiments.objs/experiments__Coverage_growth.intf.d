@@ -1,0 +1,1 @@
+lib/experiments/coverage_growth.mli: Baselines Script Smtlib

@@ -1,0 +1,1 @@
+lib/experiments/lifespan.ml: List Printf Render Solver String

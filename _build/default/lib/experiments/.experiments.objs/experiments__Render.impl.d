@@ -1,0 +1,1 @@
+lib/experiments/render.ml: Array List O4a_util Option Printf String

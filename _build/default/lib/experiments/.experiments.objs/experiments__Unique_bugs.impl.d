@@ -1,0 +1,1 @@
+lib/experiments/unique_bugs.ml: Baselines Hashtbl List O4a_coverage O4a_util Option Parser Printf Render Smtlib Solver String

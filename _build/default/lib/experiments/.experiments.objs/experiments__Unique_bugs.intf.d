@@ -1,0 +1,1 @@
+lib/experiments/unique_bugs.mli: Baselines Script Smtlib

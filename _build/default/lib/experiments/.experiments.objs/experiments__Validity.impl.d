@@ -1,0 +1,1 @@
+lib/experiments/validity.ml: Gensynth List Llm_sim Printf Render Solver Theories

@@ -1,0 +1,1 @@
+lib/experiments/validity.mli: Llm_sim

@@ -1,0 +1,1 @@
+lib/experiments/variants.ml: Baselines Llm_sim Once4all

@@ -1,0 +1,1 @@
+lib/experiments/variants.mli: Baselines Once4all

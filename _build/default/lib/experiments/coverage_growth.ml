@@ -1,0 +1,108 @@
+
+module Coverage = O4a_coverage.Coverage
+module Fuzzer = Baselines.Fuzzer
+
+type series = {
+  fuzzer : string;
+  zeal_line : float list;
+  zeal_func : float list;
+  cove_line : float list;
+  cove_func : float list;
+}
+
+type result = {
+  series : series list;
+  text : string;
+}
+
+(* per-fuzzer extension-file labels recorded at the end of its run *)
+let extension_hits : (string, string list) Hashtbl.t = Hashtbl.create 16
+
+let is_extension_label label =
+  List.exists
+    (fun dir -> O4a_util.Strx.contains_sub ~sub:dir label)
+    [ "theory/sets"; "theory/bags"; "theory/finite_fields" ]
+
+let run_fuzzer ~seed ~ticks ~per_tick ~max_steps ~seeds (fuzzer : Fuzzer.t) =
+  Coverage.reset ();
+  let rng = O4a_util.Rng.create (seed + Hashtbl.hash fuzzer.Fuzzer.name) in
+  let zeal = Solver.Engine.zeal () in
+  let cove = Solver.Engine.cove () in
+  let zeal_line = ref [] and zeal_func = ref [] in
+  let cove_line = ref [] and cove_func = ref [] in
+  for _tick = 1 to ticks do
+    let cases = max 1 (per_tick * fuzzer.Fuzzer.tests_per_tick / 100) in
+    for _ = 1 to cases do
+      let source = fuzzer.Fuzzer.generate ~rng ~seeds in
+      ignore (Solver.Runner.run_source ~max_steps zeal source);
+      ignore (Solver.Runner.run_source ~max_steps cove source)
+    done;
+    let zs = Coverage.snapshot Coverage.Zeal in
+    let cs = Coverage.snapshot Coverage.Cove in
+    zeal_line := Coverage.line_pct zs :: !zeal_line;
+    zeal_func := Coverage.func_pct zs :: !zeal_func;
+    cove_line := Coverage.line_pct cs :: !cove_line;
+    cove_func := Coverage.func_pct cs :: !cove_func
+  done;
+  Hashtbl.replace extension_hits fuzzer.Fuzzer.name
+    (List.filter is_extension_label (Coverage.hit_point_labels Coverage.Cove));
+  {
+    fuzzer = fuzzer.Fuzzer.name;
+    zeal_line = List.rev !zeal_line;
+    zeal_func = List.rev !zeal_func;
+    cove_line = List.rev !cove_line;
+    cove_func = List.rev !cove_func;
+  }
+
+let render ~title series =
+  let block label extract =
+    Render.series ~title:label ~x_label:"fuzzer \\ hour"
+      (List.map (fun s -> (s.fuzzer, extract s)) series)
+  in
+  let spark label extract =
+    String.concat "\n"
+      (List.map
+         (fun s ->
+           Printf.sprintf "  %-14s %s %.1f%%" s.fuzzer
+             (Render.sparkline (extract s))
+             (match List.rev (extract s) with v :: _ -> v | [] -> 0.))
+         series)
+    |> fun body -> label ^ "\n" ^ body
+  in
+  Render.heading title ^ "\n"
+  ^ block "Zeal line coverage (%)" (fun s -> s.zeal_line)
+  ^ "\n\n"
+  ^ block "Cove line coverage (%)" (fun s -> s.cove_line)
+  ^ "\n\n"
+  ^ spark "Zeal function coverage (final %)" (fun s -> s.zeal_func)
+  ^ "\n\n"
+  ^ spark "Cove function coverage (final %)" (fun s -> s.cove_func)
+
+let run ?(seed = 2024) ?(ticks = 24) ?(per_tick = 60) ?(max_steps = 40_000) ~title
+    ~fuzzers ~seeds () =
+  let series =
+    List.map (run_fuzzer ~seed ~ticks ~per_tick ~max_steps ~seeds) fuzzers
+  in
+  { series; text = render ~title series }
+
+let exclusive_regions result =
+  let rows =
+    List.map
+      (fun s ->
+        let labels =
+          Option.value (Hashtbl.find_opt extension_hits s.fuzzer) ~default:[]
+        in
+        let files =
+          labels
+          |> List.filter_map (fun l ->
+                 match String.index_opt l ':' with
+                 | Some i -> Some (String.sub l 0 i)
+                 | None -> None)
+          |> O4a_util.Listx.dedup
+        in
+        [ s.fuzzer; string_of_int (List.length labels); String.concat " " files ])
+      result.series
+  in
+  Render.heading "Solver-specific theory files reached (Cove)"
+  ^ "\n"
+  ^ Render.table ~header:[ "fuzzer"; "ext. points hit"; "files" ] rows

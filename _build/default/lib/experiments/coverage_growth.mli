@@ -1,0 +1,40 @@
+(** Figures 6 and 8 — line and function coverage growth over a simulated
+    24-hour run, one curve per fuzzer per solver.
+
+    The paper's wall-clock hours become budget {e ticks}: each fuzzer spends
+    one tick producing [per_tick] test cases scaled by its relative
+    throughput (the LLM-in-the-loop baseline produces fewer cases per tick,
+    as in reality), feeding every case to both solvers. Coverage is
+    snapshotted after every tick from the instrumentation registry. *)
+
+open Smtlib
+
+type series = {
+  fuzzer : string;
+  zeal_line : float list;
+  zeal_func : float list;
+  cove_line : float list;
+  cove_func : float list;
+}
+
+type result = {
+  series : series list;
+  text : string;
+}
+
+val run :
+  ?seed:int ->
+  ?ticks:int ->
+  ?per_tick:int ->
+  ?max_steps:int ->
+  title:string ->
+  fuzzers:Baselines.Fuzzer.t list ->
+  seeds:Script.t list ->
+  unit ->
+  result
+(** Defaults: 24 ticks, 60 cases per tick at full speed. *)
+
+val exclusive_regions : result -> string
+(** For the final tick: which fuzzers reach solver-specific theory files that
+    no baseline reaches (the paper's src/theory/sets observation). This re-runs
+    nothing; it reports from the last snapshot's hit labels. *)

@@ -1,0 +1,84 @@
+module Bug_db = Solver.Bug_db
+module Version = Solver.Version
+
+type row = {
+  version : string;
+  year : int;
+  affected : int;
+}
+
+type result = {
+  zeal_rows : row list;
+  cove_rows : row list;
+  text : string;
+}
+
+let confirmed (s : Bug_db.spec) =
+  match s.Bug_db.status with
+  | Bug_db.Fixed | Bug_db.Confirmed -> true
+  | Bug_db.Reported | Bug_db.Duplicate_of _ -> false
+
+let affects (s : Bug_db.spec) commit =
+  s.Bug_db.introduced <= commit
+  && match s.Bug_db.fixed_commit with None -> true | Some f -> commit < f
+
+let rows_for found history =
+  let bugs =
+    List.filter
+      (fun (s : Bug_db.spec) -> s.Bug_db.solver = history.Version.solver && confirmed s)
+      found
+  in
+  let release_rows =
+    List.map
+      (fun (r : Version.release) ->
+        {
+          version = r.Version.version;
+          year = r.Version.year;
+          affected = List.length (List.filter (fun s -> affects s r.Version.commit) bugs);
+        })
+      history.Version.releases
+  in
+  release_rows
+  @ [
+      {
+        version = "trunk";
+        year = 2026;
+        affected = List.length (List.filter (fun s -> affects s history.Version.trunk) bugs);
+      };
+    ]
+
+let long_latent ~found =
+  List.filter
+    (fun (s : Bug_db.spec) ->
+      confirmed s
+      &&
+      let history = Version.history_of s.Bug_db.solver in
+      match history.Version.releases with
+      | oldest :: _ -> affects s oldest.Version.commit
+      | [] -> false)
+    found
+
+let run ~found =
+  let zeal_rows = rows_for found Version.zeal_history in
+  let cove_rows = rows_for found Version.cove_history in
+  let render name rows =
+    Render.table
+      ~header:[ name ^ " version"; "year"; "# confirmed bugs affecting it" ]
+      (List.map
+         (fun r -> [ r.version; string_of_int r.year; string_of_int r.affected ])
+         rows)
+  in
+  let latent = long_latent ~found in
+  let text =
+    Render.heading "Figure 5: confirmed bugs affecting each release version"
+    ^ "\n" ^ render "Zeal" zeal_rows ^ "\n\n" ^ render "Cove" cove_rows ^ "\n\n"
+    ^ Printf.sprintf
+        "long-latent bugs (present in the oldest release): %d (paper: 3 in Z3)\n%s"
+        (List.length latent)
+        (String.concat "\n"
+           (List.map
+              (fun (s : Bug_db.spec) ->
+                Printf.sprintf "  %s: %s" s.Bug_db.id s.Bug_db.summary)
+              latent))
+  in
+  { zeal_rows; cove_rows; text }

@@ -1,0 +1,23 @@
+(** Figure 5 — bug lifespan: how many confirmed bugs affect each release
+    version of the two solvers. A bug affects a release when its trigger
+    formula still fires there (equivalently, when the release's commit lies
+    in the bug's live range), reproducing the paper's re-execution protocol
+    (most bugs are trunk-only; three Zeal bugs predate the oldest release). *)
+
+type row = {
+  version : string;
+  year : int;
+  affected : int;
+}
+
+type result = {
+  zeal_rows : row list;  (** + trunk as the last row *)
+  cove_rows : row list;
+  text : string;
+}
+
+val run : found:Solver.Bug_db.spec list -> result
+(** [found] — the confirmed campaign bugs (from {!Bug_tables}). *)
+
+val long_latent : found:Solver.Bug_db.spec list -> Solver.Bug_db.spec list
+(** Bugs affecting the oldest release (the paper's ">6 years latent" set). *)

@@ -1,0 +1,57 @@
+let pad width s =
+  if String.length s >= width then s else s ^ String.make (width - String.length s) ' '
+
+let table ~header rows =
+  let all_rows = header :: rows in
+  let n_cols = List.fold_left (fun acc r -> max acc (List.length r)) 0 all_rows in
+  let col_width i =
+    List.fold_left
+      (fun acc row ->
+        match List.nth_opt row i with
+        | Some cell -> max acc (String.length cell)
+        | None -> acc)
+      0 all_rows
+  in
+  let widths = List.init n_cols col_width in
+  let render_row row =
+    List.mapi
+      (fun i w ->
+        let cell = Option.value (List.nth_opt row i) ~default:"" in
+        pad w cell)
+      widths
+    |> String.concat "  "
+    |> String.trim
+  in
+  let sep =
+    String.concat "  " (List.map (fun w -> String.make w '-') widths)
+  in
+  String.concat "\n" (render_row header :: sep :: List.map render_row rows)
+
+let series ~title ~x_label named =
+  let n = List.fold_left (fun acc (_, v) -> max acc (List.length v)) 0 named in
+  let header = x_label :: List.init n (fun i -> string_of_int (i + 1)) in
+  let rows =
+    List.map
+      (fun (name, values) ->
+        name :: List.map (fun v -> Printf.sprintf "%.1f" v) values)
+      named
+  in
+  title ^ "\n" ^ table ~header rows
+
+let sparkline values =
+  if values = [] then ""
+  else (
+    let lo = O4a_util.Stats.minimum values and hi = O4a_util.Stats.maximum values in
+    let blocks = [| "\xe2\x96\x81"; "\xe2\x96\x82"; "\xe2\x96\x83"; "\xe2\x96\x84";
+                    "\xe2\x96\x85"; "\xe2\x96\x86"; "\xe2\x96\x87"; "\xe2\x96\x88" |] in
+    values
+    |> List.map (fun v ->
+           let t = if hi = lo then 1. else (v -. lo) /. (hi -. lo) in
+           blocks.(max 0 (min 7 (int_of_float (t *. 7.99)))))
+    |> String.concat "")
+
+let heading text =
+  let bar = String.make (String.length text) '=' in
+  Printf.sprintf "%s\n%s" text bar
+
+let pct v = Printf.sprintf "%.1f%%" v

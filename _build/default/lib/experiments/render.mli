@@ -1,0 +1,15 @@
+(** Plain-text rendering of the reproduced tables and figures. *)
+
+val table : header:string list -> string list list -> string
+(** Aligned ASCII table. *)
+
+val series : title:string -> x_label:string -> (string * float list) list -> string
+(** One row per named series, values aligned per x position — the textual
+    form of a line chart. *)
+
+val sparkline : float list -> string
+(** Unicode mini-chart for quick visual inspection of a series. *)
+
+val heading : string -> string
+
+val pct : float -> string

@@ -1,0 +1,36 @@
+(** Figures 7 and 9 — unique known bugs detected per fuzzer, identified by
+    the paper's Correcting Commit method.
+
+    Each fuzzer runs against the {e latest release} versions of the two
+    solvers (Zeal 4.13.0, Cove 1.2.0). For every misbehaving formula
+    (crash, verdict differing from the bug-free reference engine, or an
+    invalid model), the fix commit is located by binary search over the
+    commit history; distinct correcting commits count as distinct bugs.
+    Formulas that still misbehave at trunk are excluded (the experiment
+    targets already-resolved bugs, per §4.3). *)
+
+open Smtlib
+
+type row = {
+  fuzzer : string;
+  unique_bugs : int;
+  correcting_commits : (string * int) list;  (** (solver name, commit) *)
+  candidates : int;  (** misbehaving formulas observed before bisection *)
+}
+
+type result = {
+  rows : row list;
+  text : string;
+}
+
+val run :
+  ?seed:int ->
+  ?budget:int ->
+  ?max_bisects:int ->
+  ?max_steps:int ->
+  title:string ->
+  fuzzers:Baselines.Fuzzer.t list ->
+  seeds:Script.t list ->
+  unit ->
+  result
+(** Defaults: budget 1200 cases per fuzzer, at most 40 bisections each. *)

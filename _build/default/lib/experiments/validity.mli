@@ -1,0 +1,21 @@
+(** §5.1 — impact of the self-correction mechanism: proportion of valid
+    formulas per theory before and after correction, across LLM profiles. *)
+
+type row = {
+  theory : string;
+  difficulty : float;
+  initial_pct : float;
+  final_pct : float;
+  iterations : int;
+}
+
+type result = {
+  profile : string;
+  rows : row list;
+  text : string;
+}
+
+val run : ?seed:int -> ?profile:Llm_sim.Profile.t -> ?max_iter:int -> unit -> result
+
+val run_all_profiles : ?seed:int -> unit -> result list
+(** gpt-4, gemini-2.5-pro, claude-4.5-sonnet (the RQ3 lineup). *)

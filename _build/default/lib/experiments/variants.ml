@@ -1,0 +1,34 @@
+type t = {
+  name : string;
+  campaign : Once4all.Campaign.t;
+  fuzzer : Baselines.Fuzzer.t;
+}
+
+let build ?(seed = 42) () =
+  let base = Once4all.Campaign.prepare ~seed ~profile:Llm_sim.Profile.gpt4 () in
+  let gemini =
+    Once4all.Campaign.prepare ~seed ~profile:Llm_sim.Profile.gemini25pro ()
+  in
+  let claude = Once4all.Campaign.prepare ~seed ~profile:Llm_sim.Profile.claude45 () in
+  [
+    { name = "Once4All"; campaign = base; fuzzer = Baselines.Registry.once4all base };
+    {
+      name = "Once4All_w/oS";
+      campaign = base;
+      fuzzer = Baselines.Registry.once4all_wos base;
+    };
+    {
+      name = "Once4All_Gemini";
+      campaign = gemini;
+      fuzzer =
+        (let f = Baselines.Registry.once4all gemini in
+         { f with Baselines.Fuzzer.name = "Once4All_Gemini" });
+    };
+    {
+      name = "Once4All_Claude";
+      campaign = claude;
+      fuzzer =
+        (let f = Baselines.Registry.once4all claude in
+         { f with Baselines.Fuzzer.name = "Once4All_Claude" });
+    };
+  ]

@@ -1,0 +1,12 @@
+(** The RQ3 variant lineup: Once4All, Once4All_w/oS (no skeletons), and the
+    alternative-LLM variants (Gemini 2.5 Pro, Claude 4.5 Sonnet profiles). *)
+
+type t = {
+  name : string;
+  campaign : Once4all.Campaign.t;
+  fuzzer : Baselines.Fuzzer.t;
+}
+
+val build : ?seed:int -> unit -> t list
+(** Prepares all four variants (each runs its own one-time generator
+    construction). *)

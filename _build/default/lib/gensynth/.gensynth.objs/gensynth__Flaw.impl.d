@@ -1,0 +1,1 @@
+lib/gensynth/flaw.ml: List O4a_util Printf String

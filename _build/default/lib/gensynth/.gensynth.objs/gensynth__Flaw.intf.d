@@ -1,0 +1,1 @@
+lib/gensynth/flaw.mli:

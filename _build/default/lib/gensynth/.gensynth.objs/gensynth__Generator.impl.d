@@ -1,0 +1,1 @@
+lib/gensynth/generator.ml: Buffer Char Flaw Grammar_kit List O4a_util Printf Smtlib String Theories Theory

@@ -1,0 +1,1 @@
+lib/gensynth/generator.mli: Flaw Grammar_kit O4a_util Smtlib Theories Theory

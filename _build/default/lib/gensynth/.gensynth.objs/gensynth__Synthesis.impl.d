@@ -1,0 +1,1 @@
+lib/gensynth/synthesis.ml: Flaw Generator Grammar_kit List Llm_sim O4a_util Printf Result Solver String Theories Theory

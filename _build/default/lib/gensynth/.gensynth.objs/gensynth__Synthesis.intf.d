@@ -1,0 +1,1 @@
+lib/gensynth/synthesis.mli: Generator Llm_sim O4a_util Solver Theories Theory

@@ -1,0 +1,122 @@
+type runtime =
+  | Width_mismatch
+  | Field_mismatch
+  | Bad_int_literal
+  | Bad_real_literal
+  | Bad_ff_literal
+  | Bad_string_quotes
+  | Missing_declaration
+  | Unbalanced_output
+
+type grammar_defect =
+  | Hallucinate of { lhs : string; alt_idx : int; from_op : string; to_op : string }
+  | Arity_break of { lhs : string; alt_idx : int }
+  | Drop_alt of { lhs : string; alt_idx : int }
+  | Unit_join
+
+type category =
+  | C_width
+  | C_field
+  | C_literal
+  | C_declaration
+  | C_parse
+  | C_arity
+  | C_unknown_symbol of string
+  | C_nullary_join
+  | C_other
+
+let contains sub s = O4a_util.Strx.contains_sub ~sub s
+
+let quoted_symbol msg =
+  match String.index_opt msg '\'' with
+  | Some i -> (
+    match String.index_from_opt msg (i + 1) '\'' with
+    | Some j -> String.sub msg (i + 1) (j - i - 1)
+    | None -> "")
+  | None -> ""
+
+let categorize_error msg =
+  if contains "equal width" msg || contains "bit-vector" msg then C_width
+  else if contains "finite field" msg || contains "FiniteField" msg then
+    if contains "same finite field" msg then C_field else C_literal
+  else if contains "non-nullary" msg || contains "nullary" msg then C_nullary_join
+  else if contains "expects" msg && contains "arguments, got" msg then C_arity
+  else if contains "unknown constant or function symbol" msg then
+    C_unknown_symbol (quoted_symbol msg)
+  else if contains "unknown" msg && contains "operator" msg then
+    C_unknown_symbol (quoted_symbol msg)
+  else if contains "parse error" msg || contains "unbalanced" msg
+          || contains "unterminated" msg || contains "invalid token" msg then C_parse
+  else if contains "wrong argument sorts" msg || contains "wrong usage" msg then C_arity
+  else if
+    contains "sort" msg || contains "Int" msg || contains "Real" msg
+    || contains "Bool" msg
+  then C_literal
+  else C_other
+
+(* A generated-but-undeclared variable name (int3, seq0, ...) vs an operator:
+   our generators use sort-prefixed counters, so a short alnum tail after a
+   known prefix marks a variable. *)
+let looks_like_generated_var sym =
+  let prefixes =
+    [ "int"; "real"; "str"; "bv"; "ff"; "seq"; "set"; "bag"; "arr"; "rel"; "urel";
+      "lst"; "b"; "x" ]
+  in
+  List.exists
+    (fun p ->
+      O4a_util.Strx.starts_with ~prefix:p sym
+      && String.length sym > String.length p
+      && String.for_all
+           (fun c -> c >= '0' && c <= '9')
+           (String.sub sym (String.length p) (String.length sym - String.length p)))
+    prefixes
+
+let runtime_matches category runtime =
+  match (category, runtime) with
+  | C_width, Width_mismatch -> true
+  | C_field, Field_mismatch -> true
+  | ( (C_literal | C_arity),
+      (Bad_int_literal | Bad_real_literal | Bad_ff_literal | Bad_string_quotes) ) ->
+    true
+  | C_parse, (Unbalanced_output | Bad_string_quotes | Bad_ff_literal) -> true
+  | C_declaration, Missing_declaration -> true
+  | C_unknown_symbol sym, Missing_declaration -> looks_like_generated_var sym
+  | C_unknown_symbol sym, Bad_ff_literal ->
+    O4a_util.Strx.starts_with ~prefix:"ff" sym
+  | _ -> false
+
+let defect_matches category defect =
+  match (category, defect) with
+  | _, Drop_alt _ -> false (* omissions produce no errors; never repaired *)
+  | C_unknown_symbol sym, Hallucinate { to_op; _ } -> sym = to_op
+  | (C_arity | C_literal | C_other), Arity_break _ -> true
+  | C_nullary_join, Unit_join -> true
+  | _ -> false
+
+let runtime_to_string = function
+  | Width_mismatch -> "width-mismatch"
+  | Field_mismatch -> "field-mismatch"
+  | Bad_int_literal -> "bad-int-literal"
+  | Bad_real_literal -> "bad-real-literal"
+  | Bad_ff_literal -> "bad-ff-literal"
+  | Bad_string_quotes -> "bad-string-quotes"
+  | Missing_declaration -> "missing-declaration"
+  | Unbalanced_output -> "unbalanced-output"
+
+let defect_to_string = function
+  | Hallucinate { from_op; to_op; _ } ->
+    Printf.sprintf "hallucinate(%s->%s)" from_op to_op
+  | Arity_break { lhs; alt_idx } -> Printf.sprintf "arity-break(%s#%d)" lhs alt_idx
+  | Drop_alt { lhs; alt_idx } -> Printf.sprintf "drop-alt(%s#%d)" lhs alt_idx
+  | Unit_join -> "unit-join"
+
+let category_to_string = function
+  | C_width -> "width"
+  | C_field -> "field"
+  | C_literal -> "literal"
+  | C_declaration -> "declaration"
+  | C_parse -> "parse"
+  | C_arity -> "arity"
+  | C_unknown_symbol s -> Printf.sprintf "unknown-symbol(%s)" s
+  | C_nullary_join -> "nullary-join"
+  | C_other -> "other"

@@ -1,0 +1,56 @@
+(** Defect model for LLM-synthesized generators.
+
+    Two layers, matching how real LLM-written generators fail:
+
+    - {b Grammar defects} live in the summarized CFG (hallucinated operator
+      names, broken arities, omitted alternatives, an ill-typed nullary-join
+      production) — what the paper attributes to incomplete/informal
+      documentation and model hallucination.
+    - {b Runtime flaws} live in the generator implementation (inconsistent
+      bit-widths, mixed field orders, malformed literals, missing
+      declarations, unbalanced output) — the contextual constraints a CFG
+      cannot express (§3.2's bvadd/bvmul example).
+
+    The self-correction loop classifies solver error messages back into these
+    categories to decide what a refinement round may fix. *)
+
+type runtime =
+  | Width_mismatch  (** bit-vector widths drawn independently per position *)
+  | Field_mismatch  (** finite-field orders drawn independently *)
+  | Bad_int_literal  (** sometimes prints [2.0] where Int is required *)
+  | Bad_real_literal  (** sometimes prints [2] where Real is required *)
+  | Bad_ff_literal  (** prints bare [ff3] without the [as] annotation *)
+  | Bad_string_quotes  (** prints ['a'] instead of ["a"] *)
+  | Missing_declaration  (** uses a variable it never declares *)
+  | Unbalanced_output  (** occasionally drops a closing parenthesis *)
+
+type grammar_defect =
+  | Hallucinate of { lhs : string; alt_idx : int; from_op : string; to_op : string }
+  | Arity_break of { lhs : string; alt_idx : int }
+      (** an extra argument duplicated into an application *)
+  | Drop_alt of { lhs : string; alt_idx : int }
+      (** omission: hurts diversity, not validity *)
+  | Unit_join  (** sets: adds a production joining nullary relations *)
+
+type category =
+  | C_width
+  | C_field
+  | C_literal
+  | C_declaration
+  | C_parse
+  | C_arity
+  | C_unknown_symbol of string
+  | C_nullary_join
+  | C_other
+
+val categorize_error : string -> category
+(** Classify a solver/parser error message. *)
+
+val runtime_matches : category -> runtime -> bool
+(** Would fixing this runtime flaw address errors of this category? *)
+
+val defect_matches : category -> grammar_defect -> bool
+
+val runtime_to_string : runtime -> string
+val defect_to_string : grammar_defect -> string
+val category_to_string : category -> string

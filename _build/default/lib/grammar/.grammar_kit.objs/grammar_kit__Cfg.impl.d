@@ -1,0 +1,1 @@
+lib/grammar/cfg.ml: Hashtbl List O4a_util Printf String

@@ -1,0 +1,1 @@
+lib/grammar/ebnf.ml: Buffer Cfg List O4a_util Printf String

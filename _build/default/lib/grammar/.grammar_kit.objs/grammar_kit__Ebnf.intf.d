@@ -1,0 +1,1 @@
+lib/grammar/ebnf.mli: Cfg

@@ -1,0 +1,1 @@
+lib/grammar/generate.ml: Buffer Cfg List O4a_util Printf Result

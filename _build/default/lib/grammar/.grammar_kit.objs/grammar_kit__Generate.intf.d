@@ -1,0 +1,1 @@
+lib/grammar/generate.mli: Cfg O4a_util

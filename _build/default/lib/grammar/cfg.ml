@@ -1,0 +1,134 @@
+type symbol =
+  | Lit of string
+  | Ref of string
+  | Hook of string
+
+type alternative = symbol list
+
+type production = {
+  lhs : string;
+  alternatives : alternative list;
+}
+
+type t = {
+  start : string;
+  productions : production list;
+}
+
+let find g name = List.find_opt (fun p -> p.lhs = name) g.productions
+
+let nonterminals g = List.map (fun p -> p.lhs) g.productions
+
+let hooks g =
+  g.productions
+  |> List.concat_map (fun p -> List.concat p.alternatives)
+  |> List.filter_map (function Hook h -> Some h | Lit _ | Ref _ -> None)
+  |> O4a_util.Listx.dedup
+
+let unproductive = max_int
+
+let min_depths g =
+  let depths = Hashtbl.create 16 in
+  List.iter (fun p -> Hashtbl.replace depths p.lhs unproductive) g.productions;
+  let symbol_depth = function
+    | Lit _ | Hook _ -> 0
+    | Ref name -> ( match Hashtbl.find_opt depths name with Some d -> d | None -> unproductive)
+  in
+  let alt_depth alt =
+    List.fold_left
+      (fun acc s ->
+        let d = symbol_depth s in
+        if acc = unproductive || d = unproductive then unproductive else max acc d)
+      0 alt
+  in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    List.iter
+      (fun p ->
+        let best =
+          List.fold_left
+            (fun acc alt ->
+              let d = alt_depth alt in
+              if d = unproductive then acc else min acc (d + 1))
+            unproductive p.alternatives
+        in
+        if best < Hashtbl.find depths p.lhs then (
+          Hashtbl.replace depths p.lhs best;
+          changed := true))
+      g.productions
+  done;
+  List.map (fun p -> (p.lhs, Hashtbl.find depths p.lhs)) g.productions
+
+let alternative_min_depth depths alt =
+  List.fold_left
+    (fun acc s ->
+      match s with
+      | Lit _ | Hook _ -> acc
+      | Ref name -> (
+        match List.assoc_opt name depths with
+        | Some d when d <> unproductive && acc <> unproductive -> max acc d
+        | _ -> unproductive))
+    0 alt
+
+let validate g =
+  match find g g.start with
+  | None -> Error (Printf.sprintf "start symbol '%s' is not defined" g.start)
+  | Some _ ->
+    let defined = nonterminals g in
+    let missing =
+      g.productions
+      |> List.concat_map (fun p -> List.concat p.alternatives)
+      |> List.filter_map (function
+           | Ref name when not (List.mem name defined) -> Some name
+           | Ref _ | Lit _ | Hook _ -> None)
+      |> O4a_util.Listx.dedup
+    in
+    if missing <> [] then
+      Error
+        (Printf.sprintf "undefined nonterminal(s): %s" (String.concat ", " missing))
+    else (
+      let depths = min_depths g in
+      match List.find_opt (fun (_, d) -> d = unproductive) depths with
+      | Some (name, _) ->
+        Error (Printf.sprintf "nonterminal '%s' derives no finite sentence" name)
+      | None -> Ok ())
+
+let map_alternatives f g =
+  let productions =
+    g.productions
+    |> List.filter_map (fun p ->
+           let alternatives = List.filter_map (f p.lhs) p.alternatives in
+           if alternatives = [] then None else Some { p with alternatives })
+  in
+  { g with productions }
+
+let add_alternative g lhs alt =
+  let found = ref false in
+  let productions =
+    List.map
+      (fun p ->
+        if p.lhs = lhs then (
+          found := true;
+          { p with alternatives = p.alternatives @ [ alt ] })
+        else p)
+      g.productions
+  in
+  if !found then { g with productions }
+  else { g with productions = g.productions @ [ { lhs; alternatives = [ alt ] } ] }
+
+let symbol_to_string = function
+  | Lit text -> Printf.sprintf "%S" text
+  | Ref name -> name
+  | Hook name -> "@" ^ name
+
+let to_string g =
+  g.productions
+  |> List.map (fun p ->
+         let alts =
+           p.alternatives
+           |> List.map (fun alt -> String.concat " " (List.map symbol_to_string alt))
+           |> String.concat "\n  | "
+         in
+         Printf.sprintf "%s ::= %s" p.lhs alts)
+  |> String.concat "\n"

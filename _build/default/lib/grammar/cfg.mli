@@ -1,0 +1,49 @@
+(** Context-free grammars with generator hooks.
+
+    A grammar maps nonterminal names to alternatives; each alternative is a
+    sequence of symbols: literal text, a nonterminal reference, or a [Hook]
+    to be filled by the interpreter (literals, variables, width/sort context
+    — the contextual constraints a CFG cannot express). *)
+
+type symbol =
+  | Lit of string
+  | Ref of string
+  | Hook of string
+
+type alternative = symbol list
+
+type production = {
+  lhs : string;
+  alternatives : alternative list;
+}
+
+type t = {
+  start : string;
+  productions : production list;
+}
+
+val find : t -> string -> production option
+
+val nonterminals : t -> string list
+
+val hooks : t -> string list
+(** All hook names used, deduplicated. *)
+
+val validate : t -> (unit, string) result
+(** Every [Ref] resolves; the start symbol exists; every nonterminal is
+    productive (derives a finite sentence). *)
+
+val min_depths : t -> (string * int) list
+(** Minimal derivation depth per nonterminal ([max_int] if unproductive);
+    used to steer random generation toward termination. *)
+
+val alternative_min_depth : (string * int) list -> alternative -> int
+
+val map_alternatives : (string -> alternative -> alternative option) -> t -> t
+(** Transform (or drop, via [None]) each alternative; productions left with
+    no alternatives are removed. Used by the simulated LLM's noise model. *)
+
+val add_alternative : t -> string -> alternative -> t
+
+val to_string : t -> string
+(** Round-trips through {!Ebnf.parse}. *)

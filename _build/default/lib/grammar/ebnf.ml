@@ -1,0 +1,121 @@
+let is_ident_char c =
+  (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9')
+  || c = '_' || c = '-' || c = '.'
+
+type token = Tlit of string | Tref of string | Thook of string | Tbar | Tdef of string
+
+(* One production's text -> token list. [Tdef lhs] appears first. *)
+let tokenize_production text =
+  let n = String.length text in
+  let tokens = ref [] in
+  let i = ref 0 in
+  let emit t = tokens := t :: !tokens in
+  while !i < n do
+    let c = text.[!i] in
+    if c = ' ' || c = '\t' || c = '\n' || c = '\r' then incr i
+    else if c = '|' then (
+      emit Tbar;
+      incr i)
+    else if c = '"' then (
+      incr i;
+      let buf = Buffer.create 16 in
+      let rec go () =
+        if !i >= n then failwith "unterminated string literal in grammar"
+        else if text.[!i] = '\\' && !i + 1 < n then (
+          Buffer.add_char buf text.[!i + 1];
+          i := !i + 2;
+          go ())
+        else if text.[!i] = '"' then incr i
+        else (
+          Buffer.add_char buf text.[!i];
+          incr i;
+          go ())
+      in
+      go ();
+      emit (Tlit (Buffer.contents buf)))
+    else if c = '@' then (
+      incr i;
+      let start = !i in
+      while !i < n && is_ident_char text.[!i] do
+        incr i
+      done;
+      if !i = start then failwith "empty hook name after '@'";
+      emit (Thook (String.sub text start (!i - start))))
+    else if is_ident_char c then (
+      let start = !i in
+      while !i < n && is_ident_char text.[!i] do
+        incr i
+      done;
+      let word = String.sub text start (!i - start) in
+      (* '::=' immediately after an identifier marks a definition *)
+      let rest_starts_with_def =
+        let j = ref !i in
+        while !j < n && (text.[!j] = ' ' || text.[!j] = '\t') do
+          incr j
+        done;
+        !j + 3 <= n && String.sub text !j 3 = "::="
+      in
+      if rest_starts_with_def then (
+        while !i < n && text.[!i] <> '=' do
+          incr i
+        done;
+        incr i;
+        emit (Tdef word))
+      else emit (Tref word))
+    else failwith (Printf.sprintf "unexpected character '%c' in grammar" c)
+  done;
+  List.rev !tokens
+
+let split_productions text =
+  (* group lines: a new production starts at a line containing "::=" *)
+  let lines = O4a_util.Strx.split_lines text in
+  let groups = ref [] in
+  let current = Buffer.create 64 in
+  let flush () =
+    if Buffer.length current > 0 then (
+      groups := Buffer.contents current :: !groups;
+      Buffer.clear current)
+  in
+  List.iter
+    (fun line ->
+      if O4a_util.Strx.contains_sub ~sub:"::=" line then flush ();
+      Buffer.add_string current line;
+      Buffer.add_char current '\n')
+    lines;
+  flush ();
+  List.rev !groups
+
+let production_of_tokens tokens =
+  match tokens with
+  | Tdef lhs :: rest ->
+    let alternatives =
+      List.fold_left
+        (fun alts token ->
+          match (token, alts) with
+          | Tbar, _ -> [] :: alts
+          | Tlit s, current :: others -> (Cfg.Lit s :: current) :: others
+          | Tref s, current :: others -> (Cfg.Ref s :: current) :: others
+          | Thook s, current :: others -> (Cfg.Hook s :: current) :: others
+          | _, [] -> failwith "internal: empty alternative stack"
+          | Tdef _, _ -> failwith "unexpected '::=' inside production body")
+        [ [] ] rest
+      |> List.rev_map List.rev
+    in
+    let alternatives = List.filter (fun a -> a <> []) alternatives in
+    if alternatives = [] then failwith (Printf.sprintf "production '%s' has no alternatives" lhs);
+    { Cfg.lhs; alternatives }
+  | _ -> failwith "expected 'name ::= ...' at the start of a production"
+
+let parse_exn text =
+  let groups = split_productions text in
+  let groups = List.filter (fun g -> String.trim g <> "") groups in
+  if groups = [] then failwith "empty grammar";
+  let productions = List.map (fun g -> production_of_tokens (tokenize_production g)) groups in
+  match productions with
+  | [] -> failwith "empty grammar"
+  | first :: _ -> { Cfg.start = first.Cfg.lhs; productions }
+
+let parse text =
+  match parse_exn text with
+  | g -> Ok g
+  | exception Failure msg -> Error msg

@@ -1,0 +1,17 @@
+(** Concrete EBNF syntax for {!Cfg.t}:
+
+    {v
+    bool ::= "(not " bool ")" | @bool_lit | @var_bool
+    int  ::= @int_lit | "(+ " int " " int ")"
+    v}
+
+    Double-quoted tokens are literal text, bare identifiers are nonterminal
+    references, [@name] tokens are hooks, and [|] separates alternatives.
+    A production may span several lines; a new production starts at a line
+    containing [::=]. The first production's left-hand side is the start
+    symbol. *)
+
+val parse : string -> (Cfg.t, string) result
+
+val parse_exn : string -> Cfg.t
+(** Raises [Failure]. *)

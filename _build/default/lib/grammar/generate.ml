@@ -1,0 +1,36 @@
+type hook_fn = string -> string
+
+let sentence ?(max_depth = 8) ~cfg ~hook ~rng start =
+  let depths = Cfg.min_depths cfg in
+  let buf = Buffer.create 128 in
+  let exception Gen_error of string in
+  let rec derive budget name =
+    match Cfg.find cfg name with
+    | None -> raise (Gen_error (Printf.sprintf "unknown nonterminal '%s'" name))
+    | Some production ->
+      let feasible =
+        List.filter
+          (fun alt -> Cfg.alternative_min_depth depths alt < budget)
+          production.Cfg.alternatives
+      in
+      (match feasible with
+      | [] ->
+        raise
+          (Gen_error
+             (Printf.sprintf "no alternative of '%s' fits depth budget %d" name budget))
+      | alts ->
+        let alt = O4a_util.Rng.choose rng alts in
+        List.iter
+          (function
+            | Cfg.Lit text -> Buffer.add_string buf text
+            | Cfg.Hook h -> Buffer.add_string buf (hook h)
+            | Cfg.Ref r -> derive (budget - 1) r)
+          alt)
+  in
+  match derive max_depth start with
+  | () -> Ok (Buffer.contents buf)
+  | exception Gen_error msg -> Error msg
+
+let sentences ?max_depth ~cfg ~hook ~rng ~count start =
+  List.init count (fun _ -> sentence ?max_depth ~cfg ~hook ~rng start)
+  |> List.filter_map Result.to_option

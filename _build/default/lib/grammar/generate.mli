@@ -1,0 +1,31 @@
+(** Random sentence generation from a {!Cfg.t}.
+
+    Derivation is depth-budgeted: once the remaining budget cannot cover an
+    alternative's minimal derivation depth, that alternative is excluded, so
+    generation always terminates on a validated grammar. Hooks are rendered
+    through a caller-supplied function that owns all context-sensitive state
+    (variable pools, bit-widths, field orders). *)
+
+type hook_fn = string -> string
+(** Maps a hook name to the text to substitute. May raise. *)
+
+val sentence :
+  ?max_depth:int ->
+  cfg:Cfg.t ->
+  hook:hook_fn ->
+  rng:O4a_util.Rng.t ->
+  string ->
+  (string, string) result
+(** [sentence ~cfg ~hook ~rng start] derives one sentence from [start]
+    (default depth budget 8). [Error] on unknown start symbols or grammars
+    where no alternative fits the budget. *)
+
+val sentences :
+  ?max_depth:int ->
+  cfg:Cfg.t ->
+  hook:hook_fn ->
+  rng:O4a_util.Rng.t ->
+  count:int ->
+  string ->
+  string list
+(** Best-effort batch: failures are skipped. *)

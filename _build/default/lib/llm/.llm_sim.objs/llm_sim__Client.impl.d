@@ -1,0 +1,1 @@
+lib/llm/client.ml: Hashtbl List O4a_util Printf Profile Prompt String

@@ -1,0 +1,1 @@
+lib/llm/client.mli: O4a_util Profile Prompt

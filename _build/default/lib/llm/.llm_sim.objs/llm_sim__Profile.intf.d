@@ -1,0 +1,1 @@
+lib/llm/profile.mli:

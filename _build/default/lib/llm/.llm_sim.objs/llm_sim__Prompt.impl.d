@@ -1,0 +1,1 @@
+lib/llm/prompt.ml: Printf String

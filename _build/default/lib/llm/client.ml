@@ -1,0 +1,98 @@
+type t = {
+  profile : Profile.t;
+  seed : int;
+  mutable calls : int;
+  mutable tokens : int;
+  mutable transcript_rev : (string * string) list;
+}
+
+type response = {
+  text : string;
+  prompt_tokens : int;
+  completion_tokens : int;
+}
+
+let create ?(seed = 42) profile =
+  { profile; seed; calls = 0; tokens = 0; transcript_rev = [] }
+
+let profile t = t.profile
+
+let hash_key t key =
+  let h = Hashtbl.hash (t.seed, t.profile.Profile.seed_salt, key) in
+  h land 0x3FFFFFFF
+
+let rng_for t key = O4a_util.Rng.create (hash_key t key)
+
+let decide t ~key p =
+  let rng = rng_for t ("decide:" ^ key) in
+  O4a_util.Rng.chance rng p
+
+let word_count s =
+  List.length (List.filter (fun w -> w <> "") (String.split_on_char ' ' s))
+
+let first_line s =
+  match O4a_util.Strx.split_lines s with
+  | [] -> ""
+  | l :: _ -> O4a_util.Strx.truncate_mid 80 l
+
+let query t prompt =
+  let text_prompt = Prompt.render prompt in
+  let prompt_tokens = word_count text_prompt * 4 / 3 in
+  let completion_tokens = t.profile.Profile.tokens_per_call in
+  t.calls <- t.calls + 1;
+  t.tokens <- t.tokens + prompt_tokens + completion_tokens;
+  t.transcript_rev <- (Prompt.kind prompt, first_line text_prompt) :: t.transcript_rev;
+  let text =
+    match prompt with
+    | Prompt.Summarize_grammar { theory; _ } ->
+      Printf.sprintf "; CFG for theory %s (synthesized)\n" theory
+    | Prompt.Implement_generator { theory; _ } ->
+      Printf.sprintf
+        "def generate_%s_formula_with_decls():\n    # synthesized generator\n    ..."
+        theory
+    | Prompt.Self_correct { theory; _ } ->
+      Printf.sprintf
+        "def generate_%s_formula_with_decls():\n    # corrected generator\n    ..."
+        theory
+    | Prompt.Free_form _ -> "(assert true)\n(check-sat)"
+  in
+  { text; prompt_tokens; completion_tokens }
+
+(* plausible operator-name hallucinations observed from real LLM output *)
+let known_misspellings =
+  [
+    ("seq.rev", "seq.reverse");
+    ("seq.nth", "seq.get");
+    ("seq.++", "seq.concat");
+    ("set.union", "set.unite");
+    ("set.member", "set.contains");
+    ("set.minus", "set.difference");
+    ("bag.count", "bag.multiplicity");
+    ("bag.setof", "bag.to_set");
+    ("ff.add", "ff.plus");
+    ("ff.bitsum", "ff.bit_sum");
+    ("str.++", "str.concat");
+    ("str.len", "str.length");
+    ("str.indexof", "str.index_of");
+    ("bvadd", "bv.add");
+    ("bvmul", "bv.mul");
+    ("re.union", "re.or");
+    ("rel.join", "rel.natural_join");
+  ]
+
+let misspell_op t ~key name =
+  match List.assoc_opt name known_misspellings with
+  | Some wrong -> wrong
+  | None ->
+    let rng = rng_for t ("misspell:" ^ key ^ ":" ^ name) in
+    if O4a_util.Rng.bool rng then name ^ "s"
+    else (
+      (* drop the namespace dot: "set.card" -> "setcard" *)
+      match String.index_opt name '.' with
+      | Some i when i < String.length name - 1 ->
+        String.sub name 0 i ^ String.sub name (i + 1) (String.length name - i - 1)
+      | _ -> "_" ^ name)
+
+let call_count t = t.calls
+let token_count t = t.tokens
+let transcript t = List.rev t.transcript_rev

@@ -1,0 +1,40 @@
+(** The simulated LLM client.
+
+    Deterministic: all "model behavior" derives from (campaign seed, profile
+    salt, purpose key), so experiments are exactly reproducible. The client
+    tracks calls and synthetic token usage — the cost ledger behind the
+    paper's "one-time LLM interaction investment" claim and the recurring
+    cost of the Fuzz4All-style baseline. *)
+
+type t
+
+type response = {
+  text : string;
+  prompt_tokens : int;
+  completion_tokens : int;
+}
+
+val create : ?seed:int -> Profile.t -> t
+
+val profile : t -> Profile.t
+
+val query : t -> Prompt.t -> response
+(** Records the exchange; the textual response is a plausible rendering (the
+    structured effects of a query are produced by the noise primitives
+    below, which the generator-synthesis pipeline calls). *)
+
+val rng_for : t -> string -> O4a_util.Rng.t
+(** Deterministic stream for a purpose key, e.g. ["summarize:ints"]. *)
+
+val decide : t -> key:string -> float -> bool
+(** [decide t ~key p] is a reproducible biased coin. *)
+
+val misspell_op : t -> key:string -> string -> string
+(** Plausible operator hallucination (["seq.rev"] -> ["seq.reverse"], ...). *)
+
+(** {1 Usage accounting} *)
+
+val call_count : t -> int
+val token_count : t -> int
+val transcript : t -> (string * string) list
+(** [(prompt kind, first line of prompt)] per call, oldest first. *)

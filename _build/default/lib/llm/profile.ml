@@ -1,0 +1,46 @@
+type t = {
+  name : string;
+  seed_salt : int;
+  omission_rate : float;
+  hallucination_rate : float;
+  flaw_scale : float;
+  repair_skill : float;
+  tokens_per_call : int;
+}
+
+let gpt4 =
+  {
+    name = "gpt-4";
+    seed_salt = 17;
+    omission_rate = 0.08;
+    hallucination_rate = 0.06;
+    flaw_scale = 1.0;
+    repair_skill = 0.75;
+    tokens_per_call = 900;
+  }
+
+let gemini25pro =
+  {
+    name = "gemini-2.5-pro";
+    seed_salt = 29;
+    omission_rate = 0.10;
+    hallucination_rate = 0.05;
+    flaw_scale = 1.1;
+    repair_skill = 0.72;
+    tokens_per_call = 1100;
+  }
+
+let claude45 =
+  {
+    name = "claude-4.5-sonnet";
+    seed_salt = 41;
+    omission_rate = 0.07;
+    hallucination_rate = 0.07;
+    flaw_scale = 0.95;
+    repair_skill = 0.78;
+    tokens_per_call = 1000;
+  }
+
+let all = [ gpt4; gemini25pro; claude45 ]
+
+let find name = List.find_opt (fun p -> p.name = name) all

@@ -1,0 +1,27 @@
+(** Model profiles for the simulated LLM.
+
+    The paper evaluates Once4All with GPT-4 and, in the sensitivity analysis
+    (RQ3), with Gemini 2.5 Pro and Claude 4.5 Sonnet, finding comparable
+    end-to-end results. Profiles differ in noise characteristics — how often
+    grammar summarization omits or hallucinates constructs, how many flaws
+    initial generator synthesis carries, and how reliably a self-correction
+    round repairs a reported flaw — but all land in the same effectiveness
+    band once the correction loop converges, reproducing Finding 3. *)
+
+type t = {
+  name : string;
+  seed_salt : int;  (** decorrelates profiles under the same campaign seed *)
+  omission_rate : float;  (** P(drop a grammar alternative) *)
+  hallucination_rate : float;  (** P(misspell an operator in some alternative) *)
+  flaw_scale : float;  (** multiplies per-theory difficulty into initial flaw count *)
+  repair_skill : float;  (** P(a reported flaw class is fixed in one round) *)
+  tokens_per_call : int;  (** synthetic completion-size for cost accounting *)
+}
+
+val gpt4 : t
+val gemini25pro : t
+val claude45 : t
+
+val all : t list
+
+val find : string -> t option

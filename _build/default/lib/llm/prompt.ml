@@ -1,0 +1,43 @@
+type t =
+  | Summarize_grammar of { theory : string; doc : string }
+  | Implement_generator of { theory : string; cfg_text : string }
+  | Self_correct of { theory : string; errors : string list; impl : string }
+  | Free_form of { instruction : string }
+
+let render = function
+  | Summarize_grammar { theory; doc } ->
+    Printf.sprintf
+      "### Please generate a context-free grammar (CFG) in BNF or EBNF format \
+       that produces Boolean terms valid in the SMT-LIB syntax for the %s \
+       theory. The grammar should accurately reflect the following \
+       theory-specific constructs and constraints:\n\n### Documentation\n%s\n"
+      theory doc
+  | Implement_generator { theory; cfg_text } ->
+    Printf.sprintf
+      "Please implement a random formula generator for %s using the provided \
+       context-free grammar. The `generate_%s_formula_with_decls()` function \
+       should return two strings: symbol declarations and the formula terms \
+       (without commands like `assert`). The generated Boolean terms must \
+       conform to the grammar, include necessary declarations such as \
+       declare-fun, and adhere to the SMT-LIB specification.\n\n\
+       ### Context-free grammar\n%s\n"
+      theory theory cfg_text
+  | Self_correct { theory; errors; impl } ->
+    Printf.sprintf
+      "The provided code for an SMT formula generator (theory: %s) is \
+       producing syntactically invalid terms and causing solver errors. Your \
+       task is to correct the code to ensure it generates syntactically valid \
+       terms. Focus solely on fixing the errors and improving the validity of \
+       the generated terms. Provide only the complete, corrected \
+       implementation.\n\n### Invalid terms and the corresponding errors:\n%s\n\n\
+       ### Current generator implementation\n%s\n"
+      theory
+      (String.concat "\n" errors)
+      impl
+  | Free_form { instruction } -> instruction
+
+let kind = function
+  | Summarize_grammar _ -> "summarize"
+  | Implement_generator _ -> "implement"
+  | Self_correct _ -> "correct"
+  | Free_form _ -> "free"

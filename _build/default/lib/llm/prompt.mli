@@ -1,0 +1,15 @@
+(** Prompt templates from Figure 3 of the paper, rendered as the text the
+    client "sends". Kept verbatim-close to the paper so transcripts read like
+    the real pipeline's. *)
+
+type t =
+  | Summarize_grammar of { theory : string; doc : string }
+  | Implement_generator of { theory : string; cfg_text : string }
+  | Self_correct of { theory : string; errors : string list; impl : string }
+  | Free_form of { instruction : string }
+      (** used by the Fuzz4All-style baseline's autoprompting step *)
+
+val render : t -> string
+
+val kind : t -> string
+(** Short tag for transcripts: "summarize" | "implement" | "correct" | "free". *)

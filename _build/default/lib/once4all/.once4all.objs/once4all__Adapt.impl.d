@@ -1,0 +1,1 @@
+lib/once4all/adapt.ml: List O4a_util Smtlib Sort Term

@@ -1,0 +1,1 @@
+lib/once4all/adapt.mli: O4a_util Smtlib Sort Term

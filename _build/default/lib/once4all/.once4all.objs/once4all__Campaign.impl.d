@@ -1,0 +1,1 @@
+lib/once4all/campaign.ml: Dedup Fuzz Gensynth List Llm_sim Logs O4a_util Option Oracle Solver Theories

@@ -1,0 +1,1 @@
+lib/once4all/campaign.mli: Dedup Fuzz Gensynth Llm_sim Script Smtlib Solver Theories

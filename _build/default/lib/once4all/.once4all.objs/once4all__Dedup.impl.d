@@ -1,0 +1,1 @@
+lib/once4all/dedup.ml: Fun List O4a_coverage O4a_util Oracle Printf Solver String

@@ -1,0 +1,1 @@
+lib/once4all/dedup.mli: O4a_coverage Oracle Solver

@@ -1,0 +1,1 @@
+lib/once4all/fuzz.ml: Dedup Gensynth Hashtbl List O4a_coverage O4a_util Oracle Parser Result Script Skeleton Smtlib String Synthesize Theories

@@ -1,0 +1,1 @@
+lib/once4all/fuzz.mli: Dedup Gensynth O4a_util Script Smtlib Solver

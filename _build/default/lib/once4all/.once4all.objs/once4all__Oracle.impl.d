@@ -1,0 +1,1 @@
+lib/once4all/oracle.ml: List O4a_coverage Option Parser Printf Script Smtlib Solver

@@ -1,0 +1,1 @@
+lib/once4all/oracle.mli: O4a_coverage Script Smtlib Solver

@@ -1,0 +1,1 @@
+lib/once4all/report.ml: Buffer Dedup List O4a_coverage Option Oracle Parser Printer Printf Reduce_kit Smtlib Solver String

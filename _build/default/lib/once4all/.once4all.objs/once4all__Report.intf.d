@@ -1,0 +1,1 @@
+lib/once4all/report.mli: Dedup Solver

@@ -1,0 +1,1 @@
+lib/once4all/skeleton.ml: List O4a_util Script Smtlib Term Theories

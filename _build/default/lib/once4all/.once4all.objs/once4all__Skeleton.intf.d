@@ -1,0 +1,1 @@
+lib/once4all/skeleton.mli: O4a_util Script Smtlib Sort Term Theories

@@ -1,0 +1,1 @@
+lib/once4all/synthesize.ml: Adapt Buffer Command Fun Gensynth List O4a_util Parser Printer Printf Result Script Smtlib Solver String Term Theories

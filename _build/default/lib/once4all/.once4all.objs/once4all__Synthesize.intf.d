@@ -1,0 +1,1 @@
+lib/once4all/synthesize.mli: Gensynth O4a_util Script Smtlib Sort

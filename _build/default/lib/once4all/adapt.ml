@@ -1,0 +1,19 @@
+open Smtlib
+
+let adapt ~rng ?(swap_prob = 0.55) ~seed_vars ~term_vars term =
+  let remaining = ref [] in
+  let term' =
+    List.fold_left
+      (fun t (name, sort) ->
+        let candidates =
+          List.filter (fun (_, s) -> Sort.equal s sort) seed_vars |> List.map fst
+        in
+        if candidates <> [] && O4a_util.Rng.chance rng swap_prob then (
+          let replacement = O4a_util.Rng.choose rng candidates in
+          Term.rename_var ~old_name:name ~new_name:replacement t)
+        else (
+          remaining := name :: !remaining;
+          t))
+      term term_vars
+  in
+  (term', List.rev !remaining)

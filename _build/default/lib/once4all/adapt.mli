@@ -1,0 +1,21 @@
+(** Sort-aware variable adaptation (Algorithm 2, step 2 of the example).
+
+    Before a generated term is spliced into a skeleton, its fresh variables
+    are — when a sort-compatible variable exists in the seed — randomly
+    replaced by seed variables, increasing semantic interaction between the
+    inserted content and the original structure (e.g. [int0] becomes the
+    seed's [T] in Figure 4). *)
+
+open Smtlib
+
+val adapt :
+  rng:O4a_util.Rng.t ->
+  ?swap_prob:float ->
+  seed_vars:(string * Sort.t) list ->
+  term_vars:(string * Sort.t) list ->
+  Term.t ->
+  Term.t * string list
+(** [adapt ~rng ~seed_vars ~term_vars term] renames each generated variable
+    to a same-sorted seed variable with probability [swap_prob] (default
+    0.55). Returns the adapted term and the generated variable names that
+    remain (whose declarations must therefore be kept). *)

@@ -1,0 +1,81 @@
+let log_src = Logs.Src.create "once4all" ~doc:"Once4All campaign events"
+
+module Log = (val Logs.src_log log_src : Logs.LOG)
+
+type t = {
+  generators : Gensynth.Generator.t list;
+  generator_reports : Gensynth.Synthesis.report list;
+  client : Llm_sim.Client.t;
+  zeal : Solver.Engine.t;
+  cove : Solver.Engine.t;
+}
+
+let prepare ?(seed = 42) ?(profile = Llm_sim.Profile.gpt4) ?zeal ?cove ?theories () =
+  let zeal = Option.value zeal ~default:(Solver.Engine.zeal ()) in
+  let cove = Option.value cove ~default:(Solver.Engine.cove ()) in
+  let theories = Option.value theories ~default:Theories.Theory.all in
+  let client = Llm_sim.Client.create ~seed profile in
+  Log.info (fun m ->
+      m "constructing %d generators with %s (seed %d)" (List.length theories)
+        profile.Llm_sim.Profile.name seed);
+  let built =
+    List.map
+      (fun theory ->
+        let result = Gensynth.Synthesis.construct ~client ~solvers:[ zeal; cove ] theory in
+        let report = snd result in
+        Log.info (fun m ->
+            m "generator %-14s initial %2d/%d final %2d/%d iterations %d"
+              report.Gensynth.Synthesis.theory_key report.initial_valid
+              report.sample_num report.final_valid report.sample_num
+              report.iterations);
+        result)
+      theories
+  in
+  {
+    generators = List.map fst built;
+    generator_reports = List.map snd built;
+    client;
+    zeal;
+    cove;
+  }
+
+type report = {
+  stats : Fuzz.stats;
+  clusters : Dedup.cluster list;
+  found_bug_ids : string list;
+  llm_calls : int;
+  llm_tokens : int;
+}
+
+let fuzz ?(seed = 1337) ?config t ~seeds ~budget =
+  let rng = O4a_util.Rng.create seed in
+  let stats =
+    Fuzz.run ~rng ?config ~generators:t.generators ~seeds ~zeal:t.zeal ~cove:t.cove
+      ~budget ()
+  in
+  Log.info (fun m ->
+      m "campaign finished: %d tests, %d solved, %d bug-triggering formulas"
+        stats.Fuzz.tests stats.Fuzz.solved
+        (List.length stats.Fuzz.findings));
+  let clusters = Dedup.cluster stats.Fuzz.findings in
+  List.iter
+    (fun (c : Dedup.cluster) ->
+      Log.debug (fun m ->
+          m "cluster [%s] %s x%d"
+            (Solver.Bug_db.kind_to_string c.Dedup.kind)
+            c.Dedup.key c.Dedup.count))
+    clusters;
+  (* specimens hit: every ground-truth id observed, not just cluster
+     majorities — duplicate bugs share a crash site with their original *)
+  let found_bug_ids =
+    stats.Fuzz.findings
+    |> List.filter_map (fun f -> f.Dedup.finding.Oracle.bug_id)
+    |> O4a_util.Listx.dedup
+  in
+  {
+    stats;
+    clusters;
+    found_bug_ids;
+    llm_calls = Llm_sim.Client.call_count t.client;
+    llm_tokens = Llm_sim.Client.token_count t.client;
+  }

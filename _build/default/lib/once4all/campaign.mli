@@ -1,0 +1,41 @@
+(** End-to-end Once4All campaign: Algorithm 1 (one-time generator
+    construction) followed by Algorithm 2 (skeleton-guided fuzzing), then
+    de-duplication and ground-truth attribution. This is the top-level entry
+    point the CLI, the examples and every experiment build on. *)
+
+open Smtlib
+
+type t = {
+  generators : Gensynth.Generator.t list;
+  generator_reports : Gensynth.Synthesis.report list;
+  client : Llm_sim.Client.t;
+  zeal : Solver.Engine.t;
+  cove : Solver.Engine.t;
+}
+
+val prepare :
+  ?seed:int ->
+  ?profile:Llm_sim.Profile.t ->
+  ?zeal:Solver.Engine.t ->
+  ?cove:Solver.Engine.t ->
+  ?theories:Theories.Theory.info list ->
+  unit ->
+  t
+(** Build the generator library (the one-time LLM investment). Defaults:
+    gpt-4 profile, trunk solvers, all theories. *)
+
+type report = {
+  stats : Fuzz.stats;
+  clusters : Dedup.cluster list;
+  found_bug_ids : string list;  (** distinct ground-truth specimens hit *)
+  llm_calls : int;
+  llm_tokens : int;
+}
+
+val fuzz :
+  ?seed:int ->
+  ?config:Fuzz.config ->
+  t ->
+  seeds:Script.t list ->
+  budget:int ->
+  report

@@ -1,0 +1,56 @@
+type found = {
+  finding : Oracle.finding;
+  source : string;
+}
+
+type cluster = {
+  key : string;
+  kind : Solver.Bug_db.kind;
+  solver : O4a_coverage.Coverage.solver_tag;
+  theory : string;
+  bug_id : string option;
+  representative : found;
+  count : int;
+}
+
+let cluster_key f =
+  match f.finding.Oracle.kind with
+  | Solver.Bug_db.Crash -> "crash:" ^ f.finding.Oracle.signature
+  | Solver.Bug_db.Soundness | Solver.Bug_db.Invalid_model ->
+    (* group by kind, solver and theory, as the paper does *)
+    Printf.sprintf "%s:%s:%s"
+      (Solver.Bug_db.kind_to_string f.finding.Oracle.kind)
+      f.finding.Oracle.solver_name f.finding.Oracle.theory
+
+let majority_bug_id members =
+  members
+  |> List.filter_map (fun f -> f.finding.Oracle.bug_id)
+  |> O4a_util.Listx.count_by Fun.id
+  |> List.sort (fun (_, a) (_, b) -> compare b a)
+  |> function
+  | (id, _) :: _ -> Some id
+  | [] -> None
+
+let cluster founds =
+  founds
+  |> O4a_util.Listx.group_by cluster_key
+  |> List.map (fun (key, members) ->
+         let first = List.hd members in
+         let representative =
+           List.fold_left
+             (fun best f ->
+               if String.length f.source < String.length best.source then f else best)
+             first members
+         in
+         {
+           key;
+           kind = first.finding.Oracle.kind;
+           solver = first.finding.Oracle.solver;
+           theory = first.finding.Oracle.theory;
+           bug_id = majority_bug_id members;
+           representative;
+           count = List.length members;
+         })
+
+let distinct_bug_ids clusters =
+  clusters |> List.filter_map (fun c -> c.bug_id) |> O4a_util.Listx.dedup

@@ -1,0 +1,24 @@
+(** Bug de-duplication (§4.2, "Bug Inspection and Reduction"): crashes are
+    clustered by stack signature (all crashes reaching the same code location
+    are one issue); soundness and invalid-model findings are grouped by the
+    solver and the theory involved, with one representative kept per group. *)
+
+type found = {
+  finding : Oracle.finding;
+  source : string;  (** the triggering formula *)
+}
+
+type cluster = {
+  key : string;
+  kind : Solver.Bug_db.kind;
+  solver : O4a_coverage.Coverage.solver_tag;
+  theory : string;
+  bug_id : string option;  (** ground-truth attribution (majority vote) *)
+  representative : found;  (** smallest triggering formula *)
+  count : int;
+}
+
+val cluster : found list -> cluster list
+(** Stable order: first-seen clusters first. *)
+
+val distinct_bug_ids : cluster list -> string list

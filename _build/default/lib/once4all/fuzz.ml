@@ -1,0 +1,182 @@
+open Smtlib
+module Rng = O4a_util.Rng
+
+type schedule = Uniform | Coverage_guided
+
+type config = {
+  mutations_per_seed : int;
+  keep_prob : float;
+  adapt_prob : float;
+  use_skeletons : bool;
+  mixed_sorts : bool;
+  schedule : schedule;
+  direct_terms_max : int;
+  max_steps : int;
+  max_seed_growth : int;
+}
+
+let default_config =
+  {
+    mutations_per_seed = 10;
+    keep_prob = 0.45;
+    adapt_prob = 0.55;
+    use_skeletons = true;
+    mixed_sorts = false;
+    schedule = Uniform;
+    direct_terms_max = 3;
+    max_steps = 60_000;
+    max_seed_growth = 400;
+  }
+
+type stats = {
+  tests : int;
+  parse_ok : int;
+  solved : int;
+  bytes_total : int;
+  findings : Dedup.found list;
+}
+
+let empty_stats = { tests = 0; parse_ok = 0; solved = 0; bytes_total = 0; findings = [] }
+
+let record stats (filled : Synthesize.filled) (outcome : Oracle.outcome) =
+  {
+    tests = stats.tests + 1;
+    parse_ok = (stats.parse_ok + if filled.Synthesize.parsed <> None then 1 else 0);
+    solved = (stats.solved + if outcome.Oracle.solved then 1 else 0);
+    bytes_total = stats.bytes_total + String.length filled.Synthesize.source;
+    findings =
+      (match outcome.Oracle.finding with
+      | Some finding ->
+        { Dedup.finding; source = filled.Synthesize.source } :: stats.findings
+      | None -> stats.findings);
+  }
+
+(* Coverage-guided generator scheduling (paper 5.3: "incorporating
+   solver-driven signals, such as coverage feedback"): an epsilon-greedy
+   bandit over the generator pool, rewarding each pull with the number of new
+   coverage points its formula reached. *)
+module Bandit = struct
+  type arm = { mutable plays : int; mutable gain : float }
+
+  type t = {
+    arms : (string, arm) Hashtbl.t;
+    epsilon : float;
+  }
+
+  let create () = { arms = Hashtbl.create 16; epsilon = 0.2 }
+
+  let arm t key =
+    match Hashtbl.find_opt t.arms key with
+    | Some a -> a
+    | None ->
+      let a = { plays = 0; gain = 0. } in
+      Hashtbl.add t.arms key a;
+      a
+
+  let pick t ~rng generators =
+    let unplayed =
+      List.filter
+        (fun g ->
+          (arm t g.Gensynth.Generator.theory.Theories.Theory.key).plays = 0)
+        generators
+    in
+    if unplayed <> [] then Rng.choose rng unplayed
+    else if Rng.chance rng t.epsilon then Rng.choose rng generators
+    else
+      List.fold_left
+        (fun best g ->
+          let score g =
+            let a = arm t g.Gensynth.Generator.theory.Theories.Theory.key in
+            a.gain /. float_of_int (max 1 a.plays)
+          in
+          if score g > score best then g else best)
+        (List.hd generators) generators
+
+  let reward t keys gain =
+    List.iter
+      (fun key ->
+        let a = arm t key in
+        a.plays <- a.plays + 1;
+        a.gain <- a.gain +. gain)
+      keys
+end
+
+let coverage_hits () =
+  let z = O4a_coverage.Coverage.snapshot O4a_coverage.Coverage.Zeal in
+  let c = O4a_coverage.Coverage.snapshot O4a_coverage.Coverage.Cove in
+  z.O4a_coverage.Coverage.lines_hit + c.O4a_coverage.Coverage.lines_hit
+
+let one_mutation ~rng ~config ~generators current =
+  if not config.use_skeletons then
+    Synthesize.direct ~rng ~generators
+      ~terms:(1 + Rng.int rng config.direct_terms_max)
+  else if config.mixed_sorts then (
+    let supported sort =
+      List.exists (fun g -> Gensynth.Generator.supports_sort g sort) generators
+    in
+    let skeleton, hole_sorts =
+      Skeleton.skeletonize_typed ~rng ~keep_prob:config.keep_prob ~supported current
+    in
+    if hole_sorts = [] then
+      Synthesize.direct ~rng ~generators ~terms:(1 + Rng.int rng config.direct_terms_max)
+    else
+      Synthesize.fill_typed ~swap_prob:config.adapt_prob ~rng ~generators ~skeleton
+        ~hole_sorts ())
+  else (
+    let skeleton, holes = Skeleton.skeletonize ~rng ~keep_prob:config.keep_prob current in
+    if holes = 0 then
+      Synthesize.direct ~rng ~generators ~terms:(1 + Rng.int rng config.direct_terms_max)
+    else Synthesize.fill ~swap_prob:config.adapt_prob ~rng ~generators ~skeleton ~holes ())
+
+let run ~rng ?(config = default_config) ~generators ~seeds ~zeal ~cove ~budget () =
+  if generators = [] then invalid_arg "Fuzz.run: no generators";
+  if seeds = [] then invalid_arg "Fuzz.run: no seeds";
+  let bandit = Bandit.create () in
+  let stats = ref empty_stats in
+  while !stats.tests < budget do
+    let seed = Rng.choose rng seeds in
+    let current = ref seed in
+    let rounds = min config.mutations_per_seed (budget - !stats.tests) in
+    for _ = 1 to rounds do
+      let mutation_generators =
+        match config.schedule with
+        | Uniform -> generators
+        | Coverage_guided -> [ Bandit.pick bandit ~rng generators ]
+      in
+      let before = coverage_hits () in
+      let filled = one_mutation ~rng ~config ~generators:mutation_generators !current in
+      let outcome =
+        Oracle.test ~max_steps:config.max_steps ~zeal ~cove
+          ~source:filled.Synthesize.source ()
+      in
+      (match config.schedule with
+      | Coverage_guided ->
+        Bandit.reward bandit filled.Synthesize.theories_spliced
+          (float_of_int (coverage_hits () - before))
+      | Uniform -> ());
+      stats := record !stats filled outcome;
+      (* Algorithm 2, line 9: the synthesized formula becomes the next seed *)
+      (match filled.Synthesize.parsed with
+      | Some script when Script.size script <= config.max_seed_growth ->
+        current := script
+      | _ -> current := seed)
+    done
+  done;
+  { !stats with findings = List.rev !stats.findings }
+
+let run_sources ?(max_steps = 60_000) ~zeal ~cove sources =
+  let stats =
+    List.fold_left
+      (fun stats source ->
+        let outcome = Oracle.test ~max_steps ~zeal ~cove ~source () in
+        let filled =
+          {
+            Synthesize.source;
+            parsed = Result.to_option (Parser.parse_script source);
+            theories_spliced = [];
+          }
+        in
+        record stats filled outcome)
+      empty_stats sources
+  in
+  { stats with findings = List.rev stats.findings }

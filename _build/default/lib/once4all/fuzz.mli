@@ -1,0 +1,55 @@
+(** The main fuzzing loop of Algorithm 2: select a seed, then repeatedly
+    skeletonize → generate → adapt → synthesize → differential-test, carrying
+    the synthesized formula into the next mutation round (ten rounds per
+    seed, as in the paper's configuration). *)
+
+open Smtlib
+
+type schedule =
+  | Uniform  (** the paper's configuration: generators chosen at random *)
+  | Coverage_guided
+      (** 5.3 extension: an epsilon-greedy bandit over generators, rewarded
+          by the new coverage points each formula reaches *)
+
+type config = {
+  mutations_per_seed : int;  (** 10, per §3.4 *)
+  keep_prob : float;  (** per-atom skeletonization probability *)
+  adapt_prob : float;  (** variable-adaptation probability (0. disables) *)
+  use_skeletons : bool;  (** [false] = the Once4All_w/oS ablation variant *)
+  mixed_sorts : bool;  (** typed (non-Boolean) holes — the 5.3 extension *)
+  schedule : schedule;
+  direct_terms_max : int;  (** terms per formula in the w/oS variant *)
+  max_steps : int;  (** solver fuel per query (the 10 s timeout analog) *)
+  max_seed_growth : int;  (** reset to the seed when formulas exceed this size *)
+}
+
+val default_config : config
+
+type stats = {
+  tests : int;
+  parse_ok : int;  (** synthesized formulas that fully parse *)
+  solved : int;  (** tests where at least one solver answered sat/unsat *)
+  bytes_total : int;
+  findings : Dedup.found list;  (** bug-triggering formulas, oldest first *)
+}
+
+val run :
+  rng:O4a_util.Rng.t ->
+  ?config:config ->
+  generators:Gensynth.Generator.t list ->
+  seeds:Script.t list ->
+  zeal:Solver.Engine.t ->
+  cove:Solver.Engine.t ->
+  budget:int ->
+  unit ->
+  stats
+(** Run [budget] tests. *)
+
+val run_sources :
+  ?max_steps:int ->
+  zeal:Solver.Engine.t ->
+  cove:Solver.Engine.t ->
+  string list ->
+  stats
+(** Test pre-built sources through the same oracle (used by baselines and by
+    re-validation of reduced formulas). *)

@@ -1,0 +1,151 @@
+open Smtlib
+module Coverage = O4a_coverage.Coverage
+module Engine = Solver.Engine
+module Runner = Solver.Runner
+module Bug_db = Solver.Bug_db
+
+type finding = {
+  kind : Bug_db.kind;
+  solver : Coverage.solver_tag;
+  solver_name : string;
+  signature : string;
+  bug_id : string option;
+  theory : string;
+}
+
+type outcome = {
+  finding : finding option;
+  results : (string * string) list;
+  solved : bool;
+}
+
+let primary_theory script =
+  let tags = Script.theories_used script in
+  let extension_first =
+    List.filter (fun t -> List.mem t [ "finite_fields"; "sets"; "bags"; "seq" ]) tags
+  in
+  match (extension_first, tags) with
+  | t :: _, _ -> t
+  | [], t :: _ -> t
+  | [], [] -> "core"
+
+let attribute engine script ~kind =
+  Bug_db.active ~solver:(Engine.tag engine) ~commit:(Engine.commit engine)
+  |> List.find_opt
+       (fun (b : Bug_db.spec) -> b.Bug_db.kind = kind && Bug_db.fires b script)
+  |> Option.map (fun (b : Bug_db.spec) -> b.Bug_db.id)
+
+let previous_release_engine engine =
+  let tag = Engine.tag engine in
+  let history = Solver.Version.history_of tag in
+  match List.rev history.Solver.Version.releases with
+  | last :: _ -> Engine.make tag ~commit:last.Solver.Version.commit
+  | [] -> engine
+
+let crash_finding engine script signature bug_id =
+  let theory =
+    match Bug_db.find bug_id with
+    | Some spec -> spec.Bug_db.theory
+    | None -> ( match script with Some s -> primary_theory s | None -> "core")
+  in
+  {
+    kind = Bug_db.Crash;
+    solver = Engine.tag engine;
+    solver_name = Engine.name engine;
+    signature;
+    bug_id = Some bug_id;
+    theory;
+  }
+
+(* validate a model against the parsed script with the reference evaluator *)
+let model_verdict script model =
+  match Solver.Model.check script model with
+  | Solver.Model.Holds -> `Holds
+  | Solver.Model.Fails _ -> `Fails
+  | Solver.Model.Check_unknown _ -> `Unknown
+
+let test ?(max_steps = 200_000) ~zeal ~cove ~source () =
+  match Parser.parse_script source with
+  | Error e ->
+    {
+      finding = None;
+      results = [ ("parser", Parser.error_message e) ];
+      solved = false;
+    }
+  | Ok script ->
+    let zeal_supports = Engine.supports_script zeal script in
+    let engines =
+      if zeal_supports then [ zeal; cove ]
+      else [ cove; previous_release_engine cove ]
+    in
+    let runs =
+      List.map (fun e -> (e, Runner.run ~max_steps e script)) engines
+    in
+    let results =
+      List.map (fun (e, r) -> (Engine.name e, Runner.result_to_string r)) runs
+    in
+    let solved =
+      List.exists
+        (fun (_, r) -> match r with Runner.R_sat _ | Runner.R_unsat -> true | _ -> false)
+        runs
+    in
+    (* 1. crashes *)
+    let crash =
+      List.find_map
+        (fun (e, r) ->
+          match r with
+          | Runner.R_crash { signature; bug_id } ->
+            Some (crash_finding e (Some script) signature bug_id)
+          | _ -> None)
+        runs
+    in
+    let theory = primary_theory script in
+    let mk_finding kind engine signature =
+      {
+        kind;
+        solver = Engine.tag engine;
+        solver_name = Engine.name engine;
+        signature;
+        bug_id = attribute engine script ~kind;
+        theory;
+      }
+    in
+    (* 2. sat/unsat discrepancy *)
+    let discrepancy =
+      let sat_side =
+        List.find_opt (fun (_, r) -> match r with Runner.R_sat _ -> true | _ -> false) runs
+      in
+      let unsat_side = List.find_opt (fun (_, r) -> r = Runner.R_unsat) runs in
+      match (sat_side, unsat_side) with
+      | Some (sat_engine, Runner.R_sat model), Some (unsat_engine, _) -> (
+        match model_verdict script model with
+        | `Holds ->
+          Some
+            (mk_finding Bug_db.Soundness unsat_engine
+               (Printf.sprintf "soundness:%s:%s" (Engine.name unsat_engine) theory))
+        | `Fails ->
+          Some
+            (mk_finding Bug_db.Invalid_model sat_engine
+               (Printf.sprintf "invalid-model:%s:%s" (Engine.name sat_engine) theory))
+        | `Unknown -> None)
+      | _ -> None
+    in
+    (* 3. model validation on agreement (model_validate / --check-models) *)
+    let invalid_model =
+      List.find_map
+        (fun (e, r) ->
+          match r with
+          | Runner.R_sat model when model_verdict script model = `Fails ->
+            Some
+              (mk_finding Bug_db.Invalid_model e
+                 (Printf.sprintf "invalid-model:%s:%s" (Engine.name e) theory))
+          | _ -> None)
+        runs
+    in
+    let finding =
+      match (crash, discrepancy, invalid_model) with
+      | Some f, _, _ -> Some f
+      | None, Some f, _ -> Some f
+      | None, None, f -> f
+    in
+    { finding; results; solved }

@@ -1,0 +1,45 @@
+(** Differential + model-validation oracle (Algorithm 2, lines 10–12 and the
+    discrepancy-attribution protocol of §3.3):
+
+    - a crash in any solver is a {e crash bug};
+    - on a sat/unsat split, the sat-side model is re-evaluated with the
+      reference evaluator: if it definitely satisfies the formula the unsat
+      solver has a {e soundness bug}, otherwise the sat solver returned an
+      {e invalid model};
+    - even without a split, every model is validated (the analog of running
+      with [model_validate=true] / [--check-models]).
+
+    Formulas using solver-specific theories are compared {e across versions
+    of the supporting solver} (trunk vs the previous release), as the paper
+    does for solver-specific features. *)
+
+open Smtlib
+
+type finding = {
+  kind : Solver.Bug_db.kind;
+  solver : O4a_coverage.Coverage.solver_tag;
+  solver_name : string;
+  signature : string;  (** crash site, or a synthesized signature for others *)
+  bug_id : string option;  (** ground-truth specimen id when attributable *)
+  theory : string;  (** primary theory tag for triage grouping *)
+}
+
+type outcome = {
+  finding : finding option;
+  results : (string * string) list;  (** solver name -> printable result *)
+  solved : bool;  (** at least one solver produced sat/unsat *)
+}
+
+val test :
+  ?max_steps:int ->
+  zeal:Solver.Engine.t ->
+  cove:Solver.Engine.t ->
+  source:string ->
+  unit ->
+  outcome
+(** Run the differential test on SMT-LIB source text. *)
+
+val attribute :
+  Solver.Engine.t -> Script.t -> kind:Solver.Bug_db.kind -> string option
+(** Ground-truth attribution: the first active bug of [kind] in the engine
+    whose trigger matches the script. *)

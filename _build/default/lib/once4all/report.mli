@@ -1,0 +1,28 @@
+(** Issue-style triage reports — the artifact the paper's semi-automated
+    workflow hands to solver developers (§4.2): one report per de-duplicated
+    cluster with a delta-debugged minimal reproducer, the observed and
+    expected behavior, and the affected-version range. *)
+
+type t = {
+  title : string;
+  body : string;  (** markdown *)
+}
+
+val of_cluster :
+  ?max_probes:int ->
+  zeal:Solver.Engine.t ->
+  cove:Solver.Engine.t ->
+  Dedup.cluster ->
+  t
+(** Reduce the cluster's representative (preserving its oracle signature) and
+    render the report. [max_probes] bounds reduction effort (default 300). *)
+
+val render : t -> string
+
+val render_campaign :
+  ?max_probes:int ->
+  zeal:Solver.Engine.t ->
+  cove:Solver.Engine.t ->
+  Dedup.cluster list ->
+  string
+(** All reports concatenated, crash clusters first. *)

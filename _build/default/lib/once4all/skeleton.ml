@@ -1,0 +1,129 @@
+open Smtlib
+
+(* positions whose children are boolean-sorted, by construction of SMT-LIB *)
+let boolean_atom_paths term =
+  let acc = ref [] in
+  let rec walk path in_bool term =
+    if in_bool && Term.is_atomic term then acc := List.rev path :: !acc
+    else (
+      match term with
+      | Term.App (("and" | "or" | "not" | "xor" | "=>") , args) ->
+        List.iteri (fun i t -> walk (i :: path) true t) args
+      | Term.App ("ite", [ c; a; b ]) ->
+        walk (0 :: path) true c;
+        (* branches inherit the ite's sort: boolean iff this ite is *)
+        walk (1 :: path) in_bool a;
+        walk (2 :: path) in_bool b
+      | Term.Forall (_, body) | Term.Exists (_, body) -> walk (0 :: path) true body
+      | Term.Annot (body, _) -> walk (0 :: path) in_bool body
+      | Term.Let (bindings, body) ->
+        (* binding values have unknown sorts; only the body keeps context *)
+        walk (List.length bindings :: path) in_bool body
+      | Term.Match (_, cases) ->
+        (* case bodies inherit the match's sort *)
+        List.iteri (fun i (_, body) -> walk ((i + 1) :: path) in_bool body) cases
+      | Term.Const _ | Term.Var _ | Term.App _ | Term.Indexed_app _ | Term.Qual _
+      | Term.Qual_app _ | Term.Placeholder _ ->
+        ())
+  in
+  walk [] true term;
+  List.rev !acc
+
+let skeletonize_term ~rng ?(keep_prob = 0.45) ~next_hole term =
+  let paths = boolean_atom_paths term in
+  match paths with
+  | [] -> term
+  | _ ->
+    let selected = O4a_util.Rng.subset rng keep_prob paths in
+    let selected =
+      if selected = [] then [ O4a_util.Rng.choose rng paths ] else selected
+    in
+    List.fold_left
+      (fun t path ->
+        let hole = Term.Placeholder !next_hole in
+        incr next_hole;
+        Term.replace_at t path hole)
+      term selected
+
+let skeletonize ~rng ?keep_prob script =
+  let next_hole = ref 0 in
+  let script' =
+    Script.map_assertions (skeletonize_term ~rng ?keep_prob ~next_hole) script
+  in
+  (script', !next_hole)
+
+(* ------------------------------------------------------------------ *)
+(* Mixed-sorts extension: typed holes                                  *)
+(* ------------------------------------------------------------------ *)
+
+let max_replaced_size = 8
+
+let typed_candidate_paths ~env ~supported term =
+  let acc = ref [] in
+  let consider path env node =
+    if Term.size node <= max_replaced_size && not (Term.has_placeholder node) then (
+      match Theories.Typecheck.infer env node with
+      | Ok sort when supported sort -> acc := (List.rev path, sort) :: !acc
+      | Ok _ | Error _ -> ())
+  in
+  let rec walk path env node =
+    (* structural boolean nodes are kept as skeleton; their leaves and every
+       theory-term argument position are candidates *)
+    (match node with
+    | Term.App (("and" | "or" | "not" | "xor" | "=>"), _)
+    | Term.Forall _ | Term.Exists _ | Term.Let _ | Term.Annot _ ->
+      ()
+    | _ -> consider path env node);
+    match node with
+    | Term.Let (bindings, body) ->
+      List.iteri (fun i (_, v) -> walk (i :: path) env v) bindings;
+      let env' =
+        List.fold_left
+          (fun e (n, v) ->
+            match Theories.Typecheck.infer e v with
+            | Ok s -> Theories.Typecheck.add_var n s e
+            | Error _ -> e)
+          env bindings
+      in
+      walk (List.length bindings :: path) env' body
+    | Term.Forall (binders, body) | Term.Exists (binders, body) ->
+      let env' =
+        List.fold_left (fun e (n, s) -> Theories.Typecheck.add_var n s e) env binders
+      in
+      walk (0 :: path) env' body
+    | _ -> List.iteri (fun i c -> walk (i :: path) env c) (Term.children node)
+  in
+  walk [] env term;
+  (* drop nested candidates: keep outermost ones only so replacements never
+     overlap (a path that extends another is nested) *)
+  let outermost = List.rev !acc in
+  let is_prefix p q =
+    List.length p < List.length q && O4a_util.Listx.take (List.length p) q = p
+  in
+  List.filter
+    (fun (p, _) -> not (List.exists (fun (p', _) -> is_prefix p' p) outermost))
+    outermost
+
+let skeletonize_typed ~rng ?(keep_prob = 0.35) ~supported script =
+  let env = Theories.Typecheck.env_of_script script in
+  let next_hole = ref 0 in
+  let hole_sorts = ref [] in
+  let hollow assertion =
+    let candidates = typed_candidate_paths ~env ~supported assertion in
+    match candidates with
+    | [] -> assertion
+    | _ ->
+      let selected = O4a_util.Rng.subset rng keep_prob candidates in
+      let selected =
+        if selected = [] then [ O4a_util.Rng.choose rng candidates ] else selected
+      in
+      List.fold_left
+        (fun t (path, sort) ->
+          let n = !next_hole in
+          incr next_hole;
+          hole_sorts := (n, sort) :: !hole_sorts;
+          Term.replace_at t path (Term.Placeholder n))
+        assertion selected
+  in
+  let script' = Script.map_assertions hollow script in
+  (script', List.rev !hole_sorts)

@@ -1,0 +1,45 @@
+(** Skeleton extraction (Algorithm 2, line 6).
+
+    A skeleton is a seed formula with a random subset of its {e atomic}
+    sub-formulas (boolean-sorted leaves of the logical structure: no [and]/
+    [or]/[not]/quantifier/[let] at their root) replaced by numbered
+    [<placeholder>] holes. Quantifiers, connectives and declarations are
+    preserved — they are precisely the structure Observation 2 of the paper
+    identifies as bug-critical. *)
+
+open Smtlib
+
+val boolean_atom_paths : Term.t -> Term.path list
+(** Paths of atomic sub-formulas in boolean positions, pre-order. *)
+
+val skeletonize_term :
+  rng:O4a_util.Rng.t -> ?keep_prob:float -> next_hole:int ref -> Term.t -> Term.t
+(** Replace a random non-empty subset of the atom paths (each selected with
+    [keep_prob], default 0.45; at least one when any exists) with
+    [Placeholder] holes numbered from [next_hole]. *)
+
+val skeletonize :
+  rng:O4a_util.Rng.t -> ?keep_prob:float -> Script.t -> Script.t * int
+(** Skeletonize every assertion; returns the script and the hole count
+    (0 when the seed offered no atomic positions). *)
+
+(** {1 Mixed-sorts extension (paper 5.3, future work)} *)
+
+val typed_candidate_paths :
+  env:Theories.Typecheck.env ->
+  supported:(Sort.t -> bool) ->
+  Term.t ->
+  (Term.path * Sort.t) list
+(** Replaceable positions of {e any} sort: small subterms whose sort can be
+    inferred in context (binders tracked) and is one the caller's generators
+    can produce. Boolean atoms are included, so this strictly generalizes
+    {!boolean_atom_paths}. *)
+
+val skeletonize_typed :
+  rng:O4a_util.Rng.t ->
+  ?keep_prob:float ->
+  supported:(Sort.t -> bool) ->
+  Script.t ->
+  Script.t * (int * Sort.t) list
+(** Like {!skeletonize} but holes may be non-Boolean; returns each hole's
+    expected sort. *)

@@ -1,0 +1,44 @@
+(** Formula synthesis (Algorithm 2, lines 7–9): fill each skeleton hole with
+    a term from a randomly chosen generator, adapting variables to the seed.
+
+    Generated terms that fail to parse (generators are allowed a residue of
+    ill-formed output — §3.2) are spliced {e textually}, so the flawed text
+    still reaches the solver front ends exactly as a real fuzzer's output
+    would; the solvers then reject it themselves. *)
+
+open Smtlib
+
+type filled = {
+  source : string;  (** final SMT-LIB text *)
+  parsed : Script.t option;  (** [Some] when the final text fully parses *)
+  theories_spliced : string list;  (** theory keys of the generators used *)
+}
+
+val fill :
+  ?swap_prob:float ->
+  rng:O4a_util.Rng.t ->
+  generators:Gensynth.Generator.t list ->
+  skeleton:Script.t ->
+  holes:int ->
+  unit ->
+  filled
+
+val fill_typed :
+  ?swap_prob:float ->
+  rng:O4a_util.Rng.t ->
+  generators:Gensynth.Generator.t list ->
+  skeleton:Script.t ->
+  hole_sorts:(int * Sort.t) list ->
+  unit ->
+  filled
+(** Mixed-sorts extension (paper 5.3): fill typed holes with terms of the
+    requested sorts via {!Gensynth.Generator.generate_of_sort}; sorts no
+    generator covers fall back to a domain default constant. *)
+
+val direct :
+  rng:O4a_util.Rng.t ->
+  generators:Gensynth.Generator.t list ->
+  terms:int ->
+  filled
+(** Skeleton-free generation used by the Once4All_w/oS ablation variant:
+    assert [terms] generated Boolean terms directly. *)

@@ -1,0 +1,1 @@
+lib/reduce/ddsmt.ml: Command List Script Smtlib Sort Term

@@ -1,0 +1,1 @@
+lib/reduce/ddsmt.mli: Script Smtlib

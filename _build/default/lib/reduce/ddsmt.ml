@@ -1,0 +1,176 @@
+open Smtlib
+
+type stats = {
+  initial_size : int;
+  final_size : int;
+  probes : int;
+}
+
+let used_symbols script =
+  let add_term acc t =
+    Term.fold
+      (fun acc node ->
+        match node with
+        | Term.Var n -> n :: acc
+        | Term.App (n, _) | Term.Indexed_app (n, _, _) | Term.Qual (n, _)
+        | Term.Qual_app (n, _, _) ->
+          n :: acc
+        | _ -> acc)
+      acc t
+  in
+  let from_asserts = List.fold_left add_term [] (Script.assertions script) in
+  (* defined functions may reference other symbols *)
+  let from_defs =
+    List.fold_left
+      (fun acc cmd ->
+        match cmd with
+        | Command.Define_fun (_, _, _, body) -> add_term acc body
+        | _ -> acc)
+      [] script
+  in
+  from_asserts @ from_defs
+
+let gc_declarations script =
+  let used = used_symbols script in
+  let needed_sorts =
+    (* datatype sorts referenced by remaining declarations *)
+    List.concat_map
+      (fun (d : Script.fun_decl) ->
+        List.filter_map
+          (function Sort.Datatype n -> Some n | _ -> None)
+          (d.result_sort :: d.arg_sorts))
+      (Script.declared_funs script)
+  in
+  List.filter
+    (fun cmd ->
+      match cmd with
+      | Command.Declare_fun (n, _, _) | Command.Declare_const (n, _)
+      | Command.Define_fun (n, _, _, _) ->
+        List.mem n used
+      | Command.Declare_sort (n, _) -> List.mem n used || List.mem n needed_sorts
+      | Command.Declare_datatypes dts ->
+        List.exists
+          (fun (dt : Command.datatype_decl) ->
+            List.mem dt.dt_name needed_sorts
+            || List.exists
+                 (fun (c : Command.constructor) ->
+                   List.mem c.ctor_name used
+                   || List.exists (fun (s, _) -> List.mem s used) c.selectors)
+                 dt.constructors)
+          dts
+      | _ -> true)
+    script
+
+(* ------------------------------------------------------------------ *)
+
+type reducer_state = {
+  mutable probes : int;
+  max_probes : int;
+  still_triggers : Script.t -> bool;
+}
+
+let probe st candidate =
+  if st.probes >= st.max_probes then false
+  else (
+    st.probes <- st.probes + 1;
+    st.still_triggers candidate)
+
+(* classic ddmin over the assertion list *)
+let ddmin_assertions st script =
+  let asserts = Script.assertions script in
+  let rebuild kept =
+    let remaining = ref kept in
+    List.filter
+      (fun cmd ->
+        match cmd with
+        | Command.Assert t -> (
+          match !remaining with
+          | t' :: rest when Term.equal t t' ->
+            remaining := rest;
+            true
+          | _ -> false)
+        | _ -> true)
+      script
+  in
+  let rec go asserts granularity =
+    let n = List.length asserts in
+    if n <= 1 || granularity > n then rebuild asserts
+    else (
+      let chunk = max 1 (n / granularity) in
+      let rec chunks i =
+        if i >= n then None
+        else (
+          let candidate =
+            List.filteri (fun j _ -> j < i || j >= i + chunk) asserts
+          in
+          if candidate <> [] && probe st (rebuild candidate) then Some candidate
+          else chunks (i + chunk))
+      in
+      match chunks 0 with
+      | Some smaller -> go smaller (max 2 (granularity - 1))
+      | None -> if granularity >= n then rebuild asserts else go asserts (granularity * 2))
+  in
+  go asserts 2
+
+(* shrink candidates for a subterm *)
+let shrink_candidates term =
+  let leaves =
+    [ Term.tru; Term.fls; Term.int 0 ]
+  in
+  let children = Term.children term in
+  let hoists = List.filter (fun c -> Term.size c < Term.size term) children in
+  hoists @ List.filter (fun l -> not (Term.equal l term)) leaves
+
+let replace_assertion_at script idx replacement =
+  let counter = ref (-1) in
+  Script.map_assertions
+    (fun a ->
+      incr counter;
+      if !counter = idx then replacement else a)
+    script
+
+let shrink_terms st script =
+  let current_script = ref script in
+  let n_asserts = List.length (Script.assertions script) in
+  for idx = 0 to n_asserts - 1 do
+    let continue_ = ref true in
+    while !continue_ && st.probes < st.max_probes do
+      continue_ := false;
+      let assertion = List.nth (Script.assertions !current_script) idx in
+      (* visit larger subterms first *)
+      let paths =
+        Term.all_paths assertion
+        |> List.filter (fun (_, t) -> Term.size t > 1)
+        |> List.sort (fun (_, a) (_, b) -> compare (Term.size b) (Term.size a))
+      in
+      let try_path (path, sub) =
+        List.exists
+          (fun replacement ->
+            let candidate = Term.replace_at assertion path replacement in
+            if Term.equal candidate assertion then false
+            else (
+              let rebuilt =
+                gc_declarations (replace_assertion_at !current_script idx candidate)
+              in
+              if probe st rebuilt then (
+                current_script := rebuilt;
+                true)
+              else false))
+          (shrink_candidates sub)
+      in
+      if List.exists try_path paths then continue_ := true
+    done
+  done;
+  !current_script
+
+let reduce ?(max_probes = 600) ~still_triggers script =
+  let st = { probes = 0; max_probes; still_triggers } in
+  let initial_size = Script.size script in
+  let script = ddmin_assertions st script in
+  let script = shrink_terms st script in
+  let script =
+    let gcd = gc_declarations script in
+    if probe st gcd then gcd else script
+  in
+  ({ initial_size; final_size = Script.size script; probes = st.probes }, script)
+  |> fun (stats, s) -> (s, stats)

@@ -1,0 +1,31 @@
+(** ddSMT-style delta debugging for SMT-LIB scripts (§4.2: reduction of
+    bug-triggering formulas before reporting).
+
+    The reducer is oracle-driven: the caller supplies [still_triggers], a
+    predicate that replays the candidate against the solvers and checks that
+    the {e same} bug (same crash signature / cluster key) still fires.
+    Reduction interleaves three passes to a fixpoint:
+
+    - {b assertion ddmin} — drop halves/quarters/... of the assertion list;
+    - {b term shrinking} — hoist a child over its parent, or collapse a
+      subterm to a canonical leaf;
+    - {b declaration GC} — drop declarations no remaining assertion uses. *)
+
+open Smtlib
+
+type stats = {
+  initial_size : int;  (** term nodes before *)
+  final_size : int;
+  probes : int;  (** oracle invocations *)
+}
+
+val reduce :
+  ?max_probes:int ->
+  still_triggers:(Script.t -> bool) ->
+  Script.t ->
+  Script.t * stats
+(** [max_probes] bounds oracle calls (default 600). The input script is
+    assumed to trigger; the result always triggers. *)
+
+val gc_declarations : Script.t -> Script.t
+(** Drop declarations not referenced by any assertion (exposed for tests). *)

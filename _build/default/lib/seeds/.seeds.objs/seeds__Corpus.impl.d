@@ -1,0 +1,1 @@
+lib/seeds/corpus.ml: Lazy List Parser Printer Printf Script Smtlib Solver

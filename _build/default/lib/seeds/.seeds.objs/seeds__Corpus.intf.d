@@ -1,0 +1,1 @@
+lib/seeds/corpus.mli: Script Smtlib Solver

@@ -1,0 +1,27 @@
+(** The seed corpus.
+
+    The paper seeds its campaigns with ~3,700 historical bug-triggering
+    formulas curated from the Z3/cvc5 issue trackers. We build the analog
+    programmatically: a corpus of formulas styled after real bug reports —
+    heavy on quantifiers, boolean structure, lets, and per-theory operator
+    mixes — expanded parametrically over constants and sizes. Every seed is
+    guaranteed to parse. *)
+
+open Smtlib
+
+val sources : unit -> string list
+(** Raw SMT-LIB source of every seed. *)
+
+val all : unit -> Script.t list
+(** Parsed corpus (memoized). Seeds that fail to parse are a bug; an
+    assertion guards this in the test suite. *)
+
+val by_theory : string -> Script.t list
+(** Seeds whose {!Script.theories_used} includes the key. *)
+
+val filtered :
+  zeal:Solver.Engine.t -> cove:Solver.Engine.t -> unit -> Script.t list
+(** The paper's data-leakage guard (§4.1): re-execute all seed formulas on
+    the target solver versions and drop any that still trigger a bug. *)
+
+val count : unit -> int

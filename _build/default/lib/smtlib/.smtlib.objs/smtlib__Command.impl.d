@@ -1,0 +1,1 @@
+lib/smtlib/command.ml: Sort Term

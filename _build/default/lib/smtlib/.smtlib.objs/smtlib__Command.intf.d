@@ -1,0 +1,1 @@
+lib/smtlib/command.mli: Sort Term

@@ -1,0 +1,1 @@
+lib/smtlib/lexer.ml: Buffer List Printf String

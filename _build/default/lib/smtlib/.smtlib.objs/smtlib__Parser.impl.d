@@ -1,0 +1,1 @@
+lib/smtlib/parser.ml: Command Lexer List O4a_util Printf Script Sort String Term

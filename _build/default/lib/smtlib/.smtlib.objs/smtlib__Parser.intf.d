@@ -1,0 +1,1 @@
+lib/smtlib/parser.mli: Lexer Script Sort Term

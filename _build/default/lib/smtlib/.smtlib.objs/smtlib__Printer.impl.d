@@ -1,0 +1,1 @@
+lib/smtlib/printer.ml: Command List O4a_util Printf Sort String Term

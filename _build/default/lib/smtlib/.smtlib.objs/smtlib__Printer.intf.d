@@ -1,0 +1,1 @@
+lib/smtlib/printer.mli: Command Script Sort Term

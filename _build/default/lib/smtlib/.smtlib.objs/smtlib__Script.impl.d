@@ -1,0 +1,1 @@
+lib/smtlib/script.ml: Command List O4a_util Printf Sort Term

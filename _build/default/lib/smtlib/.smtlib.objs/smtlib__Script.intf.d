@@ -1,0 +1,1 @@
+lib/smtlib/script.mli: Command Sort Term

@@ -1,0 +1,1 @@
+lib/smtlib/sort.ml: Format List Printf Stdlib String

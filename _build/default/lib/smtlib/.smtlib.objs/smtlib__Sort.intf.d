@@ -1,0 +1,1 @@
+lib/smtlib/sort.mli: Format

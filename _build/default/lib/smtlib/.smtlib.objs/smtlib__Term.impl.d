@@ -1,0 +1,1 @@
+lib/smtlib/term.ml: Buffer List O4a_util Printf Sort String

@@ -1,0 +1,1 @@
+lib/smtlib/term.mli: Sort

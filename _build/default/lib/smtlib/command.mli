@@ -1,0 +1,35 @@
+(** SMT-LIB script commands. *)
+
+type constructor = {
+  ctor_name : string;
+  selectors : (string * Sort.t) list;
+}
+
+type datatype_decl = {
+  dt_name : string;
+  constructors : constructor list;
+}
+
+type t =
+  | Set_logic of string
+  | Set_option of string * string
+  | Set_info of string * string
+  | Declare_sort of string * int
+  | Declare_fun of string * Sort.t list * Sort.t
+  | Declare_const of string * Sort.t
+  | Define_fun of string * (string * Sort.t) list * Sort.t * Term.t
+  | Declare_datatypes of datatype_decl list
+  | Assert of Term.t
+  | Check_sat
+  | Get_model
+  | Get_value of Term.t list
+  | Push of int
+  | Pop of int
+  | Echo of string
+  | Exit
+
+val equal : t -> t -> bool
+
+val is_assert : t -> bool
+
+val assert_term : t -> Term.t option

@@ -1,0 +1,104 @@
+let index = function
+  | Term.Idx_num n -> string_of_int n
+  | Term.Idx_sym s -> s
+
+let rec term t =
+  match t with
+  | Term.Const c -> Term.const_to_string c
+  | Term.Var name -> name
+  | Term.App (name, []) -> name
+  | Term.App (name, args) ->
+    Printf.sprintf "(%s %s)" name (String.concat " " (List.map term args))
+  | Term.Indexed_app (name, idxs, []) ->
+    Printf.sprintf "(_ %s %s)" name (String.concat " " (List.map index idxs))
+  | Term.Indexed_app (name, idxs, args) ->
+    Printf.sprintf "((_ %s %s) %s)" name
+      (String.concat " " (List.map index idxs))
+      (String.concat " " (List.map term args))
+  | Term.Qual (name, sort) -> Printf.sprintf "(as %s %s)" name (Sort.to_string sort)
+  | Term.Qual_app (name, sort, args) ->
+    Printf.sprintf "((as %s %s) %s)" name (Sort.to_string sort)
+      (String.concat " " (List.map term args))
+  | Term.Let (bindings, body) ->
+    let binding (name, value) = Printf.sprintf "(%s %s)" name (term value) in
+    Printf.sprintf "(let (%s) %s)" (String.concat " " (List.map binding bindings)) (term body)
+  | Term.Forall (binders, body) ->
+    Printf.sprintf "(forall (%s) %s)" (binders_to_string binders) (term body)
+  | Term.Exists (binders, body) ->
+    Printf.sprintf "(exists (%s) %s)" (binders_to_string binders) (term body)
+  | Term.Annot (body, attrs) ->
+    let attr (key, value) =
+      match value with
+      | Some v -> Printf.sprintf ":%s %s" key v
+      | None -> Printf.sprintf ":%s" key
+    in
+    Printf.sprintf "(! %s %s)" (term body) (String.concat " " (List.map attr attrs))
+  | Term.Match (scrutinee, cases) ->
+    let pattern = function
+      | Term.P_ctor (ctor, []) -> ctor
+      | Term.P_ctor (ctor, binders) ->
+        Printf.sprintf "(%s %s)" ctor (String.concat " " binders)
+      | Term.P_var name -> name
+      | Term.P_wildcard -> "_"
+    in
+    Printf.sprintf "(match %s (%s))" (term scrutinee)
+      (String.concat " "
+         (List.map (fun (p, b) -> Printf.sprintf "(%s %s)" (pattern p) (term b)) cases))
+  | Term.Placeholder _ -> "<placeholder>"
+
+and binders_to_string binders =
+  binders
+  |> List.map (fun (name, sort) -> Printf.sprintf "(%s %s)" name (Sort.to_string sort))
+  |> String.concat " "
+
+let datatype_decl (d : Command.datatype_decl) =
+  let ctor (c : Command.constructor) =
+    if c.selectors = [] then Printf.sprintf "(%s)" c.ctor_name
+    else
+      Printf.sprintf "(%s %s)" c.ctor_name
+        (String.concat " "
+           (List.map
+              (fun (sel, sort) -> Printf.sprintf "(%s %s)" sel (Sort.to_string sort))
+              c.selectors))
+  in
+  ( Printf.sprintf "(%s 0)" d.dt_name,
+    Printf.sprintf "(%s)" (String.concat " " (List.map ctor d.constructors)) )
+
+let command cmd =
+  match cmd with
+  | Command.Set_logic logic -> Printf.sprintf "(set-logic %s)" logic
+  | Command.Set_option (key, value) -> Printf.sprintf "(set-option :%s %s)" key value
+  | Command.Set_info (key, value) -> Printf.sprintf "(set-info :%s %s)" key value
+  | Command.Declare_sort (name, arity) -> Printf.sprintf "(declare-sort %s %d)" name arity
+  | Command.Declare_fun (name, args, result) ->
+    Printf.sprintf "(declare-fun %s (%s) %s)" name
+      (String.concat " " (List.map Sort.to_string args))
+      (Sort.to_string result)
+  | Command.Declare_const (name, sort) ->
+    Printf.sprintf "(declare-const %s %s)" name (Sort.to_string sort)
+  | Command.Define_fun (name, params, result, body) ->
+    Printf.sprintf "(define-fun %s (%s) %s %s)" name
+      (binders_to_string params) (Sort.to_string result) (term body)
+  | Command.Declare_datatypes decls ->
+    let sort_parts, ctor_parts = List.split (List.map datatype_decl decls) in
+    Printf.sprintf "(declare-datatypes (%s) (%s))"
+      (String.concat " " sort_parts)
+      (String.concat " " ctor_parts)
+  | Command.Assert t -> Printf.sprintf "(assert %s)" (term t)
+  | Command.Check_sat -> "(check-sat)"
+  | Command.Get_model -> "(get-model)"
+  | Command.Get_value ts ->
+    Printf.sprintf "(get-value (%s))" (String.concat " " (List.map term ts))
+  | Command.Push n -> Printf.sprintf "(push %d)" n
+  | Command.Pop n -> Printf.sprintf "(pop %d)" n
+  | Command.Echo s -> Printf.sprintf "(echo \"%s\")" (O4a_util.Strx.escape_smt_string s)
+  | Command.Exit -> "(exit)"
+
+let script commands = String.concat "\n" (List.map command commands)
+
+let model_binding name arg_sorts result_sort body =
+  let params =
+    List.mapi (fun i s -> Printf.sprintf "(x!%d %s)" i (Sort.to_string s)) arg_sorts
+  in
+  Printf.sprintf "(define-fun %s (%s) %s %s)" name (String.concat " " params)
+    (Sort.to_string result_sort) body

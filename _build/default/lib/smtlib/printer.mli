@@ -1,0 +1,16 @@
+(** Concrete SMT-LIB syntax output. [Parser.parse_script (Printer.script s)]
+    round-trips for every construct the parser supports. *)
+
+val index : Term.index -> string
+
+val term : Term.t -> string
+(** Placeholder nodes print as the paper's [<placeholder>] marker. *)
+
+val command : Command.t -> string
+
+val script : Script.t -> string
+(** One command per line. *)
+
+val model_binding : string -> Sort.t list -> Sort.t -> string -> string
+(** [(define-fun name ((x0 s)...) result body)] rendering used by the solvers'
+    get-model output. *)

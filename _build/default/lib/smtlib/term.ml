@@ -1,0 +1,257 @@
+type const =
+  | Bool_lit of bool
+  | Int_lit of int
+  | Real_lit of int * int
+  | Bv_lit of { width : int; value : int }
+  | String_lit of string
+  | Ff_lit of { order : int; value : int }
+
+type index = Idx_num of int | Idx_sym of string
+
+type pattern =
+  | P_ctor of string * string list
+  | P_var of string
+  | P_wildcard
+
+type t =
+  | Const of const
+  | Var of string
+  | App of string * t list
+  | Indexed_app of string * index list * t list
+  | Qual of string * Sort.t
+  | Qual_app of string * Sort.t * t list
+  | Let of (string * t) list * t
+  | Forall of (string * Sort.t) list * t
+  | Exists of (string * Sort.t) list * t
+  | Match of t * (pattern * t) list
+  | Annot of t * attr list
+  | Placeholder of int
+
+and attr = string * string option
+
+let tru = Const (Bool_lit true)
+let fls = Const (Bool_lit false)
+let int n = Const (Int_lit n)
+
+let real p q =
+  if q <= 0 then invalid_arg "Term.real: denominator must be positive";
+  Const (Real_lit (p, q))
+
+let bv ~width value = Const (Bv_lit { width; value })
+let str s = Const (String_lit s)
+let ff ~order value = Const (Ff_lit { order; value })
+let var name = Var name
+let app name args = App (name, args)
+let not_ t = App ("not", [ t ])
+let and_ ts = App ("and", ts)
+let or_ ts = App ("or", ts)
+let eq a b = App ("=", [ a; b ])
+let ite c a b = App ("ite", [ c; a; b ])
+let distinct ts = App ("distinct", ts)
+
+let children = function
+  | Const _ | Var _ | Qual _ | Placeholder _ -> []
+  | App (_, args) | Indexed_app (_, _, args) | Qual_app (_, _, args) -> args
+  | Let (bindings, body) -> List.map snd bindings @ [ body ]
+  | Forall (_, body) | Exists (_, body) | Annot (body, _) -> [ body ]
+  | Match (scrutinee, cases) -> scrutinee :: List.map snd cases
+
+let with_children t new_children =
+  let arity_error () = invalid_arg "Term.with_children: arity mismatch" in
+  match t with
+  | Const _ | Var _ | Qual _ | Placeholder _ ->
+    if new_children = [] then t else arity_error ()
+  | App (name, args) ->
+    if List.length args = List.length new_children then App (name, new_children)
+    else arity_error ()
+  | Indexed_app (name, idxs, args) ->
+    if List.length args = List.length new_children then
+      Indexed_app (name, idxs, new_children)
+    else arity_error ()
+  | Qual_app (name, sort, args) ->
+    if List.length args = List.length new_children then
+      Qual_app (name, sort, new_children)
+    else arity_error ()
+  | Let (bindings, _) ->
+    let nb = List.length bindings in
+    if List.length new_children <> nb + 1 then arity_error ()
+    else (
+      let binding_terms = O4a_util.Listx.take nb new_children in
+      let body = List.nth new_children nb in
+      let bindings' = List.map2 (fun (name, _) v -> (name, v)) bindings binding_terms in
+      Let (bindings', body))
+  | Forall (binders, _) -> (
+    match new_children with [ body ] -> Forall (binders, body) | _ -> arity_error ())
+  | Exists (binders, _) -> (
+    match new_children with [ body ] -> Exists (binders, body) | _ -> arity_error ())
+  | Annot (_, attrs) -> (
+    match new_children with [ body ] -> Annot (body, attrs) | _ -> arity_error ())
+  | Match (_, cases) -> (
+    match new_children with
+    | scrutinee :: bodies when List.length bodies = List.length cases ->
+      Match (scrutinee, List.map2 (fun (p, _) b -> (p, b)) cases bodies)
+    | _ -> arity_error ())
+
+let rec size t = 1 + List.fold_left (fun acc c -> acc + size c) 0 (children t)
+
+let rec depth t =
+  match children t with
+  | [] -> 1
+  | cs -> 1 + List.fold_left (fun acc c -> max acc (depth c)) 0 cs
+
+let rec fold f acc t = List.fold_left (fold f) (f acc t) (children t)
+
+let rec map_bottom_up f t =
+  let t' = with_children t (List.map (map_bottom_up f) (children t)) in
+  f t'
+
+let exists_node pred t = fold (fun found node -> found || pred node) false t
+
+type path = int list
+
+let rec subterm_at t = function
+  | [] -> Some t
+  | i :: rest -> (
+    match List.nth_opt (children t) i with
+    | Some c -> subterm_at c rest
+    | None -> None)
+
+let rec replace_at t path replacement =
+  match path with
+  | [] -> replacement
+  | i :: rest ->
+    let cs = children t in
+    (match List.nth_opt cs i with
+    | None -> t
+    | Some c ->
+      let c' = replace_at c rest replacement in
+      with_children t (O4a_util.Listx.replace_nth i c' cs))
+
+let all_paths t =
+  let rec go path t acc =
+    let acc = (List.rev path, t) :: acc in
+    List.fold_left
+      (fun (i, acc) c -> (i + 1, go (i :: path) c acc))
+      (0, acc) (children t)
+    |> snd
+  in
+  List.rev (go [] t [])
+
+let free_vars t =
+  let rec go bound t =
+    match t with
+    | Var name -> if List.mem name bound then [] else [ name ]
+    | Const _ | Qual _ | Placeholder _ -> []
+    | App (_, args) | Indexed_app (_, _, args) | Qual_app (_, _, args) ->
+      List.concat_map (go bound) args
+    | Let (bindings, body) ->
+      let from_bindings = List.concat_map (fun (_, v) -> go bound v) bindings in
+      let bound' = List.map fst bindings @ bound in
+      from_bindings @ go bound' body
+    | Forall (binders, body) | Exists (binders, body) ->
+      go (List.map fst binders @ bound) body
+    | Match (scrutinee, cases) ->
+      go bound scrutinee
+      @ List.concat_map
+          (fun (pattern, body) ->
+            let binders =
+              match pattern with
+              | P_ctor (_, names) -> names
+              | P_var name -> [ name ]
+              | P_wildcard -> []
+            in
+            go (binders @ bound) body)
+          cases
+    | Annot (body, _) -> go bound body
+  in
+  O4a_util.Listx.dedup (go [] t)
+
+let rec rename_var ~old_name ~new_name t =
+  let recurse = rename_var ~old_name ~new_name in
+  match t with
+  | Var name -> if name = old_name then Var new_name else t
+  | Const _ | Qual _ | Placeholder _ -> t
+  | App (name, args) -> App (name, List.map recurse args)
+  | Indexed_app (name, idxs, args) -> Indexed_app (name, idxs, List.map recurse args)
+  | Qual_app (name, sort, args) -> Qual_app (name, sort, List.map recurse args)
+  | Let (bindings, body) ->
+    let bindings' = List.map (fun (n, v) -> (n, recurse v)) bindings in
+    if List.exists (fun (n, _) -> n = old_name) bindings then Let (bindings', body)
+    else Let (bindings', recurse body)
+  | Forall (binders, body) ->
+    if List.exists (fun (n, _) -> n = old_name) binders then t
+    else Forall (binders, recurse body)
+  | Exists (binders, body) ->
+    if List.exists (fun (n, _) -> n = old_name) binders then t
+    else Exists (binders, recurse body)
+  | Match (scrutinee, cases) ->
+    let case (pattern, body) =
+      let binds =
+        match pattern with
+        | P_ctor (_, names) -> List.mem old_name names
+        | P_var name -> name = old_name
+        | P_wildcard -> false
+      in
+      (pattern, if binds then body else recurse body)
+    in
+    Match (recurse scrutinee, List.map case cases)
+  | Annot (body, attrs) -> Annot (recurse body, attrs)
+
+let placeholders t =
+  fold (fun acc node -> match node with Placeholder n -> n :: acc | _ -> acc) [] t
+  |> List.rev
+
+let has_placeholder t = placeholders t <> []
+
+let equal (a : t) (b : t) = a = b
+
+let is_atomic t =
+  let is_structural = function
+    | App (("and" | "or" | "not" | "=>" | "xor" | "ite"), _) -> true
+    | Let _ | Forall _ | Exists _ | Match _ -> true
+    | Const _ | Var _ | App _ | Indexed_app _ | Qual _ | Qual_app _ | Annot _
+    | Placeholder _ ->
+      false
+  in
+  not (is_structural t)
+
+let const_to_string = function
+  | Bool_lit b -> string_of_bool b
+  | Int_lit n -> if n < 0 then Printf.sprintf "(- %d)" (-n) else string_of_int n
+  | Real_lit (p, q) -> (
+    let decimal_digits q =
+      (* denominators whose only prime factors are 2 and 5 print exactly *)
+      let rec strip d q = if q mod d = 0 then strip d (q / d) else q in
+      if strip 5 (strip 2 q) = 1 then (
+        let rec scale num den digits =
+          if den = 1 then (num, digits)
+          else if num * 10 / 10 <> num then (num, digits) (* overflow guard *)
+          else (
+            let g = if den mod 2 = 0 then 2 else 5 in
+            scale (num * 10 / g) (den / g) (digits + 1))
+        in
+        Some (scale (abs p) q 0))
+      else None
+    in
+    match decimal_digits q with
+    | Some (scaled, digits) ->
+      let text =
+        if digits = 0 then Printf.sprintf "%d.0" scaled
+        else (
+          let s = Printf.sprintf "%0*d" (digits + 1) scaled in
+          let cut = String.length s - digits in
+          String.sub s 0 cut ^ "." ^ String.sub s cut digits)
+      in
+      if p < 0 then Printf.sprintf "(- %s)" text else text
+    | None ->
+      if p < 0 then Printf.sprintf "(- (/ %d.0 %d.0))" (-p) q
+      else Printf.sprintf "(/ %d.0 %d.0)" p q)
+  | Bv_lit { width; value } ->
+    let buf = Buffer.create (width + 2) in
+    Buffer.add_string buf "#b";
+    for i = width - 1 downto 0 do
+      Buffer.add_char buf (if (value lsr i) land 1 = 1 then '1' else '0')
+    done;
+    Buffer.contents buf
+  | String_lit s -> Printf.sprintf "\"%s\"" (O4a_util.Strx.escape_smt_string s)
+  | Ff_lit { order; value } -> Printf.sprintf "(as ff%d (_ FiniteField %d))" value order

@@ -1,0 +1,117 @@
+(** SMT-LIB terms.
+
+    The representation is name-based: operators are applied by their SMT-LIB
+    symbol (["and"], ["bvadd"], ["seq.rev"], ...) and resolved against theory
+    signatures at sort-checking time. Skeleton holes (the paper's
+    [<placeholder>] markers) are first-class constructors so skeletonization,
+    synthesis and reduction all operate on the same tree. *)
+
+type const =
+  | Bool_lit of bool
+  | Int_lit of int
+  | Real_lit of int * int  (** rational p/q with q > 0 *)
+  | Bv_lit of { width : int; value : int }
+  | String_lit of string
+  | Ff_lit of { order : int; value : int }
+
+type index = Idx_num of int | Idx_sym of string
+
+type pattern =
+  | P_ctor of string * string list
+      (** constructor with binders; empty list for nullary constructors *)
+  | P_var of string  (** catch-all binder *)
+  | P_wildcard  (** SMT-LIB 2.7 [_] wildcard *)
+
+type t =
+  | Const of const
+  | Var of string
+  | App of string * t list
+  | Indexed_app of string * index list * t list
+      (** [((_ name i1 ... ik) args)]; nullary indexed identifiers like
+          [(_ bv5 8)] have an empty argument list *)
+  | Qual of string * Sort.t  (** [(as name sort)] *)
+  | Qual_app of string * Sort.t * t list  (** e.g. [((as const (Array Int Int)) 0)] *)
+  | Let of (string * t) list * t
+  | Forall of (string * Sort.t) list * t
+  | Exists of (string * Sort.t) list * t
+  | Match of t * (pattern * t) list
+      (** [(match t ((pat body) ...))] — SMT-LIB 2.6 datatype matching with
+          2.7 wildcard patterns *)
+  | Annot of t * attr list  (** [(! t :attr value ...)] *)
+  | Placeholder of int  (** skeleton hole *)
+
+and attr = string * string option
+
+(** {1 Smart constructors} *)
+
+val tru : t
+val fls : t
+val int : int -> t
+val real : int -> int -> t
+val bv : width:int -> int -> t
+val str : string -> t
+val ff : order:int -> int -> t
+val var : string -> t
+val app : string -> t list -> t
+val not_ : t -> t
+val and_ : t list -> t
+val or_ : t list -> t
+val eq : t -> t -> t
+val ite : t -> t -> t -> t
+val distinct : t list -> t
+
+(** {1 Structure} *)
+
+val children : t -> t list
+
+val with_children : t -> t list -> t
+(** Rebuild the node with new children (same arity expected; raises
+    [Invalid_argument] on mismatch). *)
+
+val size : t -> int
+(** Number of nodes. *)
+
+val depth : t -> int
+
+val fold : ('a -> t -> 'a) -> 'a -> t -> 'a
+(** Pre-order fold over every node. *)
+
+val map_bottom_up : (t -> t) -> t -> t
+
+val exists_node : (t -> bool) -> t -> bool
+
+(** {1 Paths} *)
+
+type path = int list
+(** Indexes into {!children}, root-first. *)
+
+val subterm_at : t -> path -> t option
+
+val replace_at : t -> path -> t -> t
+(** Returns the term unchanged if the path is invalid. *)
+
+val all_paths : t -> (path * t) list
+(** Pre-order enumeration of [(path, subterm)] pairs including the root. *)
+
+(** {1 Variables} *)
+
+val free_vars : t -> string list
+(** Free variable names, deduplicated, in first-occurrence order. Bound
+    variables of [let]/[forall]/[exists] are excluded within their scope. *)
+
+val rename_var : old_name:string -> new_name:string -> t -> t
+(** Capture-naive free-variable renaming (callers choose fresh names). *)
+
+val placeholders : t -> int list
+(** Hole numbers, in pre-order. *)
+
+val has_placeholder : t -> bool
+
+val equal : t -> t -> bool
+
+val is_atomic : t -> bool
+(** [true] when the term contains no boolean connective, quantifier or [let]
+    at its root — the paper's notion of an atomic formula eligible for
+    skeleton removal. *)
+
+val const_to_string : const -> string

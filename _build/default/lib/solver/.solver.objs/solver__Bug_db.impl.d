@@ -1,0 +1,1 @@
+lib/solver/bug_db.ml: Hashtbl List O4a_coverage Printf Script Smtlib Sort Term Trigger

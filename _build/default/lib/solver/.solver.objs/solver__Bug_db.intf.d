@@ -1,0 +1,1 @@
+lib/solver/bug_db.mli: O4a_coverage Script Smtlib

@@ -1,0 +1,1 @@
+lib/solver/domain.ml: Command List O4a_util Regex Smtlib Sort Value

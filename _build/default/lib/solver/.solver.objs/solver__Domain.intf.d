@@ -1,0 +1,1 @@
+lib/solver/domain.mli: Command Smtlib Sort Value

@@ -1,0 +1,1 @@
+lib/solver/engine.ml: Array Bug_db Command Domain Hashtbl List Model O4a_coverage O4a_util Option Parser Printf Propagate Result Rewrite Script Search Smtlib Sort Term Theories Value Version

@@ -1,0 +1,1 @@
+lib/solver/engine.mli: Model O4a_coverage Script Smtlib Term

@@ -1,0 +1,1 @@
+lib/solver/eval.ml: Array Buffer Char Command Domain List O4a_util Printf Regex Script Signature Smtlib Sort String Term Theories Value

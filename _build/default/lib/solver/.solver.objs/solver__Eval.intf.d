@@ -1,0 +1,1 @@
+lib/solver/eval.mli: Command Domain Script Smtlib Sort Term Value

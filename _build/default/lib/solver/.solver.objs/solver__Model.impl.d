@@ -1,0 +1,1 @@
+lib/solver/model.ml: Domain Eval List Printer Printf Script Smtlib String Term Value

@@ -1,0 +1,1 @@
+lib/solver/model.mli: Domain Script Smtlib Term Value

@@ -1,0 +1,1 @@
+lib/solver/propagate.ml: List Option Script Smtlib Sort Term Value

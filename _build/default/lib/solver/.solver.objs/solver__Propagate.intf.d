@@ -1,0 +1,1 @@
+lib/solver/propagate.mli: Script Smtlib Value

@@ -1,0 +1,1 @@
+lib/solver/regex.ml: String

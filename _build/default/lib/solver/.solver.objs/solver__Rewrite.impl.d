@@ -1,0 +1,1 @@
+lib/solver/rewrite.ml: List Option Smtlib String Term

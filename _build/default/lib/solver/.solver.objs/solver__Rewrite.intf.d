@@ -1,0 +1,1 @@
+lib/solver/rewrite.mli: Smtlib Term

@@ -1,0 +1,1 @@
+lib/solver/runner.ml: Engine Model O4a_util Printf

@@ -1,0 +1,1 @@
+lib/solver/runner.mli: Engine Model Smtlib

@@ -1,0 +1,1 @@
+lib/solver/search.ml: Command Domain Eval List Model Option Propagate Script Smtlib Sort

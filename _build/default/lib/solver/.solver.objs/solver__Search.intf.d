@@ -1,0 +1,1 @@
+lib/solver/search.mli: Domain Model Propagate Script Smtlib

@@ -1,0 +1,1 @@
+lib/solver/trigger.ml: List Script Smtlib Sort Term

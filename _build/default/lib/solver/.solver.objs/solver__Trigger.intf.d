@@ -1,0 +1,1 @@
+lib/solver/trigger.mli: Script Smtlib Sort

@@ -1,0 +1,1 @@
+lib/solver/value.ml: List O4a_util Printf Regex Smtlib Sort Stdlib String Term

@@ -1,0 +1,1 @@
+lib/solver/value.mli: Regex Smtlib Sort

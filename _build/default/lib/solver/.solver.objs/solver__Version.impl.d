@@ -1,0 +1,1 @@
+lib/solver/version.ml: List O4a_coverage

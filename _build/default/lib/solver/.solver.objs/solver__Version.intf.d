@@ -1,0 +1,1 @@
+lib/solver/version.mli: O4a_coverage

@@ -1,0 +1,32 @@
+(** Bounded value domains.
+
+    Both solvers search for models over the same bounded domains, giving the
+    differential oracle a common semantics: a [sat]/[unsat] disagreement under
+    identical bounded semantics indicates a genuine implementation divergence
+    (see DESIGN.md, "Bounded semantics"). *)
+
+open Smtlib
+
+type config = {
+  int_lo : int;
+  int_hi : int;
+  max_container_elems : int;  (** elements drawn for Seq/Set/Bag domains *)
+  max_seq_len : int;
+  max_bag_mult : int;
+  max_domain_size : int;  (** hard cap per sort *)
+  uninterpreted_card : int;  (** cardinality of uninterpreted sorts *)
+  datatype_depth : int;
+}
+
+val default_config : config
+
+val enumerate :
+  ?config:config -> datatypes:Command.datatype_decl list -> Sort.t -> Value.t list
+(** Every candidate value of the sort under the bounded semantics, capped at
+    [max_domain_size]. Never empty for supported sorts; [Reglan] yields a
+    small set of regex values. *)
+
+val default_value :
+  ?config:config -> datatypes:Command.datatype_decl list -> Sort.t -> Value.t
+(** Canonical "zero" of a sort — used for underspecified-but-total operators
+    (selector misapplication, [set.choose] on the empty set, ...). *)

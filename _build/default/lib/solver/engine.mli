@@ -1,0 +1,74 @@
+(** Solver front ends: {b Zeal} (the Z3 analog) and {b Cove} (the cvc5
+    analog, which additionally implements the Sets/Relations, Bags,
+    FiniteFields extensions).
+
+    A front end is instantiated at a commit; the injected bugs active at that
+    commit (see {!Bug_db.active}) shape its behavior. Solving proceeds
+    through a realistic pipeline — command processing, unsupported-symbol
+    detection, sort checking, rewriting, bounded model search — each stage
+    hitting this solver's coverage points. *)
+
+open Smtlib
+
+type t
+
+type outcome =
+  | Sat of Model.t
+  | Unsat
+  | Unknown of string  (** resource limit — the analog of a timeout *)
+  | Error of string  (** parse / sort / unsupported-symbol error *)
+
+exception Crash of { signature : string; bug_id : string; solver_name : string }
+(** The analog of a segfault or assertion violation; carries the synthetic
+    stack signature used for crash clustering. *)
+
+val zeal : ?commit:int -> unit -> t
+(** Defaults to trunk. *)
+
+val cove : ?commit:int -> unit -> t
+
+val make : ?pure:bool -> O4a_coverage.Coverage.solver_tag -> commit:int -> t
+(** [pure] installs no injected bugs — the reference semantics used by the
+    correcting-commit experiments. *)
+
+val pure : O4a_coverage.Coverage.solver_tag -> t
+
+val name : t -> string
+(** e.g. ["zeal-trunk"], ["cove-1.2.0"]. *)
+
+val tag : t -> O4a_coverage.Coverage.solver_tag
+
+val commit : t -> int
+
+val supports_script : t -> Script.t -> bool
+(** Whether every theory used by the script is implemented by this solver. *)
+
+val solve_script : ?max_steps:int -> t -> Script.t -> outcome
+(** May raise {!Crash}. *)
+
+val solve_source : ?max_steps:int -> t -> string -> outcome
+(** Parse, check and solve SMT-LIB source text. Parse failures are reported
+    as [Error] (never raised). May raise {!Crash}. *)
+
+val parse_check : t -> string -> (Script.t, string) result
+(** Front-end only: parse and sort-check without solving — what the
+    self-correction loop of Algorithm 1 uses to validate generated terms. *)
+
+(** {1 Incremental solving and unsat cores} *)
+
+type incremental_step = {
+  step_index : int;  (** which [check-sat], 0-based *)
+  step_outcome : outcome;
+}
+
+val solve_incremental :
+  ?max_steps:int -> t -> Script.t -> incremental_step list
+(** Replay the script with a [push]/[pop] assertion stack, solving at each
+    [check-sat] over the assertions visible at that point. May raise
+    {!Crash}. *)
+
+val unsat_core : ?max_steps:int -> t -> Script.t -> Term.t list option
+(** Greedy destructive minimization of the assertion set: [Some core] when
+    the script is unsat ([core]'s conjunction is still unsat and dropping any
+    single member was observed sat/unknown during minimization); [None] when
+    the script is not unsat to begin with. *)

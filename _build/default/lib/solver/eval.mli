@@ -1,0 +1,59 @@
+(** Total, bounded evaluation of terms to {!Value.t}.
+
+    The evaluator implements SMT-LIB semantics with the bounded-domain
+    conventions of DESIGN.md: quantifiers expand over {!Domain.enumerate};
+    underspecified-but-total operators (division by zero, selector
+    misapplication, out-of-range accesses) return fixed defaults so both
+    solvers agree in the absence of injected bugs.
+
+    Coverage instrumentation is threaded through the [cov] callback so each
+    solver front-end can attribute evaluation work to its own coverage
+    points. *)
+
+open Smtlib
+
+type ctx = {
+  config : Domain.config;
+  datatypes : Command.datatype_decl list;
+  defined : (string * (string * Sort.t) list * Term.t) list;
+      (** define-fun bodies, substituted on application *)
+  fun_decls : Script.fun_decl list;
+  mutable fun_defaults : (string * Value.t) list;
+      (** constant interpretations for non-nullary uninterpreted functions *)
+  cov : string -> int -> unit;  (** (operator, branch) coverage callback *)
+  mutable steps : int;
+  max_steps : int;
+}
+
+exception Out_of_fuel
+(** Raised when [steps] exceeds [max_steps]; the caller reports [Unknown]
+    (our analog of a solver timeout). *)
+
+exception Eval_failure of string
+(** Raised on genuinely ill-sorted input that slipped past checking; the
+    front end converts it into an error result. *)
+
+val make_ctx :
+  ?config:Domain.config ->
+  ?max_steps:int ->
+  ?cov:(string -> int -> unit) ->
+  ?fun_defaults:(string * Value.t) list ->
+  Script.t ->
+  ctx
+
+val eval : ctx -> (string * Value.t) list -> Term.t -> Value.t
+(** [eval ctx env term] under the variable assignment [env]. *)
+
+val eval_bool : ctx -> (string * Value.t) list -> Term.t -> bool
+(** Like {!eval} but insists on a boolean result. *)
+
+(** {1 Arithmetic helpers exposed for tests} *)
+
+val ediv : int -> int -> int
+(** Euclidean division with [ediv x 0 = 0]. *)
+
+val emod : int -> int -> int
+(** Euclidean remainder with [emod x 0 = x]. *)
+
+val to_signed : int -> int -> int
+(** [to_signed width v] reads an unsigned bit-pattern as two's complement. *)

@@ -1,0 +1,56 @@
+open Smtlib
+
+type t = {
+  consts : (string * Value.t) list;
+  fun_defaults : (string * Value.t) list;
+}
+
+let empty = { consts = []; fun_defaults = [] }
+
+let lookup model name =
+  match List.assoc_opt name model.consts with
+  | Some v -> Some v
+  | None -> List.assoc_opt name model.fun_defaults
+
+let to_string script model =
+  let decls = Script.declared_funs script in
+  let binding (d : Script.fun_decl) =
+    match lookup model d.name with
+    | Some v ->
+      Some
+        (Printer.model_binding d.name d.arg_sorts d.result_sort (Value.to_term_string v))
+    | None -> None
+  in
+  let lines = List.filter_map binding decls in
+  "(\n  " ^ String.concat "\n  " lines ^ "\n)"
+
+type check_result =
+  | Holds
+  | Fails of Term.t
+  | Check_unknown of string
+
+let check ?(config = Domain.default_config) ?(max_steps = 400_000) script model =
+  let ctx = Eval.make_ctx ~config ~max_steps ~fun_defaults:model.fun_defaults script in
+  let rec go = function
+    | [] -> Holds
+    | assertion :: rest -> (
+      match Eval.eval_bool ctx model.consts assertion with
+      | true -> go rest
+      | false -> Fails assertion
+      | exception Eval.Out_of_fuel -> Check_unknown "resource limit during model check"
+      | exception Eval.Eval_failure msg -> Check_unknown msg)
+  in
+  go (Script.assertions script)
+
+let eval_terms ?(config = Domain.default_config) ?(max_steps = 200_000) script model terms =
+  let ctx = Eval.make_ctx ~config ~max_steps ~fun_defaults:model.fun_defaults script in
+  List.map
+    (fun term ->
+      let result =
+        match Eval.eval ctx model.consts term with
+        | v -> Value.to_term_string v
+        | exception Eval.Out_of_fuel -> "(resource limit)"
+        | exception Eval.Eval_failure msg -> Printf.sprintf "(error \"%s\")" msg
+      in
+      (term, result))
+    terms

@@ -1,0 +1,34 @@
+(** Integer bounds propagation — Zeal's presolving pass.
+
+    Top-level assertions of the forms [(< x c)], [(<= x c)], [(> x c)],
+    [(>= x c)], [(= x c)] (either operand order, possibly under a top-level
+    [and]) refine the enumeration window of the constrained constants before
+    model search. Pruning is sound under the bounded semantics: a pruned
+    value falsifies a top-level conjunct, so no model is lost, and [unsat]
+    answers are unaffected.
+
+    This pass is one of the deliberate implementation differences between
+    the two solvers (Zeal runs it, Cove does not), giving them genuinely
+    different code paths and performance profiles, as Z3's and cvc5's
+    preprocessing stacks differ. *)
+
+open Smtlib
+
+type interval = {
+  lo : int option;  (** inclusive *)
+  hi : int option;  (** inclusive *)
+}
+
+val unconstrained : interval
+
+val intersect : interval -> interval -> interval
+
+val is_empty_within : interval -> window_lo:int -> window_hi:int -> bool
+(** No value of the bounded window survives the interval. *)
+
+val analyze : Script.t -> (string * interval) list
+(** Bounds implied by the top-level conjuncts, per declared Int constant.
+    Constants without derivable bounds are omitted. *)
+
+val restrict_domain : interval -> Value.t list -> Value.t list
+(** Filter an Int domain by the interval (non-Int values pass through). *)

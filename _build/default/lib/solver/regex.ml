@@ -1,0 +1,62 @@
+type t =
+  | Empty
+  | Epsilon
+  | Any_char
+  | All
+  | Lit of string
+  | Range of char * char
+  | Concat of t * t
+  | Union of t * t
+  | Inter of t * t
+  | Star of t
+  | Complement of t
+
+let plus r = Concat (r, Star r)
+
+let opt r = Union (Epsilon, r)
+
+let rec loop i j r =
+  if j < i || j < 0 then Empty
+  else if i > 0 then Concat (r, loop (i - 1) (j - 1) r)
+  else if j = 0 then Epsilon
+  else Union (Epsilon, Concat (r, loop 0 (j - 1) r))
+
+let diff a b = Inter (a, Complement b)
+
+let rec nullable = function
+  | Empty -> false
+  | Epsilon -> true
+  | Any_char -> false
+  | All -> true
+  | Lit s -> s = ""
+  | Range _ -> false
+  | Concat (a, b) -> nullable a && nullable b
+  | Union (a, b) -> nullable a || nullable b
+  | Inter (a, b) -> nullable a && nullable b
+  | Star _ -> true
+  | Complement r -> not (nullable r)
+
+let rec deriv c = function
+  | Empty -> Empty
+  | Epsilon -> Empty
+  | Any_char -> Epsilon
+  | All -> All
+  | Lit s ->
+    if s <> "" && s.[0] = c then Lit (String.sub s 1 (String.length s - 1)) else Empty
+  | Range (lo, hi) -> if c >= lo && c <= hi then Epsilon else Empty
+  | Concat (a, b) ->
+    let da = Concat (deriv c a, b) in
+    if nullable a then Union (da, deriv c b) else da
+  | Union (a, b) -> Union (deriv c a, deriv c b)
+  | Inter (a, b) -> Inter (deriv c a, deriv c b)
+  | Star r as star -> Concat (deriv c r, star)
+  | Complement r -> Complement (deriv c r)
+
+let matches r s =
+  let rec go r i = if i >= String.length s then nullable r else go (deriv s.[i] r) (i + 1) in
+  go r 0
+
+let rec size = function
+  | Empty | Epsilon | Any_char | All | Lit _ | Range _ -> 1
+  | Concat (a, b) | Union (a, b) | Inter (a, b) -> 1 + size a + size b
+  | Star r | Complement r -> 1 + size r

@@ -1,0 +1,32 @@
+(** Regular expressions over strings, supporting the SMT-LIB [RegLan]
+    operators. Matching uses Brzozowski derivatives, which keeps the
+    implementation total on the small bounded strings the solvers handle. *)
+
+type t =
+  | Empty  (** re.none — matches nothing *)
+  | Epsilon  (** the empty string only *)
+  | Any_char  (** re.allchar *)
+  | All  (** re.all *)
+  | Lit of string  (** str.to_re of a literal *)
+  | Range of char * char
+  | Concat of t * t
+  | Union of t * t
+  | Inter of t * t
+  | Star of t
+  | Complement of t
+
+val plus : t -> t
+val opt : t -> t
+val loop : int -> int -> t -> t
+(** [loop i j r] matches between [i] and [j] repetitions. *)
+
+val diff : t -> t -> t
+
+val nullable : t -> bool
+(** Whether the language contains the empty string. *)
+
+val deriv : char -> t -> t
+
+val matches : t -> string -> bool
+
+val size : t -> int

@@ -1,0 +1,44 @@
+
+type result =
+  | R_sat of Model.t
+  | R_unsat
+  | R_unknown of string
+  | R_error of string
+  | R_crash of { signature : string; bug_id : string }
+  | R_timeout
+
+let of_outcome = function
+  | Engine.Sat model -> R_sat model
+  | Engine.Unsat -> R_unsat
+  | Engine.Unknown reason ->
+    if O4a_util.Strx.contains_sub ~sub:"resource limit" reason then R_timeout
+    else R_unknown reason
+  | Engine.Error msg -> R_error msg
+
+let run ?max_steps engine script =
+  match Engine.solve_script ?max_steps engine script with
+  | outcome -> of_outcome outcome
+  | exception Engine.Crash { signature; bug_id; _ } -> R_crash { signature; bug_id }
+
+let run_source ?max_steps engine source =
+  match Engine.solve_source ?max_steps engine source with
+  | outcome -> of_outcome outcome
+  | exception Engine.Crash { signature; bug_id; _ } -> R_crash { signature; bug_id }
+
+let result_to_string = function
+  | R_sat _ -> "sat"
+  | R_unsat -> "unsat"
+  | R_unknown reason -> Printf.sprintf "unknown (%s)" reason
+  | R_error msg -> Printf.sprintf "error (%s)" msg
+  | R_crash { signature; _ } -> Printf.sprintf "crash (%s)" signature
+  | R_timeout -> "timeout"
+
+let same_verdict a b =
+  match (a, b) with
+  | R_sat _, R_sat _ -> true
+  | R_unsat, R_unsat -> true
+  | R_unknown _, R_unknown _ -> true
+  | R_error _, R_error _ -> true
+  | R_crash _, R_crash _ -> true
+  | R_timeout, R_timeout -> true
+  | _ -> false

@@ -1,0 +1,22 @@
+(** Process-style execution of a solver on a script: crashes become data
+    (with their stack signature) instead of exceptions, and the fuel limit
+    plays the role of the paper's 10-second per-query timeout. *)
+
+
+
+type result =
+  | R_sat of Model.t
+  | R_unsat
+  | R_unknown of string
+  | R_error of string
+  | R_crash of { signature : string; bug_id : string }
+  | R_timeout
+
+val run : ?max_steps:int -> Engine.t -> Smtlib.Script.t -> result
+
+val run_source : ?max_steps:int -> Engine.t -> string -> result
+
+val result_to_string : result -> string
+
+val same_verdict : result -> result -> bool
+(** sat=sat, unsat=unsat; everything else compares by constructor. *)

@@ -1,0 +1,111 @@
+open Smtlib
+
+type outcome =
+  | Sat of Model.t
+  | Unsat
+  | Unknown of string
+
+type order = Ascending | Descending
+
+let sort_cov_key sort =
+  match sort with
+  | Sort.Bool -> "domain.bool"
+  | Sort.Int -> "domain.int"
+  | Sort.Real -> "domain.real"
+  | Sort.String_sort -> "domain.string"
+  | Sort.Reglan -> "domain.reglan"
+  | Sort.Bitvec _ -> "domain.bitvec"
+  | Sort.Finite_field _ -> "domain.ff"
+  | Sort.Seq _ -> "domain.seq"
+  | Sort.Set _ -> "domain.set"
+  | Sort.Bag _ -> "domain.bag"
+  | Sort.Array _ -> "domain.array"
+  | Sort.Tuple _ -> "domain.tuple"
+  | Sort.Datatype _ -> "domain.datatype"
+  | Sort.Uninterpreted _ -> "domain.uninterpreted"
+
+let solve ?(config = Domain.default_config) ?(max_steps = 200_000)
+    ?(order = Ascending) ?(cov = fun _ _ -> ()) ?(bounds = []) script =
+  let datatypes = Script.declared_datatypes script in
+  let decls = Script.declared_funs script in
+  let defined_names =
+    List.filter_map
+      (function Command.Define_fun (n, _, _, _) -> Some n | _ -> None)
+      script
+  in
+  let is_declared (d : Script.fun_decl) =
+    (not (List.mem d.name defined_names))
+    && not
+         (List.exists
+            (fun (dt : Command.datatype_decl) ->
+              List.exists
+                (fun (c : Command.constructor) ->
+                  c.ctor_name = d.name
+                  || List.exists (fun (s, _) -> s = d.name) c.selectors
+                  || "is-" ^ c.ctor_name = d.name)
+                dt.constructors)
+            (Script.declared_datatypes script))
+  in
+  let consts =
+    List.filter (fun (d : Script.fun_decl) -> d.arg_sorts = [] && is_declared d) decls
+  in
+  let funs =
+    List.filter (fun (d : Script.fun_decl) -> d.arg_sorts <> [] && is_declared d) decls
+  in
+  let domain_of ?name sort =
+    cov (sort_cov_key sort) 0;
+    let values = Domain.enumerate ~config ~datatypes sort in
+    let values =
+      match Option.bind name (fun n -> List.assoc_opt n bounds) with
+      | Some interval ->
+        cov "propagate.bound" 0;
+        Propagate.restrict_domain interval values
+      | None -> values
+    in
+    match order with Ascending -> values | Descending -> List.rev values
+  in
+  (* variables to assign: constants plus one "default result" slot per
+     uninterpreted function (constant interpretation) *)
+  let slots =
+    List.map (fun (d : Script.fun_decl) -> (`Const, d.name, d.result_sort)) consts
+    @ List.map (fun (d : Script.fun_decl) -> (`Fun, d.name, d.result_sort)) funs
+  in
+  let assertions = Script.assertions script in
+  let ctx = Eval.make_ctx ~config ~max_steps ~cov script in
+  let eval_under consts fun_defaults =
+    ctx.Eval.fun_defaults <- fun_defaults;
+    List.for_all (fun a -> Eval.eval_bool ctx consts a) assertions
+  in
+  cov "search.entry" 0;
+  let rec assign acc_consts acc_funs = function
+    | [] ->
+      if eval_under acc_consts acc_funs then
+        Some { Model.consts = acc_consts; fun_defaults = acc_funs }
+      else None
+    | (kind, name, sort) :: rest ->
+      let rec try_values = function
+        | [] -> None
+        | v :: vs -> (
+          let acc_consts', acc_funs' =
+            match kind with
+            | `Const -> ((name, v) :: acc_consts, acc_funs)
+            | `Fun -> (acc_consts, (name, v) :: acc_funs)
+          in
+          match assign acc_consts' acc_funs' rest with
+          | Some model -> Some model
+          | None -> try_values vs)
+      in
+      let domain =
+        match kind with `Const -> domain_of ~name sort | `Fun -> domain_of sort
+      in
+      try_values domain
+  in
+  match assign [] [] slots with
+  | Some model ->
+    cov "search.sat" 0;
+    Sat model
+  | None ->
+    cov "search.unsat" 0;
+    Unsat
+  | exception Eval.Out_of_fuel -> Unknown "resource limit exceeded"
+  | exception Eval.Eval_failure msg -> Unknown msg

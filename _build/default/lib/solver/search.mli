@@ -1,0 +1,28 @@
+(** Bounded model search: enumerate assignments to declared constants (and
+    constant interpretations for n-ary uninterpreted functions) over the
+    bounded domains, evaluating the assertions under each candidate.
+
+    Both solvers use this engine but with different enumeration orders and
+    rewrite pipelines, so they find different models and traverse different
+    code paths. *)
+
+open Smtlib
+
+type outcome =
+  | Sat of Model.t
+  | Unsat
+  | Unknown of string
+
+type order = Ascending | Descending
+
+val solve :
+  ?config:Domain.config ->
+  ?max_steps:int ->
+  ?order:order ->
+  ?cov:(string -> int -> unit) ->
+  ?bounds:(string * Propagate.interval) list ->
+  Script.t ->
+  outcome
+(** [Unsat] means "no model within the bounded domains" — the shared bounded
+    semantics of DESIGN.md. [Unknown] is returned on fuel exhaustion (the
+    analog of a 10-second solver timeout). *)

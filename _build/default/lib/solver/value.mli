@@ -1,0 +1,52 @@
+(** Concrete values computed by the solvers' evaluators and reported in
+    models. Values carry enough sort information to be re-printed as
+    SMT-LIB terms (for get-model output) and re-parsed by the oracle. *)
+
+open Smtlib
+
+type t =
+  | Bool of bool
+  | Int of int
+  | Real of int * int  (** normalized rational p/q, q > 0 *)
+  | Bv of { width : int; value : int }
+  | Str of string
+  | Ff of { order : int; value : int }  (** 0 <= value < order *)
+  | Seq of Sort.t * t list  (** element sort + elements *)
+  | Set of Sort.t * t list  (** element sort + sorted distinct elements *)
+  | Bag of Sort.t * (t * int) list  (** sorted elements with multiplicity > 0 *)
+  | Arr of { idx : Sort.t; elt : Sort.t; default : t; entries : (t * t) list }
+      (** finite exceptions over a constant default; entries sorted by index *)
+  | Tuple of t list
+  | Dt of string * string * t list  (** datatype name, constructor, fields *)
+  | Un of string * int  (** k-th element of an uninterpreted sort *)
+  | Re of Regex.t  (** intermediate RegLan value *)
+
+val compare : t -> t -> int
+(** Total order used to normalize sets/bags; [Re] values compare by size. *)
+
+val equal : t -> t -> bool
+
+val sort_of : t -> Sort.t
+
+val to_term_string : t -> string
+(** SMT-LIB surface syntax for the value (what get-model prints). *)
+
+(** {1 Rational helpers} *)
+
+val mk_real : int -> int -> t
+(** Normalized rational; raises [Invalid_argument] on zero denominator. *)
+
+val mk_ff : order:int -> int -> t
+(** Canonical residue. *)
+
+val mk_bv : width:int -> int -> t
+(** Truncated to width. *)
+
+val mk_set : Sort.t -> t list -> t
+(** Sorts and dedupes. *)
+
+val mk_bag : Sort.t -> (t * int) list -> t
+(** Merges duplicates, drops non-positive multiplicities, sorts. *)
+
+val normalize_entries : (t * t) list -> (t * t) list
+(** For arrays: last write wins, sorted by index. *)

@@ -1,0 +1,76 @@
+type release = {
+  version : string;
+  commit : int;
+  year : int;
+}
+
+type history = {
+  solver : O4a_coverage.Coverage.solver_tag;
+  releases : release list;
+  trunk : int;
+}
+
+let zeal_history =
+  {
+    solver = O4a_coverage.Coverage.Zeal;
+    releases =
+      [
+        { version = "4.8.1"; commit = 10; year = 2018 };
+        { version = "4.9.1"; commit = 20; year = 2020 };
+        { version = "4.10.2"; commit = 30; year = 2022 };
+        { version = "4.11.2"; commit = 42; year = 2022 };
+        { version = "4.12.2"; commit = 56; year = 2023 };
+        { version = "4.13.0"; commit = 70; year = 2024 };
+      ];
+    trunk = 100;
+  }
+
+let cove_history =
+  {
+    solver = O4a_coverage.Coverage.Cove;
+    releases =
+      [
+        { version = "0.0.2"; commit = 14; year = 2021 };
+        { version = "1.0.0"; commit = 28; year = 2022 };
+        { version = "1.0.5"; commit = 44; year = 2023 };
+        { version = "1.1.0"; commit = 58; year = 2023 };
+        { version = "1.2.0"; commit = 74; year = 2024 };
+      ];
+    trunk = 100;
+  }
+
+let history_of = function
+  | O4a_coverage.Coverage.Zeal -> zeal_history
+  | O4a_coverage.Coverage.Cove -> cove_history
+
+let release_commit history version =
+  List.find_map
+    (fun r -> if r.version = version then Some r.commit else None)
+    history.releases
+
+let bisect_fix ?known ~triggers history =
+  if triggers history.trunk then None
+  else (
+    (* find any triggering commit first *)
+    let first_triggering () =
+      match known with
+      | Some c when triggers c -> Some c
+      | _ ->
+        let rec scan c =
+          if c > history.trunk then None
+          else if triggers c then Some c
+          else scan (c + 10)
+        in
+        scan 0
+    in
+    match first_triggering () with
+    | None -> None
+    | Some lo ->
+      (* invariant: triggers lo, not (triggers hi) *)
+      let rec go lo hi =
+        if hi - lo <= 1 then Some hi
+        else (
+          let mid = (lo + hi) / 2 in
+          if triggers mid then go mid hi else go lo mid)
+      in
+      go lo history.trunk)

@@ -1,0 +1,36 @@
+(** Commit and release model of the two solvers.
+
+    Each solver has a linear commit history [0 .. trunk]. Injected bugs carry
+    an [introduced] and an optional [fixed] commit, which makes three of the
+    paper's experiments reproducible: the bug-lifespan analysis (Figure 5),
+    the correcting-commit bisection used to count unique known bugs
+    (Figures 7 and 9), and campaign runs "on the latest trunk". *)
+
+type release = {
+  version : string;  (** e.g. "4.8.1" *)
+  commit : int;
+  year : int;  (** release year, for lifespan narration *)
+}
+
+type history = {
+  solver : O4a_coverage.Coverage.solver_tag;
+  releases : release list;  (** oldest first *)
+  trunk : int;
+}
+
+val zeal_history : history
+(** Z3-analog: releases 4.8.1 .. 4.13.0 (paper's Figure 5 x-axis). *)
+
+val cove_history : history
+(** cvc5-analog: releases 0.0.2 .. 1.2.0. *)
+
+val history_of : O4a_coverage.Coverage.solver_tag -> history
+
+val release_commit : history -> string -> int option
+
+val bisect_fix : ?known:int -> triggers:(int -> bool) -> history -> int option
+(** [bisect_fix ?known ~triggers h] finds, by binary search over [0 .. trunk]
+    (seeded at the [known]-triggering commit when given), the
+    earliest commit [c] such that [triggers (c-1)] holds and [not (triggers c)]
+    — the correcting commit. Returns [None] when the formula still triggers at
+    trunk or never triggered. Mirrors the paper's Correcting Commit method. *)

@@ -1,0 +1,1 @@
+lib/theories/cfgs.ml: List Printf

@@ -1,0 +1,1 @@
+lib/theories/docs.ml: List Printf

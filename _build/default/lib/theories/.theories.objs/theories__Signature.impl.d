@@ -1,0 +1,1 @@
+lib/theories/signature.ml: List O4a_util Printf Smtlib Sort String Term

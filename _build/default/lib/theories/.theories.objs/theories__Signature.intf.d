@@ -1,0 +1,1 @@
+lib/theories/signature.mli: Smtlib Sort Term

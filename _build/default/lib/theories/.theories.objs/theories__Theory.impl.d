@@ -1,0 +1,1 @@
+lib/theories/theory.ml: Cfgs Docs List Option Smtlib Sort

@@ -1,0 +1,1 @@
+lib/theories/theory.mli: Smtlib Sort

@@ -1,0 +1,1 @@
+lib/theories/typecheck.ml: Command List Printf Result Script Signature Smtlib Sort String Term

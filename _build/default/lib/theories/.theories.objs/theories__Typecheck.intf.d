@@ -1,0 +1,1 @@
+lib/theories/typecheck.mli: Script Smtlib Sort Term

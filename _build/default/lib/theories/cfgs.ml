@@ -1,0 +1,304 @@
+let core_cfg =
+  {|bool ::= @bool_lit | @var_bool
+  | "(not " bool ")"
+  | "(and " bool " " bool ")"
+  | "(and " bool " " bool " " bool ")"
+  | "(or " bool " " bool ")"
+  | "(or " bool " " bool " " bool ")"
+  | "(xor " bool " " bool ")"
+  | "(=> " bool " " bool ")"
+  | "(= " bool " " bool ")"
+  | "(distinct " bool " " bool ")"
+  | "(ite " bool " " bool " " bool ")"
+|}
+
+let ints_cfg =
+  {|bool ::= "(= " int " " int ")"
+  | "(distinct " int " " int ")"
+  | "(< " int " " int ")"
+  | "(<= " int " " int ")"
+  | "(> " int " " int ")"
+  | "(>= " int " " int ")"
+  | "(<= " int " " int " " int ")"
+  | "((_ divisible " @divisor ") " int ")"
+  | "(not " bool ")"
+int ::= @int_lit | @var_int
+  | "(- " int ")"
+  | "(+ " int " " int ")"
+  | "(- " int " " int ")"
+  | "(* " int " " int ")"
+  | "(+ " int " " int " " int ")"
+  | "(div " int " " int ")"
+  | "(mod " int " " int ")"
+  | "(abs " int ")"
+  | "(ite " bool " " int " " int ")"
+|}
+
+let reals_cfg =
+  {|bool ::= "(= " real " " real ")"
+  | "(distinct " real " " real ")"
+  | "(< " real " " real ")"
+  | "(<= " real " " real ")"
+  | "(> " real " " real ")"
+  | "(>= " real " " real ")"
+  | "(< " real " " real " " real ")"
+  | "(not " bool ")"
+real ::= @real_lit | @var_real
+  | "(- " real ")"
+  | "(+ " real " " real ")"
+  | "(- " real " " real ")"
+  | "(* " real " " real ")"
+  | "(/ " real " " real ")"
+  | "(ite " bool " " real " " real ")"
+|}
+
+let reals_ints_cfg =
+  {|bool ::= "(= " int " " int ")"
+  | "(= " real " " real ")"
+  | "(< " real " " real ")"
+  | "(<= " int " " int ")"
+  | "(is_int " real ")"
+  | "((_ divisible " @divisor ") " int ")"
+  | "(not " bool ")"
+int ::= @int_lit | @var_int
+  | "(to_int " real ")"
+  | "(+ " int " " int ")"
+  | "(- " int " " int ")"
+  | "(* " int " " int ")"
+  | "(div " int " " int ")"
+  | "(mod " int " " int ")"
+  | "(abs " int ")"
+real ::= @real_lit | @var_real
+  | "(to_real " int ")"
+  | "(+ " real " " real ")"
+  | "(* " real " " real ")"
+  | "(/ " real " " real ")"
+|}
+
+let bitvectors_cfg =
+  {|bool ::= "(= " bv " " bv ")"
+  | "(distinct " bv " " bv ")"
+  | "(bvult " bv " " bv ")"
+  | "(bvule " bv " " bv ")"
+  | "(bvugt " bv " " bv ")"
+  | "(bvuge " bv " " bv ")"
+  | "(bvslt " bv " " bv ")"
+  | "(bvsle " bv " " bv ")"
+  | "(bvsgt " bv " " bv ")"
+  | "(bvsge " bv " " bv ")"
+  | "(bvult " bv2 " " bv2 ")"
+  | "(= " bv2 " " bv2 ")"
+  | "(= (bv2nat " bv ") " int ")"
+  | "(not " bool ")"
+bv ::= @bv_lit | @var_bv
+  | "(bvnot " bv ")"
+  | "(bvneg " bv ")"
+  | "(bvand " bv " " bv ")"
+  | "(bvor " bv " " bv ")"
+  | "(bvxor " bv " " bv ")"
+  | "(bvadd " bv " " bv ")"
+  | "(bvsub " bv " " bv ")"
+  | "(bvmul " bv " " bv ")"
+  | "(bvudiv " bv " " bv ")"
+  | "(bvurem " bv " " bv ")"
+  | "(bvshl " bv " " bv ")"
+  | "(bvlshr " bv " " bv ")"
+  | "(bvashr " bv " " bv ")"
+  | "((_ extract " @extract_hi " " @extract_lo ") " bv ")"
+  | "((_ rotate_left 1) " bv ")"
+  | "((_ rotate_right 2) " bv ")"
+  | "((_ int2bv " @bv_width ") " int ")"
+bv2 ::= "(concat " bv " " bv ")"
+int ::= @int_lit | "(bv2nat " bv ")"
+|}
+
+let strings_cfg =
+  {|bool ::= "(= " str " " str ")"
+  | "(distinct " str " " str ")"
+  | "(str.< " str " " str ")"
+  | "(str.<= " str " " str ")"
+  | "(str.contains " str " " str ")"
+  | "(str.prefixof " str " " str ")"
+  | "(str.suffixof " str " " str ")"
+  | "(str.is_digit " str ")"
+  | "(str.in_re " str " " regex ")"
+  | "(= " int " " int ")"
+  | "(< " int " " int ")"
+  | "(not " bool ")"
+str ::= @str_lit | @var_str
+  | "(str.++ " str " " str ")"
+  | "(str.++ " str " " str " " str ")"
+  | "(str.at " str " " int ")"
+  | "(str.substr " str " " int " " int ")"
+  | "(str.replace " str " " str " " str ")"
+  | "(str.replace_all " str " " str " " str ")"
+  | "(str.from_int " int ")"
+  | "(str.from_code " int ")"
+int ::= @int_lit
+  | "(str.len " str ")"
+  | "(str.indexof " str " " str " " int ")"
+  | "(str.to_int " str ")"
+  | "(str.to_code " str ")"
+regex ::= "re.none" | "re.all" | "re.allchar"
+  | "(str.to_re " str ")"
+  | "(re.++ " regex " " regex ")"
+  | "(re.union " regex " " regex ")"
+  | "(re.inter " regex " " regex ")"
+  | "(re.* " regex ")"
+  | "(re.+ " regex ")"
+  | "(re.opt " regex ")"
+  | "(re.comp " regex ")"
+  | "(re.diff " regex " " regex ")"
+  | "(re.range " @str_char " " @str_char ")"
+  | "((_ re.loop 1 3) " regex ")"
+|}
+
+let arrays_cfg =
+  {|bool ::= "(= " arr " " arr ")"
+  | "(distinct " arr " " arr ")"
+  | "(= " int " " int ")"
+  | "(= (select " arr " " int ") " int ")"
+  | "(< (select " arr " " int ") " int ")"
+  | "(not " bool ")"
+arr ::= @var_arr
+  | "(store " arr " " int " " int ")"
+  | "((as const (Array Int Int)) " int ")"
+int ::= @int_lit | @var_int
+  | "(select " arr " " int ")"
+  | "(+ " int " " int ")"
+|}
+
+let datatypes_cfg =
+  {|bool ::= "((_ is cons) " lst ")"
+  | "((_ is nil) " lst ")"
+  | "(= " lst " " lst ")"
+  | "(distinct " lst " " lst ")"
+  | "(= (head " lst ") " int ")"
+  | "(= " int " " int ")"
+  | "(= (match " lst " (((cons h t) (+ h 1)) (_ 0))) " int ")"
+  | "(not " bool ")"
+lst ::= @var_lst
+  | "(as nil Lst)"
+  | "(cons " int " " lst ")"
+  | "(tail " lst ")"
+  | "(match " lst " ((nil (as nil Lst)) ((cons h t) t)))"
+int ::= @int_lit | @var_int | "(head " lst ")"
+  | "(match " lst " ((nil 0) ((cons h t) h)))"
+|}
+
+let seq_cfg =
+  {|bool ::= "(= " seq " " seq ")"
+  | "(distinct " seq " " seq ")"
+  | "(seq.contains " seq " " seq ")"
+  | "(seq.prefixof " seq " " seq ")"
+  | "(seq.suffixof " seq " " seq ")"
+  | "(= " int " " int ")"
+  | "(distinct " int " " int ")"
+  | "(< " int " " int ")"
+  | "(not " bool ")"
+seq ::= "(as seq.empty (Seq Int))" | @var_seq
+  | "(seq.unit " int ")"
+  | "(seq.++ " seq " " seq ")"
+  | "(seq.++ " seq " " seq " " seq ")"
+  | "(seq.extract " seq " " int " " int ")"
+  | "(seq.update " seq " " int " " seq ")"
+  | "(seq.at " seq " " int ")"
+  | "(seq.replace " seq " " seq " " seq ")"
+  | "(seq.rev " seq ")"
+int ::= @int_lit | @var_int
+  | "(seq.len " seq ")"
+  | "(seq.nth " seq " " int ")"
+  | "(seq.indexof " seq " " seq " " int ")"
+  | "(div " int " " int ")"
+  | "(mod " int " " int ")"
+|}
+
+let sets_cfg =
+  {|bool ::= "(set.member " int " " set ")"
+  | "(set.subset " set " " set ")"
+  | "(= " set " " set ")"
+  | "(distinct " set " " set ")"
+  | "(set.is_empty " set ")"
+  | "(set.is_singleton " set ")"
+  | "(= " int " " int ")"
+  | "(set.member (tuple " int " " int ") " rel ")"
+  | "(set.subset " rel " " rel ")"
+  | "(= " rel " " rel ")"
+  | "(not " bool ")"
+set ::= "(as set.empty (Set Int))" | @var_set
+  | "(set.singleton " int ")"
+  | "(set.insert " int " " set ")"
+  | "(set.insert " int " " int " " set ")"
+  | "(set.union " set " " set ")"
+  | "(set.inter " set " " set ")"
+  | "(set.minus " set " " set ")"
+  | "(set.complement " set ")"
+rel ::= "(as set.empty (Set (Tuple Int Int)))" | @var_rel
+  | "(set.singleton (tuple " int " " int "))"
+  | "(set.union " rel " " rel ")"
+  | "(set.inter " rel " " rel ")"
+  | "(rel.transpose " rel ")"
+  | "(rel.join " rel " " rel ")"
+int ::= @int_lit | @var_int
+  | "(set.card " set ")"
+  | "(set.choose " set ")"
+|}
+
+let bags_cfg =
+  {|bool ::= "(bag.member " int " " bag ")"
+  | "(bag.subbag " bag " " bag ")"
+  | "(= " bag " " bag ")"
+  | "(distinct " bag " " bag ")"
+  | "(= " int " " int ")"
+  | "(< " int " " int ")"
+  | "(not " bool ")"
+bag ::= "(as bag.empty (Bag Int))" | @var_bag
+  | "(bag " int " " int ")"
+  | "(bag.union_max " bag " " bag ")"
+  | "(bag.union_disjoint " bag " " bag ")"
+  | "(bag.inter_min " bag " " bag ")"
+  | "(bag.difference_subtract " bag " " bag ")"
+  | "(bag.difference_remove " bag " " bag ")"
+  | "(bag.setof " bag ")"
+int ::= @int_lit | @var_int
+  | "(bag.count " int " " bag ")"
+  | "(bag.card " bag ")"
+  | "(bag.choose " bag ")"
+|}
+
+let finite_fields_cfg =
+  {|bool ::= "(= " ff " " ff ")"
+  | "(distinct " ff " " ff ")"
+  | "(not " bool ")"
+  | "(and " bool " " bool ")"
+ff ::= @ff_lit | @var_ff
+  | "(ff.add " ff " " ff ")"
+  | "(ff.add " ff " " ff " " ff ")"
+  | "(ff.mul " ff " " ff ")"
+  | "(ff.neg " ff ")"
+  | "(ff.bitsum " ff " " ff ")"
+  | "(ff.bitsum " ff " " ff " " ff ")"
+|}
+
+let table =
+  [
+    ("core", core_cfg);
+    ("ints", ints_cfg);
+    ("reals", reals_cfg);
+    ("reals_ints", reals_ints_cfg);
+    ("bitvectors", bitvectors_cfg);
+    ("strings", strings_cfg);
+    ("arrays", arrays_cfg);
+    ("datatypes", datatypes_cfg);
+    ("seq", seq_cfg);
+    ("sets", sets_cfg);
+    ("bags", bags_cfg);
+    ("finite_fields", finite_fields_cfg);
+  ]
+
+let cfg key =
+  match List.assoc_opt key table with
+  | Some g -> g
+  | None -> invalid_arg (Printf.sprintf "Cfgs.cfg: unknown theory '%s'" key)
+
+let known_keys = List.map fst table

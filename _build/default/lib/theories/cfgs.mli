@@ -1,0 +1,18 @@
+(** Ground-truth EBNF grammars per theory: what a faithful LLM grammar
+    summarization would extract from the documentation in {!Docs}. The
+    concrete syntax is the one parsed by [Grammar_kit.Ebnf]: productions are
+    [name ::= alt | alt ...]; within an alternative, double-quoted tokens are
+    literal text, bare identifiers are nonterminal references, and [@name]
+    tokens are generator hooks (literals, variables, width/sort context).
+
+    Every grammar's start symbol is [bool] and every [bool] sentence, with
+    correct hook semantics, is a well-sorted Boolean term. Contextual
+    constraints a CFG cannot express (equal bit-vector widths, matching field
+    orders) are the hooks' responsibility — exactly the gap the paper's
+    self-correction loop exists to close.
+
+    Keyed by theory key; raises [Invalid_argument] on unknown keys. *)
+
+val cfg : string -> string
+
+val known_keys : string list

@@ -1,0 +1,367 @@
+let core_doc =
+  {|Theory: Core
+Status: SMT-LIB standard theory.
+The Core theory defines the Bool sort and the basic boolean connectives.
+All other theories implicitly extend Core.
+
+Sorts:
+  Bool
+
+Functions:
+  (true Bool) and (false Bool) are the boolean constants.
+  (not Bool Bool) — logical negation.
+  (and Bool Bool Bool :left-assoc) — conjunction; variadic, at least two arguments.
+  (or Bool Bool Bool :left-assoc) — disjunction; variadic.
+  (xor Bool Bool Bool :left-assoc) — exclusive or.
+  (=> Bool Bool Bool :right-assoc) — implication.
+  (= A A Bool :chainable) — equality over any sort A; all arguments must have
+    the same sort.
+  (distinct A A Bool :pairwise) — pairwise disequality over any sort A.
+  (ite Bool A A A) — if-then-else; both branches must have the same sort.
+|}
+
+let ints_doc =
+  {|Theory: Ints
+Status: SMT-LIB standard theory.
+The theory of integer numbers. Numerals denote non-negative integer
+constants; negative constants are written with unary minus, e.g. (- 5).
+
+Sorts:
+  Int
+
+Functions:
+  (- Int Int) — unary negation.
+  (+ Int Int Int :left-assoc) — addition; variadic.
+  (- Int Int Int :left-assoc) — subtraction; variadic.
+  (* Int Int Int :left-assoc) — multiplication; variadic.
+  (div Int Int Int) — integer (Euclidean) division; the divisor should not be
+    zero, otherwise the result is underspecified but total.
+  (mod Int Int Int) — integer modulus; (mod m n) is always non-negative for
+    n != 0 under Euclidean semantics.
+  (abs Int Int) — absolute value.
+  (<= Int Int Bool :chainable), (< Int Int Bool :chainable),
+  (>= Int Int Bool :chainable), (> Int Int Bool :chainable) — comparisons.
+  ((_ divisible n) Int Bool) — indexed family: true iff the argument is
+    divisible by the numeral n, which must be positive.
+|}
+
+let reals_doc =
+  {|Theory: Reals
+Status: SMT-LIB standard theory.
+The theory of real numbers. Decimals like 2.5 denote rational constants.
+
+Sorts:
+  Real
+
+Functions:
+  (- Real Real) — unary negation.
+  (+ Real Real Real :left-assoc) — addition; variadic.
+  (- Real Real Real :left-assoc) — subtraction.
+  (* Real Real Real :left-assoc) — multiplication.
+  (/ Real Real Real :left-assoc) — division; division by zero is
+    underspecified but total (solvers pick an arbitrary value).
+  (<= Real Real Bool :chainable), (< Real Real Bool :chainable),
+  (>= Real Real Bool :chainable), (> Real Real Bool :chainable) — comparisons.
+
+Remark: real constants must be written with a decimal point (1.0, not 1);
+many solvers however accept integer numerals in real positions and coerce.
+|}
+
+let reals_ints_doc =
+  {|Theory: Reals_Ints
+Status: SMT-LIB standard theory.
+The combined theory of integers and reals with coercions. Includes all
+functions of the Ints and Reals theories operating on their own sorts —
+(+ - * div mod abs < <= > >=) on Int and (+ - * / < <= > >=) on Real —
+plus the following conversion functions.
+
+Sorts:
+  Int, Real
+
+Functions:
+  (to_real Int Real) — injection of integers into the reals.
+  (to_int Real Int) — floor conversion: the largest integer not greater
+    than the argument.
+  (is_int Real Bool) — true iff the argument is an integer-valued real.
+
+Remark: mixed-sort applications like (+ x 1.5) with x : Int are not part of
+the standard but are accepted by most solvers via implicit to_real coercion.
+|}
+
+let bitvectors_doc =
+  {|Theory: FixedSizeBitVectors
+Status: SMT-LIB standard theory.
+The theory of fixed-width bit-vectors. The sort (_ BitVec m) is indexed by
+the positive width m. Constants are written #b0101 (binary, width = number
+of digits), #xA3 (hexadecimal, width = 4 * number of digits), or with the
+indexed form (_ bvN m) denoting value N at width m.
+
+Sorts:
+  (_ BitVec m) for m >= 1.
+
+Functions (all argument bit-vectors of an operation must have EQUAL width
+unless stated otherwise):
+  (concat (_ BitVec i) (_ BitVec j) (_ BitVec i+j)) — concatenation; widths add.
+  ((_ extract i j) (_ BitVec m) (_ BitVec i-j+1)) — bits i down to j with
+    m > i >= j >= 0.
+  (bvnot (_ BitVec m) (_ BitVec m)) — bitwise negation.
+  (bvneg (_ BitVec m) (_ BitVec m)) — two's-complement negation.
+  (bvand bvor bvxor) — bitwise operations, variadic, equal widths.
+  (bvadd bvsub bvmul) — modular arithmetic, equal widths.
+  (bvudiv bvurem) — unsigned division/remainder; x/0 yields all-ones.
+  (bvshl bvlshr bvashr) — shifts; the shift amount is a bit-vector of the
+    same width as the shifted value.
+  (bvult bvule bvugt bvuge (_ BitVec m) (_ BitVec m) Bool) — unsigned
+    comparisons.
+  (bvslt bvsle bvsgt bvsge (_ BitVec m) (_ BitVec m) Bool) — signed
+    (two's-complement) comparisons.
+  (bvcomp (_ BitVec m) (_ BitVec m) (_ BitVec 1)) — equality as a 1-bit vector.
+  ((_ zero_extend k) / (_ sign_extend k)) — widen by k bits.
+  ((_ rotate_left k) / (_ rotate_right k)) — rotations.
+  (bv2nat (_ BitVec m) Int) — unsigned value as an integer.
+  ((_ int2bv m) Int (_ BitVec m)) — integer to bit-vector modulo 2^m.
+
+Common pitfall: bvadd, bvmul, bvand and the comparison predicates require
+operands of exactly equal width; mixing #b01 with #b0001 is a sort error.
+|}
+
+let strings_doc =
+  {|Theory: Strings
+Status: SMT-LIB standard theory (Unicode strings, since SMT-LIB 2.6).
+Strings are finite sequences of characters; RegLan is the sort of regular
+languages used for membership constraints. String literals are written in
+double quotes; a double quote inside a literal is escaped by doubling it.
+
+Sorts:
+  String, RegLan
+
+Functions:
+  (str.++ String String String :left-assoc) — concatenation; variadic.
+  (str.len String Int) — length.
+  (str.at String Int String) — character at an index, as a string of length
+    one, or the empty string when out of range.
+  (str.substr String Int Int String) — (str.substr s i n): substring starting
+    at i of length at most n.
+  (str.indexof String String Int Int) — first index of the second string in
+    the first, at or after the given offset; -1 if absent.
+  (str.contains String String Bool), (str.prefixof String String Bool),
+  (str.suffixof String String Bool) — containment predicates. Note the
+    argument order of prefixof/suffixof: (str.prefixof p s) is true iff p is
+    a prefix of s.
+  (str.replace String String String String) — replace the FIRST occurrence.
+  (str.replace_all String String String String) — replace all occurrences.
+  (str.< String String Bool), (str.<= String String Bool) — lexicographic order.
+  (str.to_int String Int) — numeric value of a digit string, -1 otherwise.
+  (str.from_int Int String) — decimal representation for non-negative inputs,
+    the empty string otherwise.
+  (str.to_code String Int), (str.from_code Int String) — code-point
+    conversions for strings of length one.
+  (str.is_digit String Bool) — single-digit test.
+  (str.in_re String RegLan Bool) — regular-language membership.
+  (str.to_re String RegLan) — the singleton language of a literal string.
+  (re.none RegLan), (re.all RegLan), (re.allchar RegLan) — constants.
+  (re.++ RegLan RegLan RegLan :left-assoc), (re.union ...), (re.inter ...).
+  (re.* RegLan RegLan), (re.+ RegLan RegLan), (re.opt RegLan RegLan),
+  (re.comp RegLan RegLan) — closure operators.
+  (re.diff RegLan RegLan RegLan) — language difference.
+  (re.range String String RegLan) — character ranges; both arguments must be
+    single-character strings, otherwise the result is re.none.
+  ((_ re.loop i j) RegLan RegLan) — bounded repetition.
+|}
+
+let arrays_doc =
+  {|Theory: ArraysEx
+Status: SMT-LIB standard theory.
+The theory of functional arrays with extensionality. The sort
+(Array X Y) is parameterized by an index sort X and an element sort Y.
+
+Sorts:
+  (Array X Y)
+
+Functions:
+  (select (Array X Y) X Y) — read the element stored at an index.
+  (store (Array X Y) X Y (Array X Y)) — functional update: a new array equal
+    to the first argument except at the given index.
+  ((as const (Array X Y)) Y (Array X Y)) — the constant array mapping every
+    index to the given element (a widely supported extension of the standard).
+
+Axioms (informal): reading a stored index returns the stored value; reading
+any other index returns the original content; two arrays equal at every
+index are equal (extensionality).
+|}
+
+let datatypes_doc =
+  {|Theory: Datatypes
+Status: SMT-LIB standard feature (since 2.6).
+Algebraic datatypes are declared with declare-datatypes. Each datatype has
+constructors; each constructor has zero or more selectors.
+
+Example:
+  (declare-datatypes ((Lst 0))
+    (((nil) (cons (head Int) (tail Lst)))))
+
+Functions derived from a declaration:
+  Each constructor, e.g. (cons Int Lst Lst) and (nil Lst).
+  Each selector, e.g. (head Lst Int); applying a selector to a value built
+    by a different constructor is underspecified but total.
+  Testers written ((_ is cons) l) — true iff l was built with cons.
+
+Pattern matching (SMT-LIB 2.6, extended in 2.7):
+  (match t ((pattern body) ...)) dispatches on the constructor of t. A
+  pattern is a nullary constructor, an application pattern (cons h tl)
+  binding the fields, a variable (catch-all, binds t), or — since
+  SMT-LIB 2.7 — the wildcard _ which matches without binding. Matches must
+  be exhaustive; all case bodies must share one sort.
+
+Nullary constructors of a datatype D may need qualification (as nil D) when
+ambiguous.
+|}
+
+let seq_doc =
+  {|Theory: Sequences (solver extension)
+Status: NOT part of the SMT-LIB standard; an extension supported by cvc5
+(and, with slightly different syntax, Z3). Documented informally.
+A sequence is a finite ordered list of elements of an arbitrary element
+sort. The sort is written (Seq X).
+
+Sorts:
+  (Seq X)
+
+Functions:
+  (as seq.empty (Seq X)) — the empty sequence; note it must always be
+    annotated with its sort.
+  (seq.unit X (Seq X)) — the singleton sequence.
+  (seq.++ (Seq X) (Seq X) (Seq X) :left-assoc) — concatenation; variadic.
+  (seq.len (Seq X) Int) — length.
+  (seq.nth (Seq X) Int X) — element at an index; out-of-range access is
+    underspecified but total (an uninterpreted value of sort X).
+  (seq.extract (Seq X) Int Int (Seq X)) — (seq.extract s i n): subsequence
+    of length at most n starting at i; empty when i is out of range.
+  (seq.update (Seq X) Int (Seq X) (Seq X)) — overwrite starting at an index.
+  (seq.at (Seq X) Int (Seq X)) — like seq.nth but returning a unit
+    sequence, or the empty sequence when out of range.
+  (seq.contains (Seq X) (Seq X) Bool) — subsequence containment.
+  (seq.indexof (Seq X) (Seq X) Int Int) — first occurrence at or after an
+    offset; -1 if absent.
+  (seq.replace (Seq X) (Seq X) (Seq X) (Seq X)) — replace first occurrence.
+  (seq.rev (Seq X) (Seq X)) — reversal (recently added).
+  (seq.prefixof (Seq X) (Seq X) Bool), (seq.suffixof (Seq X) (Seq X) Bool).
+
+Remark: model evaluation of nested sequence operations (e.g. seq.nth of
+seq.rev) exercises recently added solver code paths.
+|}
+
+let sets_doc =
+  {|Theory: Sets and Relations (solver extension)
+Status: NOT part of the SMT-LIB standard; a cvc5-specific extension,
+documented informally on the solver's website.
+Finite sets over an element sort, written (Set X). Relations are sets of
+tuples: (Relation X1 ... Xn) abbreviates (Set (Tuple X1 ... Xn)).
+
+Sorts:
+  (Set X), (Tuple X1 ... Xn), UnitTuple (the nullary tuple sort)
+
+Functions:
+  (as set.empty (Set X)) — the empty set; requires a sort annotation.
+  (as set.universe (Set X)) — the universe set (finite-universe semantics).
+  (set.singleton X (Set X)) — singleton.
+  (set.insert X ... X (Set X) (Set X)) — insert one or more elements; the
+    set argument comes LAST.
+  (set.union (Set X) (Set X) (Set X)), (set.inter ...), (set.minus ...).
+  (set.member X (Set X) Bool) — membership; element first.
+  (set.subset (Set X) (Set X) Bool).
+  (set.card (Set X) Int) — cardinality.
+  (set.complement (Set X) (Set X)) — with respect to the universe.
+  (set.choose (Set X) X) — an arbitrary element; underspecified on the
+    empty set but total.
+  (set.is_empty (Set X) Bool), (set.is_singleton (Set X) Bool).
+  (tuple X1 ... Xn (Tuple X1 ... Xn)) — tuple construction.
+  ((_ tuple.select i) (Tuple ...) Xi) — projection.
+  (as tuple.unit UnitTuple) — the nullary tuple.
+  (rel.transpose (Set (Tuple ...)) (Set (Tuple ...))) — reverse all tuples.
+  (rel.product (Set (Tuple ...)) (Set (Tuple ...)) (Set (Tuple ...))) —
+    cartesian product; tuple arities add.
+  (rel.join (Set (Tuple X... A)) (Set (Tuple A Y...)) (Set (Tuple X... Y...)))
+    — relational join on the shared middle column. Join requires non-nullary
+    relations: joining sets of UnitTuple is a type error.
+|}
+
+let bags_doc =
+  {|Theory: Bags (solver extension)
+Status: NOT part of the SMT-LIB standard; a cvc5-specific extension,
+documented informally. A bag (multiset) maps elements to non-negative
+multiplicities; only finitely many elements have positive multiplicity.
+
+Sorts:
+  (Bag X)
+
+Functions:
+  (as bag.empty (Bag X)) — the empty bag; requires a sort annotation.
+  (bag X Int (Bag X)) — (bag e n): the bag containing n occurrences of e;
+    n < 0 behaves as the empty bag.
+  (bag.union_max (Bag X) (Bag X) (Bag X)) — pointwise maximum.
+  (bag.union_disjoint (Bag X) (Bag X) (Bag X)) — pointwise sum.
+  (bag.inter_min (Bag X) (Bag X) (Bag X)) — pointwise minimum.
+  (bag.difference_subtract (Bag X) (Bag X) (Bag X)) — truncated subtraction.
+  (bag.difference_remove (Bag X) (Bag X) (Bag X)) — remove all occurrences
+    of elements present in the second bag.
+  (bag.count X (Bag X) Int) — multiplicity of an element; element FIRST.
+  (bag.member X (Bag X) Bool) — positive-multiplicity test.
+  (bag.card (Bag X) Int) — total multiplicity.
+  (bag.setof (Bag X) (Bag X)) — collapse all positive multiplicities to 1.
+  (bag.subbag (Bag X) (Bag X) Bool) — pointwise <=.
+  (bag.choose (Bag X) X) — an arbitrary element; underspecified on the
+    empty bag but total.
+|}
+
+let finite_fields_doc =
+  {|Theory: FiniteFields (solver extension)
+Status: NOT part of the SMT-LIB standard; a cvc5-specific extension added
+in 2022, documented informally. The theory of prime-order finite fields
+GF(p). The sort is written (_ FiniteField p) for a prime p.
+
+Sorts:
+  (_ FiniteField p)
+
+Constants:
+  Field constants are written with an 'as' annotation giving the field:
+  (as ffN (_ FiniteField p)) denotes the residue N mod p; for example
+  (as ff3 (_ FiniteField 5)). The shorthand ff0, ff1, ... must ALWAYS carry
+  the annotation; a bare ff3 is not a valid term.
+
+Functions (all arguments must belong to the SAME field):
+  (ff.add (_ FiniteField p) (_ FiniteField p) (_ FiniteField p) :left-assoc)
+    — field addition; variadic.
+  (ff.mul ... :left-assoc) — field multiplication; variadic.
+  (ff.neg (_ FiniteField p) (_ FiniteField p)) — additive inverse.
+  (ff.bitsum ... :left-assoc) — weighted bit-sum: ff.bitsum(x0, x1, ..., xk)
+    equals x0 + 2*x1 + 4*x2 + ... + 2^k*xk in the field; used to encode
+    integers in bit decomposition form. Constant children contribute their
+    value scaled by the positional coefficient.
+
+Remark: there is no field division operator; equality and disequality come
+from Core. Only prime orders are legal; solvers reject composite orders.
+|}
+
+let table =
+  [
+    ("core", core_doc);
+    ("ints", ints_doc);
+    ("reals", reals_doc);
+    ("reals_ints", reals_ints_doc);
+    ("bitvectors", bitvectors_doc);
+    ("strings", strings_doc);
+    ("arrays", arrays_doc);
+    ("datatypes", datatypes_doc);
+    ("seq", seq_doc);
+    ("sets", sets_doc);
+    ("bags", bags_doc);
+    ("finite_fields", finite_fields_doc);
+  ]
+
+let doc key =
+  match List.assoc_opt key table with
+  | Some d -> d
+  | None -> invalid_arg (Printf.sprintf "Docs.doc: unknown theory '%s'" key)
+
+let known_keys = List.map fst table

@@ -1,0 +1,9 @@
+(** Documentation prose per theory — the input of the grammar-summarization
+    prompt (Figure 3a in the paper). Mirrors the structure of the SMT-LIB
+    standard theory pages and the informal solver-extension pages (cvc5's
+    Sets/Bags/FiniteFields docs, Z3's sequence docs). Keyed by theory key
+    (see {!Theory.info.key}); raises [Invalid_argument] on unknown keys. *)
+
+val doc : string -> string
+
+val known_keys : string list

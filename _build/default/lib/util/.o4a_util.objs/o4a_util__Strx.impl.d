@@ -1,0 +1,1 @@
+lib/util/strx.ml: Buffer List String

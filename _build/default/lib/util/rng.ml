@@ -1,0 +1,76 @@
+type t = { mutable state : int64 }
+
+let golden_gamma = 0x9E3779B97F4A7C15L
+
+let create seed = { state = Int64.of_int seed }
+
+let copy t = { state = t.state }
+
+(* splitmix64 step: https://prng.di.unimi.it/splitmix64.c *)
+let bits64 t =
+  t.state <- Int64.add t.state golden_gamma;
+  let z = t.state in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let split t =
+  let s = bits64 t in
+  { state = s }
+
+let int t n =
+  if n <= 0 then invalid_arg "Rng.int: bound must be positive";
+  (* keep 62 bits so the value stays non-negative as a native 63-bit int *)
+  let r = Int64.to_int (Int64.shift_right_logical (bits64 t) 2) in
+  r mod n
+
+let int_in t lo hi =
+  if hi < lo then invalid_arg "Rng.int_in: empty range";
+  lo + int t (hi - lo + 1)
+
+let bool t = Int64.logand (bits64 t) 1L = 1L
+
+let float t =
+  let r = Int64.to_float (Int64.shift_right_logical (bits64 t) 11) in
+  r /. 9007199254740992.0 (* 2^53 *)
+
+let chance t p = float t < p
+
+let choose t = function
+  | [] -> invalid_arg "Rng.choose: empty list"
+  | xs -> List.nth xs (int t (List.length xs))
+
+let choose_arr t a =
+  if Array.length a = 0 then invalid_arg "Rng.choose_arr: empty array";
+  a.(int t (Array.length a))
+
+let weighted t choices =
+  let total = List.fold_left (fun acc (w, _) -> acc + max 0 w) 0 choices in
+  if total <= 0 then invalid_arg "Rng.weighted: no positive weight";
+  let k = int t total in
+  let rec pick k = function
+    | [] -> invalid_arg "Rng.weighted: internal"
+    | (w, x) :: rest -> if k < max 0 w then x else pick (k - max 0 w) rest
+  in
+  pick k choices
+
+let shuffle t xs =
+  let a = Array.of_list xs in
+  let n = Array.length a in
+  for i = n - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done;
+  Array.to_list a
+
+let sample t k xs =
+  let shuffled = shuffle t xs in
+  let rec take n = function
+    | [] -> []
+    | x :: rest -> if n <= 0 then [] else x :: take (n - 1) rest
+  in
+  take k shuffled
+
+let subset t p xs = List.filter (fun _ -> chance t p) xs

@@ -1,0 +1,53 @@
+(** Deterministic splittable pseudo-random number generator (splitmix64).
+
+    All randomness in the code base flows through this module so that fuzzing
+    campaigns and experiments are exactly reproducible from a single integer
+    seed. The generator is mutable but cheap to [split] into independent
+    streams, which keeps parallel-looking pipelines deterministic. *)
+
+type t
+
+val create : int -> t
+(** [create seed] makes a fresh generator from an integer seed. *)
+
+val copy : t -> t
+(** [copy t] duplicates the current state; the copy evolves independently. *)
+
+val split : t -> t
+(** [split t] advances [t] and returns a new generator whose stream is
+    statistically independent from the remainder of [t]'s stream. *)
+
+val bits64 : t -> int64
+(** Next raw 64 bits. *)
+
+val int : t -> int -> int
+(** [int t n] is uniform in [\[0, n)]. Raises [Invalid_argument] if [n <= 0]. *)
+
+val int_in : t -> int -> int -> int
+(** [int_in t lo hi] is uniform in [\[lo, hi\]] (inclusive). *)
+
+val bool : t -> bool
+
+val float : t -> float
+(** Uniform in [\[0, 1)]. *)
+
+val chance : t -> float -> bool
+(** [chance t p] is [true] with probability [p]. *)
+
+val choose : t -> 'a list -> 'a
+(** Uniform choice. Raises [Invalid_argument] on the empty list. *)
+
+val choose_arr : t -> 'a array -> 'a
+
+val weighted : t -> (int * 'a) list -> 'a
+(** [weighted t choices] picks proportionally to the integer weights.
+    Raises [Invalid_argument] if the list is empty or total weight is 0. *)
+
+val sample : t -> int -> 'a list -> 'a list
+(** [sample t k xs] takes [min k (length xs)] distinct elements, in a
+    random order. *)
+
+val shuffle : t -> 'a list -> 'a list
+
+val subset : t -> float -> 'a list -> 'a list
+(** [subset t p xs] keeps each element independently with probability [p]. *)

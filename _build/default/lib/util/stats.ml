@@ -1,0 +1,42 @@
+let mean = function
+  | [] -> 0.
+  | xs -> List.fold_left ( +. ) 0. xs /. float_of_int (List.length xs)
+
+let sorted xs = List.sort compare xs
+
+let percentile p = function
+  | [] -> 0.
+  | xs ->
+    let s = Array.of_list (sorted xs) in
+    let n = Array.length s in
+    let rank = int_of_float (ceil (p /. 100. *. float_of_int n)) in
+    let idx = max 0 (min (n - 1) (rank - 1)) in
+    s.(idx)
+
+let median xs = percentile 50. xs
+
+let stddev = function
+  | [] | [ _ ] -> 0.
+  | xs ->
+    let m = mean xs in
+    let var = mean (List.map (fun x -> (x -. m) ** 2.) xs) in
+    sqrt var
+
+let minimum = function [] -> 0. | x :: rest -> List.fold_left min x rest
+let maximum = function [] -> 0. | x :: rest -> List.fold_left max x rest
+
+let histogram ~buckets xs =
+  if xs = [] || buckets <= 0 then []
+  else (
+    let lo = minimum xs and hi = maximum xs in
+    let width = if hi = lo then 1. else (hi -. lo) /. float_of_int buckets in
+    List.init buckets (fun i ->
+        let blo = lo +. (float_of_int i *. width) in
+        let bhi = blo +. width in
+        let count =
+          List.length
+            (List.filter
+               (fun x -> x >= blo && (x < bhi || (i = buckets - 1 && x <= bhi)))
+               xs)
+        in
+        (blo, bhi, count)))

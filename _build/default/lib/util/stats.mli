@@ -1,0 +1,17 @@
+(** Small descriptive-statistics helpers used by the experiment harnesses. *)
+
+val mean : float list -> float
+(** 0. on the empty list. *)
+
+val median : float list -> float
+
+val percentile : float -> float list -> float
+(** [percentile p xs] with [p] in [\[0,100\]], nearest-rank method. *)
+
+val stddev : float list -> float
+
+val minimum : float list -> float
+val maximum : float list -> float
+
+val histogram : buckets:int -> float list -> (float * float * int) list
+(** [(lo, hi, count)] per bucket over the data range. *)

@@ -1,0 +1,1 @@
+test/test_baselines.ml: Alcotest Baselines Lazy List Llm_sim O4a_util Once4all Option Parser Printer Printf Result Script Seeds Smtlib Solver Sort String Term Theories

@@ -1,0 +1,1 @@
+test/test_bug_witnesses.ml: Alcotest List Option Parser Smtlib Solver Theories

@@ -1,0 +1,1 @@
+test/test_coverage.ml: Alcotest Array List O4a_coverage O4a_util Printf Solver

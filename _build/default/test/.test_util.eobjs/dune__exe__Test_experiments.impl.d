@@ -1,0 +1,1 @@
+test/test_experiments.ml: Alcotest Baselines Experiments Lazy List O4a_coverage O4a_util Once4all Option Printf Seeds Solver String

@@ -1,0 +1,1 @@
+test/test_gensynth.ml: Alcotest Gensynth Grammar_kit Hashtbl List Llm_sim O4a_util Option Printf Result Smtlib Solver String Theories

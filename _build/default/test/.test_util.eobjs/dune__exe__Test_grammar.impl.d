@@ -1,0 +1,1 @@
+test/test_grammar.ml: Alcotest Grammar_kit List O4a_util QCheck QCheck_alcotest Result String Theories

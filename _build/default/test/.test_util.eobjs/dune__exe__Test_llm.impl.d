@@ -1,0 +1,1 @@
+test/test_llm.ml: Alcotest List Llm_sim O4a_util Result Smtlib String Theories

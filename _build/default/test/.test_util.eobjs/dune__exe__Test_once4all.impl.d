@@ -1,0 +1,1 @@
+test/test_once4all.ml: Alcotest Gensynth Lazy List O4a_coverage O4a_util Once4all Parser Printf Result Script Seeds Smtlib Solver Sort String Term Theories

@@ -1,0 +1,1 @@
+test/test_once4all.mli:

@@ -1,0 +1,1 @@
+test/test_reduce.ml: Alcotest List Once4all Parser Printer Reduce_kit Result Script Smtlib Solver Term Theories

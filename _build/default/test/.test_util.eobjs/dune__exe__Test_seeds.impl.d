@@ -1,0 +1,1 @@
+test/test_seeds.ml: Alcotest List O4a_coverage O4a_util Once4all Printer Printf Script Seeds Smtlib Solver Term Theories

@@ -1,0 +1,1 @@
+test/test_smtlib.ml: Alcotest Command Fun Lexer List O4a_util Parser Printer QCheck QCheck_alcotest Result Script Smtlib Sort Term

@@ -1,0 +1,1 @@
+test/test_solver.ml: Alcotest Command List O4a_coverage O4a_util Parser Printer Printf QCheck QCheck_alcotest Result Script Seeds Smtlib Solver Sort String

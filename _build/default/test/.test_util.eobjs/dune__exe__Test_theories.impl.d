@@ -1,0 +1,1 @@
+test/test_theories.ml: Alcotest Grammar_kit List O4a_util Parser Printf Result Signature Smtlib Sort String Term Theories Theory Typecheck

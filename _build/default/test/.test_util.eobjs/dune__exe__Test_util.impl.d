@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest List O4a_util QCheck QCheck_alcotest String

@@ -1,0 +1,93 @@
+module Client = Llm_sim.Client
+module Prompt = Llm_sim.Prompt
+module Profile = Llm_sim.Profile
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let test_profiles () =
+  check_int "three profiles" 3 (List.length Profile.all);
+  check_bool "lookup gpt-4" true (Profile.find "gpt-4" = Some Profile.gpt4);
+  check_bool "lookup missing" true (Profile.find "gpt-9" = None);
+  (* salts decorrelate profiles *)
+  let salts = List.map (fun p -> p.Profile.seed_salt) Profile.all in
+  check_int "distinct salts" 3 (List.length (O4a_util.Listx.dedup salts))
+
+let test_prompt_rendering () =
+  let p1 = Prompt.Summarize_grammar { theory = "Ints"; doc = "DOC TEXT" } in
+  let r1 = Prompt.render p1 in
+  check_bool "mentions CFG" true (O4a_util.Strx.contains_sub ~sub:"context-free grammar" r1);
+  check_bool "embeds doc" true (O4a_util.Strx.contains_sub ~sub:"DOC TEXT" r1);
+  let p2 = Prompt.Implement_generator { theory = "ints"; cfg_text = "bool ::= x" } in
+  check_bool "names function" true
+    (O4a_util.Strx.contains_sub ~sub:"generate_ints_formula_with_decls" (Prompt.render p2));
+  let p3 = Prompt.Self_correct { theory = "ints"; errors = [ "E1"; "E2" ]; impl = "CODE" } in
+  let r3 = Prompt.render p3 in
+  check_bool "embeds errors" true (O4a_util.Strx.contains_sub ~sub:"E1" r3);
+  check_bool "embeds impl" true (O4a_util.Strx.contains_sub ~sub:"CODE" r3);
+  Alcotest.(check string) "kinds" "summarize,implement,correct,free"
+    (String.concat ","
+       (List.map Prompt.kind
+          [ p1; p2; p3; Prompt.Free_form { instruction = "x" } ]))
+
+let test_client_accounting () =
+  let client = Client.create ~seed:1 Profile.gpt4 in
+  check_int "no calls yet" 0 (Client.call_count client);
+  let r = Client.query client (Prompt.Free_form { instruction = "hello world" }) in
+  check_int "one call" 1 (Client.call_count client);
+  check_bool "tokens counted" true (Client.token_count client > 0);
+  check_bool "completion tokens from profile" true
+    (r.Client.completion_tokens = Profile.gpt4.Profile.tokens_per_call);
+  ignore (Client.query client (Prompt.Free_form { instruction = "again" }));
+  check_int "two calls" 2 (Client.call_count client);
+  check_int "transcript length" 2 (List.length (Client.transcript client))
+
+let test_client_determinism () =
+  let a = Client.create ~seed:9 Profile.gpt4 in
+  let b = Client.create ~seed:9 Profile.gpt4 in
+  check_bool "decide deterministic" true
+    (Client.decide a ~key:"k" 0.5 = Client.decide b ~key:"k" 0.5);
+  let ra = Client.rng_for a "stream" and rb = Client.rng_for b "stream" in
+  check_bool "rng deterministic" true (O4a_util.Rng.bits64 ra = O4a_util.Rng.bits64 rb);
+  (* different keys give different streams *)
+  let r1 = Client.rng_for a "k1" and r2 = Client.rng_for a "k2" in
+  check_bool "key-sensitive" true (O4a_util.Rng.bits64 r1 <> O4a_util.Rng.bits64 r2)
+
+let test_client_profile_sensitivity () =
+  let a = Client.create ~seed:9 Profile.gpt4 in
+  let b = Client.create ~seed:9 Profile.claude45 in
+  let ra = Client.rng_for a "x" and rb = Client.rng_for b "x" in
+  check_bool "profiles decorrelated" true (O4a_util.Rng.bits64 ra <> O4a_util.Rng.bits64 rb)
+
+let test_misspellings () =
+  let client = Client.create ~seed:3 Profile.gpt4 in
+  Alcotest.(check string) "curated misspelling" "seq.reverse"
+    (Client.misspell_op client ~key:"t" "seq.rev");
+  let wrong = Client.misspell_op client ~key:"t" "set.card" in
+  check_bool "misspelling differs" true (wrong <> "set.card");
+  (* prefix-based lookup knows the namespace, but the rank table rejects it *)
+  check_bool "misspelling rejected by rank table" true
+    (Result.is_error (Theories.Signature.app "seq.reverse" [ Smtlib.Sort.Seq Smtlib.Sort.Int ]))
+
+let test_decide_extremes () =
+  let client = Client.create ~seed:3 Profile.gpt4 in
+  check_bool "p=0" false (Client.decide client ~key:"a" 0.);
+  check_bool "p=1" true (Client.decide client ~key:"b" 1.)
+
+let () =
+  Alcotest.run "llm"
+    [
+      ( "profiles & prompts",
+        [
+          Alcotest.test_case "profiles" `Quick test_profiles;
+          Alcotest.test_case "prompt templates" `Quick test_prompt_rendering;
+        ] );
+      ( "client",
+        [
+          Alcotest.test_case "usage accounting" `Quick test_client_accounting;
+          Alcotest.test_case "determinism" `Quick test_client_determinism;
+          Alcotest.test_case "profile sensitivity" `Quick test_client_profile_sensitivity;
+          Alcotest.test_case "misspellings" `Quick test_misspellings;
+          Alcotest.test_case "decide extremes" `Quick test_decide_extremes;
+        ] );
+    ]

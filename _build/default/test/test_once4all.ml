@@ -1,0 +1,532 @@
+open Smtlib
+module Skeleton = Once4all.Skeleton
+module Adapt = Once4all.Adapt
+module Synthesize = Once4all.Synthesize
+module Oracle = Once4all.Oracle
+module Dedup = Once4all.Dedup
+module Fuzz = Once4all.Fuzz
+module Campaign = Once4all.Campaign
+module Bug_db = Solver.Bug_db
+module Coverage = O4a_coverage.Coverage
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let parse_term_exn src = Result.get_ok (Parser.parse_term src)
+let parse_script_exn src = Result.get_ok (Parser.parse_script src)
+
+(* shared engines and generator library, built once *)
+let campaign = lazy (Campaign.prepare ~seed:3 ())
+let generators () = (Lazy.force campaign).Campaign.generators
+let zeal () = (Lazy.force campaign).Campaign.zeal
+let cove () = (Lazy.force campaign).Campaign.cove
+
+(* ------------------------- Skeleton ------------------------- *)
+
+let test_atom_paths_flat () =
+  let t = parse_term_exn "(or (= x 0) (< y 1))" in
+  check_int "two atoms" 2 (List.length (Skeleton.boolean_atom_paths t))
+
+let test_atom_paths_nested () =
+  let t = parse_term_exn "(and (or p (not (= a b))) (exists ((k Int)) (> k a)))" in
+  let paths = Skeleton.boolean_atom_paths t in
+  (* p, (= a b) under not, (> k a) under the quantifier *)
+  check_int "three atoms" 3 (List.length paths);
+  List.iter
+    (fun path ->
+      match Term.subterm_at t path with
+      | Some sub -> check_bool "path is atomic" true (Term.is_atomic sub)
+      | None -> Alcotest.fail "dangling path")
+    paths
+
+let test_atom_paths_whole_assertion () =
+  let t = parse_term_exn "(= (+ x 1) 2)" in
+  check_bool "root is the only atom" true (Skeleton.boolean_atom_paths t = [ [] ])
+
+let test_atom_paths_ite_condition_only () =
+  (* in an integer ite, only the condition is a boolean position *)
+  let t = parse_term_exn "(= (ite (< x 0) 1 2) y)" in
+  let paths = Skeleton.boolean_atom_paths t in
+  check_int "just the root atom" 1 (List.length paths)
+
+let test_skeletonize_term_always_leaves_hole () =
+  let rng = O4a_util.Rng.create 5 in
+  let t = parse_term_exn "(or (= x 0) (< y 1) (> z 2))" in
+  for _ = 1 to 50 do
+    let next = ref 0 in
+    let sk = Skeleton.skeletonize_term ~rng ~next_hole:next t in
+    check_bool "at least one hole" true (!next >= 1);
+    check_int "holes numbered consecutively" !next (List.length (Term.placeholders sk))
+  done
+
+let test_skeletonize_preserves_structure () =
+  let rng = O4a_util.Rng.create 7 in
+  let script =
+    parse_script_exn
+      "(declare-fun x () Int)(assert (exists ((f Int)) (and (< f x) (= x 0))))(check-sat)"
+  in
+  let sk, holes = Skeleton.skeletonize ~rng script in
+  check_bool "has holes" true (holes > 0);
+  (* quantifier survives skeletonization (Observation 2) *)
+  let has_exists =
+    List.exists
+      (fun a -> Term.exists_node (function Term.Exists _ -> true | _ -> false) a)
+      (Script.assertions sk)
+  in
+  check_bool "exists preserved" true has_exists;
+  (* declarations intact *)
+  check_bool "decls intact" true
+    (Script.declared_consts sk = Script.declared_consts script)
+
+let test_skeletonize_no_atoms () =
+  let rng = O4a_util.Rng.create 7 in
+  let script = parse_script_exn "(check-sat)" in
+  let _, holes = Skeleton.skeletonize ~rng script in
+  check_int "no holes" 0 holes
+
+(* ---------------- Mixed-sorts extension ---------------- *)
+
+let all_supported _ = true
+
+let test_typed_candidates_include_nonbool () =
+  let script =
+    parse_script_exn "(declare-fun x () Int)(assert (= (+ x 1) 2))(check-sat)"
+  in
+  let env = Theories.Typecheck.env_of_script script in
+  let t = List.hd (Script.assertions script) in
+  let candidates = Skeleton.typed_candidate_paths ~env ~supported:all_supported t in
+  let sorts = List.map snd candidates in
+  check_bool "root bool candidate" true (List.mem Sort.Bool sorts)
+  (* nested ints are shadowed by the outermost rule, so only the root shows;
+     restrict to Int-only support to reach the arithmetic positions *)
+
+let test_typed_candidates_int_only () =
+  let script =
+    parse_script_exn "(declare-fun x () Int)(assert (= (+ x 1) 2))(check-sat)"
+  in
+  let env = Theories.Typecheck.env_of_script script in
+  let t = List.hd (Script.assertions script) in
+  let candidates =
+    Skeleton.typed_candidate_paths ~env ~supported:(Sort.equal Sort.Int) t
+  in
+  check_bool "int positions found" true
+    (List.for_all (fun (_, s) -> Sort.equal s Sort.Int) candidates
+    && List.length candidates >= 2)
+
+let test_typed_candidates_track_binders () =
+  let script =
+    parse_script_exn
+      "(declare-fun y () Int)(assert (forall ((k Int)) (= (+ k y) 0)))(check-sat)"
+  in
+  let env = Theories.Typecheck.env_of_script script in
+  let t = List.hd (Script.assertions script) in
+  let candidates =
+    Skeleton.typed_candidate_paths ~env ~supported:(Sort.equal Sort.Int) t
+  in
+  (* (+ k y), k, y, 0 — inferable only because the binder env is tracked *)
+  check_bool "positions under quantifier" true (List.length candidates >= 1)
+
+let test_typed_candidates_no_overlap () =
+  let script =
+    parse_script_exn
+      "(declare-fun x () Int)(assert (or (= (+ x 1) 2) (< (* x x) 9)))(check-sat)"
+  in
+  let env = Theories.Typecheck.env_of_script script in
+  let t = List.hd (Script.assertions script) in
+  let candidates = Skeleton.typed_candidate_paths ~env ~supported:all_supported t in
+  let is_prefix p q =
+    List.length p < List.length q && O4a_util.Listx.take (List.length p) q = p
+  in
+  List.iter
+    (fun (p, _) ->
+      check_bool "outermost only" true
+        (not (List.exists (fun (p', _) -> is_prefix p' p) candidates)))
+    candidates
+
+let test_skeletonize_typed_and_fill () =
+  let rng = O4a_util.Rng.create 51 in
+  let seed =
+    parse_script_exn
+      "(declare-fun x () Int)(declare-fun r () Real)(assert (or (= (+ x 1) 2) (< r 1.5)))(check-sat)"
+  in
+  let generators = generators () in
+  let supported sort =
+    List.exists (fun g -> Gensynth.Generator.supports_sort g sort) generators
+  in
+  let parsed_ok = ref 0 in
+  for _ = 1 to 25 do
+    let skeleton, hole_sorts = Skeleton.skeletonize_typed ~rng ~supported seed in
+    if hole_sorts <> [] then (
+      let filled =
+        Synthesize.fill_typed ~rng ~generators ~skeleton ~hole_sorts ()
+      in
+      check_bool "no marker" true
+        (not (O4a_util.Strx.contains_sub ~sub:"<placeholder>" filled.Synthesize.source));
+      match filled.Synthesize.parsed with
+      | Some script when Result.is_ok (Theories.Typecheck.check_script script) ->
+        incr parsed_ok
+      | _ -> ())
+  done;
+  check_bool "typed fills mostly well-sorted" true (!parsed_ok >= 12)
+
+let test_mixed_sorts_fuzz_runs () =
+  let c = Lazy.force campaign in
+  let rng = O4a_util.Rng.create 53 in
+  let config = { Fuzz.default_config with Fuzz.mixed_sorts = true } in
+  let stats =
+    Fuzz.run ~rng ~config ~generators:c.Campaign.generators
+      ~seeds:(O4a_util.Listx.take 15 (Seeds.Corpus.all ()))
+      ~zeal:(zeal ()) ~cove:(cove ()) ~budget:120 ()
+  in
+  check_int "budget" 120 stats.Fuzz.tests;
+  check_bool "mostly parseable" true (stats.Fuzz.parse_ok * 10 >= stats.Fuzz.tests * 7)
+
+let test_coverage_guided_schedule_runs () =
+  let c = Lazy.force campaign in
+  let rng = O4a_util.Rng.create 57 in
+  let config = { Fuzz.default_config with Fuzz.schedule = Fuzz.Coverage_guided } in
+  let stats =
+    Fuzz.run ~rng ~config ~generators:c.Campaign.generators
+      ~seeds:(O4a_util.Listx.take 15 (Seeds.Corpus.all ()))
+      ~zeal:(zeal ()) ~cove:(cove ()) ~budget:120 ()
+  in
+  check_int "budget" 120 stats.Fuzz.tests
+
+(* ---------------- Report ---------------- *)
+
+let test_report_rendering () =
+  let c = Lazy.force campaign in
+  let seeds = O4a_util.Listx.take 25 (Seeds.Corpus.all ()) in
+  let r = Once4all.Campaign.fuzz ~seed:61 c ~seeds ~budget:300 in
+  match r.Campaign.clusters with
+  | [] -> Alcotest.fail "campaign found nothing to report"
+  | cluster :: _ ->
+    let report =
+      Once4all.Report.of_cluster ~max_probes:60 ~zeal:(zeal ()) ~cove:(cove ()) cluster
+    in
+    let text = Once4all.Report.render report in
+    check_bool "has reproducer" true
+      (O4a_util.Strx.contains_sub ~sub:"### Reproducer" text);
+    check_bool "has smt2 block" true (O4a_util.Strx.contains_sub ~sub:"```smt2" text);
+    check_bool "has observed behavior" true
+      (O4a_util.Strx.contains_sub ~sub:"### Observed behavior" text);
+    check_bool "has signature" true
+      (O4a_util.Strx.contains_sub ~sub:cluster.Dedup.key text)
+
+(* ------------------------- Adapt ------------------------- *)
+
+let test_adapt_swaps_compatible () =
+  let rng = O4a_util.Rng.create 11 in
+  let term = parse_term_exn "(= int0 (+ int0 int1))" in
+  let adapted, remaining =
+    Adapt.adapt ~rng ~swap_prob:1.0
+      ~seed_vars:[ ("T", Sort.Int) ]
+      ~term_vars:[ ("int0", Sort.Int); ("int1", Sort.Int) ]
+      term
+  in
+  check_bool "all swapped" true (Term.free_vars adapted = [ "T" ]);
+  check_bool "nothing remains" true (remaining = [])
+
+let test_adapt_respects_sorts () =
+  let rng = O4a_util.Rng.create 11 in
+  let term = parse_term_exn "(= str0 \"a\")" in
+  let adapted, remaining =
+    Adapt.adapt ~rng ~swap_prob:1.0
+      ~seed_vars:[ ("T", Sort.Int) ] (* wrong sort: no swap possible *)
+      ~term_vars:[ ("str0", Sort.String_sort) ]
+      term
+  in
+  check_bool "kept original" true (Term.free_vars adapted = [ "str0" ]);
+  check_bool "decl still needed" true (remaining = [ "str0" ])
+
+let test_adapt_zero_prob () =
+  let rng = O4a_util.Rng.create 11 in
+  let term = parse_term_exn "(= int0 1)" in
+  let adapted, remaining =
+    Adapt.adapt ~rng ~swap_prob:0.0
+      ~seed_vars:[ ("T", Sort.Int) ]
+      ~term_vars:[ ("int0", Sort.Int) ]
+      term
+  in
+  check_bool "no swap at p=0" true (Term.free_vars adapted = [ "int0" ]);
+  check_int "one remaining" 1 (List.length remaining)
+
+(* ------------------------- Synthesize ------------------------- *)
+
+let test_fill_produces_runnable_source () =
+  let rng = O4a_util.Rng.create 13 in
+  let seed =
+    parse_script_exn "(declare-fun T () Int)(assert (or (= T 0) (< T 1)))(check-sat)"
+  in
+  let ok = ref 0 in
+  for _ = 1 to 30 do
+    let skeleton, holes = Skeleton.skeletonize ~rng seed in
+    if holes > 0 then (
+      let filled = Synthesize.fill ~rng ~generators:(generators ()) ~skeleton ~holes () in
+      check_bool "no marker left" true
+        (not (O4a_util.Strx.contains_sub ~sub:"<placeholder>" filled.Synthesize.source));
+      if filled.Synthesize.parsed <> None then incr ok)
+  done;
+  check_bool "most syntheses parse" true (!ok > 15)
+
+let test_fill_merges_declarations () =
+  let rng = O4a_util.Rng.create 17 in
+  let seed =
+    parse_script_exn "(declare-fun T () Int)(assert (or (= T 0) (< T 1)))(check-sat)"
+  in
+  let rec try_until n =
+    if n = 0 then Alcotest.fail "never produced a parsed synthesis"
+    else (
+      let skeleton, holes = Skeleton.skeletonize ~rng seed in
+      if holes = 0 then try_until (n - 1)
+      else (
+        let filled = Synthesize.fill ~rng ~generators:(generators ()) ~skeleton ~holes () in
+        match filled.Synthesize.parsed with
+        | Some script ->
+          (* every free variable of every assertion is declared *)
+          let declared = List.map fst (Script.declared_consts script) in
+          let tc = Theories.Typecheck.check_script script in
+          ignore declared;
+          check_bool "spliced script sort-checks" true (Result.is_ok tc)
+        | None -> try_until (n - 1)))
+  in
+  try_until 40
+
+let test_direct_mode () =
+  let rng = O4a_util.Rng.create 19 in
+  let filled = Synthesize.direct ~rng ~generators:(generators ()) ~terms:3 in
+  check_bool "nonempty" true (String.length filled.Synthesize.source > 0);
+  check_bool "check-sat present" true
+    (O4a_util.Strx.contains_sub ~sub:"(check-sat)" filled.Synthesize.source)
+
+(* ------------------------- Oracle ------------------------- *)
+
+let test_oracle_no_bug_on_clean_formula () =
+  let outcome =
+    Oracle.test ~zeal:(zeal ()) ~cove:(cove ())
+      ~source:"(declare-fun x () Int)(assert (= x 1))(check-sat)" ()
+  in
+  check_bool "no finding" true (outcome.Oracle.finding = None);
+  check_bool "solved" true outcome.Oracle.solved
+
+let test_oracle_parse_error () =
+  let outcome = Oracle.test ~zeal:(zeal ()) ~cove:(cove ()) ~source:"(assert" () in
+  check_bool "no finding" true (outcome.Oracle.finding = None);
+  check_bool "not solved" true (not outcome.Oracle.solved)
+
+let test_oracle_crash_detection () =
+  (* zeal-018 (rarity 5): vary declarations until the op-set gate opens *)
+  let base extra =
+    Printf.sprintf
+      "(declare-fun s () String)%s(assert (= (str.from_code (str.to_code s)) s))(check-sat)"
+      extra
+  in
+  let variants =
+    [ base ""; base "(declare-fun z () Int)(assert (= z 0))";
+      base "(declare-fun z () Int)(assert (< z 1))";
+      base "(declare-fun b () Bool)(assert (or b (not b)))";
+      base "(declare-fun z () Int)(assert (distinct z 1))";
+      base "(declare-fun r () Real)(assert (= r 0.5))";
+      base "(declare-fun z () Int)(assert (<= z 2))" ]
+  in
+  let found =
+    List.exists
+      (fun source ->
+        match (Oracle.test ~zeal:(zeal ()) ~cove:(cove ()) ~source ()).Oracle.finding with
+        | Some f ->
+          f.Oracle.kind = Bug_db.Crash && f.Oracle.bug_id = Some "zeal-018"
+        | None -> false)
+      variants
+  in
+  check_bool "crash found and attributed" true found
+
+let test_oracle_extension_cross_version () =
+  (* a sets formula is not supported by Zeal: the oracle compares Cove trunk
+     against the previous Cove release instead of crashing on Zeal *)
+  let outcome =
+    Oracle.test ~zeal:(zeal ()) ~cove:(cove ())
+      ~source:"(declare-fun a () (Set Int))(assert (set.member 1 a))(check-sat)" ()
+  in
+  check_bool "two cove runs" true
+    (List.for_all
+       (fun (name, _) -> O4a_util.Strx.starts_with ~prefix:"cove" name)
+       outcome.Oracle.results)
+
+let test_oracle_attribute () =
+  let script =
+    parse_script_exn
+      "(declare-fun s () String)(assert (= (str.from_code (str.to_code s)) s))(check-sat)"
+  in
+  match Oracle.attribute (zeal ()) script ~kind:Bug_db.Crash with
+  | Some _ | None -> () (* gated by rarity; just ensure no exception *)
+
+(* ------------------------- Dedup ------------------------- *)
+
+let mk_found kind solver_name signature theory source =
+  {
+    Dedup.finding =
+      {
+        Oracle.kind;
+        solver = Coverage.Zeal;
+        solver_name;
+        signature;
+        bug_id = None;
+        theory;
+      };
+    source;
+  }
+
+let test_dedup_crash_clustering () =
+  let founds =
+    [
+      mk_found Bug_db.Crash "zeal-trunk" "site_A" "ints" "(assert true)(check-sat)";
+      mk_found Bug_db.Crash "zeal-trunk" "site_A" "ints" "(assert false)";
+      mk_found Bug_db.Crash "zeal-trunk" "site_B" "ints" "(assert true)";
+    ]
+  in
+  let clusters = Dedup.cluster founds in
+  check_int "two clusters" 2 (List.length clusters);
+  let a = List.find (fun c -> c.Dedup.key = "crash:site_A") clusters in
+  check_int "site_A count" 2 a.Dedup.count;
+  (* representative is the smallest trigger *)
+  check_bool "smallest representative" true
+    (a.Dedup.representative.Dedup.source = "(assert false)")
+
+let test_dedup_theory_grouping () =
+  let founds =
+    [
+      mk_found Bug_db.Soundness "zeal-trunk" "soundness:zeal-trunk:ints" "ints" "a";
+      mk_found Bug_db.Soundness "zeal-trunk" "soundness:zeal-trunk:ints" "ints" "b";
+      mk_found Bug_db.Soundness "zeal-trunk" "soundness:zeal-trunk:strings" "strings" "c";
+      mk_found Bug_db.Invalid_model "zeal-trunk" "invalid-model:zeal-trunk:ints" "ints" "d";
+    ]
+  in
+  let clusters = Dedup.cluster founds in
+  check_int "three groups" 3 (List.length clusters)
+
+let test_dedup_majority_bug_id () =
+  let with_id id f = { f with Dedup.finding = { f.Dedup.finding with Oracle.bug_id = id } } in
+  let founds =
+    [
+      with_id (Some "x-1") (mk_found Bug_db.Crash "z" "s" "ints" "a");
+      with_id (Some "x-2") (mk_found Bug_db.Crash "z" "s" "ints" "b");
+      with_id (Some "x-2") (mk_found Bug_db.Crash "z" "s" "ints" "c");
+    ]
+  in
+  match Dedup.cluster founds with
+  | [ c ] -> check_bool "majority wins" true (c.Dedup.bug_id = Some "x-2")
+  | _ -> Alcotest.fail "expected one cluster"
+
+(* ------------------------- Fuzz loop / campaign ------------------------- *)
+
+let test_fuzz_respects_budget () =
+  let rng = O4a_util.Rng.create 23 in
+  let seeds = O4a_util.Listx.take 10 (Seeds.Corpus.all ()) in
+  let stats =
+    Fuzz.run ~rng ~generators:(generators ()) ~seeds ~zeal:(zeal ()) ~cove:(cove ())
+      ~budget:57 ()
+  in
+  check_int "exact budget" 57 stats.Fuzz.tests
+
+let test_fuzz_rejects_empty_inputs () =
+  let rng = O4a_util.Rng.create 23 in
+  Alcotest.check_raises "no generators" (Invalid_argument "Fuzz.run: no generators")
+    (fun () ->
+      ignore
+        (Fuzz.run ~rng ~generators:[] ~seeds:(Seeds.Corpus.all ()) ~zeal:(zeal ())
+           ~cove:(cove ()) ~budget:1 ()))
+
+let test_campaign_end_to_end () =
+  let c = Lazy.force campaign in
+  let seeds = O4a_util.Listx.take 30 (Seeds.Corpus.all ()) in
+  let report = Campaign.fuzz ~seed:31 c ~seeds ~budget:400 in
+  check_int "budget honored" 400 report.Campaign.stats.Fuzz.tests;
+  check_bool "finds bugs at this budget" true (report.Campaign.clusters <> []);
+  check_bool "ground truth attribution" true (report.Campaign.found_bug_ids <> []);
+  (* every cluster key is unique *)
+  let keys = List.map (fun c -> c.Dedup.key) report.Campaign.clusters in
+  check_int "unique keys" (List.length keys) (List.length (O4a_util.Listx.dedup keys))
+
+let test_campaign_deterministic () =
+  let c = Lazy.force campaign in
+  let seeds = O4a_util.Listx.take 20 (Seeds.Corpus.all ()) in
+  let r1 = Campaign.fuzz ~seed:37 c ~seeds ~budget:150 in
+  let r2 = Campaign.fuzz ~seed:37 c ~seeds ~budget:150 in
+  check_bool "same findings" true
+    (List.map (fun c -> c.Dedup.key) r1.Campaign.clusters
+    = List.map (fun c -> c.Dedup.key) r2.Campaign.clusters)
+
+let test_wos_variant_runs () =
+  let c = Lazy.force campaign in
+  let rng = O4a_util.Rng.create 41 in
+  let config = { Fuzz.default_config with Fuzz.use_skeletons = false } in
+  let stats =
+    Fuzz.run ~rng ~config ~generators:c.Campaign.generators
+      ~seeds:(O4a_util.Listx.take 10 (Seeds.Corpus.all ()))
+      ~zeal:(zeal ()) ~cove:(cove ()) ~budget:100 ()
+  in
+  check_int "runs" 100 stats.Fuzz.tests
+
+let () =
+  Alcotest.run "once4all"
+    [
+      ( "skeleton",
+        [
+          Alcotest.test_case "flat atoms" `Quick test_atom_paths_flat;
+          Alcotest.test_case "nested atoms" `Quick test_atom_paths_nested;
+          Alcotest.test_case "whole assertion" `Quick test_atom_paths_whole_assertion;
+          Alcotest.test_case "ite condition" `Quick test_atom_paths_ite_condition_only;
+          Alcotest.test_case "always leaves a hole" `Quick
+            test_skeletonize_term_always_leaves_hole;
+          Alcotest.test_case "preserves structure" `Quick test_skeletonize_preserves_structure;
+          Alcotest.test_case "no atoms" `Quick test_skeletonize_no_atoms;
+        ] );
+      ( "mixed sorts & scheduling",
+        [
+          Alcotest.test_case "typed candidates (bool)" `Quick
+            test_typed_candidates_include_nonbool;
+          Alcotest.test_case "typed candidates (int)" `Quick test_typed_candidates_int_only;
+          Alcotest.test_case "binder tracking" `Quick test_typed_candidates_track_binders;
+          Alcotest.test_case "no overlapping holes" `Quick test_typed_candidates_no_overlap;
+          Alcotest.test_case "typed fill" `Quick test_skeletonize_typed_and_fill;
+          Alcotest.test_case "mixed-sorts fuzz" `Slow test_mixed_sorts_fuzz_runs;
+          Alcotest.test_case "coverage-guided fuzz" `Slow test_coverage_guided_schedule_runs;
+          Alcotest.test_case "issue report" `Slow test_report_rendering;
+        ] );
+      ( "adapt",
+        [
+          Alcotest.test_case "swaps compatible" `Quick test_adapt_swaps_compatible;
+          Alcotest.test_case "respects sorts" `Quick test_adapt_respects_sorts;
+          Alcotest.test_case "zero probability" `Quick test_adapt_zero_prob;
+        ] );
+      ( "synthesize",
+        [
+          Alcotest.test_case "runnable source" `Quick test_fill_produces_runnable_source;
+          Alcotest.test_case "merged declarations sort-check" `Quick
+            test_fill_merges_declarations;
+          Alcotest.test_case "direct mode" `Quick test_direct_mode;
+        ] );
+      ( "oracle",
+        [
+          Alcotest.test_case "clean formula" `Quick test_oracle_no_bug_on_clean_formula;
+          Alcotest.test_case "parse error" `Quick test_oracle_parse_error;
+          Alcotest.test_case "crash detection" `Quick test_oracle_crash_detection;
+          Alcotest.test_case "cross-version for extensions" `Quick
+            test_oracle_extension_cross_version;
+          Alcotest.test_case "attribution" `Quick test_oracle_attribute;
+        ] );
+      ( "dedup",
+        [
+          Alcotest.test_case "crash clustering" `Quick test_dedup_crash_clustering;
+          Alcotest.test_case "theory grouping" `Quick test_dedup_theory_grouping;
+          Alcotest.test_case "majority bug id" `Quick test_dedup_majority_bug_id;
+        ] );
+      ( "fuzz & campaign",
+        [
+          Alcotest.test_case "budget" `Quick test_fuzz_respects_budget;
+          Alcotest.test_case "input validation" `Quick test_fuzz_rejects_empty_inputs;
+          Alcotest.test_case "end to end" `Slow test_campaign_end_to_end;
+          Alcotest.test_case "deterministic" `Slow test_campaign_deterministic;
+          Alcotest.test_case "w/oS variant" `Quick test_wos_variant_runs;
+        ] );
+    ]

@@ -1,0 +1,140 @@
+open Smtlib
+module Ddsmt = Reduce_kit.Ddsmt
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let parse_exn src = Result.get_ok (Parser.parse_script src)
+
+(* ------------------------- declaration GC ------------------------- *)
+
+let test_gc_drops_unused () =
+  let script =
+    parse_exn
+      "(declare-fun used () Int)(declare-fun unused () Int)(assert (= used 0))(check-sat)"
+  in
+  let gcd = Ddsmt.gc_declarations script in
+  let names = List.map fst (Script.declared_consts gcd) in
+  check_bool "used kept" true (List.mem "used" names);
+  check_bool "unused dropped" true (not (List.mem "unused" names))
+
+let test_gc_keeps_datatype_in_use () =
+  let script =
+    parse_exn
+      "(declare-datatypes ((Lst 0)) (((nil) (cons (head Int) (tail Lst)))))\n(declare-fun l () Lst)(assert ((_ is cons) l))(check-sat)"
+  in
+  let gcd = Ddsmt.gc_declarations script in
+  check_bool "datatype kept" true (Script.declared_datatypes gcd <> [])
+
+let test_gc_keeps_define_fun_deps () =
+  let script =
+    parse_exn
+      "(declare-fun base () Int)(define-fun f () Int (+ base 1))(assert (= f 1))(check-sat)"
+  in
+  let gcd = Ddsmt.gc_declarations script in
+  let names = List.map (fun (d : Script.fun_decl) -> d.Script.name) (Script.declared_funs gcd) in
+  check_bool "base kept via define-fun body" true (List.mem "base" names)
+
+(* ------------------------- assertion ddmin ------------------------- *)
+
+let test_reduce_drops_irrelevant_assertions () =
+  let script =
+    parse_exn
+      "(declare-fun x () Int)(declare-fun y () Int)\n(assert (= y 2))(assert (< x 0))(assert (> y 1))(check-sat)"
+  in
+  (* the "bug" only needs the (< x 0) assertion *)
+  let still_triggers s =
+    List.exists
+      (fun a -> Term.exists_node (fun n -> n = Term.App ("<", [ Term.var "x"; Term.int 0 ])) a)
+      (Script.assertions s)
+  in
+  let reduced, stats = Ddsmt.reduce ~still_triggers script in
+  check_int "one assertion left" 1 (List.length (Script.assertions reduced));
+  check_bool "still triggers" true (still_triggers reduced);
+  check_bool "got smaller" true (stats.Ddsmt.final_size < stats.Ddsmt.initial_size)
+
+let test_reduce_shrinks_terms () =
+  let script =
+    parse_exn
+      "(declare-fun x () Int)(assert (and (= (+ x 1 2 3) 9) (or (< x 0) (> x 100))))(check-sat)"
+  in
+  (* trigger: any formula mentioning the < operator *)
+  let still_triggers s =
+    List.exists
+      (fun a -> Term.exists_node (function Term.App ("<", _) -> true | _ -> false) a)
+      (Script.assertions s)
+  in
+  let reduced, _ = Ddsmt.reduce ~still_triggers script in
+  check_bool "triggering op kept" true (still_triggers reduced);
+  check_bool "substantially smaller" true (Script.size reduced <= 5)
+
+let test_reduce_respects_probe_budget () =
+  let script =
+    parse_exn "(declare-fun x () Int)(assert (< x 0))(assert (> x 1))(check-sat)"
+  in
+  let probes = ref 0 in
+  let still_triggers _ =
+    incr probes;
+    true
+  in
+  let _, stats = Ddsmt.reduce ~max_probes:5 ~still_triggers script in
+  check_bool "bounded" true (stats.Ddsmt.probes <= 6)
+
+let test_reduce_never_breaks_trigger () =
+  (* oracle-driven: reduce a real crash formula and confirm the signature is
+     preserved end to end *)
+  let zeal = Solver.Engine.zeal () in
+  let cove = Solver.Engine.cove () in
+  let source =
+    "(declare-fun s () String)(declare-fun z () Int)(declare-fun x () Int)\n(assert (= (str.from_code (str.to_code s)) s))(assert (= z 0))(assert (< x 3))(check-sat)"
+  in
+  let signature_of script =
+    match Once4all.Oracle.test ~zeal ~cove ~source:(Printer.script script) () with
+    | { Once4all.Oracle.finding = Some f; _ } -> Some f.Once4all.Oracle.signature
+    | _ -> None
+  in
+  let script = parse_exn source in
+  match signature_of script with
+  | None -> () (* rarity gate closed for this op set; nothing to reduce *)
+  | Some signature ->
+    let reduced, stats =
+      Ddsmt.reduce ~still_triggers:(fun c -> signature_of c = Some signature) script
+    in
+    check_bool "signature preserved" true (signature_of reduced = Some signature);
+    check_bool "not larger" true (stats.Ddsmt.final_size <= stats.Ddsmt.initial_size)
+
+let test_reduce_keeps_wellformedness () =
+  let script =
+    parse_exn
+      "(declare-fun a () Int)(declare-fun b () Int)(assert (= (* a b) (+ a b)))(check-sat)"
+  in
+  let still_triggers s =
+    (* require well-sortedness as part of the trigger, like a real oracle *)
+    Result.is_ok (Theories.Typecheck.check_script s)
+    && List.exists
+         (fun t -> Term.exists_node (function Term.App ("*", _) -> true | _ -> false) t)
+         (Script.assertions s)
+  in
+  let reduced, _ = Ddsmt.reduce ~still_triggers script in
+  check_bool "reduced result sort-checks" true
+    (Result.is_ok (Theories.Typecheck.check_script reduced))
+
+let () =
+  Alcotest.run "reduce"
+    [
+      ( "gc",
+        [
+          Alcotest.test_case "drops unused" `Quick test_gc_drops_unused;
+          Alcotest.test_case "keeps datatypes" `Quick test_gc_keeps_datatype_in_use;
+          Alcotest.test_case "keeps define-fun deps" `Quick test_gc_keeps_define_fun_deps;
+        ] );
+      ( "ddmin",
+        [
+          Alcotest.test_case "drops irrelevant assertions" `Quick
+            test_reduce_drops_irrelevant_assertions;
+          Alcotest.test_case "shrinks terms" `Quick test_reduce_shrinks_terms;
+          Alcotest.test_case "probe budget" `Quick test_reduce_respects_probe_budget;
+          Alcotest.test_case "preserves real crash" `Quick test_reduce_never_breaks_trigger;
+          Alcotest.test_case "keeps well-formedness" `Quick test_reduce_keeps_wellformedness;
+        ] );
+    ]

@@ -1,0 +1,1070 @@
+open Smtlib
+module Value = Solver.Value
+module Domain = Solver.Domain
+module Eval = Solver.Eval
+module Regex = Solver.Regex
+module Rewrite = Solver.Rewrite
+module Search = Solver.Search
+module Model = Solver.Model
+module Engine = Solver.Engine
+module Runner = Solver.Runner
+module Bug_db = Solver.Bug_db
+module Version = Solver.Version
+module Coverage = O4a_coverage.Coverage
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let check_str = Alcotest.(check string)
+
+let parse_term_exn ?(datatypes = []) ?(ctors = []) src =
+  match Parser.parse_term ~datatypes ~ctors src with
+  | Ok t -> t
+  | Error e -> Alcotest.failf "parse: %s" (Parser.error_message e)
+
+let parse_script_exn src =
+  match Parser.parse_script src with
+  | Ok sc -> sc
+  | Error e -> Alcotest.failf "parse: %s" (Parser.error_message e)
+
+let eval_str ?(context = "") src =
+  let script = parse_script_exn context in
+  let dts = Script.declared_datatypes script in
+  let datatypes = List.map (fun (d : Command.datatype_decl) -> d.Command.dt_name) dts in
+  let ctors =
+    List.concat_map
+      (fun (d : Command.datatype_decl) ->
+        List.map (fun (c : Command.constructor) -> c.Command.ctor_name) d.Command.constructors)
+      dts
+  in
+  let ctx = Eval.make_ctx script in
+  Value.to_term_string (Eval.eval ctx [] (parse_term_exn ~datatypes ~ctors src))
+
+let check_eval ?context src expected = check_str src expected (eval_str ?context src)
+
+(* ------------------------- Value ------------------------- *)
+
+let test_value_normalization () =
+  check_bool "real normalized" true (Value.mk_real 4 8 = Value.Real (1, 2));
+  check_bool "real sign" true (Value.mk_real 1 (-2) = Value.Real (-1, 2));
+  check_bool "ff residue" true (Value.mk_ff ~order:5 7 = Value.Ff { order = 5; value = 2 });
+  check_bool "ff negative" true (Value.mk_ff ~order:5 (-1) = Value.Ff { order = 5; value = 4 });
+  check_bool "bv truncation" true (Value.mk_bv ~width:3 9 = Value.Bv { width = 3; value = 1 });
+  check_bool "set dedup/sort" true
+    (Value.mk_set Sort.Int [ Value.Int 2; Value.Int 1; Value.Int 2 ]
+    = Value.Set (Sort.Int, [ Value.Int 1; Value.Int 2 ]));
+  check_bool "bag merges" true
+    (Value.mk_bag Sort.Int [ (Value.Int 1, 2); (Value.Int 1, 3); (Value.Int 2, 0) ]
+    = Value.Bag (Sort.Int, [ (Value.Int 1, 5) ]))
+
+let test_value_compare_rationals () =
+  check_bool "1/2 < 2/3" true (Value.compare (Value.mk_real 1 2) (Value.mk_real 2 3) < 0);
+  check_bool "2/4 = 1/2" true (Value.equal (Value.mk_real 2 4) (Value.mk_real 1 2))
+
+let test_value_sort_of () =
+  check_bool "int" true (Value.sort_of (Value.Int 3) = Sort.Int);
+  check_bool "seq" true
+    (Value.sort_of (Value.Seq (Sort.Int, [])) = Sort.Seq Sort.Int);
+  check_bool "tuple" true
+    (Value.sort_of (Value.Tuple [ Value.Int 1; Value.Bool true ])
+    = Sort.Tuple [ Sort.Int; Sort.Bool ])
+
+let test_value_printing_parses_back () =
+  (* every printable value reads back as a term *)
+  let values =
+    [ Value.Bool true; Value.Int (-3); Value.mk_real 5 2; Value.mk_bv ~width:4 9;
+      Value.Str "a\"b"; Value.mk_ff ~order:5 3; Value.Seq (Sort.Int, [ Value.Int 1 ]);
+      Value.Seq (Sort.Int, []); Value.mk_set Sort.Int [ Value.Int 1; Value.Int 2 ];
+      Value.Bag (Sort.Int, [ (Value.Int 1, 2) ]);
+      Value.Arr { idx = Sort.Int; elt = Sort.Int; default = Value.Int 0;
+                  entries = [ (Value.Int 1, Value.Int 2) ] };
+      Value.Tuple []; Value.Tuple [ Value.Int 1; Value.Int 2 ] ]
+  in
+  List.iter
+    (fun v ->
+      let s = Value.to_term_string v in
+      check_bool s true (Result.is_ok (Parser.parse_term s)))
+    values
+
+(* ------------------------- Regex ------------------------- *)
+
+let test_regex_basics () =
+  check_bool "lit match" true (Regex.matches (Regex.Lit "ab") "ab");
+  check_bool "lit mismatch" false (Regex.matches (Regex.Lit "ab") "a");
+  check_bool "star empty" true (Regex.matches (Regex.Star (Regex.Lit "a")) "");
+  check_bool "star many" true (Regex.matches (Regex.Star (Regex.Lit "ab")) "ababab");
+  check_bool "plus needs one" false (Regex.matches (Regex.plus (Regex.Lit "a")) "");
+  check_bool "opt" true (Regex.matches (Regex.opt (Regex.Lit "a")) "");
+  check_bool "union" true
+    (Regex.matches (Regex.Union (Regex.Lit "a", Regex.Lit "b")) "b");
+  check_bool "inter" false
+    (Regex.matches (Regex.Inter (Regex.Lit "a", Regex.Lit "b")) "a");
+  check_bool "range in" true (Regex.matches (Regex.Range ('b', 'd')) "c");
+  check_bool "range out" false (Regex.matches (Regex.Range ('b', 'd')) "e");
+  check_bool "complement" true (Regex.matches (Regex.Complement (Regex.Lit "a")) "zz");
+  check_bool "all" true (Regex.matches Regex.All "anything";);
+  check_bool "none" false (Regex.matches Regex.Empty "")
+
+let test_regex_loop () =
+  let r = Regex.loop 1 2 (Regex.Lit "a") in
+  check_bool "0 reps" false (Regex.matches r "");
+  check_bool "1 rep" true (Regex.matches r "a");
+  check_bool "2 reps" true (Regex.matches r "aa");
+  check_bool "3 reps" false (Regex.matches r "aaa")
+
+let test_regex_diff () =
+  let r = Regex.diff Regex.Any_char (Regex.Lit "a") in
+  check_bool "b in diff" true (Regex.matches r "b");
+  check_bool "a not in diff" false (Regex.matches r "a")
+
+(* ------------------------- Domain ------------------------- *)
+
+let dom sort = Domain.enumerate ~datatypes:[] sort
+
+let test_domain_shapes () =
+  check_int "bool" 2 (List.length (dom Sort.Bool));
+  check_int "int window" 6 (List.length (dom Sort.Int));
+  check_int "bv2 full" 4 (List.length (dom (Sort.Bitvec 2)));
+  check_int "ff3 full" 3 (List.length (dom (Sort.Finite_field 3)));
+  check_bool "sets are subsets" true (List.length (dom (Sort.Set Sort.Int)) = 8);
+  check_bool "capped" true
+    (List.length (dom (Sort.Seq Sort.Int)) <= Domain.default_config.Domain.max_domain_size)
+
+let test_domain_distinct () =
+  List.iter
+    (fun sort ->
+      let d = dom sort in
+      check_int
+        (Sort.to_string sort ^ " distinct")
+        (List.length d)
+        (List.length (O4a_util.Listx.dedup ~eq:Value.equal d)))
+    [ Sort.Bool; Sort.Int; Sort.Real; Sort.String_sort; Sort.Bitvec 3;
+      Sort.Finite_field 5; Sort.Seq Sort.Int; Sort.Set Sort.Int; Sort.Bag Sort.Int;
+      Sort.Array (Sort.Int, Sort.Int); Sort.Tuple [ Sort.Int; Sort.Bool ] ]
+
+let test_domain_datatype () =
+  let dts =
+    Script.declared_datatypes
+      (parse_script_exn
+         "(declare-datatypes ((Lst 0)) (((nil) (cons (head Int) (tail Lst)))))")
+  in
+  let d = Domain.enumerate ~datatypes:dts (Sort.Datatype "Lst") in
+  check_bool "nonempty" true (d <> []);
+  check_bool "has nil" true (List.exists (fun v -> v = Value.Dt ("Lst", "nil", [])) d);
+  check_bool "has cons" true
+    (List.exists (function Value.Dt (_, "cons", _) -> true | _ -> false) d)
+
+let test_default_value () =
+  check_bool "int default" true (Domain.default_value ~datatypes:[] Sort.Int = Value.Int (-2));
+  check_bool "bool default" true
+    (Domain.default_value ~datatypes:[] Sort.Bool = Value.Bool false)
+
+(* ------------------------- Eval: arithmetic ------------------------- *)
+
+let test_eval_euclidean () =
+  check_int "ediv pos" 2 (Eval.ediv 7 3);
+  check_int "ediv neg num" (-3) (Eval.ediv (-7) 3);
+  check_int "ediv neg den" (-2) (Eval.ediv 7 (-3));
+  check_int "emod neg" 2 (Eval.emod (-7) 3);
+  check_int "emod always nonneg" 2 (Eval.emod (-7) (-3));
+  check_int "div by zero" 0 (Eval.ediv 5 0);
+  check_int "mod by zero" 5 (Eval.emod 5 0)
+
+let test_eval_to_signed () =
+  check_int "positive" 3 (Eval.to_signed 4 3);
+  check_int "negative" (-1) (Eval.to_signed 4 15);
+  check_int "min" (-8) (Eval.to_signed 4 8)
+
+let test_eval_int_ops () =
+  check_eval "(+ 1 2 3)" "6";
+  check_eval "(- 5 2)" "3";
+  check_eval "(* 2 (- 3))" "(- 6)";
+  check_eval "(div 7 2)" "3";
+  check_eval "(mod (- 7) 3)" "2";
+  check_eval "(abs (- 4))" "4";
+  check_eval "(< 1 2 3)" "true";
+  check_eval "(< 1 3 2)" "false";
+  check_eval "(<= 2 2)" "true";
+  check_eval "((_ divisible 3) 9)" "true";
+  check_eval "((_ divisible 3) 10)" "false"
+
+let test_eval_real_ops () =
+  check_eval "(+ 1.5 0.5)" "2.0";
+  check_eval "(/ 1.0 2.0)" "0.5";
+  check_eval "(/ 1.0 0.0)" "0.0";
+  check_eval "(* 0.5 0.5)" "0.25";
+  check_eval "(to_int 1.5)" "1";
+  check_eval "(to_int (- 1.5))" "(- 2)";
+  check_eval "(to_real 3)" "3.0";
+  check_eval "(is_int 2.0)" "true";
+  check_eval "(is_int 0.5)" "false";
+  check_eval "(= 2 2.0)" "true"
+
+let test_eval_core_ops () =
+  check_eval "(and true true false)" "false";
+  check_eval "(or false false true)" "true";
+  check_eval "(xor true true)" "false";
+  check_eval "(=> false false)" "true";
+  check_eval "(=> true false)" "false";
+  check_eval "(distinct 1 2 3)" "true";
+  check_eval "(distinct 1 2 1)" "false";
+  check_eval "(ite (< 1 2) 10 20)" "10";
+  check_eval "(not (= 1 1))" "false"
+
+(* ------------------------- Eval: bit-vectors ------------------------- *)
+
+let test_eval_bv_ops () =
+  check_eval "(bvadd #b0111 #b0001)" "#b1000";
+  check_eval "(bvadd #b1111 #b0001)" "#b0000";
+  check_eval "(bvmul #b011 #b011)" "#b001";
+  check_eval "(bvand #b1100 #b1010)" "#b1000";
+  check_eval "(bvor #b1100 #b1010)" "#b1110";
+  check_eval "(bvxor #b11 #b01)" "#b10";
+  check_eval "(bvnot #b1010)" "#b0101";
+  check_eval "(bvneg #b0001)" "#b1111";
+  check_eval "(bvudiv #b0110 #b0010)" "#b0011";
+  check_eval "(bvudiv #b0110 #b0000)" "#b1111";
+  check_eval "(bvurem #b0111 #b0010)" "#b0001";
+  check_eval "(bvshl #b0001 #b0010)" "#b0100";
+  check_eval "(bvlshr #b1000 #b0011)" "#b0001";
+  check_eval "(bvashr #b1000 #b0001)" "#b1100";
+  check_eval "(bvult #b001 #b010)" "true";
+  check_eval "(bvslt #b111 #b001)" "true";
+  check_eval "(bvsge #b011 #b101)" "true";
+  check_eval "(concat #b10 #b01)" "#b1001";
+  check_eval "((_ extract 2 1) #b0110)" "#b11";
+  check_eval "((_ zero_extend 2) #b11)" "#b0011";
+  check_eval "((_ sign_extend 2) #b11)" "#b1111";
+  check_eval "((_ rotate_left 1) #b100)" "#b001";
+  check_eval "(bv2nat #b101)" "5";
+  check_eval "((_ int2bv 3) 10)" "#b010";
+  check_eval "(bvcomp #b10 #b10)" "#b1"
+
+(* ------------------------- Eval: strings ------------------------- *)
+
+let test_eval_string_ops () =
+  check_eval {|(str.++ "a" "b" "c")|} "\"abc\"";
+  check_eval {|(str.len "abc")|} "3";
+  check_eval {|(str.at "abc" 1)|} "\"b\"";
+  check_eval {|(str.at "abc" 9)|} "\"\"";
+  check_eval {|(str.substr "abcde" 1 3)|} "\"bcd\"";
+  check_eval {|(str.substr "ab" 5 1)|} "\"\"";
+  check_eval {|(str.indexof "abcab" "ab" 1)|} "3";
+  check_eval {|(str.indexof "abc" "z" 0)|} "(- 1)";
+  check_eval {|(str.contains "hello" "ell")|} "true";
+  check_eval {|(str.prefixof "he" "hello")|} "true";
+  check_eval {|(str.suffixof "lo" "hello")|} "true";
+  check_eval {|(str.replace "aaa" "a" "b")|} "\"baa\"";
+  check_eval {|(str.replace_all "aaa" "a" "b")|} "\"bbb\"";
+  check_eval {|(str.< "a" "b")|} "true";
+  check_eval {|(str.to_int "42")|} "42";
+  check_eval {|(str.to_int "4a")|} "(- 1)";
+  check_eval {|(str.from_int 7)|} "\"7\"";
+  check_eval {|(str.from_int (- 7))|} "\"\"";
+  check_eval {|(str.to_code "a")|} "97";
+  check_eval {|(str.from_code 98)|} "\"b\"";
+  check_eval {|(str.is_digit "5")|} "true";
+  check_eval {|(str.is_digit "55")|} "false"
+
+let test_eval_regex_ops () =
+  check_eval {|(str.in_re "abab" (re.* (str.to_re "ab")))|} "true";
+  check_eval {|(str.in_re "aba" (re.* (str.to_re "ab")))|} "false";
+  check_eval {|(str.in_re "c" (re.range "a" "d"))|} "true";
+  check_eval {|(str.in_re "x" re.allchar)|} "true";
+  check_eval {|(str.in_re "xy" re.allchar)|} "false";
+  check_eval {|(str.in_re "q" re.none)|} "false";
+  check_eval {|(str.in_re "aa" ((_ re.loop 1 3) (str.to_re "a")))|} "true";
+  check_eval {|(str.in_re "b" (re.comp (str.to_re "a")))|} "true";
+  check_eval {|(str.in_re "ab" (re.++ (str.to_re "a") (str.to_re "b")))|} "true"
+
+(* ------------------------- Eval: containers ------------------------- *)
+
+let test_eval_seq_ops () =
+  check_eval "(seq.len (seq.++ (seq.unit 1) (seq.unit 2)))" "2";
+  check_eval "(seq.nth (seq.++ (seq.unit 4) (seq.unit 5)) 1)" "5";
+  check_eval "(seq.nth (as seq.empty (Seq Int)) 0)" "(- 2)" (* default Int *);
+  check_eval "(seq.rev (seq.++ (seq.unit 1) (seq.unit 2)))"
+    "(seq.++ (seq.unit 2) (seq.unit 1))";
+  check_eval "(seq.contains (seq.++ (seq.unit 1) (seq.unit 2)) (seq.unit 2))" "true";
+  check_eval "(seq.extract (seq.++ (seq.unit 1) (seq.unit 2)) 1 1)" "(seq.unit 2)";
+  check_eval "(seq.indexof (seq.++ (seq.unit 7) (seq.unit 8)) (seq.unit 8) 0)" "1";
+  check_eval "(seq.prefixof (seq.unit 1) (seq.++ (seq.unit 1) (seq.unit 2)))" "true";
+  check_eval "(seq.len (seq.rev (as seq.empty (Seq Int))))" "0"
+
+let test_eval_set_ops () =
+  check_eval "(set.card (set.insert 1 2 (set.singleton 3)))" "3";
+  check_eval "(set.card (set.insert 1 1 (set.singleton 1)))" "1";
+  check_eval "(set.member 2 (set.union (set.singleton 1) (set.singleton 2)))" "true";
+  check_eval "(set.member 3 (set.inter (set.singleton 1) (set.singleton 2)))" "false";
+  check_eval "(set.subset (set.singleton 1) (set.insert 1 (set.singleton 2)))" "true";
+  check_eval "(set.is_empty (set.minus (set.singleton 1) (set.singleton 1)))" "true";
+  check_eval "(set.choose (set.singleton 9))" "9";
+  check_eval "(set.is_singleton (set.singleton 0))" "true"
+
+let test_eval_relation_ops () =
+  check_eval
+    "(set.member (tuple 1 3) (rel.join (set.singleton (tuple 1 2)) (set.singleton (tuple 2 3))))"
+    "true";
+  check_eval
+    "(set.is_empty (rel.join (set.singleton (tuple 1 2)) (set.singleton (tuple 9 3))))"
+    "true";
+  check_eval "(set.member (tuple 2 1) (rel.transpose (set.singleton (tuple 1 2))))"
+    "true";
+  check_eval "(set.card (rel.product (set.singleton (tuple 1 2)) (set.singleton (tuple 3 4))))"
+    "1";
+  check_eval "((_ tuple.select 1) (tuple 5 6))" "6"
+
+let test_eval_bag_ops () =
+  check_eval "(bag.count 1 (bag 1 3))" "3";
+  check_eval "(bag.count 2 (bag 1 3))" "0";
+  check_eval "(bag.card (bag.union_disjoint (bag 1 2) (bag 1 3)))" "5";
+  check_eval "(bag.count 1 (bag.union_max (bag 1 2) (bag 1 3)))" "3";
+  check_eval "(bag.count 1 (bag.inter_min (bag 1 2) (bag 1 3)))" "2";
+  check_eval "(bag.count 1 (bag.difference_subtract (bag 1 5) (bag 1 3)))" "2";
+  check_eval "(bag.count 1 (bag.difference_remove (bag 1 5) (bag 1 1)))" "0";
+  check_eval "(bag.count 1 (bag.setof (bag 1 9)))" "1";
+  check_eval "(bag.subbag (bag 1 2) (bag 1 3))" "true";
+  check_eval "(bag.member 1 (bag 1 0))" "false";
+  check_eval "(bag.card (bag 1 (- 2)))" "0"
+
+let test_eval_ff_ops () =
+  check_eval "(ff.add (as ff2 (_ FiniteField 3)) (as ff2 (_ FiniteField 3)))"
+    "(as ff1 (_ FiniteField 3))";
+  check_eval "(ff.mul (as ff2 (_ FiniteField 5)) (as ff3 (_ FiniteField 5)))"
+    "(as ff1 (_ FiniteField 5))";
+  check_eval "(ff.neg (as ff1 (_ FiniteField 7)))" "(as ff6 (_ FiniteField 7))";
+  (* bitsum: x0 + 2*x1 + 4*x2 *)
+  check_eval
+    "(ff.bitsum (as ff1 (_ FiniteField 7)) (as ff1 (_ FiniteField 7)) (as ff1 (_ FiniteField 7)))"
+    "(as ff0 (_ FiniteField 7))"
+
+let test_eval_array_ops () =
+  check_eval "(select ((as const (Array Int Int)) 7) 3)" "7";
+  check_eval "(select (store ((as const (Array Int Int)) 0) 1 9) 1)" "9";
+  check_eval "(select (store ((as const (Array Int Int)) 0) 1 9) 2)" "0";
+  (* store that restores the default is normalized away *)
+  check_eval "(= (store ((as const (Array Int Int)) 5) 0 5) ((as const (Array Int Int)) 5))"
+    "true"
+
+let test_eval_datatypes () =
+  let context =
+    "(declare-datatypes ((Lst 0)) (((nil) (cons (head Int) (tail Lst)))))"
+  in
+  check_eval ~context "(head (cons 4 (as nil Lst)))" "4";
+  check_eval ~context "((_ is cons) (cons 1 (as nil Lst)))" "true";
+  check_eval ~context "((_ is nil) (cons 1 (as nil Lst)))" "false";
+  (* selector misapplication is underspecified but total *)
+  check_eval ~context "(head (as nil Lst))" "(- 2)"
+
+let test_eval_match () =
+  let context =
+    "(declare-datatypes ((Lst 0)) (((nil) (cons (head Int) (tail Lst)))))"
+  in
+  check_eval ~context "(match (as nil Lst) ((nil 0) ((cons h t) h)))" "0";
+  check_eval ~context "(match (cons 5 (as nil Lst)) ((nil 0) ((cons h t) h)))" "5";
+  check_eval ~context "(match (cons 5 (as nil Lst)) ((nil 0) (_ 9)))" "9";
+  check_eval ~context "(match (cons 5 (as nil Lst)) ((whole (head whole))))" "5";
+  (* first matching case wins *)
+  check_eval ~context "(match (as nil Lst) ((_ 1) (nil 2)))" "1"
+
+let test_eval_quantifiers () =
+  check_eval "(forall ((b Bool)) (or b (not b)))" "true";
+  check_eval "(exists ((x Int)) (= (* x x) 4))" "true";
+  check_eval "(forall ((x Int)) (< x 100))" "true" (* bounded domain! *);
+  check_eval "(exists ((x Int)) (= x 100))" "false" (* out of window *);
+  check_eval "(forall ((x Int) (y Int)) (= (+ x y) (+ y x)))" "true"
+
+let test_eval_let () =
+  check_eval "(let ((a 2) (b 3)) (+ a b))" "5";
+  (* parallel-let semantics: b sees the outer a *)
+  check_eval "(let ((a 1)) (let ((a 2) (b a)) b))" "1"
+
+let test_eval_define_fun () =
+  check_eval ~context:"(define-fun sq ((n Int)) Int (* n n))" "(sq 5)" "25";
+  check_eval ~context:"(define-fun k () Int 7)" "(+ k 1)" "8"
+
+let test_eval_fuel () =
+  let script = parse_script_exn "" in
+  let ctx = Eval.make_ctx ~max_steps:10 script in
+  let big = parse_term_exn "(forall ((a Int) (b Int) (c Int)) (= (+ a b c) (+ c b a)))" in
+  match Eval.eval ctx [] big with
+  | exception Eval.Out_of_fuel -> ()
+  | _ -> Alcotest.fail "expected fuel exhaustion"
+
+let test_eval_failure_is_clean () =
+  let script = parse_script_exn "" in
+  let ctx = Eval.make_ctx script in
+  match Eval.eval ctx [] (parse_term_exn "(frobnicate 1)") with
+  | exception Eval.Eval_failure _ -> ()
+  | _ -> Alcotest.fail "expected Eval_failure"
+
+let test_eval_edge_cases () =
+  (* division family at zero: fixed totalization shared by both solvers *)
+  check_eval "(div 5 0)" "0";
+  check_eval "(mod 5 0)" "5";
+  check_eval "(/ 3.0 0.0)" "0.0";
+  check_eval "(bvudiv #b01 #b00)" "#b11";
+  check_eval "(bvurem #b01 #b00)" "#b01";
+  (* out-of-range container access *)
+  check_eval "(seq.extract (seq.unit 1) 5 2)" "(as seq.empty (Seq Int))";
+  check_eval "(seq.extract (seq.unit 1) 0 0)" "(as seq.empty (Seq Int))";
+  check_eval "(seq.at (seq.unit 1) (- 1))" "(as seq.empty (Seq Int))";
+  check_eval "(seq.update (seq.unit 1) 9 (seq.unit 2))" "(seq.unit 1)";
+  check_eval "(str.at \"\" 0)" "\"\"";
+  check_eval "(str.indexof \"abc\" \"\" 1)" "1";
+  check_eval "(str.substr \"abc\" (- 1) 2)" "\"\"";
+  (* choose on empty containers is the domain default *)
+  check_eval "(set.choose (as set.empty (Set Int)))" "(- 2)";
+  check_eval "(bag.choose (as bag.empty (Bag Int)))" "(- 2)";
+  (* set complement is wrt the finite universe *)
+  check_eval "(set.card (set.complement (as set.empty (Set Int))))" "6";
+  check_eval "(set.member 0 (set.complement (set.singleton 0)))" "false";
+  (* rotations and extensions at tiny widths *)
+  check_eval "((_ rotate_left 1) #b1)" "#b1";
+  check_eval "((_ repeat 2) #b10)" "#b1010";
+  check_eval "(bvashr #b10 #b11)" "#b11" (* saturating arithmetic shift *);
+  (* replace with empty pattern prepends (SMT-LIB semantics) *)
+  check_eval "(str.replace \"bc\" \"\" \"a\")" "\"abc\"";
+  (* chainable comparisons *)
+  check_eval "(<= 1 1 2)" "true";
+  check_eval "(< 1 1 2)" "false";
+  (* distinct with numeric coercion *)
+  check_eval "(distinct 1 1.0)" "false";
+  (* ff.bitsum with a single child is the child *)
+  check_eval "(ff.bitsum (as ff2 (_ FiniteField 5)) (as ff0 (_ FiniteField 5)))"
+    "(as ff2 (_ FiniteField 5))"
+
+(* ------------------------- Rewrite ------------------------- *)
+
+let simplify_with rules src =
+  Printer.term
+    (Rewrite.simplify ~rules ~fired:(fun _ -> ()) (parse_term_exn src))
+
+let test_rewrite_shared_rules () =
+  check_str "not-not" "p" (simplify_with Rewrite.shared_rules "(not (not p))");
+  check_str "and-false" "false" (simplify_with Rewrite.shared_rules "(and p false q)");
+  check_str "and-true" "p" (simplify_with Rewrite.shared_rules "(and p true)");
+  check_str "or-true" "true" (simplify_with Rewrite.shared_rules "(or p true)");
+  check_str "eq-refl" "true" (simplify_with Rewrite.shared_rules "(= (+ x 1) (+ x 1))");
+  check_str "ite-true" "a" (simplify_with Rewrite.shared_rules "(ite true a b)");
+  check_str "implies" "q" (simplify_with Rewrite.shared_rules "(=> true q)");
+  check_str "xor-self" "false" (simplify_with Rewrite.shared_rules "(xor m m)")
+
+let test_rewrite_zeal_pipeline () =
+  check_str "const fold" "true" (simplify_with Rewrite.zeal_rules "(< (+ 1 2) 4)");
+  check_str "mul zero" "0" (simplify_with Rewrite.zeal_rules "(* x 0)");
+  check_str "flatten and" "(and a b c)"
+    (simplify_with Rewrite.zeal_rules "(and (and a b) c)");
+  check_str "string fold" "\"ab\"" (simplify_with Rewrite.zeal_rules "(str.++ \"a\" \"b\")");
+  check_str "bvnot-bvnot" "v" (simplify_with Rewrite.zeal_rules "(bvnot (bvnot v))")
+
+let test_rewrite_cove_pipeline () =
+  check_str "gt normalized" "(< b a)" (simplify_with Rewrite.cove_rules "(> a b)");
+  check_str "seq rev-rev" "s" (simplify_with Rewrite.cove_rules "(seq.rev (seq.rev s))");
+  check_str "set union idem" "a" (simplify_with Rewrite.cove_rules "(set.union a a)");
+  check_str "ff neg-neg" "x" (simplify_with Rewrite.cove_rules "(ff.neg (ff.neg x))");
+  check_str "bag count empty" "0"
+    (simplify_with Rewrite.cove_rules "(bag.count 1 (as bag.empty (Bag Int)))")
+
+let test_rewrite_fired_callback () =
+  let fired = ref [] in
+  ignore
+    (Rewrite.simplify ~rules:Rewrite.shared_rules
+       ~fired:(fun r -> fired := r :: !fired)
+       (parse_term_exn "(not (not (and p true)))"));
+  check_bool "not-not fired" true (List.mem "not-not" !fired);
+  check_bool "and-elim fired" true (List.mem "and-elim" !fired)
+
+(* simplification must preserve bounded semantics *)
+let rewrite_preserves_semantics_on seeds rules =
+  List.for_all
+    (fun seed ->
+      let ctx = Eval.make_ctx seed in
+      let consts = Script.declared_consts seed in
+      let env =
+        List.map (fun (n, s) -> (n, Domain.default_value ~datatypes:ctx.Eval.datatypes s)) consts
+      in
+      List.for_all
+        (fun assertion ->
+          let simplified = Rewrite.simplify ~rules ~fired:(fun _ -> ()) assertion in
+          match
+            ( Eval.eval ctx env assertion,
+              Eval.eval ctx env simplified )
+          with
+          | a, b -> Value.equal a b
+          | exception (Eval.Eval_failure _ | Eval.Out_of_fuel) -> true)
+        (Script.assertions seed))
+    seeds
+
+let test_rewrite_preserves_semantics () =
+  let seeds = O4a_util.Listx.take 60 (Seeds.Corpus.all ()) in
+  check_bool "zeal rules sound" true (rewrite_preserves_semantics_on seeds Rewrite.zeal_rules);
+  check_bool "cove rules sound" true (rewrite_preserves_semantics_on seeds Rewrite.cove_rules)
+
+(* ------------------------- Search ------------------------- *)
+
+let solve_src src =
+  Search.solve (parse_script_exn src)
+
+let test_search_sat_with_valid_model () =
+  match solve_src "(declare-fun x () Int)(declare-fun y () Int)(assert (= (+ x y) 3))(assert (< x y))(check-sat)" with
+  | Search.Sat model ->
+    let script =
+      parse_script_exn
+        "(declare-fun x () Int)(declare-fun y () Int)(assert (= (+ x y) 3))(assert (< x y))(check-sat)"
+    in
+    check_bool "model validates" true (Model.check script model = Model.Holds)
+  | _ -> Alcotest.fail "expected sat"
+
+let test_search_unsat () =
+  match solve_src "(declare-fun x () Int)(assert (< x 0))(assert (> x 0))(check-sat)" with
+  | Search.Unsat -> ()
+  | _ -> Alcotest.fail "expected unsat"
+
+let test_search_no_vars () =
+  (match solve_src "(assert (= 1 1))(check-sat)" with
+  | Search.Sat _ -> ()
+  | _ -> Alcotest.fail "tautology sat");
+  match solve_src "(assert (= 1 2))(check-sat)" with
+  | Search.Unsat -> ()
+  | _ -> Alcotest.fail "contradiction unsat"
+
+let test_search_uninterpreted_fun () =
+  (* constant interpretation suffices here *)
+  match
+    solve_src "(declare-fun f (Int) Int)(declare-fun x () Int)(assert (= (f x) 2))(check-sat)"
+  with
+  | Search.Sat model ->
+    check_bool "f default recorded" true
+      (List.mem_assoc "f" model.Model.fun_defaults)
+  | _ -> Alcotest.fail "expected sat via constant interpretation"
+
+let test_search_order_changes_model () =
+  let src = "(declare-fun x () Int)(assert (< x 4))(check-sat)" in
+  let m_asc =
+    match Search.solve ~order:Search.Ascending (parse_script_exn src) with
+    | Search.Sat m -> List.assoc "x" m.Model.consts
+    | _ -> Alcotest.fail "asc sat"
+  in
+  let m_desc =
+    match Search.solve ~order:Search.Descending (parse_script_exn src) with
+    | Search.Sat m -> List.assoc "x" m.Model.consts
+    | _ -> Alcotest.fail "desc sat"
+  in
+  check_bool "different search orders, different models" false
+    (Value.equal m_asc m_desc)
+
+let test_search_fuel_unknown () =
+  let src =
+    "(declare-fun a () (Seq Int))(declare-fun b () (Seq Int))(declare-fun c () (Seq Int))\n(assert (forall ((x Int) (y Int)) (distinct (seq.++ a b c) (seq.unit (+ x y)))))(check-sat)"
+  in
+  match Search.solve ~max_steps:200 (parse_script_exn src) with
+  | Search.Unknown _ -> ()
+  | Search.Sat _ | Search.Unsat -> Alcotest.fail "expected resource-out"
+
+(* ------------------------- Model ------------------------- *)
+
+let test_model_to_string_parses () =
+  let src = "(declare-fun x () Int)(declare-fun s () String)(assert (= x 1))(assert (= s \"a\"))(check-sat)" in
+  match solve_src src with
+  | Search.Sat model ->
+    let text = Model.to_string (parse_script_exn src) model in
+    check_bool "mentions both" true
+      (O4a_util.Strx.contains_sub ~sub:"define-fun x" text
+      && O4a_util.Strx.contains_sub ~sub:"define-fun s" text)
+  | _ -> Alcotest.fail "sat expected"
+
+let test_model_check_fails_on_corruption () =
+  let src = "(declare-fun x () Int)(assert (= x 1))(check-sat)" in
+  let script = parse_script_exn src in
+  match solve_src src with
+  | Search.Sat model ->
+    let corrupted =
+      { model with Model.consts = [ ("x", Value.Int 2) ] }
+    in
+    (match Model.check script corrupted with
+    | Model.Fails _ -> ()
+    | _ -> Alcotest.fail "corrupted model should fail")
+  | _ -> Alcotest.fail "sat expected"
+
+(* ------------------------- Version / Bug_db ------------------------- *)
+
+let test_version_histories () =
+  check_int "zeal releases" 6 (List.length Version.zeal_history.Version.releases);
+  check_int "cove releases" 5 (List.length Version.cove_history.Version.releases);
+  check_bool "release lookup" true
+    (Version.release_commit Version.zeal_history "4.13.0" = Some 70);
+  check_bool "unknown release" true
+    (Version.release_commit Version.zeal_history "9.9.9" = None)
+
+let test_bisect_fix () =
+  (* bug live on [20, 60) *)
+  let triggers c = c >= 20 && c < 60 in
+  check_bool "finds fix" true
+    (Version.bisect_fix ~triggers Version.zeal_history = Some 60);
+  check_bool "with hint" true
+    (Version.bisect_fix ~known:30 ~triggers Version.zeal_history = Some 60);
+  check_bool "still broken at trunk" true
+    (Version.bisect_fix ~triggers:(fun c -> c >= 20) Version.zeal_history = None);
+  check_bool "never triggers" true
+    (Version.bisect_fix ~triggers:(fun _ -> false) Version.zeal_history = None)
+
+let test_bug_db_structure () =
+  check_int "45 campaign bugs" 45 (List.length Bug_db.campaign_bugs);
+  let zeal_bugs =
+    List.filter (fun (s : Bug_db.spec) -> s.Bug_db.solver = Coverage.Zeal) Bug_db.campaign_bugs
+  in
+  let cove_bugs =
+    List.filter (fun (s : Bug_db.spec) -> s.Bug_db.solver = Coverage.Cove) Bug_db.campaign_bugs
+  in
+  check_int "27 zeal" 27 (List.length zeal_bugs);
+  check_int "18 cove" 18 (List.length cove_bugs);
+  let count kind bugs = List.length (List.filter (fun s -> s.Bug_db.kind = kind) bugs) in
+  check_int "zeal crashes" 20 (count Bug_db.Crash zeal_bugs);
+  check_int "zeal invalid" 4 (count Bug_db.Invalid_model zeal_bugs);
+  check_int "zeal soundness" 3 (count Bug_db.Soundness zeal_bugs);
+  check_int "cove crashes" 15 (count Bug_db.Crash cove_bugs);
+  check_int "cove invalid" 2 (count Bug_db.Invalid_model cove_bugs);
+  check_int "cove soundness" 1 (count Bug_db.Soundness cove_bugs)
+
+let test_bug_db_statuses () =
+  let status_count solver status_pred =
+    List.length
+      (List.filter
+         (fun (s : Bug_db.spec) -> s.Bug_db.solver = solver && status_pred s.Bug_db.status)
+         Bug_db.campaign_bugs)
+  in
+  let confirmed = function Bug_db.Fixed | Bug_db.Confirmed -> true | _ -> false in
+  check_int "zeal confirmed" 25 (status_count Coverage.Zeal confirmed);
+  check_int "zeal fixed" 24 (status_count Coverage.Zeal (( = ) Bug_db.Fixed));
+  check_int "zeal duplicates" 2
+    (status_count Coverage.Zeal (function Bug_db.Duplicate_of _ -> true | _ -> false));
+  check_int "cove confirmed" 18 (status_count Coverage.Cove confirmed);
+  check_int "cove fixed" 16 (status_count Coverage.Cove (( = ) Bug_db.Fixed))
+
+let test_bug_db_activation () =
+  let active_zeal_old = Bug_db.active ~solver:Coverage.Zeal ~commit:10 in
+  let active_zeal_trunk = Bug_db.active ~solver:Coverage.Zeal ~commit:100 in
+  check_bool "fewer bugs in the past" true
+    (List.length active_zeal_old < List.length active_zeal_trunk);
+  (* historical bugs are fixed before trunk *)
+  check_bool "no historical at trunk" true
+    (List.for_all (fun (s : Bug_db.spec) -> not s.Bug_db.historical) active_zeal_trunk);
+  (* every campaign bug of a solver is active at trunk *)
+  check_int "all campaign zeal at trunk" 27 (List.length active_zeal_trunk)
+
+let test_bug_db_crash_sites () =
+  List.iter
+    (fun (s : Bug_db.spec) ->
+      if s.Bug_db.kind = Bug_db.Crash then
+        check_bool (s.Bug_db.id ^ " has crash site") true (s.Bug_db.crash_site <> None))
+    Bug_db.all
+
+let test_bug_fires_gate () =
+  (* fires implies trigger *)
+  let script =
+    parse_script_exn
+      "(declare-fun x () Int)(assert (exists ((f Int)) (= (mod x 0) f)))(check-sat)"
+  in
+  List.iter
+    (fun (s : Bug_db.spec) ->
+      if Bug_db.fires s script then
+        check_bool (s.Bug_db.id ^ " trigger holds") true (s.Bug_db.trigger script))
+    Bug_db.all
+
+(* ------------------------- Engine / Runner ------------------------- *)
+
+let test_engine_basics () =
+  let zeal = Engine.zeal () in
+  check_str "zeal name" "zeal-trunk" (Engine.name zeal);
+  check_str "release name" "cove-1.2.0" (Engine.name (Engine.cove ~commit:74 ()));
+  check_bool "pure engine has no bugs" true
+    (match
+       Runner.run (Engine.pure Coverage.Zeal)
+         (parse_script_exn
+            "(declare-fun x () Int)(assert (exists ((f Int)) (= (mod x 0) f)))(check-sat)")
+     with
+    | Runner.R_crash _ -> false
+    | _ -> true)
+
+let test_engine_sat_unsat () =
+  let zeal = Engine.zeal () in
+  (match Runner.run_source zeal "(declare-fun p () Bool)(assert p)(check-sat)" with
+  | Runner.R_sat _ -> ()
+  | r -> Alcotest.failf "expected sat, got %s" (Runner.result_to_string r));
+  match Runner.run_source zeal "(assert false)(check-sat)" with
+  | Runner.R_unsat -> ()
+  | r -> Alcotest.failf "expected unsat, got %s" (Runner.result_to_string r)
+
+let test_engine_unsupported_theory () =
+  let zeal = Engine.zeal () in
+  match
+    Runner.run_source zeal "(declare-fun a () (Set Int))(assert (set.member 1 a))(check-sat)"
+  with
+  | Runner.R_error msg ->
+    check_bool "mentions symbol" true (O4a_util.Strx.contains_sub ~sub:"unknown" msg)
+  | r -> Alcotest.failf "expected error, got %s" (Runner.result_to_string r)
+
+let test_engine_parse_and_type_errors () =
+  let cove = Engine.cove () in
+  (match Runner.run_source cove "(assert (and p)" with
+  | Runner.R_error _ -> ()
+  | _ -> Alcotest.fail "parse error expected");
+  match Runner.run_source cove "(assert (= 1 true))(check-sat)" with
+  | Runner.R_error _ -> ()
+  | _ -> Alcotest.fail "sort error expected"
+
+let test_engine_crash_capture () =
+  let cove = Engine.cove () in
+  (* cove-001 rarity is 2: try op-set variations until the gate opens *)
+  let sources =
+    List.map
+      (fun extra ->
+        Printf.sprintf
+          "(declare-fun r () (Set UnitTuple))(declare-fun q () (Set UnitTuple))%s(assert (set.subset (rel.join r q) (rel.join q r)))(check-sat)"
+          extra)
+      [ ""; "(declare-fun z () Int)(assert (= z 0))";
+        "(declare-fun z () Int)(assert (< z 1))";
+        "(declare-fun b () Bool)(assert (or b (not b)))";
+        "(declare-fun z () Int)(assert (distinct z 1))" ]
+  in
+  let crashed =
+    List.exists
+      (fun src ->
+        match Runner.run_source cove src with
+        | Runner.R_crash { bug_id; _ } -> bug_id = "cove-001"
+        | _ -> false)
+      sources
+  in
+  check_bool "nullary join crash reachable" true crashed
+
+let test_engine_determinism () =
+  let zeal = Engine.zeal () in
+  let src = "(declare-fun x () Int)(assert (> x 1))(check-sat)" in
+  let r1 = Runner.run_source zeal src and r2 = Runner.run_source zeal src in
+  check_bool "same result" true (Runner.same_verdict r1 r2)
+
+let test_runner_result_strings () =
+  check_str "unsat" "unsat" (Runner.result_to_string Runner.R_unsat);
+  check_str "timeout" "timeout" (Runner.result_to_string Runner.R_timeout);
+  check_bool "crash string" true
+    (O4a_util.Strx.contains_sub ~sub:"boom"
+       (Runner.result_to_string (Runner.R_crash { signature = "boom"; bug_id = "x" })))
+
+(* ------------------------- Propagate ------------------------- *)
+
+let test_propagate_analyze () =
+  let script =
+    parse_script_exn
+      "(declare-fun x () Int)(declare-fun y () Int)(assert (and (< x 3) (> x 0)))(assert (>= y 2))(check-sat)"
+  in
+  let bounds = Solver.Propagate.analyze script in
+  (match List.assoc_opt "x" bounds with
+  | Some { Solver.Propagate.lo = Some 1; hi = Some 2 } -> ()
+  | _ -> Alcotest.fail "x bounds wrong");
+  match List.assoc_opt "y" bounds with
+  | Some { Solver.Propagate.lo = Some 2; hi = None } -> ()
+  | _ -> Alcotest.fail "y bounds wrong"
+
+let test_propagate_flipped_operands () =
+  let script =
+    parse_script_exn "(declare-fun x () Int)(assert (< 1 x))(assert (= 2 x))(check-sat)"
+  in
+  match List.assoc_opt "x" (Solver.Propagate.analyze script) with
+  | Some { Solver.Propagate.lo = Some 2; hi = Some 2 } -> ()
+  | _ -> Alcotest.fail "flipped-operand bounds wrong"
+
+let test_propagate_ignores_disjunctions () =
+  (* bounds under `or` are NOT top-level conjuncts; pruning there is unsound *)
+  let script =
+    parse_script_exn "(declare-fun x () Int)(assert (or (< x 0) (> x 2)))(check-sat)"
+  in
+  check_bool "no bounds from or" true (Solver.Propagate.analyze script = [])
+
+let test_propagate_empty_interval_fast_unsat () =
+  let zeal = Engine.pure Coverage.Zeal in
+  (* contradictory window, decided by propagation alone *)
+  match
+    Runner.run_source ~max_steps:50 zeal
+      "(declare-fun x () Int)(assert (< x 0))(assert (> x 0))(check-sat)"
+  with
+  | Runner.R_unsat -> () (* 50 steps is far too little for enumeration *)
+  | r -> Alcotest.failf "expected presolved unsat, got %s" (Runner.result_to_string r)
+
+let test_propagate_restrict_domain () =
+  let interval = { Solver.Propagate.lo = Some 0; hi = Some 1 } in
+  let domain = Solver.Domain.enumerate ~datatypes:[] Sort.Int in
+  let restricted = Solver.Propagate.restrict_domain interval domain in
+  check_bool "only 0 and 1" true
+    (List.sort compare restricted = [ Value.Int 0; Value.Int 1 ])
+
+let test_propagate_preserves_verdicts () =
+  (* Zeal (with propagation) and Cove (without) agree on arithmetic seeds *)
+  let zeal = Engine.pure Coverage.Zeal and cove = Engine.pure Coverage.Cove in
+  List.iter
+    (fun seed ->
+      if Engine.supports_script zeal seed then (
+        match (Runner.run zeal seed, Runner.run cove seed) with
+        | Runner.R_sat _, Runner.R_unsat | Runner.R_unsat, Runner.R_sat _ ->
+          Alcotest.failf "propagation changed the verdict on:\n%s" (Printer.script seed)
+        | _ -> ()))
+    (Seeds.Corpus.by_theory "ints")
+
+let test_incremental_push_pop () =
+  let script =
+    parse_script_exn
+      "(declare-fun x () Int)\n(assert (< x 2))\n(check-sat)\n(push 1)\n(assert (> x 5))\n(check-sat)\n(pop 1)\n(check-sat)"
+  in
+  let steps = Engine.solve_incremental (Engine.pure Coverage.Zeal) script in
+  let verdicts =
+    List.map
+      (fun (s : Engine.incremental_step) ->
+        match s.Engine.step_outcome with
+        | Engine.Sat _ -> "sat"
+        | Engine.Unsat -> "unsat"
+        | Engine.Unknown _ -> "unknown"
+        | Engine.Error _ -> "error")
+      steps
+  in
+  check_bool "sat/unsat/sat" true (verdicts = [ "sat"; "unsat"; "sat" ]);
+  check_bool "indices ordered" true
+    (List.mapi (fun i _ -> i) steps
+    = List.map (fun (s : Engine.incremental_step) -> s.Engine.step_index) steps)
+
+let test_incremental_nested_frames () =
+  let script =
+    parse_script_exn
+      "(declare-fun x () Int)\n(push 1)\n(assert (= x 1))\n(push 1)\n(assert (= x 2))\n(check-sat)\n(pop 2)\n(check-sat)"
+  in
+  let steps = Engine.solve_incremental (Engine.pure Coverage.Zeal) script in
+  (match steps with
+  | [ a; b ] ->
+    check_bool "inner contradiction" true (a.Engine.step_outcome = Engine.Unsat);
+    check_bool "outer empty sat" true
+      (match b.Engine.step_outcome with Engine.Sat _ -> true | _ -> false)
+  | _ -> Alcotest.fail "two check-sats expected")
+
+let test_unsat_core_minimal () =
+  let script =
+    parse_script_exn
+      "(declare-fun x () Int)\n(assert (= x x))\n(assert (< x 0))\n(assert (> x 0))\n(assert (< x 10))\n(check-sat)"
+  in
+  match Engine.unsat_core (Engine.pure Coverage.Zeal) script with
+  | Some core ->
+    check_int "two-assertion core" 2 (List.length core);
+    let printed = List.map Printer.term core in
+    check_bool "has lower bound" true (List.mem "(< x 0)" printed);
+    check_bool "has upper bound" true (List.mem "(> x 0)" printed)
+  | None -> Alcotest.fail "expected a core"
+
+let test_unsat_core_on_sat_input () =
+  let script = parse_script_exn "(declare-fun x () Int)\n(assert (< x 2))\n(check-sat)" in
+  check_bool "no core for sat" true
+    (Engine.unsat_core (Engine.pure Coverage.Zeal) script = None)
+
+let test_model_eval_terms () =
+  let src = "(declare-fun x () Int)\n(assert (= (+ x 1) 3))\n(check-sat)" in
+  let script = parse_script_exn src in
+  match Runner.run (Engine.pure Coverage.Zeal) script with
+  | Runner.R_sat model ->
+    let results =
+      Model.eval_terms script model
+        [ parse_term_exn "x"; parse_term_exn "(+ x x)"; parse_term_exn "(< x 0)" ]
+    in
+    check_bool "values" true (List.map snd results = [ "2"; "4"; "false" ])
+  | _ -> Alcotest.fail "sat expected"
+
+let test_solvers_agree_when_pure () =
+  (* differential baseline: with no injected bugs the two solvers agree on
+     every mutually supported seed *)
+  let zeal = Engine.pure Coverage.Zeal in
+  let cove = Engine.pure Coverage.Cove in
+  let seeds = O4a_util.Listx.take 40 (Seeds.Corpus.all ()) in
+  List.iter
+    (fun seed ->
+      if Engine.supports_script zeal seed then (
+        let rz = Runner.run ~max_steps:60_000 zeal seed in
+        let rc = Runner.run ~max_steps:60_000 cove seed in
+        match (rz, rc) with
+        | Runner.R_sat _, Runner.R_unsat | Runner.R_unsat, Runner.R_sat _ ->
+          Alcotest.failf "pure solvers disagree on:\n%s" (Printer.script seed)
+        | _ -> ()))
+    seeds
+
+(* ------------------------- Algebraic-law properties ------------------------- *)
+
+let eval_value ?(context = "") env src =
+  let script = parse_script_exn context in
+  let ctx = Eval.make_ctx script in
+  Eval.eval ctx env (parse_term_exn src)
+
+let law_props =
+  let int_gen = QCheck.int_range (-6) 6 in
+  [
+    QCheck.Test.make ~name:"addition commutes" ~count:300 QCheck.(pair int_gen int_gen)
+      (fun (a, b) ->
+        let env = [ ("a", Value.Int a); ("b", Value.Int b) ] in
+        Value.equal (eval_value env "(+ a b)") (eval_value env "(+ b a)"));
+    QCheck.Test.make ~name:"de morgan (bounded bools)" ~count:100
+      QCheck.(pair bool bool)
+      (fun (p, q) ->
+        let env = [ ("p", Value.Bool p); ("q", Value.Bool q) ] in
+        Value.equal
+          (eval_value env "(not (and p q))")
+          (eval_value env "(or (not p) (not q))"));
+    QCheck.Test.make ~name:"euclidean division law" ~count:300
+      QCheck.(pair int_gen int_gen)
+      (fun (a, b) ->
+        QCheck.assume (b <> 0);
+        a = (b * Eval.ediv a b) + Eval.emod a b && Eval.emod a b >= 0);
+    QCheck.Test.make ~name:"bvnot involution" ~count:200 (QCheck.int_range 0 15)
+      (fun v ->
+        let env = [ ("v", Value.mk_bv ~width:4 v) ] in
+        Value.equal (eval_value env "(bvnot (bvnot v))") (Value.mk_bv ~width:4 v));
+    QCheck.Test.make ~name:"bvadd homomorphic to modular addition" ~count:200
+      QCheck.(pair (int_range 0 15) (int_range 0 15))
+      (fun (a, b) ->
+        let env = [ ("a", Value.mk_bv ~width:4 a); ("b", Value.mk_bv ~width:4 b) ] in
+        Value.equal (eval_value env "(bvadd a b)") (Value.mk_bv ~width:4 (a + b)));
+    QCheck.Test.make ~name:"set union is idempotent/commutative" ~count:200
+      QCheck.(pair (small_list (int_range 0 3)) (small_list (int_range 0 3)))
+      (fun (xs, ys) ->
+        let set l = Value.mk_set Sort.Int (List.map (fun n -> Value.Int n) l) in
+        let env = [ ("a", set xs); ("b", set ys) ] in
+        Value.equal (eval_value env "(set.union a b)") (eval_value env "(set.union b a)")
+        && Value.equal (eval_value env "(set.union a a)") (set xs));
+    QCheck.Test.make ~name:"seq reverse involution" ~count:200
+      QCheck.(small_list (int_range (-2) 3))
+      (fun xs ->
+        let seq = Value.Seq (Sort.Int, List.map (fun n -> Value.Int n) xs) in
+        let env = [ ("s", seq) ] in
+        Value.equal (eval_value env "(seq.rev (seq.rev s))") seq);
+    QCheck.Test.make ~name:"str concat length additive" ~count:200
+      QCheck.(pair (string_of_size (QCheck.Gen.int_bound 6)) (string_of_size (QCheck.Gen.int_bound 6)))
+      (fun (a, b) ->
+        QCheck.assume (String.for_all (fun c -> c <> '"' && c >= ' ') (a ^ b));
+        let env = [ ("a", Value.Str a); ("b", Value.Str b) ] in
+        Value.equal
+          (eval_value env "(str.len (str.++ a b))")
+          (Value.Int (String.length a + String.length b)));
+    QCheck.Test.make ~name:"ff.add inverse via ff.neg" ~count:200 (QCheck.int_range 0 6)
+      (fun v ->
+        let env = [ ("x", Value.mk_ff ~order:7 v) ] in
+        Value.equal (eval_value env "(ff.add x (ff.neg x))") (Value.mk_ff ~order:7 0));
+  ]
+
+let () =
+  Alcotest.run "solver"
+    [
+      ( "value",
+        [
+          Alcotest.test_case "normalization" `Quick test_value_normalization;
+          Alcotest.test_case "rational compare" `Quick test_value_compare_rationals;
+          Alcotest.test_case "sort_of" `Quick test_value_sort_of;
+          Alcotest.test_case "printing parses back" `Quick test_value_printing_parses_back;
+        ] );
+      ( "regex",
+        [
+          Alcotest.test_case "basics" `Quick test_regex_basics;
+          Alcotest.test_case "loop" `Quick test_regex_loop;
+          Alcotest.test_case "diff" `Quick test_regex_diff;
+        ] );
+      ( "domain",
+        [
+          Alcotest.test_case "shapes" `Quick test_domain_shapes;
+          Alcotest.test_case "distinct" `Quick test_domain_distinct;
+          Alcotest.test_case "datatypes" `Quick test_domain_datatype;
+          Alcotest.test_case "defaults" `Quick test_default_value;
+        ] );
+      ( "eval arithmetic",
+        [
+          Alcotest.test_case "euclidean" `Quick test_eval_euclidean;
+          Alcotest.test_case "to_signed" `Quick test_eval_to_signed;
+          Alcotest.test_case "ints" `Quick test_eval_int_ops;
+          Alcotest.test_case "reals" `Quick test_eval_real_ops;
+          Alcotest.test_case "core" `Quick test_eval_core_ops;
+        ] );
+      ( "eval theories",
+        [
+          Alcotest.test_case "bit-vectors" `Quick test_eval_bv_ops;
+          Alcotest.test_case "strings" `Quick test_eval_string_ops;
+          Alcotest.test_case "regexes" `Quick test_eval_regex_ops;
+          Alcotest.test_case "sequences" `Quick test_eval_seq_ops;
+          Alcotest.test_case "sets" `Quick test_eval_set_ops;
+          Alcotest.test_case "relations" `Quick test_eval_relation_ops;
+          Alcotest.test_case "bags" `Quick test_eval_bag_ops;
+          Alcotest.test_case "finite fields" `Quick test_eval_ff_ops;
+          Alcotest.test_case "arrays" `Quick test_eval_array_ops;
+          Alcotest.test_case "datatypes" `Quick test_eval_datatypes;
+          Alcotest.test_case "match" `Quick test_eval_match;
+          Alcotest.test_case "edge cases" `Quick test_eval_edge_cases;
+        ] );
+      ( "eval binders",
+        [
+          Alcotest.test_case "quantifiers" `Quick test_eval_quantifiers;
+          Alcotest.test_case "let" `Quick test_eval_let;
+          Alcotest.test_case "define-fun" `Quick test_eval_define_fun;
+          Alcotest.test_case "fuel" `Quick test_eval_fuel;
+          Alcotest.test_case "failure" `Quick test_eval_failure_is_clean;
+        ] );
+      ( "rewrite",
+        [
+          Alcotest.test_case "shared rules" `Quick test_rewrite_shared_rules;
+          Alcotest.test_case "zeal pipeline" `Quick test_rewrite_zeal_pipeline;
+          Alcotest.test_case "cove pipeline" `Quick test_rewrite_cove_pipeline;
+          Alcotest.test_case "fired callback" `Quick test_rewrite_fired_callback;
+          Alcotest.test_case "preserves semantics" `Slow test_rewrite_preserves_semantics;
+        ] );
+      ( "search",
+        [
+          Alcotest.test_case "sat with valid model" `Quick test_search_sat_with_valid_model;
+          Alcotest.test_case "unsat" `Quick test_search_unsat;
+          Alcotest.test_case "no vars" `Quick test_search_no_vars;
+          Alcotest.test_case "uninterpreted function" `Quick test_search_uninterpreted_fun;
+          Alcotest.test_case "order matters" `Quick test_search_order_changes_model;
+          Alcotest.test_case "fuel -> unknown" `Quick test_search_fuel_unknown;
+        ] );
+      ( "model",
+        [
+          Alcotest.test_case "printable" `Quick test_model_to_string_parses;
+          Alcotest.test_case "detects corruption" `Quick test_model_check_fails_on_corruption;
+        ] );
+      ( "versions & bugs",
+        [
+          Alcotest.test_case "histories" `Quick test_version_histories;
+          Alcotest.test_case "bisect" `Quick test_bisect_fix;
+          Alcotest.test_case "bug counts (Table 1/2 ground truth)" `Quick test_bug_db_structure;
+          Alcotest.test_case "bug statuses" `Quick test_bug_db_statuses;
+          Alcotest.test_case "activation by commit" `Quick test_bug_db_activation;
+          Alcotest.test_case "crash sites" `Quick test_bug_db_crash_sites;
+          Alcotest.test_case "fires gate" `Quick test_bug_fires_gate;
+        ] );
+      ( "engine",
+        [
+          Alcotest.test_case "names & pure" `Quick test_engine_basics;
+          Alcotest.test_case "sat/unsat" `Quick test_engine_sat_unsat;
+          Alcotest.test_case "unsupported theory" `Quick test_engine_unsupported_theory;
+          Alcotest.test_case "parse/type errors" `Quick test_engine_parse_and_type_errors;
+          Alcotest.test_case "crash capture" `Quick test_engine_crash_capture;
+          Alcotest.test_case "determinism" `Quick test_engine_determinism;
+          Alcotest.test_case "result strings" `Quick test_runner_result_strings;
+          Alcotest.test_case "pure solvers agree" `Slow test_solvers_agree_when_pure;
+        ] );
+      ("algebraic laws", List.map QCheck_alcotest.to_alcotest law_props);
+      ( "propagation",
+        [
+          Alcotest.test_case "analyze conjuncts" `Quick test_propagate_analyze;
+          Alcotest.test_case "flipped operands" `Quick test_propagate_flipped_operands;
+          Alcotest.test_case "ignores disjunctions" `Quick test_propagate_ignores_disjunctions;
+          Alcotest.test_case "fast unsat" `Quick test_propagate_empty_interval_fast_unsat;
+          Alcotest.test_case "restrict domain" `Quick test_propagate_restrict_domain;
+          Alcotest.test_case "verdicts preserved" `Slow test_propagate_preserves_verdicts;
+        ] );
+      ( "incremental & cores",
+        [
+          Alcotest.test_case "push/pop" `Quick test_incremental_push_pop;
+          Alcotest.test_case "nested frames" `Quick test_incremental_nested_frames;
+          Alcotest.test_case "minimal core" `Quick test_unsat_core_minimal;
+          Alcotest.test_case "no core on sat" `Quick test_unsat_core_on_sat_input;
+          Alcotest.test_case "get-value" `Quick test_model_eval_terms;
+        ] );
+    ]
