@@ -198,6 +198,24 @@ let micro_tests () =
              ignore
                (Solver.Engine.parse_check cove (Gensynth.Generator.render_script [ e ]))
            | exception Failure _ -> ()));
+    (* telemetry overhead: the disabled (default) hook must cost only a
+       branch; the null-sink live handle shows the instrumented price *)
+    Test.make ~name:"telemetry/span-disabled"
+      (Staged.stage (fun () ->
+           O4a_telemetry.Telemetry.with_span O4a_telemetry.Telemetry.disabled
+             "bench" (fun () -> ())));
+    Test.make ~name:"telemetry/span-null-sink"
+      (Staged.stage
+         (let tel = O4a_telemetry.Telemetry.create () in
+          fun () -> O4a_telemetry.Telemetry.with_span tel "bench" (fun () -> ())));
+    Test.make ~name:"telemetry/incr-disabled"
+      (Staged.stage (fun () ->
+           O4a_telemetry.Telemetry.incr O4a_telemetry.Telemetry.disabled
+             "bench.counter"));
+    Test.make ~name:"telemetry/incr-null-sink"
+      (Staged.stage
+         (let tel = O4a_telemetry.Telemetry.create () in
+          fun () -> O4a_telemetry.Telemetry.incr tel "bench.counter"));
     (* substrate benchmarks *)
     Test.make ~name:"substrate/parse-script"
       (Staged.stage (fun () -> ignore (Smtlib.Parser.parse_script fig1_src)));

@@ -3,10 +3,16 @@
    Subcommands:
      construct   run Algorithm 1 (generator construction + self-correction)
      fuzz        run a differential fuzzing campaign (Algorithm 2)
+     stats       summarize a --telemetry JSONL event log
      reduce      delta-debug a bug-triggering .smt2 file
      lineup      list the comparison fuzzers and variants *)
 
 open Cmdliner
+module Telemetry = O4a_telemetry.Telemetry
+module Sink = O4a_telemetry.Sink
+module Event = O4a_telemetry.Event
+module Json = O4a_telemetry.Json
+module Metrics = O4a_telemetry.Metrics
 
 let setup_logs verbose =
   Logs.set_reporter (Logs.format_reporter ());
@@ -22,6 +28,7 @@ let profile_of_name name =
 (* ---------------- construct ---------------- *)
 
 let construct seed profile_name verbose =
+  setup_logs verbose;
   let profile = profile_of_name profile_name in
   let client = Llm_sim.Client.create ~seed profile in
   let solvers = [ Solver.Engine.zeal (); Solver.Engine.cove () ] in
@@ -34,13 +41,15 @@ let construct seed profile_name verbose =
         report.Gensynth.Synthesis.theory_key report.initial_valid report.sample_num
         report.final_valid report.sample_num report.iterations
         (if Gensynth.Generator.is_clean gen then "" else "  (residual defects)");
-      if verbose then (
-        let rng = O4a_util.Rng.create (seed * 31) in
-        match Gensynth.Generator.generate gen ~rng with
-        | e ->
-          List.iter (fun d -> Printf.printf "    %s\n" d) e.Gensynth.Generator.decls;
-          Printf.printf "    term: %s\n" e.Gensynth.Generator.term
-        | exception Failure m -> Printf.printf "    (sample failed: %s)\n" m))
+      let rng = O4a_util.Rng.create (seed * 31) in
+      match Gensynth.Generator.generate gen ~rng with
+      | e ->
+        List.iter
+          (fun d -> Logs.debug (fun m -> m "  %s: %s" report.theory_key d))
+          e.Gensynth.Generator.decls;
+        Logs.debug (fun m -> m "  %s term: %s" report.theory_key e.Gensynth.Generator.term)
+      | exception Failure msg ->
+        Logs.debug (fun m -> m "  %s sample failed: %s" report.theory_key msg))
     Theories.Theory.all;
   Printf.printf "\nLLM usage: %d calls, %d tokens (one-time investment)\n"
     (Llm_sim.Client.call_count client)
@@ -49,19 +58,40 @@ let construct seed profile_name verbose =
 
 (* ---------------- fuzz ---------------- *)
 
-let fuzz seed budget profile_name no_skeletons show_formulas verbose =
+let fuzz seed budget profile_name no_skeletons show_formulas telemetry_path
+    progress verbose =
   setup_logs verbose;
+  match
+    match telemetry_path with
+    | None -> Ok Telemetry.disabled
+    | Some path -> (
+      try Ok (Telemetry.create ~sink:(Sink.open_jsonl path) ())
+      with Sys_error msg -> Error msg)
+  with
+  | Error msg ->
+    Printf.eprintf "cannot open telemetry log: %s\n" msg;
+    1
+  | Ok tel ->
+  Telemetry.set_global tel;
   let profile = profile_of_name profile_name in
   let campaign = Once4all.Campaign.prepare ~seed ~profile () in
   let seeds =
     Seeds.Corpus.filtered ~zeal:campaign.Once4all.Campaign.zeal
       ~cove:campaign.Once4all.Campaign.cove ()
   in
+  Logs.info (fun m ->
+      m "generators ready (%d); %d seeds, budget %d"
+        (List.length campaign.Once4all.Campaign.generators)
+        (List.length seeds) budget);
   Printf.printf "Generators ready (%d); fuzzing with %d seeds, budget %d...\n%!"
     (List.length campaign.Once4all.Campaign.generators)
     (List.length seeds) budget;
   let config =
-    { Once4all.Fuzz.default_config with Once4all.Fuzz.use_skeletons = not no_skeletons }
+    {
+      Once4all.Fuzz.default_config with
+      Once4all.Fuzz.use_skeletons = not no_skeletons;
+      progress_every = progress;
+    }
   in
   let report = Once4all.Campaign.fuzz ~seed:(seed + 1) ~config campaign ~seeds ~budget in
   let stats = report.Once4all.Campaign.stats in
@@ -79,9 +109,17 @@ let fuzz seed budget profile_name no_skeletons show_formulas verbose =
         print_endline
           (O4a_util.Strx.indent 6 c.representative.Once4all.Dedup.source))
     report.clusters;
+  (match telemetry_path with
+  | None -> ()
+  | Some path ->
+    Telemetry.emit tel "metrics"
+      [
+        ( "entries",
+          Json.List (List.map Metrics.entry_to_json (Telemetry.snapshot tel)) );
+      ];
+    Telemetry.flush tel;
+    Printf.printf "\ntelemetry written to %s\n" path);
   0
-
-(* ---------------- reduce ---------------- *)
 
 let read_file path =
   let ic = open_in_bin path in
@@ -89,6 +127,132 @@ let read_file path =
   let s = really_input_string ic n in
   close_in ic;
   s
+
+(* ---------------- stats ---------------- *)
+
+(* Offline summary of a --telemetry JSONL log: per-stage latency percentiles,
+   per-generator throughput, verdict mix, and a consistency check of the
+   final counters against the event stream. *)
+let stats_cmd path strict =
+  let lines =
+    read_file path |> String.split_on_char '\n'
+    |> List.filter (fun l -> String.trim l <> "")
+  in
+  let parsed = List.map Event.of_line lines in
+  let events = List.filter_map Result.to_option parsed in
+  let malformed = List.length parsed - List.length events in
+  let named name = List.filter (fun (e : Event.t) -> e.Event.name = name) events in
+  let str_field e k =
+    match Event.field k e with Some (Json.String s) -> Some s | _ -> None
+  in
+  let num_field e k = Option.bind (Event.field k e) Json.to_float in
+  let sort_rows rows = List.sort (fun (a, _) (b, _) -> compare a b) rows in
+  Printf.printf "%s: %d events, %d malformed line%s\n" path (List.length events)
+    malformed
+    (if malformed = 1 then "" else "s");
+  let elapsed =
+    match List.map (fun (e : Event.t) -> e.Event.ts) events with
+    | [] -> 0.
+    | ts -> O4a_util.Stats.maximum ts -. O4a_util.Stats.minimum ts
+  in
+  (* stage latency percentiles from "span" events *)
+  let by_stage =
+    named "span"
+    |> List.filter_map (fun e ->
+           match (str_field e "stage", num_field e "dur_us") with
+           | Some s, Some d -> Some (s, d /. 1000.)
+           | _ -> None)
+    |> O4a_util.Listx.group_by fst
+  in
+  if by_stage <> [] then (
+    Printf.printf "\nstage latency (ms):\n  %-16s %8s %10s %10s %10s\n" "stage"
+      "count" "p50" "p90" "p99";
+    List.iter
+      (fun (stage, group) ->
+        let ms = List.map snd group in
+        Printf.printf "  %-16s %8d %10.3f %10.3f %10.3f\n" stage
+          (List.length ms)
+          (O4a_util.Stats.percentile 50. ms)
+          (O4a_util.Stats.percentile 90. ms)
+          (O4a_util.Stats.percentile 99. ms))
+      (sort_rows by_stage));
+  (* per-generator validity / throughput from "fuzz.test" events *)
+  let tests = named "fuzz.test" in
+  let by_gen =
+    tests
+    |> List.concat_map (fun e ->
+           let gens =
+             match Event.field "gens" e with
+             | Some (Json.List l) ->
+               List.filter_map
+                 (function Json.String s -> Some s | _ -> None)
+                 l
+             | _ -> []
+           in
+           let ok =
+             match Event.field "parse_ok" e with
+             | Some (Json.Bool b) -> b
+             | _ -> false
+           in
+           let found =
+             match Event.field "finding" e with
+             | Some (Json.String _) -> true
+             | _ -> false
+           in
+           List.map (fun g -> (g, (ok, found))) gens)
+    |> O4a_util.Listx.group_by fst
+  in
+  if by_gen <> [] then (
+    Printf.printf "\ngenerators:\n  %-14s %8s %10s %9s %8s\n" "generator"
+      "picks" "parse-ok%" "findings" "picks/s";
+    List.iter
+      (fun (gen, group) ->
+        let picks = List.length group in
+        let ok = List.length (List.filter (fun (_, (ok, _)) -> ok) group) in
+        let found = List.length (List.filter (fun (_, (_, f)) -> f) group) in
+        Printf.printf "  %-14s %8d %10.1f %9d %8.1f\n" gen picks
+          (100. *. float_of_int ok /. float_of_int picks)
+          found
+          (if elapsed > 0. then float_of_int picks /. elapsed else 0.))
+      (sort_rows by_gen));
+  (* verdict mix from "oracle.verdict" events *)
+  let by_verdict =
+    named "oracle.verdict"
+    |> List.filter_map (fun e ->
+           match (str_field e "solver", str_field e "verdict") with
+           | Some s, Some v ->
+             Some ((s, v), Option.value ~default:0. (num_field e "steps"))
+           | _ -> None)
+    |> O4a_util.Listx.group_by fst
+  in
+  if by_verdict <> [] then (
+    Printf.printf "\nsolver verdicts:\n  %-8s %-10s %8s %12s\n" "solver"
+      "verdict" "count" "mean fuel";
+    List.iter
+      (fun ((solver, verdict), group) ->
+        Printf.printf "  %-8s %-10s %8d %12.0f\n" solver verdict
+          (List.length group)
+          (O4a_util.Stats.mean (List.map snd group)))
+      (sort_rows by_verdict));
+  (* totals from "campaign.end", checked against the event stream *)
+  let consistent = ref true in
+  (match named "campaign.end" with
+  | [ e ] ->
+    let get k =
+      match Event.field k e with Some (Json.Int n) -> n | _ -> 0
+    in
+    Printf.printf
+      "\ntotals: %d tests  parse-ok %d  solved %d  findings %d  (%.1fs)\n"
+      (get "tests") (get "parse_ok") (get "solved") (get "findings") elapsed;
+    if get "tests" <> List.length tests then (
+      consistent := false;
+      Printf.printf
+        "WARNING: campaign.end reports %d tests but the log holds %d fuzz.test events\n"
+        (get "tests") (List.length tests))
+  | _ -> Printf.printf "\n(no campaign.end event; log may be truncated)\n");
+  if strict && (malformed > 0 || not !consistent) then 1 else 0
+
+(* ---------------- reduce ---------------- *)
 
 let reduce path =
   let source = read_file path in
@@ -167,10 +331,32 @@ let fuzz_cmd =
   let budget = Arg.(value & opt int 2000 & info [ "budget" ] ~docv:"N" ~doc:"test cases") in
   let no_skel = Arg.(value & flag & info [ "no-skeletons" ] ~doc:"the w/oS ablation") in
   let show = Arg.(value & flag & info [ "show-formulas" ] ~doc:"print representative formulas") in
+  let telemetry =
+    Arg.(value & opt (some string) None
+         & info [ "telemetry" ] ~docv:"FILE"
+             ~doc:"write a JSONL event log (read it back with the stats subcommand)")
+  in
+  let progress =
+    Arg.(value & opt int 500
+         & info [ "progress" ] ~docv:"N"
+             ~doc:"emit a progress report every N tests (0 disables)")
+  in
   let verbose = Arg.(value & flag & info [ "verbose"; "v" ] ~doc:"log campaign progress") in
   Cmd.v
     (Cmd.info "fuzz" ~doc:"run a skeleton-guided differential campaign (Algorithm 2)")
-    Term.(const fuzz $ seed_arg $ budget $ profile_arg $ no_skel $ show $ verbose)
+    Term.(const fuzz $ seed_arg $ budget $ profile_arg $ no_skel $ show
+          $ telemetry $ progress $ verbose)
+
+let stats_cmd_v =
+  let file = Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE") in
+  let strict =
+    Arg.(value & flag
+         & info [ "strict" ]
+             ~doc:"exit nonzero on malformed lines or counter mismatches")
+  in
+  Cmd.v
+    (Cmd.info "stats" ~doc:"summarize a --telemetry JSONL event log")
+    Term.(const stats_cmd $ file $ strict)
 
 let reduce_cmd =
   let file = Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE") in
@@ -189,6 +375,6 @@ let lineup_cmd =
 let main =
   Cmd.group
     (Cmd.info "once4all" ~doc:"skeleton-guided SMT solver fuzzing with LLM-synthesized generators")
-    [ construct_cmd; fuzz_cmd; reduce_cmd; report_cmd; lineup_cmd ]
+    [ construct_cmd; fuzz_cmd; stats_cmd_v; reduce_cmd; report_cmd; lineup_cmd ]
 
 let () = exit (Cmd.eval' main)

@@ -1,6 +1,8 @@
 open Theories
 module Rng = O4a_util.Rng
 module Cfg = Grammar_kit.Cfg
+module Telemetry = O4a_telemetry.Telemetry
+module Json = O4a_telemetry.Json
 
 type report = {
   theory_key : string;
@@ -197,7 +199,9 @@ let repair ~client gen categories iteration =
   }
 
 let self_correct ?(max_iter = max_iter) ~client ~solvers gen =
+  let tel = Telemetry.global () in
   let calls_before = Llm_sim.Client.call_count client in
+  let tokens_before = Llm_sim.Client.token_count client in
   let theory_key = gen.Generator.theory.Theory.key in
   let rng_at iter =
     Llm_sim.Client.rng_for client (Printf.sprintf "samples:%s:%d" theory_key iter)
@@ -205,6 +209,14 @@ let self_correct ?(max_iter = max_iter) ~client ~solvers gen =
   (* iterate: validate the current generator; refine while samples fail and
      budget remains; keep the best version seen (Algorithm 1, line 31) *)
   let rec loop iter gen valid errors best best_valid history =
+    Telemetry.incr tel ~labels:[ ("theory", theory_key) ] "synthesis.iterations";
+    Telemetry.emit tel "synthesis.iteration"
+      [
+        ("theory", Json.String theory_key);
+        ("iteration", Json.Int iter);
+        ("valid", Json.Int valid);
+        ("samples", Json.Int sample_num);
+      ];
     let best, best_valid = if valid > best_valid then (gen, valid) else (best, best_valid) in
     let history = (iter, valid) :: history in
     if valid >= sample_num || iter >= max_iter then
@@ -225,6 +237,11 @@ let self_correct ?(max_iter = max_iter) ~client ~solvers gen =
   let best, iterations, final_valid, history =
     loop 0 gen initial_valid initial_errors gen (-1) []
   in
+  let llm_calls = Llm_sim.Client.call_count client - calls_before in
+  Telemetry.incr tel ~by:llm_calls "llm.calls";
+  Telemetry.incr tel
+    ~by:(Llm_sim.Client.token_count client - tokens_before)
+    "llm.tokens";
   ( best,
     {
       theory_key;
@@ -233,7 +250,7 @@ let self_correct ?(max_iter = max_iter) ~client ~solvers gen =
       initial_valid;
       final_valid;
       history;
-      llm_calls = Llm_sim.Client.call_count client - calls_before;
+      llm_calls;
     } )
 
 let construct ?max_iter ~client ~solvers theory =

@@ -1,6 +1,8 @@
 let log_src = Logs.Src.create "once4all" ~doc:"Once4All campaign events"
 
 module Log = (val Logs.src_log log_src : Logs.LOG)
+module Telemetry = O4a_telemetry.Telemetry
+module Json = O4a_telemetry.Json
 
 type t = {
   generators : Gensynth.Generator.t list;
@@ -10,7 +12,9 @@ type t = {
   cove : Solver.Engine.t;
 }
 
-let prepare ?(seed = 42) ?(profile = Llm_sim.Profile.gpt4) ?zeal ?cove ?theories () =
+let prepare ?(seed = 42) ?(profile = Llm_sim.Profile.gpt4) ?zeal ?cove ?theories
+    ?telemetry () =
+  let tel = match telemetry with Some t -> t | None -> Telemetry.global () in
   let zeal = Option.value zeal ~default:(Solver.Engine.zeal ()) in
   let cove = Option.value cove ~default:(Solver.Engine.cove ()) in
   let theories = Option.value theories ~default:Theories.Theory.all in
@@ -21,8 +25,23 @@ let prepare ?(seed = 42) ?(profile = Llm_sim.Profile.gpt4) ?zeal ?cove ?theories
   let built =
     List.map
       (fun theory ->
-        let result = Gensynth.Synthesis.construct ~client ~solvers:[ zeal; cove ] theory in
+        let result =
+          Telemetry.with_span tel
+            ~labels:[ ("theory", theory.Theories.Theory.key) ]
+            "construct"
+            (fun () ->
+              Gensynth.Synthesis.construct ~client ~solvers:[ zeal; cove ] theory)
+        in
         let report = snd result in
+        Telemetry.emit tel "gen.construct"
+          [
+            ("theory", Json.String report.Gensynth.Synthesis.theory_key);
+            ("initial_valid", Json.Int report.Gensynth.Synthesis.initial_valid);
+            ("final_valid", Json.Int report.Gensynth.Synthesis.final_valid);
+            ("samples", Json.Int report.Gensynth.Synthesis.sample_num);
+            ("iterations", Json.Int report.Gensynth.Synthesis.iterations);
+            ("llm_calls", Json.Int report.Gensynth.Synthesis.llm_calls);
+          ];
         Log.info (fun m ->
             m "generator %-14s initial %2d/%d final %2d/%d iterations %d"
               report.Gensynth.Synthesis.theory_key report.initial_valid
@@ -47,17 +66,20 @@ type report = {
   llm_tokens : int;
 }
 
-let fuzz ?(seed = 1337) ?config t ~seeds ~budget =
+let fuzz ?(seed = 1337) ?config ?telemetry t ~seeds ~budget =
+  let tel = match telemetry with Some t -> t | None -> Telemetry.global () in
   let rng = O4a_util.Rng.create seed in
   let stats =
-    Fuzz.run ~rng ?config ~generators:t.generators ~seeds ~zeal:t.zeal ~cove:t.cove
-      ~budget ()
+    Fuzz.run ~rng ?config ~telemetry:tel ~generators:t.generators ~seeds
+      ~zeal:t.zeal ~cove:t.cove ~budget ()
   in
   Log.info (fun m ->
       m "campaign finished: %d tests, %d solved, %d bug-triggering formulas"
         stats.Fuzz.tests stats.Fuzz.solved
         (List.length stats.Fuzz.findings));
-  let clusters = Dedup.cluster stats.Fuzz.findings in
+  let clusters =
+    Telemetry.with_span tel "dedup" (fun () -> Dedup.cluster stats.Fuzz.findings)
+  in
   List.iter
     (fun (c : Dedup.cluster) ->
       Log.debug (fun m ->
@@ -72,10 +94,20 @@ let fuzz ?(seed = 1337) ?config t ~seeds ~budget =
     |> List.filter_map (fun f -> f.Dedup.finding.Oracle.bug_id)
     |> O4a_util.Listx.dedup
   in
-  {
-    stats;
-    clusters;
-    found_bug_ids;
-    llm_calls = Llm_sim.Client.call_count t.client;
-    llm_tokens = Llm_sim.Client.token_count t.client;
-  }
+  let report =
+    {
+      stats;
+      clusters;
+      found_bug_ids;
+      llm_calls = Llm_sim.Client.call_count t.client;
+      llm_tokens = Llm_sim.Client.token_count t.client;
+    }
+  in
+  Telemetry.emit tel "campaign.report"
+    [
+      ("clusters", Json.Int (List.length clusters));
+      ("found_bug_ids", Json.Int (List.length found_bug_ids));
+      ("llm_calls", Json.Int report.llm_calls);
+      ("llm_tokens", Json.Int report.llm_tokens);
+    ];
+  report

@@ -19,10 +19,13 @@ val prepare :
   ?zeal:Solver.Engine.t ->
   ?cove:Solver.Engine.t ->
   ?theories:Theories.Theory.info list ->
+  ?telemetry:O4a_telemetry.Telemetry.t ->
   unit ->
   t
 (** Build the generator library (the one-time LLM investment). Defaults:
-    gpt-4 profile, trunk solvers, all theories. *)
+    gpt-4 profile, trunk solvers, all theories. When telemetry is enabled,
+    each theory's construction runs under a ["construct"] span and emits a
+    ["gen.construct"] event with its validity trajectory. *)
 
 type report = {
   stats : Fuzz.stats;
@@ -35,7 +38,11 @@ type report = {
 val fuzz :
   ?seed:int ->
   ?config:Fuzz.config ->
+  ?telemetry:O4a_telemetry.Telemetry.t ->
   t ->
   seeds:Script.t list ->
   budget:int ->
   report
+(** Run the campaign (see {!Fuzz.run} for the telemetry it produces); the
+    final de-duplication runs under a ["dedup"] span and the whole run is
+    summarized by a ["campaign.report"] event. *)

@@ -1,5 +1,11 @@
 open Smtlib
 module Rng = O4a_util.Rng
+module Telemetry = O4a_telemetry.Telemetry
+module Json = O4a_telemetry.Json
+
+let log_src = Logs.Src.create "once4all.fuzz" ~doc:"Once4All fuzzing loop"
+
+module Log = (val Logs.src_log log_src : Logs.LOG)
 
 type schedule = Uniform | Coverage_guided
 
@@ -13,6 +19,7 @@ type config = {
   direct_terms_max : int;
   max_steps : int;
   max_seed_growth : int;
+  progress_every : int;
 }
 
 let default_config =
@@ -26,6 +33,7 @@ let default_config =
     direct_terms_max = 3;
     max_steps = 60_000;
     max_seed_growth = 400;
+    progress_every = 500;
   }
 
 type stats = {
@@ -106,35 +114,138 @@ let coverage_hits () =
   let c = O4a_coverage.Coverage.snapshot O4a_coverage.Coverage.Cove in
   z.O4a_coverage.Coverage.lines_hit + c.O4a_coverage.Coverage.lines_hit
 
-let one_mutation ~rng ~config ~generators current =
-  if not config.use_skeletons then
-    Synthesize.direct ~rng ~generators
-      ~terms:(1 + Rng.int rng config.direct_terms_max)
+let one_mutation ~tel ~rng ~config ~generators current =
+  let direct () =
+    Telemetry.with_span tel "generate" (fun () ->
+        Synthesize.direct ~rng ~generators
+          ~terms:(1 + Rng.int rng config.direct_terms_max))
+  in
+  if not config.use_skeletons then direct ()
   else if config.mixed_sorts then (
     let supported sort =
       List.exists (fun g -> Gensynth.Generator.supports_sort g sort) generators
     in
     let skeleton, hole_sorts =
-      Skeleton.skeletonize_typed ~rng ~keep_prob:config.keep_prob ~supported current
+      Telemetry.with_span tel "skeletonize" (fun () ->
+          Skeleton.skeletonize_typed ~rng ~keep_prob:config.keep_prob ~supported
+            current)
     in
-    if hole_sorts = [] then
-      Synthesize.direct ~rng ~generators ~terms:(1 + Rng.int rng config.direct_terms_max)
+    if hole_sorts = [] then direct ()
     else
-      Synthesize.fill_typed ~swap_prob:config.adapt_prob ~rng ~generators ~skeleton
-        ~hole_sorts ())
+      Telemetry.with_span tel "synthesize" (fun () ->
+          Synthesize.fill_typed ~swap_prob:config.adapt_prob ~rng ~generators
+            ~skeleton ~hole_sorts ()))
   else (
-    let skeleton, holes = Skeleton.skeletonize ~rng ~keep_prob:config.keep_prob current in
-    if holes = 0 then
-      Synthesize.direct ~rng ~generators ~terms:(1 + Rng.int rng config.direct_terms_max)
-    else Synthesize.fill ~swap_prob:config.adapt_prob ~rng ~generators ~skeleton ~holes ())
+    let skeleton, holes =
+      Telemetry.with_span tel "skeletonize" (fun () ->
+          Skeleton.skeletonize ~rng ~keep_prob:config.keep_prob current)
+    in
+    if holes = 0 then direct ()
+    else
+      Telemetry.with_span tel "synthesize" (fun () ->
+          Synthesize.fill ~swap_prob:config.adapt_prob ~rng ~generators ~skeleton
+            ~holes ()))
 
-let run ~rng ?(config = default_config) ~generators ~seeds ~zeal ~cove ~budget () =
+(* per-test telemetry: overall and per-generator counters plus one
+   ["fuzz.test"] event *)
+let record_test tel (filled : Synthesize.filled) (outcome : Oracle.outcome) =
+  if Telemetry.enabled tel then (
+    let parse_ok = filled.Synthesize.parsed <> None in
+    let found = outcome.Oracle.finding <> None in
+    Telemetry.incr tel "fuzz.tests";
+    if parse_ok then Telemetry.incr tel "fuzz.parse_ok";
+    if outcome.Oracle.solved then Telemetry.incr tel "fuzz.solved";
+    if found then Telemetry.incr tel "fuzz.findings";
+    Telemetry.incr tel ~by:(String.length filled.Synthesize.source) "fuzz.bytes";
+    List.iter
+      (fun key ->
+        let labels = [ ("generator", key) ] in
+        Telemetry.incr tel ~labels "fuzz.generator.picks";
+        if parse_ok then Telemetry.incr tel ~labels "fuzz.generator.parse_ok";
+        if found then Telemetry.incr tel ~labels "fuzz.generator.findings")
+      filled.Synthesize.theories_spliced;
+    Telemetry.emit tel "fuzz.test"
+      [
+        ( "gens",
+          Json.List
+            (List.map (fun k -> Json.String k) filled.Synthesize.theories_spliced)
+        );
+        ("parse_ok", Json.Bool parse_ok);
+        ("solved", Json.Bool outcome.Oracle.solved);
+        ("bytes", Json.Int (String.length filled.Synthesize.source));
+        ( "finding",
+          match outcome.Oracle.finding with
+          | Some f -> Json.String (Solver.Bug_db.kind_to_string f.Oracle.kind)
+          | None -> Json.Null );
+      ])
+
+let report_progress tel ~config ~started ~generators stats =
+  if config.progress_every > 0 && stats.tests mod config.progress_every = 0 then (
+    let elapsed = Telemetry.now tel -. started in
+    let tps = if elapsed > 0. then float_of_int stats.tests /. elapsed else 0. in
+    let parse_pct =
+      if stats.tests = 0 then 0.
+      else 100. *. float_of_int stats.parse_ok /. float_of_int stats.tests
+    in
+    (* per-generator pick counts live in the metrics registry, so they are
+       only available on a live handle; the log line works either way *)
+    let picks =
+      if not (Telemetry.enabled tel) then []
+      else
+        List.map
+          (fun g ->
+            let key = g.Gensynth.Generator.theory.Theories.Theory.key in
+            ( key,
+              Telemetry.counter_value tel
+                ~labels:[ ("generator", key) ]
+                "fuzz.generator.picks" ))
+          generators
+    in
+    Log.info (fun m ->
+        m "progress: %d tests (%.0f/s), parse-ok %.1f%%, %d findings%s"
+          stats.tests tps parse_pct
+          (List.length stats.findings)
+          (if picks = [] then ""
+           else
+             Printf.sprintf ", picks [%s]"
+               (String.concat " "
+                  (List.map (fun (k, n) -> Printf.sprintf "%s:%d" k n) picks))));
+    Telemetry.emit tel "progress"
+      [
+        ("tests", Json.Int stats.tests);
+        ("elapsed_s", Json.Float elapsed);
+        ("tests_per_s", Json.Float tps);
+        ("parse_ok_pct", Json.Float parse_pct);
+        ("findings", Json.Int (List.length stats.findings));
+        ("picks", Json.Obj (List.map (fun (k, n) -> (k, Json.Int n)) picks));
+      ])
+
+let stats_fields stats =
+  [
+    ("tests", Json.Int stats.tests);
+    ("parse_ok", Json.Int stats.parse_ok);
+    ("solved", Json.Int stats.solved);
+    ("bytes_total", Json.Int stats.bytes_total);
+    ("findings", Json.Int (List.length stats.findings));
+  ]
+
+let run ~rng ?(config = default_config) ?telemetry ~generators ~seeds ~zeal ~cove
+    ~budget () =
   if generators = [] then invalid_arg "Fuzz.run: no generators";
   if seeds = [] then invalid_arg "Fuzz.run: no seeds";
+  let tel = match telemetry with Some t -> t | None -> Telemetry.global () in
   let bandit = Bandit.create () in
   let stats = ref empty_stats in
+  let started = Telemetry.now tel in
+  Telemetry.emit tel "campaign.start"
+    [
+      ("budget", Json.Int budget);
+      ("seeds", Json.Int (List.length seeds));
+      ("generators", Json.Int (List.length generators));
+      ("skeletons", Json.Bool config.use_skeletons);
+    ];
   while !stats.tests < budget do
-    let seed = Rng.choose rng seeds in
+    let seed = Telemetry.with_span tel "seed.select" (fun () -> Rng.choose rng seeds) in
     let current = ref seed in
     let rounds = min config.mutations_per_seed (budget - !stats.tests) in
     for _ = 1 to rounds do
@@ -144,9 +255,11 @@ let run ~rng ?(config = default_config) ~generators ~seeds ~zeal ~cove ~budget (
         | Coverage_guided -> [ Bandit.pick bandit ~rng generators ]
       in
       let before = coverage_hits () in
-      let filled = one_mutation ~rng ~config ~generators:mutation_generators !current in
+      let filled =
+        one_mutation ~tel ~rng ~config ~generators:mutation_generators !current
+      in
       let outcome =
-        Oracle.test ~max_steps:config.max_steps ~zeal ~cove
+        Oracle.test ~max_steps:config.max_steps ~telemetry:tel ~zeal ~cove
           ~source:filled.Synthesize.source ()
       in
       (match config.schedule with
@@ -155,6 +268,8 @@ let run ~rng ?(config = default_config) ~generators ~seeds ~zeal ~cove ~budget (
           (float_of_int (coverage_hits () - before))
       | Uniform -> ());
       stats := record !stats filled outcome;
+      record_test tel filled outcome;
+      report_progress tel ~config ~started ~generators !stats;
       (* Algorithm 2, line 9: the synthesized formula becomes the next seed *)
       (match filled.Synthesize.parsed with
       | Some script when Script.size script <= config.max_seed_growth ->
@@ -162,13 +277,15 @@ let run ~rng ?(config = default_config) ~generators ~seeds ~zeal ~cove ~budget (
       | _ -> current := seed)
     done
   done;
+  Telemetry.emit tel "campaign.end" (stats_fields !stats);
   { !stats with findings = List.rev !stats.findings }
 
-let run_sources ?(max_steps = 60_000) ~zeal ~cove sources =
+let run_sources ?(max_steps = 60_000) ?telemetry ~zeal ~cove sources =
+  let tel = match telemetry with Some t -> t | None -> Telemetry.global () in
   let stats =
     List.fold_left
       (fun stats source ->
-        let outcome = Oracle.test ~max_steps ~zeal ~cove ~source () in
+        let outcome = Oracle.test ~max_steps ~telemetry:tel ~zeal ~cove ~source () in
         let filled =
           {
             Synthesize.source;
@@ -176,6 +293,7 @@ let run_sources ?(max_steps = 60_000) ~zeal ~cove sources =
             theories_spliced = [];
           }
         in
+        record_test tel filled outcome;
         record stats filled outcome)
       empty_stats sources
   in

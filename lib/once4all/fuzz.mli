@@ -21,6 +21,9 @@ type config = {
   direct_terms_max : int;  (** terms per formula in the w/oS variant *)
   max_steps : int;  (** solver fuel per query (the 10 s timeout analog) *)
   max_seed_growth : int;  (** reset to the seed when formulas exceed this size *)
+  progress_every : int;
+      (** emit a ["progress"] event + [Logs.info] line every N tests when
+          telemetry is enabled (0 disables the reporter) *)
 }
 
 val default_config : config
@@ -36,6 +39,7 @@ type stats = {
 val run :
   rng:O4a_util.Rng.t ->
   ?config:config ->
+  ?telemetry:O4a_telemetry.Telemetry.t ->
   generators:Gensynth.Generator.t list ->
   seeds:Script.t list ->
   zeal:Solver.Engine.t ->
@@ -43,10 +47,15 @@ val run :
   budget:int ->
   unit ->
   stats
-(** Run [budget] tests. *)
+(** Run [budget] tests. [telemetry] (default: the ambient global handle)
+    receives stage spans ([seed.select], [skeletonize], [generate],
+    [synthesize], and the oracle's nested spans), the [fuzz.*] counters
+    — whose snapshot mirrors the returned {!stats} — one ["fuzz.test"]
+    event per test, and periodic ["progress"] events. *)
 
 val run_sources :
   ?max_steps:int ->
+  ?telemetry:O4a_telemetry.Telemetry.t ->
   zeal:Solver.Engine.t ->
   cove:Solver.Engine.t ->
   string list ->

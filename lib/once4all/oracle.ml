@@ -3,6 +3,7 @@ module Coverage = O4a_coverage.Coverage
 module Engine = Solver.Engine
 module Runner = Solver.Runner
 module Bug_db = Solver.Bug_db
+module Telemetry = O4a_telemetry.Telemetry
 
 type finding = {
   kind : Bug_db.kind;
@@ -64,9 +65,12 @@ let model_verdict script model =
   | Solver.Model.Fails _ -> `Fails
   | Solver.Model.Check_unknown _ -> `Unknown
 
-let test ?(max_steps = 200_000) ~zeal ~cove ~source () =
-  match Parser.parse_script source with
+let test ?(max_steps = 200_000) ?telemetry ~zeal ~cove ~source () =
+  let tel = match telemetry with Some t -> t | None -> Telemetry.global () in
+  Telemetry.with_span tel "oracle.compare" @@ fun () ->
+  match Telemetry.with_span tel "parse" (fun () -> Parser.parse_script source) with
   | Error e ->
+    Telemetry.incr tel "oracle.parse_errors";
     {
       finding = None;
       results = [ ("parser", Parser.error_message e) ];
@@ -79,7 +83,7 @@ let test ?(max_steps = 200_000) ~zeal ~cove ~source () =
       else [ cove; previous_release_engine cove ]
     in
     let runs =
-      List.map (fun e -> (e, Runner.run ~max_steps e script)) engines
+      List.map (fun e -> (e, Runner.run ~max_steps ~telemetry:tel e script)) engines
     in
     let results =
       List.map (fun (e, r) -> (Engine.name e, Runner.result_to_string r)) runs
@@ -148,4 +152,22 @@ let test ?(max_steps = 200_000) ~zeal ~cove ~source () =
       | None, Some f, _ -> Some f
       | None, None, f -> f
     in
+    (match finding with
+    | Some f ->
+      let kind = Bug_db.kind_to_string f.kind in
+      Telemetry.incr tel
+        ~labels:[ ("kind", kind); ("solver", f.solver_name) ]
+        "oracle.findings";
+      Telemetry.emit tel "oracle.finding"
+        [
+          ("kind", O4a_telemetry.Json.String kind);
+          ("solver", O4a_telemetry.Json.String f.solver_name);
+          ("signature", O4a_telemetry.Json.String f.signature);
+          ("theory", O4a_telemetry.Json.String f.theory);
+          ( "bug_id",
+            match f.bug_id with
+            | Some id -> O4a_telemetry.Json.String id
+            | None -> O4a_telemetry.Json.Null );
+        ]
+    | None -> ());
     { finding; results; solved }

@@ -32,12 +32,17 @@ type outcome = {
 
 val test :
   ?max_steps:int ->
+  ?telemetry:O4a_telemetry.Telemetry.t ->
   zeal:Solver.Engine.t ->
   cove:Solver.Engine.t ->
   source:string ->
   unit ->
   outcome
-(** Run the differential test on SMT-LIB source text. *)
+(** Run the differential test on SMT-LIB source text. [telemetry] defaults
+    to the ambient global handle; when enabled the test is wrapped in an
+    ["oracle.compare"] span with nested ["parse"] and per-solver
+    ["solver.run"] spans, and each solver run emits an ["oracle.verdict"]
+    event (see {!Solver.Runner.run}). *)
 
 val attribute :
   Solver.Engine.t -> Script.t -> kind:Solver.Bug_db.kind -> string option

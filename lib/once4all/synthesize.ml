@@ -2,6 +2,10 @@ open Smtlib
 module Rng = O4a_util.Rng
 module Generator = Gensynth.Generator
 
+(* the adapt stage is deep inside hole-filling, far from any [?telemetry]
+   parameter, so it reads the ambient handle *)
+let adapt_span f = O4a_telemetry.Telemetry.with_span (O4a_telemetry.Telemetry.global ()) "adapt" f
+
 type filled = {
   source : string;
   parsed : Script.t option;
@@ -68,7 +72,9 @@ let generate_fill ~rng ~swap_prob ~seed_vars ~taken generator =
     | Ok term, Some decls ->
       let term, decls, taken = rename_clashes ~taken term decls in
       let term_vars = decl_vars decls in
-      let term, remaining = Adapt.adapt ~rng ~swap_prob ~seed_vars ~term_vars term in
+      let term, remaining =
+        adapt_span (fun () -> Adapt.adapt ~rng ~swap_prob ~seed_vars ~term_vars term)
+      in
       (* drop declarations of variables adapted away *)
       let decls =
         List.filter
@@ -173,7 +179,9 @@ let generate_fill_of_sort ~rng ~swap_prob ~seed_vars ~taken generator sort =
     | Ok term, Some decls ->
       let term, decls, taken = rename_clashes ~taken term decls in
       let term_vars = decl_vars decls in
-      let term, remaining = Adapt.adapt ~rng ~swap_prob ~seed_vars ~term_vars term in
+      let term, remaining =
+        adapt_span (fun () -> Adapt.adapt ~rng ~swap_prob ~seed_vars ~term_vars term)
+      in
       let decls =
         List.filter
           (function

@@ -1,6 +1,19 @@
 open Smtlib
 module Coverage = O4a_coverage.Coverage
 
+(* Per-engine activity accounting: cumulative decision/propagation tallies
+   (kept by a thin wrapper over the coverage callback — plain integer
+   increments, cheap enough to stay always-on) plus the last query's deltas,
+   which the telemetry layer reads through {!last_query_stats}. *)
+type activity = {
+  mutable queries : int;
+  mutable decisions : int;
+  mutable propagations : int;
+  mutable last_steps : int;
+  mutable last_decisions : int;
+  mutable last_propagations : int;
+}
+
 type t = {
   tag : Coverage.solver_tag;
   commit : int;
@@ -8,6 +21,8 @@ type t = {
   rules : Rewrite.rule list;
   order : Search.order;
   cov : string -> int -> unit;
+  act : activity;
+  steps_used : int ref;
 }
 
 type outcome =
@@ -187,6 +202,25 @@ let cov_fn tag =
 (* ------------------------------------------------------------------ *)
 
 let make ?(pure = false) tag ~commit =
+  let act =
+    {
+      queries = 0;
+      decisions = 0;
+      propagations = 0;
+      last_steps = 0;
+      last_decisions = 0;
+      last_propagations = 0;
+    }
+  in
+  let base_cov = cov_fn tag in
+  let cov key line =
+    if line = 0 then
+      if O4a_util.Strx.starts_with ~prefix:"domain." key then
+        act.decisions <- act.decisions + 1
+      else if O4a_util.Strx.starts_with ~prefix:"propagate." key then
+        act.propagations <- act.propagations + 1;
+    base_cov key line
+  in
   {
     tag;
     commit;
@@ -196,7 +230,9 @@ let make ?(pure = false) tag ~commit =
       | Coverage.Zeal -> Rewrite.zeal_rules
       | Coverage.Cove -> Rewrite.cove_rules);
     order = (match tag with Coverage.Zeal -> Search.Ascending | Coverage.Cove -> Search.Descending);
-    cov = cov_fn tag;
+    cov;
+    act;
+    steps_used = ref 0;
   }
 
 let zeal ?commit () =
@@ -340,7 +376,7 @@ let corrupt_model t script (model : Model.t) =
   in
   Option.value falsifying ~default:model
 
-let solve_script ?(max_steps = 200_000) t script =
+let solve_script_inner ?(max_steps = 200_000) t script =
   List.iter (fun cmd -> t.cov (command_key cmd) 0) script;
   (* 1. unsupported features *)
   match unsupported_symbol t script with
@@ -392,7 +428,10 @@ let solve_script ?(max_steps = 200_000) t script =
               t.cov "propagate.empty" 0;
               Unsat)
             else (
-              match Search.solve ~max_steps ~order:t.order ~cov:t.cov ~bounds simplified with
+              match
+                Search.solve ~max_steps ~order:t.order ~cov:t.cov ~bounds
+                  ~steps_used:t.steps_used simplified
+              with
               | Search.Sat model -> Sat model
               | Search.Unsat -> Unsat
               | Search.Unknown reason -> Unknown reason)
@@ -409,6 +448,28 @@ let solve_script ?(max_steps = 200_000) t script =
             | Sat model -> Sat (corrupt_model t script model)
             | other -> other)
           | [] -> outcome))))
+
+type query_stats = { steps : int; decisions : int; propagations : int }
+
+let solve_script ?max_steps t script =
+  t.act.queries <- t.act.queries + 1;
+  let base_decisions = t.act.decisions and base_propagations = t.act.propagations in
+  t.steps_used := 0;
+  let finish () =
+    t.act.last_steps <- !(t.steps_used);
+    t.act.last_decisions <- t.act.decisions - base_decisions;
+    t.act.last_propagations <- t.act.propagations - base_propagations
+  in
+  Fun.protect ~finally:finish (fun () -> solve_script_inner ?max_steps t script)
+
+let last_query_stats t =
+  {
+    steps = t.act.last_steps;
+    decisions = t.act.last_decisions;
+    propagations = t.act.last_propagations;
+  }
+
+let total_queries t = t.act.queries
 
 let parse_check t source =
   match Parser.parse_script source with

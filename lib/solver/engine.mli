@@ -46,6 +46,22 @@ val supports_script : t -> Script.t -> bool
 val solve_script : ?max_steps:int -> t -> Script.t -> outcome
 (** May raise {!Crash}. *)
 
+(** {1 Per-query activity}
+
+    Lightweight always-on accounting the telemetry layer reads after each
+    query: evaluator fuel consumed, decision count (domain enumerations
+    started), and propagation count. *)
+
+type query_stats = { steps : int; decisions : int; propagations : int }
+
+val last_query_stats : t -> query_stats
+(** Activity of the most recent {!solve_script} / {!solve_source} call on
+    this engine (zeros before the first call, or for a query that crashed
+    before reaching the search). *)
+
+val total_queries : t -> int
+(** How many queries this engine instance has answered. *)
+
 val solve_source : ?max_steps:int -> t -> string -> outcome
 (** Parse, check and solve SMT-LIB source text. Parse failures are reported
     as [Error] (never raised). May raise {!Crash}. *)

@@ -1,3 +1,5 @@
+module Telemetry = O4a_telemetry.Telemetry
+module Json = O4a_telemetry.Json
 
 type result =
   | R_sat of Model.t
@@ -15,15 +17,60 @@ let of_outcome = function
     else R_unknown reason
   | Engine.Error msg -> R_error msg
 
-let run ?max_steps engine script =
-  match Engine.solve_script ?max_steps engine script with
-  | outcome -> of_outcome outcome
-  | exception Engine.Crash { signature; bug_id; _ } -> R_crash { signature; bug_id }
+let verdict_label = function
+  | R_sat _ -> "sat"
+  | R_unsat -> "unsat"
+  | R_unknown _ -> "unknown"
+  | R_error _ -> "error"
+  | R_crash _ -> "crash"
+  | R_timeout -> "timeout"
 
-let run_source ?max_steps engine source =
-  match Engine.solve_source ?max_steps engine source with
-  | outcome -> of_outcome outcome
-  | exception Engine.Crash { signature; bug_id; _ } -> R_crash { signature; bug_id }
+(* Record one solver query: the span covers the whole engine run; the
+   oracle.verdict event carries the verdict plus the engine's per-query
+   activity (fuel, decisions, propagations). *)
+let observed tel engine f =
+  if not (Telemetry.enabled tel) then f ()
+  else (
+    let solver = Engine.name engine in
+    let result =
+      Telemetry.with_span tel ~labels:[ ("solver", solver) ] "solver.run" f
+    in
+    let q = Engine.last_query_stats engine in
+    Telemetry.incr tel ~labels:[ ("solver", solver) ] "solver.queries";
+    Telemetry.incr tel
+      ~labels:[ ("solver", solver); ("verdict", verdict_label result) ]
+      "solver.verdicts";
+    Telemetry.incr tel ~labels:[ ("solver", solver) ] ~by:q.Engine.steps
+      "solver.fuel";
+    Telemetry.incr tel ~labels:[ ("solver", solver) ] ~by:q.Engine.decisions
+      "solver.decisions";
+    Telemetry.incr tel ~labels:[ ("solver", solver) ]
+      ~by:q.Engine.propagations "solver.propagations";
+    Telemetry.observe tel ~labels:[ ("solver", solver) ] "solver.fuel_per_query"
+      (float_of_int q.Engine.steps);
+    Telemetry.emit tel "oracle.verdict"
+      [
+        ("solver", Json.String solver);
+        ("verdict", Json.String (verdict_label result));
+        ("steps", Json.Int q.Engine.steps);
+        ("decisions", Json.Int q.Engine.decisions);
+        ("propagations", Json.Int q.Engine.propagations);
+      ];
+    result)
+
+let run ?max_steps ?telemetry engine script =
+  let tel = match telemetry with Some t -> t | None -> Telemetry.global () in
+  observed tel engine (fun () ->
+      match Engine.solve_script ?max_steps engine script with
+      | outcome -> of_outcome outcome
+      | exception Engine.Crash { signature; bug_id; _ } -> R_crash { signature; bug_id })
+
+let run_source ?max_steps ?telemetry engine source =
+  let tel = match telemetry with Some t -> t | None -> Telemetry.global () in
+  observed tel engine (fun () ->
+      match Engine.solve_source ?max_steps engine source with
+      | outcome -> of_outcome outcome
+      | exception Engine.Crash { signature; bug_id; _ } -> R_crash { signature; bug_id })
 
 let result_to_string = function
   | R_sat _ -> "sat"

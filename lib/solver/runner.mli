@@ -12,11 +12,23 @@ type result =
   | R_crash of { signature : string; bug_id : string }
   | R_timeout
 
-val run : ?max_steps:int -> Engine.t -> Smtlib.Script.t -> result
+val run :
+  ?max_steps:int -> ?telemetry:O4a_telemetry.Telemetry.t -> Engine.t ->
+  Smtlib.Script.t -> result
+(** [telemetry] defaults to the ambient {!O4a_telemetry.Telemetry.global}
+    handle. When enabled, each run is wrapped in a ["solver.run"] span and
+    emits an ["oracle.verdict"] event carrying the verdict and the engine's
+    per-query fuel/decision/propagation counts. *)
 
-val run_source : ?max_steps:int -> Engine.t -> string -> result
+val run_source :
+  ?max_steps:int -> ?telemetry:O4a_telemetry.Telemetry.t -> Engine.t ->
+  string -> result
 
 val result_to_string : result -> string
+
+val verdict_label : result -> string
+(** Short label: ["sat"], ["unsat"], ["unknown"], ["error"], ["crash"],
+    ["timeout"] — the [verdict] field of telemetry events. *)
 
 val same_verdict : result -> result -> bool
 (** sat=sat, unsat=unsat; everything else compares by constructor. *)

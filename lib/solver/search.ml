@@ -25,7 +25,7 @@ let sort_cov_key sort =
   | Sort.Uninterpreted _ -> "domain.uninterpreted"
 
 let solve ?(config = Domain.default_config) ?(max_steps = 200_000)
-    ?(order = Ascending) ?(cov = fun _ _ -> ()) ?(bounds = []) script =
+    ?(order = Ascending) ?(cov = fun _ _ -> ()) ?(bounds = []) ?steps_used script =
   let datatypes = Script.declared_datatypes script in
   let decls = Script.declared_funs script in
   let defined_names =
@@ -100,12 +100,16 @@ let solve ?(config = Domain.default_config) ?(max_steps = 200_000)
       in
       try_values domain
   in
-  match assign [] [] slots with
-  | Some model ->
-    cov "search.sat" 0;
-    Sat model
-  | None ->
-    cov "search.unsat" 0;
-    Unsat
-  | exception Eval.Out_of_fuel -> Unknown "resource limit exceeded"
-  | exception Eval.Eval_failure msg -> Unknown msg
+  let outcome =
+    match assign [] [] slots with
+    | Some model ->
+      cov "search.sat" 0;
+      Sat model
+    | None ->
+      cov "search.unsat" 0;
+      Unsat
+    | exception Eval.Out_of_fuel -> Unknown "resource limit exceeded"
+    | exception Eval.Eval_failure msg -> Unknown msg
+  in
+  (match steps_used with Some r -> r := ctx.Eval.steps | None -> ());
+  outcome

@@ -21,8 +21,11 @@ val solve :
   ?order:order ->
   ?cov:(string -> int -> unit) ->
   ?bounds:(string * Propagate.interval) list ->
+  ?steps_used:int ref ->
   Script.t ->
   outcome
 (** [Unsat] means "no model within the bounded domains" — the shared bounded
     semantics of DESIGN.md. [Unknown] is returned on fuel exhaustion (the
-    analog of a 10-second solver timeout). *)
+    analog of a 10-second solver timeout). When given, [steps_used] receives
+    the evaluator fuel this query consumed — the telemetry layer's
+    "fuel per query" signal. *)

@@ -1,0 +1,44 @@
+type t = {
+  ts : float;
+  name : string;
+  fields : (string * Json.t) list;
+}
+
+let make ~ts ~name fields = { ts; name; fields }
+
+let to_json { ts; name; fields } =
+  Json.Obj (("ts", Json.Float ts) :: ("event", Json.String name) :: fields)
+
+let of_json json =
+  match json with
+  | Json.Obj fields -> (
+    let ts = Option.bind (List.assoc_opt "ts" fields) Json.to_float in
+    let name = Option.bind (List.assoc_opt "event" fields) Json.to_str in
+    match (ts, name) with
+    | Some ts, Some name ->
+      Ok
+        {
+          ts;
+          name;
+          fields = List.filter (fun (k, _) -> k <> "ts" && k <> "event") fields;
+        }
+    | None, _ -> Error "event is missing a numeric \"ts\" field"
+    | _, None -> Error "event is missing a string \"event\" field")
+  | _ -> Error "event is not a JSON object"
+
+let to_line event = Json.to_string (to_json event)
+
+let of_line line =
+  match Json.parse line with
+  | Error e -> Error e
+  | Ok json -> of_json json
+
+let field key event = List.assoc_opt key event.fields
+
+let equal a b =
+  a.name = b.name
+  && Json.equal (Json.Float a.ts) (Json.Float b.ts)
+  && List.length a.fields = List.length b.fields
+  && List.for_all2
+       (fun (k, v) (k', v') -> k = k' && Json.equal v v')
+       a.fields b.fields

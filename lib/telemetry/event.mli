@@ -1,0 +1,29 @@
+(** One structured telemetry event — a timestamp, a dotted event name
+    (["oracle.verdict"], ["span"], ["fuzz.test"], …), and free-form fields.
+
+    On the wire an event is a single JSON object per line:
+    [{"ts":1754.2,"event":"oracle.verdict","solver":"zeal","verdict":"sat"}].
+    The ["ts"] and ["event"] keys are reserved; field keys must not collide
+    with them. *)
+
+type t = {
+  ts : float;  (** seconds since the Unix epoch *)
+  name : string;
+  fields : (string * Json.t) list;
+}
+
+val make : ts:float -> name:string -> (string * Json.t) list -> t
+
+val to_json : t -> Json.t
+val of_json : Json.t -> (t, string) result
+
+val to_line : t -> string
+(** Single-line JSON, no trailing newline. *)
+
+val of_line : string -> (t, string) result
+
+val field : string -> t -> Json.t option
+
+val equal : t -> t -> bool
+(** Field-wise equality; timestamps compare with [Json.equal]'s numeric
+    coercion so a round trip through the printer is stable. *)

@@ -1,0 +1,39 @@
+(** A minimal self-contained JSON value type, printer, and parser.
+
+    The telemetry event log is JSONL (one object per line); the environment
+    ships no JSON library, so this module implements the subset we need:
+    objects, arrays, strings with the standard escapes, booleans, null, and
+    numbers. Floats are always printed in a form JSON accepts (never [nan],
+    [inf], or a bare trailing dot). *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+val to_string : t -> string
+(** Compact single-line rendering (no newlines, suitable for JSONL). *)
+
+val parse : string -> (t, string) result
+(** Parse one JSON document; trailing whitespace is allowed, trailing
+    garbage is an error. *)
+
+(** {1 Accessors} *)
+
+val member : string -> t -> t option
+(** First binding of the field in an [Obj]; [None] otherwise. *)
+
+val to_float : t -> float option
+(** [Int] and [Float] both coerce. *)
+
+val to_int : t -> int option
+val to_str : t -> string option
+val to_bool : t -> bool option
+
+val equal : t -> t -> bool
+(** Structural equality, except [Int n] and [Float f] compare equal when
+    [float_of_int n = f] (the printer may legally narrow [2.0] to [2]). *)

@@ -1,0 +1,78 @@
+(** A process-local metrics registry: monotonic counters, gauges, and
+    fixed-bucket histograms, keyed by name + labels.
+
+    Hot-path updates are O(1): either pre-register a cell once and update it
+    through its handle ({!counter} / {!gauge} / {!histogram}), or use the
+    [*_named] conveniences, which cost one hashtable lookup. Registering the
+    same name + labels twice returns the same cell; re-registering under a
+    different metric kind raises [Invalid_argument]. *)
+
+type t
+
+type counter
+type gauge
+type histogram
+
+val create : unit -> t
+
+(** {1 Cell registration and updates} *)
+
+val counter : t -> ?labels:(string * string) list -> string -> counter
+val inc : counter -> unit
+val add : counter -> int -> unit
+(** Negative increments raise [Invalid_argument]: counters are monotonic. *)
+
+val counter_value : counter -> int
+
+val gauge : t -> ?labels:(string * string) list -> string -> gauge
+val set : gauge -> float -> unit
+val gauge_value : gauge -> float
+
+val default_latency_bounds : float array
+(** Log-spaced 1–2.5–5 bucket upper bounds from 1 µs to 10 s, in seconds. *)
+
+val histogram :
+  t -> ?labels:(string * string) list -> ?bounds:float array -> string -> histogram
+(** [bounds] are inclusive upper bounds of the finite buckets, strictly
+    increasing; one implicit overflow bucket catches the rest. Defaults to
+    {!default_latency_bounds}. *)
+
+val observe : histogram -> float -> unit
+
+(** {1 Name-based conveniences (one lookup per call)} *)
+
+val incr_named : t -> ?labels:(string * string) list -> ?by:int -> string -> unit
+val set_named : t -> ?labels:(string * string) list -> string -> float -> unit
+val observe_named : t -> ?labels:(string * string) list -> string -> float -> unit
+
+(** {1 Snapshots} *)
+
+type hist_snapshot = {
+  bounds : float array;
+  counts : int array;  (** one longer than [bounds]: the overflow bucket *)
+  sum : float;
+  count : int;
+}
+
+type value =
+  | Counter of int
+  | Gauge of float
+  | Histogram of hist_snapshot
+
+type entry = { name : string; labels : (string * string) list; value : value }
+
+val snapshot : t -> entry list
+(** A consistent copy, sorted by name then labels. *)
+
+val get_counter : t -> ?labels:(string * string) list -> string -> int
+(** 0 when the counter was never registered. *)
+
+val hist_quantile : hist_snapshot -> float -> float
+(** [hist_quantile h q] with [q] in [[0,1]]: the upper bound of the bucket
+    holding the q-th observation (the usual bucketed-histogram estimate);
+    0. on an empty histogram. *)
+
+val entry_to_json : entry -> Json.t
+(** [{"name":…,"labels":{…},"counter":…}] /  [… "gauge":…] /
+    [… "histogram":{"sum":…,"count":…}] — the wire form used by the final
+    ["metrics"] event of a JSONL log. *)

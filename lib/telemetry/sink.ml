@@ -1,0 +1,30 @@
+type t =
+  | Null
+  | Memory of Event.t list ref
+  | Channel of { oc : out_channel; owned : bool; mutable closed : bool }
+
+let null = Null
+let memory () = Memory (ref [])
+let jsonl oc = Channel { oc; owned = false; closed = false }
+
+let open_jsonl path = Channel { oc = open_out path; owned = true; closed = false }
+
+let emit sink event =
+  match sink with
+  | Null -> ()
+  | Memory events -> events := event :: !events
+  | Channel c ->
+    if not c.closed then (
+      output_string c.oc (Event.to_line event);
+      output_char c.oc '\n')
+
+let events = function
+  | Memory events -> List.rev !events
+  | Null | Channel _ -> []
+
+let close = function
+  | Null | Memory _ -> ()
+  | Channel c ->
+    if not c.closed then (
+      c.closed <- true;
+      if c.owned then close_out c.oc else flush c.oc)

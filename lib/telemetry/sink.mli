@@ -1,0 +1,29 @@
+(** Where emitted events go. Three implementations:
+
+    - {!null}: discards everything — the default, so an uninstrumented run
+      pays only a branch per hook;
+    - {!memory}: accumulates events in order, for tests and in-process
+      consumers;
+    - {!jsonl}: streams one JSON object per line to a channel, the format
+      consumed by [once4all_cli stats] and offline analysis. *)
+
+type t
+
+val null : t
+val memory : unit -> t
+
+val jsonl : out_channel -> t
+(** The caller keeps ownership of the channel; {!close} flushes but only
+    closes channels opened by {!open_jsonl}. *)
+
+val open_jsonl : string -> t
+(** Create/truncate the file; the channel is closed by {!close}. *)
+
+val emit : t -> Event.t -> unit
+
+val events : t -> Event.t list
+(** Captured events, oldest first. Empty for non-memory sinks. *)
+
+val close : t -> unit
+(** Flush buffered output; close the file if {!open_jsonl} opened it.
+    Idempotent. *)

@@ -1,0 +1,75 @@
+type t = {
+  enabled : bool;
+  metrics : Metrics.t;
+  sink : Sink.t;
+  clock : unit -> float;
+  mutable span_stack : string list;
+}
+
+let disabled =
+  {
+    enabled = false;
+    metrics = Metrics.create ();
+    sink = Sink.null;
+    clock = Unix.gettimeofday;
+    span_stack = [];
+  }
+
+let create ?(sink = Sink.null) ?(clock = Unix.gettimeofday) () =
+  { enabled = true; metrics = Metrics.create (); sink; clock; span_stack = [] }
+
+let enabled t = t.enabled
+let metrics t = t.metrics
+let sink t = t.sink
+let now t = t.clock ()
+
+let emit t name fields =
+  if t.enabled then Sink.emit t.sink (Event.make ~ts:(t.clock ()) ~name fields)
+
+let incr t ?(labels = []) ?(by = 1) name =
+  if t.enabled then Metrics.incr_named t.metrics ~labels ~by name
+
+let set_gauge t ?(labels = []) name value =
+  if t.enabled then Metrics.set_named t.metrics ~labels name value
+
+let observe t ?(labels = []) name x =
+  if t.enabled then Metrics.observe_named t.metrics ~labels name x
+
+let with_span t ?(labels = []) stage f =
+  if not t.enabled then f ()
+  else (
+    let parent = match t.span_stack with [] -> None | p :: _ -> Some p in
+    let depth = List.length t.span_stack in
+    t.span_stack <- stage :: t.span_stack;
+    let start = t.clock () in
+    let finish () =
+      let dur = t.clock () -. start in
+      t.span_stack <- (match t.span_stack with _ :: rest -> rest | [] -> []);
+      Metrics.observe_named t.metrics
+        ~labels:(("stage", stage) :: labels)
+        "stage.duration" dur;
+      emit t "span"
+        (("stage", Json.String stage)
+        :: ("dur_us", Json.Float (dur *. 1e6))
+        :: (match parent with
+           | Some p -> [ ("parent", Json.String p); ("depth", Json.Int depth) ]
+           | None -> [])
+        @ List.map (fun (k, v) -> (k, Json.String v)) labels)
+    in
+    Fun.protect ~finally:finish f)
+
+let snapshot t = Metrics.snapshot t.metrics
+
+let counter_value t ?(labels = []) name = Metrics.get_counter t.metrics ~labels name
+
+let flush t = Sink.close t.sink
+
+let ambient = ref disabled
+
+let global () = !ambient
+let set_global t = ambient := t
+
+let using t f =
+  let saved = !ambient in
+  ambient := t;
+  Fun.protect ~finally:(fun () -> ambient := saved) f

@@ -1,0 +1,65 @@
+(** The campaign telemetry handle: a metrics registry, an event sink, and a
+    clock, behind one [enabled] switch.
+
+    Every instrumentation hook in the pipeline goes through a [t]. The
+    {!disabled} handle (also the initial {!global}) short-circuits each hook
+    to a single branch, so an uninstrumented run pays no measurable cost;
+    {!create} builds a live handle whose hooks update the registry and stream
+    events to the sink.
+
+    Instrumented entry points ([Fuzz.run], [Oracle.test], [Runner.run], …)
+    take [?telemetry] defaulting to {!global}; deep hooks (solver engine,
+    generator synthesis) always read {!global}. Install a live handle with
+    {!set_global} (or scoped, with {!using}) to capture those too. *)
+
+type t
+
+val disabled : t
+(** Never records anything. [enabled disabled = false]. *)
+
+val create : ?sink:Sink.t -> ?clock:(unit -> float) -> unit -> t
+(** A live handle. [sink] defaults to {!Sink.null} (metrics only); [clock]
+    defaults to [Unix.gettimeofday] and supplies event timestamps and span
+    durations. *)
+
+val enabled : t -> bool
+val metrics : t -> Metrics.t
+val sink : t -> Sink.t
+val now : t -> float
+
+(** {1 Recording} *)
+
+val emit : t -> string -> (string * Json.t) list -> unit
+(** Send one event to the sink, timestamped with the handle's clock. *)
+
+val incr : t -> ?labels:(string * string) list -> ?by:int -> string -> unit
+val set_gauge : t -> ?labels:(string * string) list -> string -> float -> unit
+
+val observe : t -> ?labels:(string * string) list -> string -> float -> unit
+(** Record one observation into a fixed-bucket histogram (latency bounds). *)
+
+val with_span : t -> ?labels:(string * string) list -> string -> (unit -> 'a) -> 'a
+(** [with_span t stage f] times [f], records the duration into the
+    ["stage.duration"] histogram (label [stage]), and emits a ["span"] event
+    [{stage; dur_us}]. Spans nest: an inner span's event carries
+    ["parent"] and ["depth"] fields. The duration is recorded even when [f]
+    raises. *)
+
+(** {1 Snapshots} *)
+
+val snapshot : t -> Metrics.entry list
+val counter_value : t -> ?labels:(string * string) list -> string -> int
+
+val flush : t -> unit
+(** Flush/close the sink (see {!Sink.close}). *)
+
+(** {1 The ambient handle} *)
+
+val global : unit -> t
+(** Initially {!disabled}. *)
+
+val set_global : t -> unit
+
+val using : t -> (unit -> 'a) -> 'a
+(** Install [t] as the global handle for the call, restoring the previous
+    handle afterwards (even on exceptions). *)

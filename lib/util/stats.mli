@@ -1,17 +1,31 @@
-(** Small descriptive-statistics helpers used by the experiment harnesses. *)
+(** Small descriptive-statistics helpers used by the experiment harnesses.
+
+    Every function is total: on the empty list the float-valued helpers all
+    return [0.] and {!histogram} returns [[]], so callers never need an
+    emptiness guard before summarizing. *)
 
 val mean : float list -> float
-(** 0. on the empty list. *)
+(** Arithmetic mean; [0.] on the empty list. *)
 
 val median : float list -> float
+(** [percentile 50.]; [0.] on the empty list. *)
 
 val percentile : float -> float list -> float
-(** [percentile p xs] with [p] in [\[0,100\]], nearest-rank method. *)
+(** [percentile p xs] with [p] in [\[0,100\]], nearest-rank method on the
+    sorted data; [0.] on the empty list. Out-of-range [p] is clamped to the
+    extremes of the data. *)
 
 val stddev : float list -> float
+(** Population standard deviation; [0.] on the empty and singleton lists. *)
 
 val minimum : float list -> float
+(** [0.] on the empty list (not [infinity] — callers render these directly). *)
+
 val maximum : float list -> float
+(** [0.] on the empty list (not [neg_infinity]). *)
 
 val histogram : buckets:int -> float list -> (float * float * int) list
-(** [(lo, hi, count)] per bucket over the data range. *)
+(** [(lo, hi, count)] per bucket over the data range, [hi] exclusive except in
+    the last bucket. [[]] on the empty list or when [buckets <= 0]. When all
+    data are equal the range degenerates to a width-1 span starting at the
+    datum. *)

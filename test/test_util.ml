@@ -197,11 +197,41 @@ let test_stats () =
   check_bool "stddev positive" true (Stats.stddev [ 1.; 5.; 9. ] > 0.);
   Alcotest.(check (float 1e-9)) "stddev singleton" 0. (Stats.stddev [ 4. ])
 
+let test_stats_empty () =
+  (* every helper is total: 0. / [] on empty input, per the interface *)
+  Alcotest.(check (float 1e-9)) "mean" 0. (Stats.mean []);
+  Alcotest.(check (float 1e-9)) "median" 0. (Stats.median []);
+  Alcotest.(check (float 1e-9)) "percentile" 0. (Stats.percentile 90. []);
+  Alcotest.(check (float 1e-9)) "stddev" 0. (Stats.stddev []);
+  Alcotest.(check (float 1e-9)) "minimum" 0. (Stats.minimum []);
+  Alcotest.(check (float 1e-9)) "maximum" 0. (Stats.maximum []);
+  check_bool "histogram empty data" true (Stats.histogram ~buckets:3 [] = []);
+  check_bool "histogram no buckets" true (Stats.histogram ~buckets:0 [ 1. ] = []);
+  check_bool "histogram negative buckets" true
+    (Stats.histogram ~buckets:(-1) [ 1. ] = [])
+
+let test_percentile () =
+  let xs = List.init 100 (fun i -> float_of_int (i + 1)) in
+  Alcotest.(check (float 1e-9)) "p50" 50. (Stats.percentile 50. xs);
+  Alcotest.(check (float 1e-9)) "p90" 90. (Stats.percentile 90. xs);
+  Alcotest.(check (float 1e-9)) "p99" 99. (Stats.percentile 99. xs);
+  Alcotest.(check (float 1e-9)) "p0 clamps to min" 1. (Stats.percentile 0. xs);
+  Alcotest.(check (float 1e-9)) "p100 is max" 100. (Stats.percentile 100. xs);
+  Alcotest.(check (float 1e-9)) "singleton" 7. (Stats.percentile 99. [ 7. ])
+
 let test_histogram () =
   let h = Stats.histogram ~buckets:2 [ 0.; 1.; 2.; 3. ] in
   check_int "buckets" 2 (List.length h);
   let total = List.fold_left (fun acc (_, _, c) -> acc + c) 0 h in
   check_int "all counted" 4 total
+
+let test_histogram_degenerate () =
+  (* all-equal data: the range collapses to a width-1 span from the datum *)
+  match Stats.histogram ~buckets:2 [ 5.; 5. ] with
+  | [] -> Alcotest.fail "expected buckets"
+  | ((lo, _, _) :: _) as h ->
+    Alcotest.(check (float 1e-9)) "starts at datum" 5. lo;
+    check_int "all counted" 2 (List.fold_left (fun acc (_, _, c) -> acc + c) 0 h)
 
 let () =
   Alcotest.run "util"
@@ -246,6 +276,9 @@ let () =
       ( "stats",
         [
           Alcotest.test_case "descriptive" `Quick test_stats;
+          Alcotest.test_case "empty inputs" `Quick test_stats_empty;
+          Alcotest.test_case "percentile" `Quick test_percentile;
           Alcotest.test_case "histogram" `Quick test_histogram;
+          Alcotest.test_case "histogram degenerate" `Quick test_histogram_degenerate;
         ] );
     ]

@@ -1,0 +1,24 @@
+#!/usr/bin/env bash
+# Tier-1 verification: build, unit tests, and a CLI smoke run that exercises
+# the telemetry pipeline end to end (fuzz --telemetry, then stats --strict).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== dune build =="
+dune build
+
+echo "== dune runtest =="
+dune runtest
+
+echo "== CLI smoke: fuzz 200 tests with telemetry =="
+out="$(mktemp -d)"
+trap 'rm -rf "$out"' EXIT
+dune exec bin/once4all_cli.exe -- fuzz --budget 200 --telemetry "$out/run.jsonl" \
+  > "$out/fuzz.log"
+grep -q "tests: 200" "$out/fuzz.log" || {
+  echo "FAIL: fuzz did not report 200 tests"; cat "$out/fuzz.log"; exit 1; }
+
+echo "== CLI smoke: stats --strict validates the JSONL log =="
+dune exec bin/once4all_cli.exe -- stats --strict "$out/run.jsonl"
+
+echo "OK"
