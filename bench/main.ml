@@ -253,6 +253,73 @@ let run_micro () =
          | _ -> say "%-45s %15s" name "n/a")
 
 (* ------------------------------------------------------------------ *)
+(* Scaling: sharded campaign throughput and determinism across --jobs  *)
+(* ------------------------------------------------------------------ *)
+
+let run_scaling () =
+  section "Scaling — sharded campaign throughput at jobs 1/2/4/8";
+  let c = Lazy.force campaign in
+  let pool = Lazy.force seeds in
+  let budget = 600 and shard_size = 75 in
+  let path = "bench-scaling.jsonl" in
+  let sink = O4a_telemetry.Sink.open_jsonl path in
+  let emit name fields =
+    O4a_telemetry.Sink.emit sink
+      (O4a_telemetry.Event.make ~ts:(Unix.gettimeofday ()) ~name fields)
+  in
+  say "budget %d tests, shard size %d (%d shards), %d cores available" budget
+    shard_size ((budget + shard_size - 1) / shard_size)
+    (Domain.recommended_domain_count ());
+  say "";
+  say "%8s %10s %12s %10s %14s" "jobs" "time (s)" "tests/s" "speedup"
+    "deterministic";
+  let reference = ref None in
+  let base_time = ref 1. in
+  let violations = ref 0 in
+  List.iter
+    (fun jobs ->
+      let t0 = Unix.gettimeofday () in
+      let r =
+        Orchestrator.run ~jobs ~shard_size ~seed:43 ~budget
+          ~generators:c.Once4all.Campaign.generators ~seeds:pool ()
+      in
+      let dt = Unix.gettimeofday () -. t0 in
+      if jobs = 1 then base_time := dt;
+      (* the cross-check: every jobs level must reproduce the jobs-1 bug set
+         and the jobs-1 merged coverage exactly *)
+      let key = (r.Orchestrator.found_bug_ids, r.Orchestrator.coverage) in
+      let deterministic =
+        match !reference with
+        | None ->
+          reference := Some key;
+          true
+        | Some k -> k = key
+      in
+      if not deterministic then incr violations;
+      let tps = float_of_int budget /. dt in
+      emit "bench.scaling"
+        [
+          ("jobs", O4a_telemetry.Json.Int jobs);
+          ("budget", O4a_telemetry.Json.Int budget);
+          ("shard_size", O4a_telemetry.Json.Int shard_size);
+          ("elapsed_s", O4a_telemetry.Json.Float dt);
+          ("tests_per_s", O4a_telemetry.Json.Float tps);
+          ("speedup", O4a_telemetry.Json.Float (!base_time /. dt));
+          ("deterministic", O4a_telemetry.Json.Bool deterministic);
+          ( "distinct_bugs",
+            O4a_telemetry.Json.Int (List.length r.Orchestrator.found_bug_ids) );
+        ];
+      say "%8d %10.2f %12.1f %10.2f %14s" jobs dt tps (!base_time /. dt)
+        (if deterministic then "yes" else "NO"))
+    [ 1; 2; 4; 8 ];
+  O4a_telemetry.Sink.close sink;
+  say "";
+  say "JSONL written to %s (event: bench.scaling)" path;
+  if !violations > 0 then (
+    say "DETERMINISM VIOLATION: %d jobs level(s) diverged from jobs=1" !violations;
+    exit 1)
+
+(* ------------------------------------------------------------------ *)
 
 let all_modes =
   [
@@ -270,6 +337,7 @@ let all_modes =
     ("ablation-iters", run_ablation_iters);
     ("ablation-mixed", run_ablation_mixed);
     ("ablation-schedule", run_ablation_schedule);
+    ("scaling", run_scaling);
   ]
 
 let () =

@@ -2,7 +2,9 @@
 
    Subcommands:
      construct   run Algorithm 1 (generator construction + self-correction)
-     fuzz        run a differential fuzzing campaign (Algorithm 2)
+     fuzz        run a differential fuzzing campaign (Algorithm 2),
+                 sharded over --jobs domains with deterministic merge
+     resume      continue an interrupted campaign from its --checkpoint
      stats       summarize a --telemetry JSONL event log
      reduce      delta-debug a bug-triggering .smt2 file
      lineup      list the comparison fuzzers and variants *)
@@ -56,33 +58,70 @@ let construct seed profile_name verbose =
     (Llm_sim.Client.token_count client);
   0
 
-(* ---------------- fuzz ---------------- *)
+(* ---------------- fuzz / resume ---------------- *)
 
-let fuzz seed budget profile_name no_skeletons show_formulas telemetry_path
-    progress verbose =
-  setup_logs verbose;
-  match
-    match telemetry_path with
-    | None -> Ok Telemetry.disabled
-    | Some path -> (
-      try Ok (Telemetry.create ~sink:(Sink.open_jsonl path) ())
-      with Sys_error msg -> Error msg)
-  with
-  | Error msg ->
-    Printf.eprintf "cannot open telemetry log: %s\n" msg;
-    1
-  | Ok tel ->
+let make_telemetry telemetry_path =
+  match telemetry_path with
+  | None -> Ok Telemetry.disabled
+  | Some path -> (
+    try Ok (Telemetry.create ~sink:(Sink.open_jsonl path) ())
+    with Sys_error msg -> Error msg)
+
+(* The deterministic campaign summary: every line printed here must be a pure
+   function of the merged report, never of timing or worker count — check.sh
+   diffs this block across --jobs values. *)
+let print_campaign_report ~show_formulas (r : Orchestrator.report) =
+  let stats = r.Orchestrator.stats in
+  Printf.printf "tests: %d  parse-ok: %d  solved: %d  bug-triggering: %d\n"
+    stats.Once4all.Fuzz.tests stats.parse_ok stats.solved
+    (List.length stats.findings);
+  Printf.printf "\n%d de-duplicated issues:\n" (List.length r.Orchestrator.clusters);
+  List.iter
+    (fun (c : Once4all.Dedup.cluster) ->
+      Printf.printf "  [%s] %s  x%d%s\n"
+        (Solver.Bug_db.kind_to_string c.Once4all.Dedup.kind)
+        c.Once4all.Dedup.key c.count
+        (match c.bug_id with Some id -> "  -> " ^ id | None -> "");
+      if show_formulas then
+        print_endline
+          (O4a_util.Strx.indent 6 c.representative.Once4all.Dedup.source))
+    r.Orchestrator.clusters;
+  Printf.printf "\ndistinct bugs: %s\n"
+    (match r.Orchestrator.found_bug_ids with
+    | [] -> "(none)"
+    | ids -> String.concat " " ids);
+  let module Coverage = O4a_coverage.Coverage in
+  Printf.printf "coverage: zeal %.2f%% lines %.2f%% funcs, cove %.2f%% lines %.2f%% funcs\n"
+    (Coverage.line_pct r.Orchestrator.coverage_zeal)
+    (Coverage.func_pct r.Orchestrator.coverage_zeal)
+    (Coverage.line_pct r.Orchestrator.coverage_cove)
+    (Coverage.func_pct r.Orchestrator.coverage_cove)
+
+let dump_metrics tel telemetry_path =
+  match telemetry_path with
+  | None -> ()
+  | Some path ->
+    Telemetry.emit tel "metrics"
+      [
+        ( "entries",
+          Json.List (List.map Metrics.entry_to_json (Telemetry.snapshot tel)) );
+      ];
+    Telemetry.flush tel;
+    Printf.printf "\ntelemetry written to %s\n" path
+
+let run_sharded_campaign ~tel ~telemetry_path ~seed ~budget ~profile
+    ~no_skeletons ~show_formulas ~progress ~jobs ~shard_size ~checkpoint_path
+    ~resume ~stop_after =
   Telemetry.set_global tel;
-  let profile = profile_of_name profile_name in
   let campaign = Once4all.Campaign.prepare ~seed ~profile () in
   let seeds =
     Seeds.Corpus.filtered ~zeal:campaign.Once4all.Campaign.zeal
       ~cove:campaign.Once4all.Campaign.cove ()
   in
   Logs.info (fun m ->
-      m "generators ready (%d); %d seeds, budget %d"
+      m "generators ready (%d); %d seeds, budget %d, jobs %d"
         (List.length campaign.Once4all.Campaign.generators)
-        (List.length seeds) budget);
+        (List.length seeds) budget jobs);
   Printf.printf "Generators ready (%d); fuzzing with %d seeds, budget %d...\n%!"
     (List.length campaign.Once4all.Campaign.generators)
     (List.length seeds) budget;
@@ -93,33 +132,83 @@ let fuzz seed budget profile_name no_skeletons show_formulas telemetry_path
       progress_every = progress;
     }
   in
-  let report = Once4all.Campaign.fuzz ~seed:(seed + 1) ~config campaign ~seeds ~budget in
-  let stats = report.Once4all.Campaign.stats in
-  Printf.printf "tests: %d  parse-ok: %d  solved: %d  bug-triggering: %d\n"
-    stats.Once4all.Fuzz.tests stats.parse_ok stats.solved
-    (List.length stats.findings);
-  Printf.printf "\n%d de-duplicated issues:\n" (List.length report.clusters);
-  List.iter
-    (fun (c : Once4all.Dedup.cluster) ->
-      Printf.printf "  [%s] %s  x%d%s\n"
-        (Solver.Bug_db.kind_to_string c.Once4all.Dedup.kind)
-        c.Once4all.Dedup.key c.count
-        (match c.bug_id with Some id -> "  -> " ^ id | None -> "");
-      if show_formulas then
-        print_endline
-          (O4a_util.Strx.indent 6 c.representative.Once4all.Dedup.source))
-    report.clusters;
-  (match telemetry_path with
-  | None -> ()
-  | Some path ->
-    Telemetry.emit tel "metrics"
-      [
-        ( "entries",
-          Json.List (List.map Metrics.entry_to_json (Telemetry.snapshot tel)) );
-      ];
-    Telemetry.flush tel;
-    Printf.printf "\ntelemetry written to %s\n" path);
-  0
+  let extra =
+    [
+      ("cli_seed", string_of_int seed);
+      ("profile", profile.Llm_sim.Profile.name);
+      ("use_skeletons", if no_skeletons then "false" else "true");
+    ]
+  in
+  match
+    Orchestrator.run ~jobs ~shard_size ~config ~telemetry:tel
+      ?checkpoint_path ~resume ?stop_after ~extra ~seed:(seed + 1) ~budget
+      ~generators:campaign.Once4all.Campaign.generators ~seeds ()
+  with
+  | exception Failure msg ->
+    Printf.eprintf "%s\n" msg;
+    1
+  | r ->
+    if r.Orchestrator.shards_resumed > 0 then
+      Printf.printf "resumed %d completed shard%s from checkpoint\n"
+        r.Orchestrator.shards_resumed
+        (if r.Orchestrator.shards_resumed = 1 then "" else "s");
+    if r.Orchestrator.interrupted then
+      Printf.printf
+        "stopped after %d shard%s (%d of %d done); resume with: once4all resume --checkpoint %s\n"
+        r.Orchestrator.shards_run
+        (if r.Orchestrator.shards_run = 1 then "" else "s")
+        (r.Orchestrator.shards_run + r.Orchestrator.shards_resumed)
+        r.Orchestrator.shards_total
+        (Option.value checkpoint_path ~default:"CHECKPOINT")
+    else print_campaign_report ~show_formulas r;
+    dump_metrics tel telemetry_path;
+    0
+
+let fuzz seed budget profile_name no_skeletons show_formulas telemetry_path
+    progress jobs shard_size checkpoint_path stop_after verbose =
+  setup_logs verbose;
+  match make_telemetry telemetry_path with
+  | Error msg ->
+    Printf.eprintf "cannot open telemetry log: %s\n" msg;
+    1
+  | Ok tel ->
+    run_sharded_campaign ~tel ~telemetry_path ~seed ~budget
+      ~profile:(profile_of_name profile_name) ~no_skeletons ~show_formulas
+      ~progress ~jobs ~shard_size ~checkpoint_path ~resume:false ~stop_after
+
+let resume checkpoint_path jobs show_formulas telemetry_path progress stop_after
+    verbose =
+  setup_logs verbose;
+  match Orchestrator.Checkpoint.load ~path:checkpoint_path with
+  | Error msg ->
+    Printf.eprintf "cannot load checkpoint %s: %s\n" checkpoint_path msg;
+    1
+  | Ok cp -> (
+    let find key default =
+      Option.value
+        (List.assoc_opt key cp.Orchestrator.Checkpoint.extra)
+        ~default
+    in
+    let cli_seed =
+      (* the checkpoint's own seed is the fuzz seed (cli seed + 1); the extra
+         record carries the original CLI seed so generator construction and
+         seed filtering replay identically *)
+      match int_of_string_opt (find "cli_seed" "") with
+      | Some s -> s
+      | None -> cp.Orchestrator.Checkpoint.seed - 1
+    in
+    let profile = profile_of_name (find "profile" "gpt-4") in
+    let no_skeletons = find "use_skeletons" "true" = "false" in
+    match make_telemetry telemetry_path with
+    | Error msg ->
+      Printf.eprintf "cannot open telemetry log: %s\n" msg;
+      1
+    | Ok tel ->
+      run_sharded_campaign ~tel ~telemetry_path ~seed:cli_seed
+        ~budget:cp.Orchestrator.Checkpoint.budget ~profile ~no_skeletons
+        ~show_formulas ~progress ~jobs
+        ~shard_size:cp.Orchestrator.Checkpoint.shard_size
+        ~checkpoint_path:(Some checkpoint_path) ~resume:true ~stop_after)
 
 let read_file path =
   let ic = open_in_bin path in
@@ -155,9 +244,12 @@ let stats_cmd path strict =
     | [] -> 0.
     | ts -> O4a_util.Stats.maximum ts -. O4a_util.Stats.minimum ts
   in
-  (* stage latency percentiles from "span" events *)
+  (* stage latency percentiles from "span" events — grouped by stage alone,
+     deliberately ignoring the "worker" label a parallel campaign adds, so
+     one table aggregates every worker's spans *)
+  let spans = named "span" in
   let by_stage =
-    named "span"
+    spans
     |> List.filter_map (fun e ->
            match (str_field e "stage", num_field e "dur_us") with
            | Some s, Some d -> Some (s, d /. 1000.)
@@ -165,8 +257,8 @@ let stats_cmd path strict =
     |> O4a_util.Listx.group_by fst
   in
   if by_stage <> [] then (
-    Printf.printf "\nstage latency (ms):\n  %-16s %8s %10s %10s %10s\n" "stage"
-      "count" "p50" "p90" "p99";
+    Printf.printf "\nstage latency (ms, all workers):\n  %-16s %8s %10s %10s %10s\n"
+      "stage" "count" "p50" "p90" "p99";
     List.iter
       (fun (stage, group) ->
         let ms = List.map snd group in
@@ -176,6 +268,34 @@ let stats_cmd path strict =
           (O4a_util.Stats.percentile 90. ms)
           (O4a_util.Stats.percentile 99. ms))
       (sort_rows by_stage));
+  (* per-worker breakdown when the log came from a parallel campaign *)
+  let by_worker =
+    events
+    |> List.filter_map (fun e ->
+           match str_field e "worker" with
+           | Some w -> Some (w, e)
+           | None -> None)
+    |> O4a_util.Listx.group_by fst
+  in
+  if by_worker <> [] then (
+    Printf.printf "\nworkers:\n  %-8s %8s %8s %8s %12s\n" "worker" "tests"
+      "spans" "shards" "span-ms";
+    List.iter
+      (fun (worker, group) ->
+        let evs = List.map snd group in
+        let count name =
+          List.length (List.filter (fun (e : Event.t) -> e.Event.name = name) evs)
+        in
+        let span_ms =
+          evs
+          |> List.filter_map (fun (e : Event.t) ->
+                 if e.Event.name = "span" then num_field e "dur_us" else None)
+          |> List.fold_left ( +. ) 0.
+          |> fun us -> us /. 1000.
+        in
+        Printf.printf "  %-8s %8d %8d %8d %12.1f\n" worker (count "fuzz.test")
+          (count "span") (count "shard.end") span_ms)
+      (sort_rows by_worker));
   (* per-generator validity / throughput from "fuzz.test" events *)
   let tests = named "fuzz.test" in
   let by_gen =
@@ -234,7 +354,15 @@ let stats_cmd path strict =
           (List.length group)
           (O4a_util.Stats.mean (List.map snd group)))
       (sort_rows by_verdict));
-  (* totals from "campaign.end", checked against the event stream *)
+  (* totals from "campaign.end", checked against the event stream. A resumed
+     campaign's log only holds the shards run by that process while its
+     campaign.end reports merged totals, so the check is skipped there. *)
+  let resumed_shards =
+    match named "campaign.start" with
+    | e :: _ -> (
+      match Event.field "resumed_shards" e with Some (Json.Int n) -> n | _ -> 0)
+    | [] -> 0
+  in
   let consistent = ref true in
   (match named "campaign.end" with
   | [ e ] ->
@@ -244,7 +372,12 @@ let stats_cmd path strict =
     Printf.printf
       "\ntotals: %d tests  parse-ok %d  solved %d  findings %d  (%.1fs)\n"
       (get "tests") (get "parse_ok") (get "solved") (get "findings") elapsed;
-    if get "tests" <> List.length tests then (
+    if resumed_shards > 0 then
+      Printf.printf
+        "(resumed campaign: totals include %d checkpointed shard%s not in this log)\n"
+        resumed_shards
+        (if resumed_shards = 1 then "" else "s")
+    else if get "tests" <> List.length tests then (
       consistent := false;
       Printf.printf
         "WARNING: campaign.end reports %d tests but the log holds %d fuzz.test events\n"
@@ -327,25 +460,61 @@ let construct_cmd =
     (Cmd.info "construct" ~doc:"run LLM-assisted generator construction (Algorithm 1)")
     Term.(const construct $ seed_arg $ profile_arg $ verbose)
 
+let telemetry_arg =
+  Arg.(value & opt (some string) None
+       & info [ "telemetry" ] ~docv:"FILE"
+           ~doc:"write a JSONL event log (read it back with the stats subcommand)")
+
+let progress_arg =
+  Arg.(value & opt int 500
+       & info [ "progress" ] ~docv:"N"
+           ~doc:"emit a progress report every N tests (0 disables)")
+
+let jobs_arg =
+  Arg.(value & opt int 1
+       & info [ "jobs"; "j" ] ~docv:"N"
+           ~doc:"worker domains; the report is identical for every N")
+
+let stop_after_arg =
+  Arg.(value & opt (some int) None
+       & info [ "stop-after" ] ~docv:"N"
+           ~doc:"stop after N shards (for exercising checkpoint/resume)")
+
+let show_arg =
+  Arg.(value & flag & info [ "show-formulas" ] ~doc:"print representative formulas")
+
 let fuzz_cmd =
   let budget = Arg.(value & opt int 2000 & info [ "budget" ] ~docv:"N" ~doc:"test cases") in
   let no_skel = Arg.(value & flag & info [ "no-skeletons" ] ~doc:"the w/oS ablation") in
-  let show = Arg.(value & flag & info [ "show-formulas" ] ~doc:"print representative formulas") in
-  let telemetry =
-    Arg.(value & opt (some string) None
-         & info [ "telemetry" ] ~docv:"FILE"
-             ~doc:"write a JSONL event log (read it back with the stats subcommand)")
+  let shard_size =
+    Arg.(value & opt int Orchestrator.default_shard_size
+         & info [ "shard-size" ] ~docv:"N"
+             ~doc:"ticks per shard (campaign provenance: must match when comparing or resuming)")
   in
-  let progress =
-    Arg.(value & opt int 500
-         & info [ "progress" ] ~docv:"N"
-             ~doc:"emit a progress report every N tests (0 disables)")
+  let checkpoint =
+    Arg.(value & opt (some string) None
+         & info [ "checkpoint" ] ~docv:"FILE"
+             ~doc:"serialize campaign progress here after every completed shard")
   in
   let verbose = Arg.(value & flag & info [ "verbose"; "v" ] ~doc:"log campaign progress") in
   Cmd.v
     (Cmd.info "fuzz" ~doc:"run a skeleton-guided differential campaign (Algorithm 2)")
-    Term.(const fuzz $ seed_arg $ budget $ profile_arg $ no_skel $ show
-          $ telemetry $ progress $ verbose)
+    Term.(const fuzz $ seed_arg $ budget $ profile_arg $ no_skel $ show_arg
+          $ telemetry_arg $ progress_arg $ jobs_arg $ shard_size $ checkpoint
+          $ stop_after_arg $ verbose)
+
+let resume_cmd =
+  let checkpoint =
+    Arg.(required & opt (some file) None
+         & info [ "checkpoint" ] ~docv:"FILE" ~doc:"checkpoint written by fuzz --checkpoint")
+  in
+  let verbose = Arg.(value & flag & info [ "verbose"; "v" ] ~doc:"log campaign progress") in
+  Cmd.v
+    (Cmd.info "resume"
+       ~doc:"resume an interrupted fuzz campaign from its checkpoint; lands on \
+             the same report as an uninterrupted run")
+    Term.(const resume $ checkpoint $ jobs_arg $ show_arg $ telemetry_arg
+          $ progress_arg $ stop_after_arg $ verbose)
 
 let stats_cmd_v =
   let file = Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE") in
@@ -375,6 +544,7 @@ let lineup_cmd =
 let main =
   Cmd.group
     (Cmd.info "once4all" ~doc:"skeleton-guided SMT solver fuzzing with LLM-synthesized generators")
-    [ construct_cmd; fuzz_cmd; stats_cmd_v; reduce_cmd; report_cmd; lineup_cmd ]
+    [ construct_cmd; fuzz_cmd; resume_cmd; stats_cmd_v; reduce_cmd; report_cmd;
+      lineup_cmd ]
 
 let () = exit (Cmd.eval' main)

@@ -5,11 +5,24 @@
     gcov we instrument them directly: every solver module registers named
     coverage {e points} at load time, tagged with the solver they belong to,
     a file name, a function name, and a kind ([`Line] or [`Function]). During
-    solving, the code calls {!hit} on the points it passes through. A global
-    registry accumulates hit counts; {!snapshot} captures the current state
-    so experiments can compute coverage growth over time. *)
+    solving, the code calls {!hit} on the points it passes through.
+
+    {b Parallelism model.} Point {e metadata} (the registry) is global,
+    immutable once registered, and mutex-guarded, so engines may be
+    constructed from any domain. Hit {e counts} live in {!ledger} buffers.
+    Every domain has an ambient ledger (initially the shared global one);
+    a parallel worker installs a private ledger with {!with_ledger}, runs its
+    shard in isolation, then the owner of the merge stage folds the worker's
+    {!export} into a campaign ledger with {!merge_into}. Because merging sums
+    counts keyed by stable point identities, the merged result is independent
+    of worker count and completion order. *)
 
 type solver_tag = Zeal | Cove
+
+val tag_to_string : solver_tag -> string
+(** ["zeal"] / ["cove"] — the wire form used by checkpoints and telemetry. *)
+
+val tag_of_string : string -> solver_tag option
 
 type kind = Line | Function
 
@@ -20,7 +33,7 @@ val register :
   solver:solver_tag -> file:string -> func:string -> kind:kind -> string -> point
 (** [register ~solver ~file ~func ~kind label] creates (or retrieves, if the
     same identity was registered before) a coverage point. Call once at module
-    load time and keep the [point] value. *)
+    load time and keep the [point] value. Thread-safe. *)
 
 val register_lines :
   solver:solver_tag -> file:string -> func:string -> int -> point array
@@ -29,8 +42,37 @@ val register_lines :
     function point is hit automatically whenever line 0 is hit. *)
 
 val hit : point -> unit
+(** Increment the point's count in the {e ambient} ledger of the calling
+    domain. *)
 
-val hit_count : point -> int
+(** {1 Ledgers} *)
+
+type ledger
+(** An isolated buffer of hit counts over the shared point registry. Each
+    ledger has a single owner: do not share one ledger between concurrently
+    running domains. *)
+
+val hit_count : ?ledger:ledger -> point -> int
+
+val make_ledger : unit -> ledger
+
+val global_ledger : ledger
+(** The process-wide default every domain starts with. Sequential code that
+    never calls {!with_ledger} behaves exactly as before the ledger split. *)
+
+val with_ledger : ledger -> (unit -> 'a) -> 'a
+(** [with_ledger l f] makes [l] the calling domain's ambient ledger for the
+    duration of [f] (restored afterwards, even on exceptions). *)
+
+val export : ledger -> (string * int) list
+(** Non-zero counts keyed by stable point identity, canonically sorted — the
+    serializable form used by checkpoints and the cross-shard merge. *)
+
+val merge_into : into:ledger -> (string * int) list -> unit
+(** Add exported counts into [into]. Identities unknown to the registry are
+    re-registered from their key (metadata is encoded in the identity), so a
+    resumed process restores coverage even before the engines rebuild their
+    tables. Merging is commutative and associative. *)
 
 (** {1 Snapshots and reporting} *)
 
@@ -41,17 +83,17 @@ type snapshot = {
   funcs_hit : int;
 }
 
-val snapshot : solver_tag -> snapshot
-(** Current totals for one solver. *)
+val snapshot : ?ledger:ledger -> solver_tag -> snapshot
+(** Current totals for one solver; [ledger] defaults to the ambient one. *)
 
 val line_pct : snapshot -> float
 val func_pct : snapshot -> float
 
-val reset : unit -> unit
-(** Zero all hit counters (registrations are kept). *)
+val reset : ?ledger:ledger -> unit -> unit
+(** Zero all hit counters in the ledger (registrations are kept). *)
 
 val total_points : solver_tag -> int
 
-val hit_point_labels : solver_tag -> string list
+val hit_point_labels : ?ledger:ledger -> solver_tag -> string list
 (** Labels ["file:func:label"] of every point hit at least once — used to
     compare which regions different fuzzers reach. *)

@@ -15,8 +15,10 @@ type result = {
   text : string;
 }
 
-(* per-fuzzer extension-file labels recorded at the end of its run *)
+(* per-fuzzer extension-file labels recorded at the end of its run; guarded
+   because fuzzers may run on parallel domains *)
 let extension_hits : (string, string list) Hashtbl.t = Hashtbl.create 16
+let extension_hits_mutex = Mutex.create ()
 
 let is_extension_label label =
   List.exists
@@ -24,7 +26,10 @@ let is_extension_label label =
     [ "theory/sets"; "theory/bags"; "theory/finite_fields" ]
 
 let run_fuzzer ~seed ~ticks ~per_tick ~max_steps ~seeds (fuzzer : Fuzzer.t) =
-  Coverage.reset ();
+  (* each fuzzer accumulates hits in a private ledger: starts from zero (the
+     historical [Coverage.reset] behavior) and stays isolated from fuzzers
+     running concurrently on other domains *)
+  Coverage.with_ledger (Coverage.make_ledger ()) @@ fun () ->
   let rng = O4a_util.Rng.create (seed + Hashtbl.hash fuzzer.Fuzzer.name) in
   let zeal = Solver.Engine.zeal () in
   let cove = Solver.Engine.cove () in
@@ -44,8 +49,11 @@ let run_fuzzer ~seed ~ticks ~per_tick ~max_steps ~seeds (fuzzer : Fuzzer.t) =
     cove_line := Coverage.line_pct cs :: !cove_line;
     cove_func := Coverage.func_pct cs :: !cove_func
   done;
-  Hashtbl.replace extension_hits fuzzer.Fuzzer.name
-    (List.filter is_extension_label (Coverage.hit_point_labels Coverage.Cove));
+  let ext_labels =
+    List.filter is_extension_label (Coverage.hit_point_labels Coverage.Cove)
+  in
+  Mutex.protect extension_hits_mutex (fun () ->
+      Hashtbl.replace extension_hits fuzzer.Fuzzer.name ext_labels);
   {
     fuzzer = fuzzer.Fuzzer.name;
     zeal_line = List.rev !zeal_line;
@@ -78,10 +86,13 @@ let render ~title series =
   ^ "\n\n"
   ^ spark "Cove function coverage (final %)" (fun s -> s.cove_func)
 
-let run ?(seed = 2024) ?(ticks = 24) ?(per_tick = 60) ?(max_steps = 40_000) ~title
-    ~fuzzers ~seeds () =
+let run ?(seed = 2024) ?(ticks = 24) ?(per_tick = 60) ?(max_steps = 40_000)
+    ?(jobs = 1) ~title ~fuzzers ~seeds () =
+  Solver.Engine.prewarm ();
   let series =
-    List.map (run_fuzzer ~seed ~ticks ~per_tick ~max_steps ~seeds) fuzzers
+    Orchestrator.parallel_map ~jobs
+      (run_fuzzer ~seed ~ticks ~per_tick ~max_steps ~seeds)
+      fuzzers
   in
   { series; text = render ~title series }
 
@@ -90,7 +101,8 @@ let exclusive_regions result =
     List.map
       (fun s ->
         let labels =
-          Option.value (Hashtbl.find_opt extension_hits s.fuzzer) ~default:[]
+          Mutex.protect extension_hits_mutex (fun () ->
+              Option.value (Hashtbl.find_opt extension_hits s.fuzzer) ~default:[])
         in
         let files =
           labels

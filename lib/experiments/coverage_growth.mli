@@ -27,12 +27,16 @@ val run :
   ?ticks:int ->
   ?per_tick:int ->
   ?max_steps:int ->
+  ?jobs:int ->
   title:string ->
   fuzzers:Baselines.Fuzzer.t list ->
   seeds:Script.t list ->
   unit ->
   result
-(** Defaults: 24 ticks, 60 cases per tick at full speed. *)
+(** Defaults: 24 ticks, 60 cases per tick at full speed. [jobs] fans the
+    fuzzers out over that many domains (each already runs in a private
+    coverage ledger with its own engines, so the curves are identical at any
+    job count). *)
 
 val exclusive_regions : result -> string
 (** For the final tick: which fuzzers reach solver-specific theory files that

@@ -229,21 +229,12 @@ let stats_fields stats =
     ("findings", Json.Int (List.length stats.findings));
   ]
 
-let run ~rng ?(config = default_config) ?telemetry ~generators ~seeds ~zeal ~cove
-    ~budget () =
-  if generators = [] then invalid_arg "Fuzz.run: no generators";
-  if seeds = [] then invalid_arg "Fuzz.run: no seeds";
-  let tel = match telemetry with Some t -> t | None -> Telemetry.global () in
+(* The Algorithm 2 loop proper, shared by the whole-campaign entry point
+   ({!run}) and the orchestrator's shard entry point ({!run_shard}). *)
+let run_loop ~rng ~config ~tel ~generators ~seeds ~zeal ~cove ~budget =
   let bandit = Bandit.create () in
   let stats = ref empty_stats in
   let started = Telemetry.now tel in
-  Telemetry.emit tel "campaign.start"
-    [
-      ("budget", Json.Int budget);
-      ("seeds", Json.Int (List.length seeds));
-      ("generators", Json.Int (List.length generators));
-      ("skeletons", Json.Bool config.use_skeletons);
-    ];
   while !stats.tests < budget do
     let seed = Telemetry.with_span tel "seed.select" (fun () -> Rng.choose rng seeds) in
     let current = ref seed in
@@ -254,7 +245,13 @@ let run ~rng ?(config = default_config) ?telemetry ~generators ~seeds ~zeal ~cov
         | Uniform -> generators
         | Coverage_guided -> [ Bandit.pick bandit ~rng generators ]
       in
-      let before = coverage_hits () in
+      (* the snapshot walk behind [coverage_hits] is only worth paying for
+         when the schedule consumes the reward signal *)
+      let before =
+        match config.schedule with
+        | Coverage_guided -> coverage_hits ()
+        | Uniform -> 0
+      in
       let filled =
         one_mutation ~tel ~rng ~config ~generators:mutation_generators !current
       in
@@ -277,8 +274,38 @@ let run ~rng ?(config = default_config) ?telemetry ~generators ~seeds ~zeal ~cov
       | _ -> current := seed)
     done
   done;
-  Telemetry.emit tel "campaign.end" (stats_fields !stats);
   { !stats with findings = List.rev !stats.findings }
+
+let run ~rng ?(config = default_config) ?telemetry ~generators ~seeds ~zeal ~cove
+    ~budget () =
+  if generators = [] then invalid_arg "Fuzz.run: no generators";
+  if seeds = [] then invalid_arg "Fuzz.run: no seeds";
+  let tel = match telemetry with Some t -> t | None -> Telemetry.global () in
+  Telemetry.emit tel "campaign.start"
+    [
+      ("budget", Json.Int budget);
+      ("seeds", Json.Int (List.length seeds));
+      ("generators", Json.Int (List.length generators));
+      ("skeletons", Json.Bool config.use_skeletons);
+    ];
+  let stats = run_loop ~rng ~config ~tel ~generators ~seeds ~zeal ~cove ~budget in
+  Telemetry.emit tel "campaign.end" (stats_fields stats);
+  stats
+
+let run_shard ~rng ?(config = default_config) ?telemetry ~shard_index ~first_tick
+    ~generators ~seeds ~zeal ~cove ~budget () =
+  if generators = [] then invalid_arg "Fuzz.run_shard: no generators";
+  if seeds = [] then invalid_arg "Fuzz.run_shard: no seeds";
+  let tel = match telemetry with Some t -> t | None -> Telemetry.global () in
+  Telemetry.emit tel "shard.start"
+    [
+      ("shard", Json.Int shard_index);
+      ("first_tick", Json.Int first_tick);
+      ("ticks", Json.Int budget);
+    ];
+  let stats = run_loop ~rng ~config ~tel ~generators ~seeds ~zeal ~cove ~budget in
+  Telemetry.emit tel "shard.end" (("shard", Json.Int shard_index) :: stats_fields stats);
+  stats
 
 let run_sources ?(max_steps = 60_000) ?telemetry ~zeal ~cove sources =
   let tel = match telemetry with Some t -> t | None -> Telemetry.global () in

@@ -36,6 +36,11 @@ type stats = {
   findings : Dedup.found list;  (** bug-triggering formulas, oldest first *)
 }
 
+val stats_fields : stats -> (string * O4a_telemetry.Json.t) list
+(** The event-field rendering of a stats record — the payload of
+    ["campaign.end"] / ["shard.end"] events, shared with the orchestrator so
+    a merged campaign ends with the same schema as a sequential one. *)
+
 val run :
   rng:O4a_util.Rng.t ->
   ?config:config ->
@@ -52,6 +57,27 @@ val run :
     [synthesize], and the oracle's nested spans), the [fuzz.*] counters
     — whose snapshot mirrors the returned {!stats} — one ["fuzz.test"]
     event per test, and periodic ["progress"] events. *)
+
+val run_shard :
+  rng:O4a_util.Rng.t ->
+  ?config:config ->
+  ?telemetry:O4a_telemetry.Telemetry.t ->
+  shard_index:int ->
+  first_tick:int ->
+  generators:Gensynth.Generator.t list ->
+  seeds:Script.t list ->
+  zeal:Solver.Engine.t ->
+  cove:Solver.Engine.t ->
+  budget:int ->
+  unit ->
+  stats
+(** One shard of a sharded campaign: the same loop as {!run} over [budget]
+    ticks, but bracketed by ["shard.start"]/["shard.end"] events (carrying
+    [shard_index] and [first_tick]) instead of campaign events — the
+    orchestrator emits the single campaign pair itself. Callers supply an
+    [rng] split for this shard (see {!O4a_util.Rng.split_indexed}) so the
+    shard's tick stream is a deterministic function of the campaign seed and
+    the shard index alone. *)
 
 val run_sources :
   ?max_steps:int ->

@@ -1,0 +1,202 @@
+module Json = O4a_telemetry.Json
+module Coverage = O4a_coverage.Coverage
+module Bug_db = Solver.Bug_db
+
+type shard_result = {
+  shard : int;
+  tests : int;
+  parse_ok : int;
+  solved : int;
+  bytes_total : int;
+  findings : Once4all.Dedup.found list;
+}
+
+type t = {
+  seed : int;
+  budget : int;
+  shard_size : int;
+  extra : (string * string) list;
+  completed : shard_result list;
+  coverage : (string * int) list;
+}
+
+let version = 1
+
+(* ------------------------------------------------------------------ *)
+(* Encoding                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let finding_to_json (f : Once4all.Oracle.finding) =
+  Json.Obj
+    [
+      ("kind", Json.String (Bug_db.kind_to_string f.kind));
+      ("solver", Json.String (Coverage.tag_to_string f.solver));
+      ("solver_name", Json.String f.solver_name);
+      ("signature", Json.String f.signature);
+      ( "bug_id",
+        match f.bug_id with Some id -> Json.String id | None -> Json.Null );
+      ("theory", Json.String f.theory);
+    ]
+
+let found_to_json (f : Once4all.Dedup.found) =
+  Json.Obj
+    [
+      ("finding", finding_to_json f.Once4all.Dedup.finding);
+      ("source", Json.String f.Once4all.Dedup.source);
+    ]
+
+let shard_result_to_json r =
+  Json.Obj
+    [
+      ("shard", Json.Int r.shard);
+      ("tests", Json.Int r.tests);
+      ("parse_ok", Json.Int r.parse_ok);
+      ("solved", Json.Int r.solved);
+      ("bytes_total", Json.Int r.bytes_total);
+      ("findings", Json.List (List.map found_to_json r.findings));
+    ]
+
+let to_json t =
+  Json.Obj
+    [
+      ("version", Json.Int version);
+      ("seed", Json.Int t.seed);
+      ("budget", Json.Int t.budget);
+      ("shard_size", Json.Int t.shard_size);
+      ( "extra",
+        Json.Obj (List.map (fun (k, v) -> (k, Json.String v)) t.extra) );
+      ( "completed",
+        Json.List
+          (List.map shard_result_to_json
+             (List.sort (fun a b -> compare a.shard b.shard) t.completed)) );
+      ( "coverage",
+        Json.Obj (List.map (fun (k, c) -> (k, Json.Int c)) t.coverage) );
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* Decoding                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let ( let* ) = Result.bind
+
+let req name conv json =
+  match Option.bind (Json.member name json) conv with
+  | Some v -> Ok v
+  | None -> Error (Printf.sprintf "checkpoint: missing or invalid field %S" name)
+
+let list_field name json =
+  match Json.member name json with
+  | Some (Json.List l) -> Ok l
+  | _ -> Error (Printf.sprintf "checkpoint: missing or invalid field %S" name)
+
+let obj_field name json =
+  match Json.member name json with
+  | Some (Json.Obj kvs) -> Ok kvs
+  | _ -> Error (Printf.sprintf "checkpoint: missing or invalid field %S" name)
+
+let finding_of_json json =
+  let* kind_s = req "kind" Json.to_str json in
+  let* kind =
+    match Bug_db.kind_of_string kind_s with
+    | Some k -> Ok k
+    | None -> Error (Printf.sprintf "checkpoint: unknown bug kind %S" kind_s)
+  in
+  let* solver_s = req "solver" Json.to_str json in
+  let* solver =
+    match Coverage.tag_of_string solver_s with
+    | Some s -> Ok s
+    | None -> Error (Printf.sprintf "checkpoint: unknown solver %S" solver_s)
+  in
+  let* solver_name = req "solver_name" Json.to_str json in
+  let* signature = req "signature" Json.to_str json in
+  let bug_id = Option.bind (Json.member "bug_id" json) Json.to_str in
+  let* theory = req "theory" Json.to_str json in
+  Ok
+    {
+      Once4all.Oracle.kind;
+      solver;
+      solver_name;
+      signature;
+      bug_id;
+      theory;
+    }
+
+let found_of_json json =
+  let* finding_json =
+    match Json.member "finding" json with
+    | Some j -> Ok j
+    | None -> Error "checkpoint: missing field \"finding\""
+  in
+  let* finding = finding_of_json finding_json in
+  let* source = req "source" Json.to_str json in
+  Ok { Once4all.Dedup.finding; source }
+
+let rec map_result f = function
+  | [] -> Ok []
+  | x :: rest ->
+    let* y = f x in
+    let* ys = map_result f rest in
+    Ok (y :: ys)
+
+let shard_result_of_json json =
+  let* shard = req "shard" Json.to_int json in
+  let* tests = req "tests" Json.to_int json in
+  let* parse_ok = req "parse_ok" Json.to_int json in
+  let* solved = req "solved" Json.to_int json in
+  let* bytes_total = req "bytes_total" Json.to_int json in
+  let* findings_json = list_field "findings" json in
+  let* findings = map_result found_of_json findings_json in
+  Ok { shard; tests; parse_ok; solved; bytes_total; findings }
+
+let of_json json =
+  let* v = req "version" Json.to_int json in
+  let* () =
+    if v = version then Ok ()
+    else Error (Printf.sprintf "checkpoint: unsupported version %d" v)
+  in
+  let* seed = req "seed" Json.to_int json in
+  let* budget = req "budget" Json.to_int json in
+  let* shard_size = req "shard_size" Json.to_int json in
+  let* extra_kvs = obj_field "extra" json in
+  let* extra =
+    map_result
+      (fun (k, v) ->
+        match Json.to_str v with
+        | Some s -> Ok (k, s)
+        | None -> Error (Printf.sprintf "checkpoint: extra field %S not a string" k))
+      extra_kvs
+  in
+  let* completed_json = list_field "completed" json in
+  let* completed = map_result shard_result_of_json completed_json in
+  let* coverage_kvs = obj_field "coverage" json in
+  let* coverage =
+    map_result
+      (fun (k, v) ->
+        match Json.to_int v with
+        | Some c -> Ok (k, c)
+        | None -> Error (Printf.sprintf "checkpoint: coverage count for %S not an int" k))
+      coverage_kvs
+  in
+  Ok { seed; budget; shard_size; extra; completed; coverage }
+
+(* ------------------------------------------------------------------ *)
+(* Files                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let save ~path t =
+  (* write-then-rename so a crash mid-write never leaves a torn checkpoint *)
+  let tmp = path ^ ".tmp" in
+  let oc = open_out tmp in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      output_string oc (Json.to_string (to_json t));
+      output_char oc '\n');
+  Sys.rename tmp path
+
+let load ~path =
+  match In_channel.with_open_text path In_channel.input_all with
+  | exception Sys_error msg -> Error msg
+  | contents ->
+    let* json = Json.parse contents in
+    of_json json

@@ -1,0 +1,39 @@
+(** Campaign checkpoints: everything needed to resume an interrupted sharded
+    campaign and land on the exact same final report.
+
+    A checkpoint records the campaign's RNG provenance (seed, budget, shard
+    size — together these determine the shard plan and every shard's RNG),
+    the results of every completed shard, and the coverage merged from those
+    shards. {!Orchestrator.run} refuses to resume from a checkpoint whose
+    provenance differs from the requested campaign, because the remaining
+    shards would then not line up with the completed ones. *)
+
+type shard_result = {
+  shard : int;
+  tests : int;
+  parse_ok : int;
+  solved : int;
+  bytes_total : int;
+  findings : Once4all.Dedup.found list;  (** oldest first, as the shard found them *)
+}
+
+type t = {
+  seed : int;
+  budget : int;
+  shard_size : int;
+  extra : (string * string) list;
+      (** opaque caller provenance (the CLI stores its seed/profile flags
+          here so [resume] can rebuild the same generator pool) *)
+  completed : shard_result list;
+  coverage : (string * int) list;
+      (** merged {!O4a_coverage.Coverage.export} of the completed shards *)
+}
+
+val to_json : t -> O4a_telemetry.Json.t
+val of_json : O4a_telemetry.Json.t -> (t, string) result
+
+val save : path:string -> t -> unit
+(** Atomic: writes [path ^ ".tmp"] then renames over [path], so an interrupt
+    mid-write never corrupts the previous checkpoint. *)
+
+val load : path:string -> (t, string) result

@@ -1,0 +1,323 @@
+module Shard = Shard
+module Checkpoint = Checkpoint
+module Rng = O4a_util.Rng
+module Telemetry = O4a_telemetry.Telemetry
+module Metrics = O4a_telemetry.Metrics
+module Sink = O4a_telemetry.Sink
+module Event = O4a_telemetry.Event
+module Json = O4a_telemetry.Json
+module Coverage = O4a_coverage.Coverage
+module Engine = Solver.Engine
+module Fuzz = Once4all.Fuzz
+module Dedup = Once4all.Dedup
+
+let log_src =
+  Logs.Src.create "once4all.orchestrator" ~doc:"Parallel campaign orchestrator"
+
+module Log = (val Logs.src_log log_src : Logs.LOG)
+
+type report = {
+  stats : Fuzz.stats;
+  clusters : Dedup.cluster list;
+  found_bug_ids : string list;
+  coverage : (string * int) list;
+  coverage_zeal : Coverage.snapshot;
+  coverage_cove : Coverage.snapshot;
+  shards_total : int;
+  shards_run : int;
+  shards_resumed : int;
+  interrupted : bool;
+}
+
+(* ------------------------------------------------------------------ *)
+(* Generic parallel map                                                *)
+(* ------------------------------------------------------------------ *)
+
+let parallel_map ?(jobs = 1) f xs =
+  let arr = Array.of_list xs in
+  let n = Array.length arr in
+  let jobs = max 1 (min jobs n) in
+  if jobs <= 1 then List.map f xs
+  else (
+    let out = Array.make n None in
+    let next = Atomic.make 0 in
+    let err : exn option Atomic.t = Atomic.make None in
+    let worker () =
+      let rec loop () =
+        let i = Atomic.fetch_and_add next 1 in
+        if i < n then (
+          (try out.(i) <- Some (f arr.(i))
+           with e -> ignore (Atomic.compare_and_set err None (Some e)));
+          loop ())
+      in
+      loop ()
+    in
+    let domains = List.init jobs (fun _ -> Domain.spawn worker) in
+    List.iter Domain.join domains;
+    (match Atomic.get err with Some e -> raise e | None -> ());
+    Array.to_list (Array.map Option.get out))
+
+(* ------------------------------------------------------------------ *)
+(* One shard, in isolation                                             *)
+(* ------------------------------------------------------------------ *)
+
+type shard_payload = {
+  sr : Checkpoint.shard_result;
+  events : Event.t list;
+  metric_entries : Metrics.entry list;
+  cov_export : (string * int) list;
+}
+
+let run_one_shard ~worker_id ~tel_enabled ~config ~generators ~seeds ~zeal ~cove
+    ~seed shard =
+  let wtel =
+    if tel_enabled then
+      Telemetry.create ~sink:(Sink.memory ())
+        ~clock:(Telemetry.monotonic_clock ())
+        ~labels:[ ("worker", string_of_int worker_id) ]
+        ()
+    else Telemetry.disabled
+  in
+  let ledger = Coverage.make_ledger () in
+  let rng = Shard.rng ~seed shard in
+  let stats =
+    Coverage.with_ledger ledger (fun () ->
+        Telemetry.using wtel (fun () ->
+            Fuzz.run_shard ~rng ~config ~telemetry:wtel
+              ~shard_index:shard.Shard.index ~first_tick:shard.Shard.first_tick
+              ~generators ~seeds ~zeal ~cove ~budget:shard.Shard.ticks ()))
+  in
+  {
+    sr =
+      {
+        Checkpoint.shard = shard.Shard.index;
+        tests = stats.Fuzz.tests;
+        parse_ok = stats.Fuzz.parse_ok;
+        solved = stats.Fuzz.solved;
+        bytes_total = stats.Fuzz.bytes_total;
+        findings = stats.Fuzz.findings;
+      };
+    events = (if tel_enabled then Sink.events (Telemetry.sink wtel) else []);
+    metric_entries = (if tel_enabled then Telemetry.snapshot wtel else []);
+    cov_export = Coverage.export ledger;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* The campaign                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let default_shard_size = 250
+
+let take n xs =
+  let rec go acc n = function
+    | x :: rest when n > 0 -> go (x :: acc) (n - 1) rest
+    | _ -> List.rev acc
+  in
+  go [] n xs
+
+let load_base ~resume ~checkpoint_path ~seed ~budget ~shard_size =
+  if not resume then None
+  else (
+    match checkpoint_path with
+    | None -> invalid_arg "Orchestrator.run: resume requires a checkpoint path"
+    | Some path -> (
+      match Checkpoint.load ~path with
+      | Error msg -> failwith (Printf.sprintf "cannot resume from %s: %s" path msg)
+      | Ok cp ->
+        if cp.Checkpoint.seed <> seed || cp.Checkpoint.budget <> budget
+           || cp.Checkpoint.shard_size <> shard_size
+        then
+          failwith
+            (Printf.sprintf
+               "cannot resume from %s: checkpoint is for seed %d budget %d \
+                shard-size %d, requested seed %d budget %d shard-size %d"
+               path cp.Checkpoint.seed cp.Checkpoint.budget
+               cp.Checkpoint.shard_size seed budget shard_size);
+        Some cp))
+
+let run ?(jobs = 1) ?(shard_size = default_shard_size)
+    ?(config = Fuzz.default_config) ?telemetry ?checkpoint_path
+    ?(resume = false) ?stop_after ?(extra = []) ?engines ~seed ~budget
+    ~generators ~seeds () =
+  if jobs < 1 then invalid_arg "Orchestrator.run: jobs must be >= 1";
+  let tel = match telemetry with Some t -> t | None -> Telemetry.global () in
+  let engines =
+    match engines with
+    | Some f -> f
+    | None -> fun () -> (Engine.zeal (), Engine.cove ())
+  in
+  let base = load_base ~resume ~checkpoint_path ~seed ~budget ~shard_size in
+  let base_completed =
+    match base with Some cp -> cp.Checkpoint.completed | None -> []
+  in
+  let extra =
+    match base with Some cp when extra = [] -> cp.Checkpoint.extra | _ -> extra
+  in
+  let plan = Shard.plan ~budget ~shard_size in
+  let done_set =
+    List.fold_left
+      (fun acc (r : Checkpoint.shard_result) -> r.Checkpoint.shard :: acc)
+      [] base_completed
+  in
+  let remaining =
+    List.filter (fun s -> not (List.mem s.Shard.index done_set)) plan
+  in
+  let to_run =
+    match stop_after with Some k -> take (max 0 k) remaining | None -> remaining
+  in
+  let interrupted = List.length to_run < List.length remaining in
+  (* populate the coverage point tables before any worker races to use them,
+     and so that checkpoint merges resolve ids against a full registry *)
+  Engine.prewarm ();
+  Telemetry.emit tel "campaign.start"
+    [
+      ("budget", Json.Int budget);
+      ("seeds", Json.Int (List.length seeds));
+      ("generators", Json.Int (List.length generators));
+      ("skeletons", Json.Bool config.Fuzz.use_skeletons);
+      ("jobs", Json.Int jobs);
+      ("shard_size", Json.Int shard_size);
+      ("shards", Json.Int (List.length plan));
+      ("resumed_shards", Json.Int (List.length base_completed));
+    ];
+  let campaign_ledger = Coverage.make_ledger () in
+  (match base with
+  | Some cp -> Coverage.merge_into ~into:campaign_ledger cp.Checkpoint.coverage
+  | None -> ());
+  let shard_arr = Array.of_list to_run in
+  let n_to_run = Array.length shard_arr in
+  let nworkers = max 1 (min jobs n_to_run) in
+  (* a single results queue: workers push, the main domain is the only
+     consumer — the merge stage has one owner *)
+  let queue : (int * (shard_payload, string) Stdlib.result) Queue.t =
+    Queue.create ()
+  in
+  let qmutex = Mutex.create () in
+  let qcond = Condition.create () in
+  let push r =
+    Mutex.protect qmutex (fun () ->
+        Queue.push r queue;
+        Condition.signal qcond)
+  in
+  let pop () =
+    Mutex.lock qmutex;
+    while Queue.is_empty queue do
+      Condition.wait qcond qmutex
+    done;
+    let r = Queue.pop queue in
+    Mutex.unlock qmutex;
+    r
+  in
+  let next = Atomic.make 0 in
+  let tel_enabled = Telemetry.enabled tel in
+  let worker worker_id () =
+    let zeal, cove = engines () in
+    let rec loop () =
+      let i = Atomic.fetch_and_add next 1 in
+      if i < n_to_run then (
+        let shard = shard_arr.(i) in
+        (match
+           run_one_shard ~worker_id ~tel_enabled ~config ~generators ~seeds
+             ~zeal ~cove ~seed shard
+         with
+        | payload -> push (shard.Shard.index, Ok payload)
+        | exception e -> push (shard.Shard.index, Error (Printexc.to_string e)));
+        loop ())
+    in
+    loop ()
+  in
+  let domains =
+    if nworkers <= 1 || n_to_run = 0 then (
+      (* degenerate case: run the whole queue on this domain, then drain *)
+      worker 0 ();
+      [])
+    else List.init nworkers (fun wid -> Domain.spawn (worker wid))
+  in
+  (* merge stage: single owner (this domain). Worker payloads arrive in
+     completion order; everything merged here is commutative (counters,
+     coverage) or re-canonicalized afterwards (findings sorted by shard
+     index), so the final report does not depend on that order. *)
+  let completed = ref base_completed in
+  let errors = ref [] in
+  let save_checkpoint () =
+    match checkpoint_path with
+    | None -> ()
+    | Some path ->
+      Checkpoint.save ~path
+        {
+          Checkpoint.seed;
+          budget;
+          shard_size;
+          extra;
+          completed = !completed;
+          coverage = Coverage.export campaign_ledger;
+        }
+  in
+  for _ = 1 to n_to_run do
+    match pop () with
+    | shard_idx, Error msg -> errors := (shard_idx, msg) :: !errors
+    | shard_idx, Ok payload ->
+      List.iter
+        (fun (e : Event.t) ->
+          Telemetry.forward tel
+            (Event.make ~ts:e.Event.ts ~name:e.Event.name
+               (e.Event.fields @ [ ("shard", Json.Int shard_idx) ])))
+        payload.events;
+      Telemetry.absorb_metrics tel payload.metric_entries;
+      Coverage.merge_into ~into:campaign_ledger payload.cov_export;
+      completed := payload.sr :: !completed;
+      save_checkpoint ();
+      Log.debug (fun m ->
+          m "shard %d merged (%d/%d done)" shard_idx (List.length !completed)
+            (List.length plan))
+  done;
+  List.iter Domain.join domains;
+  (match List.sort compare !errors with
+  | (idx, msg) :: _ ->
+    failwith (Printf.sprintf "Orchestrator.run: shard %d failed: %s" idx msg)
+  | [] -> ());
+  (* canonical order: shard index, i.e. campaign tick order — the merged
+     finding stream a sequential run over the same plan would produce *)
+  let all_results =
+    List.sort
+      (fun (a : Checkpoint.shard_result) b ->
+        compare a.Checkpoint.shard b.Checkpoint.shard)
+      !completed
+  in
+  let findings =
+    List.concat_map (fun (r : Checkpoint.shard_result) -> r.Checkpoint.findings)
+      all_results
+  in
+  let sum f = List.fold_left (fun acc r -> acc + f r) 0 all_results in
+  let stats =
+    {
+      Fuzz.tests = sum (fun r -> r.Checkpoint.tests);
+      parse_ok = sum (fun r -> r.Checkpoint.parse_ok);
+      solved = sum (fun r -> r.Checkpoint.solved);
+      bytes_total = sum (fun r -> r.Checkpoint.bytes_total);
+      findings;
+    }
+  in
+  let clusters = Dedup.cluster findings in
+  let found_bug_ids =
+    findings
+    |> List.filter_map (fun (f : Dedup.found) -> f.Dedup.finding.Once4all.Oracle.bug_id)
+    |> O4a_util.Listx.dedup |> List.sort compare
+  in
+  Telemetry.emit tel "campaign.end" (Fuzz.stats_fields stats);
+  Log.info (fun m ->
+      m "campaign merged: %d shards (%d resumed), %d tests, %d findings, %d distinct bugs"
+        (List.length all_results) (List.length base_completed) stats.Fuzz.tests
+        (List.length findings) (List.length found_bug_ids));
+  {
+    stats;
+    clusters;
+    found_bug_ids;
+    coverage = Coverage.export campaign_ledger;
+    coverage_zeal = Coverage.snapshot ~ledger:campaign_ledger Coverage.Zeal;
+    coverage_cove = Coverage.snapshot ~ledger:campaign_ledger Coverage.Cove;
+    shards_total = List.length plan;
+    shards_run = n_to_run - List.length !errors;
+    shards_resumed = List.length base_completed;
+    interrupted;
+  }

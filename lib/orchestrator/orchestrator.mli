@@ -1,0 +1,82 @@
+(** The parallel campaign orchestrator: shard a fuzzing campaign across
+    OCaml 5 domains and merge the results deterministically.
+
+    The campaign's tick range is cut into {!Shard} units whose plan and RNGs
+    depend only on [(seed, budget, shard_size)]. Workers pull shards from a
+    shared queue; each worker owns its solver engines, each shard runs inside
+    a private coverage ledger and a private telemetry handle (memory sink,
+    monotonic clock, a [worker] base label). A single merge owner — the
+    calling domain — folds finished shards back together: findings are
+    re-ordered by shard index before {!Once4all.Dedup.cluster}, coverage
+    merges commutatively by point identity, counters sum, worker events are
+    forwarded to the campaign sink tagged with their shard. Consequently
+    [run ~jobs:n] returns the same report for every [n].
+
+    After every merged shard the campaign can be checkpointed
+    ({!Checkpoint}); [run ~resume:true] skips the shards a checkpoint already
+    covers and lands on the same final report as an uninterrupted run. *)
+
+module Shard = Shard
+module Checkpoint = Checkpoint
+
+type report = {
+  stats : Once4all.Fuzz.stats;
+      (** merged totals; findings in shard (= campaign tick) order *)
+  clusters : Once4all.Dedup.cluster list;
+  found_bug_ids : string list;  (** distinct ground-truth ids, sorted *)
+  coverage : (string * int) list;
+      (** merged {!O4a_coverage.Coverage.export} of the whole campaign *)
+  coverage_zeal : O4a_coverage.Coverage.snapshot;
+  coverage_cove : O4a_coverage.Coverage.snapshot;
+  shards_total : int;
+  shards_run : int;  (** executed by this process *)
+  shards_resumed : int;  (** taken from the checkpoint *)
+  interrupted : bool;  (** [stop_after] left shards unexecuted *)
+}
+
+val default_shard_size : int
+
+val run :
+  ?jobs:int ->
+  ?shard_size:int ->
+  ?config:Once4all.Fuzz.config ->
+  ?telemetry:O4a_telemetry.Telemetry.t ->
+  ?checkpoint_path:string ->
+  ?resume:bool ->
+  ?stop_after:int ->
+  ?extra:(string * string) list ->
+  ?engines:(unit -> Solver.Engine.t * Solver.Engine.t) ->
+  seed:int ->
+  budget:int ->
+  generators:Gensynth.Generator.t list ->
+  seeds:Smtlib.Script.t list ->
+  unit ->
+  report
+(** Run a sharded campaign of [budget] tests.
+
+    - [jobs] (default 1): worker domains. The report is identical for every
+      value; only wall-clock changes.
+    - [shard_size] (default {!default_shard_size}): ticks per shard. Part of
+      the campaign's provenance — changing it changes the shard RNG streams,
+      so it must match across resumes (and between runs being compared).
+    - [checkpoint_path]: serialize progress here after every merged shard.
+    - [resume]: load [checkpoint_path] first and skip its completed shards.
+      Fails if the checkpoint's [(seed, budget, shard_size)] differ.
+    - [stop_after]: execute at most this many shards, then return (with
+      [interrupted = true] if work remains) — the hook used to exercise the
+      kill/resume path deterministically.
+    - [extra]: opaque provenance stored in the checkpoint (defaults to the
+      resumed checkpoint's own [extra] when resuming).
+    - [engines]: fresh engine pair factory, called once per worker (default
+      trunk Zeal + Cove). Engines carry unsynchronized per-query state and
+      must never be shared across workers.
+    - [generators] are shared across workers: they are immutable after
+      construction.
+
+    Raises [Failure] if any shard raises (after merging and checkpointing the
+    shards that did finish). *)
+
+val parallel_map : ?jobs:int -> ('a -> 'b) -> 'a list -> 'b list
+(** Order-preserving map over a domain pool ([jobs] <= 1 degrades to
+    [List.map]). [f] must be safe to call from any domain. Used by the
+    experiment harnesses to fan out independent campaign runs. *)

@@ -409,6 +409,12 @@ let kind_to_string = function
   | Soundness -> "soundness"
   | Invalid_model -> "invalid model"
 
+let kind_of_string = function
+  | "crash" -> Some Crash
+  | "soundness" -> Some Soundness
+  | "invalid model" -> Some Invalid_model
+  | _ -> None
+
 let status_to_string = function
   | Fixed -> "fixed"
   | Confirmed -> "confirmed"

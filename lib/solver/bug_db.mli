@@ -63,4 +63,8 @@ val is_extension_theory_bug : spec -> bool
     paper says prior fuzzers cannot reach). *)
 
 val kind_to_string : kind -> string
+
+val kind_of_string : string -> kind option
+(** Inverse of {!kind_to_string} (used by the campaign checkpoint codec). *)
+
 val status_to_string : status -> string

@@ -115,7 +115,15 @@ let key_theory key =
 
 type cov_table = (string * int, Coverage.point) Hashtbl.t
 
+(* Shared engine state, audited for multi-domain construction:
+   - [tables] below: lazily built per solver, mutex-guarded here;
+   - the coverage point registry: mutex-guarded inside {!Coverage};
+   - [Bug_db] specs and [Rewrite] rules: immutable after module init.
+   Everything else an engine mutates ([act], [steps_used]) lives in the
+   engine value itself, so engines are re-entrant across domains as long as
+   each domain uses its own engine. *)
 let tables : (Coverage.solver_tag, cov_table) Hashtbl.t = Hashtbl.create 4
+let tables_mutex = Mutex.create ()
 
 let lines_per_op = 3 (* line 0 = entry; 1 = edge case; 2 = cold path *)
 
@@ -183,12 +191,17 @@ let build_table tag =
   tbl
 
 let table_for tag =
-  match Hashtbl.find_opt tables tag with
-  | Some tbl -> tbl
-  | None ->
-    let tbl = build_table tag in
-    Hashtbl.add tables tag tbl;
-    tbl
+  Mutex.protect tables_mutex (fun () ->
+      match Hashtbl.find_opt tables tag with
+      | Some tbl -> tbl
+      | None ->
+        let tbl = build_table tag in
+        Hashtbl.add tables tag tbl;
+        tbl)
+
+let prewarm () =
+  ignore (table_for Coverage.Zeal);
+  ignore (table_for Coverage.Cove)
 
 let cov_fn tag =
   let tbl = table_for tag in

@@ -6,7 +6,17 @@
     commit (see {!Bug_db.active}) shape its behavior. Solving proceeds
     through a realistic pipeline — command processing, unsupported-symbol
     detection, sort checking, rewriting, bounded model search — each stage
-    hitting this solver's coverage points. *)
+    hitting this solver's coverage points.
+
+    {b Re-entrancy.} {!zeal}, {!cove} and {!make} may be called from any
+    domain: the shared state they touch (the lazily built coverage-point
+    tables here, the point registry in {!O4a_coverage.Coverage}) is
+    mutex-guarded, and bug specs and rewrite rules are immutable. A
+    constructed engine, however, carries unsynchronized mutable accounting
+    (activity tallies, search fuel) that feeds verdicts — so each parallel
+    worker must build {e its own} engines; never share one engine value
+    between concurrently running domains. Coverage hits land in the calling
+    domain's ambient ledger (see {!O4a_coverage.Coverage.with_ledger}). *)
 
 open Smtlib
 
@@ -32,6 +42,11 @@ val make : ?pure:bool -> O4a_coverage.Coverage.solver_tag -> commit:int -> t
     correcting-commit experiments. *)
 
 val pure : O4a_coverage.Coverage.solver_tag -> t
+
+val prewarm : unit -> unit
+(** Build both solvers' coverage-point tables now (normally built lazily on
+    first engine construction). The orchestrator calls this once before
+    spawning workers so the point id space is fully populated up front. *)
 
 val name : t -> string
 (** e.g. ["zeal-trunk"], ["cove-1.2.0"]. *)

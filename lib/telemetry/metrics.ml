@@ -10,13 +10,17 @@ type cell =
 
 type key = { k_name : string; k_labels : (string * string) list }
 
-type t = { cells : (key, cell) Hashtbl.t }
+(* The registry (cell lookup + creation) is mutex-guarded so workers on
+   different domains may share one registry safely. Updates through a cell
+   HANDLE obtained from {!counter}/{!gauge}/{!histogram} are deliberately
+   unsynchronized: a handle is meant to have a single owner (one domain). *)
+type t = { cells : (key, cell) Hashtbl.t; lock : Mutex.t }
 
 type counter = cell
 type gauge = cell
 type histogram = cell
 
-let create () = { cells = Hashtbl.create 64 }
+let create () = { cells = Hashtbl.create 64; lock = Mutex.create () }
 
 let normalize_labels labels = List.sort compare labels
 
@@ -27,7 +31,7 @@ let kind_name = function
   | C_gauge _ -> "gauge"
   | C_hist _ -> "histogram"
 
-let register t name labels fresh check =
+let register_unlocked t name labels fresh check =
   let key = key name labels in
   match Hashtbl.find_opt t.cells key with
   | Some cell ->
@@ -40,6 +44,9 @@ let register t name labels fresh check =
     let cell = fresh () in
     Hashtbl.add t.cells key cell;
     cell
+
+let register t name labels fresh check =
+  Mutex.protect t.lock (fun () -> register_unlocked t name labels fresh check)
 
 let counter t ?(labels = []) name =
   register t name labels
@@ -107,9 +114,41 @@ let observe cell x =
     h.n <- h.n + 1
   | _ -> assert false
 
-let incr_named t ?(labels = []) ?(by = 1) name = add (counter t ~labels name) by
-let set_named t ?(labels = []) name value = set (gauge t ~labels name) value
-let observe_named t ?(labels = []) name x = observe (histogram t ~labels name) x
+(* the named conveniences keep lookup and update inside one critical section,
+   so they are safe to call concurrently from several domains *)
+let counter_unlocked t labels name =
+  register_unlocked t name labels
+    (fun () -> C_counter { count = 0 })
+    (function C_counter _ -> true | _ -> false)
+
+let incr_named t ?(labels = []) ?(by = 1) name =
+  Mutex.protect t.lock (fun () -> add (counter_unlocked t labels name) by)
+
+let set_named t ?(labels = []) name value =
+  Mutex.protect t.lock (fun () ->
+      set
+        (register_unlocked t name labels
+           (fun () -> C_gauge { value = 0. })
+           (function C_gauge _ -> true | _ -> false))
+        value)
+
+let observe_named t ?(labels = []) name x =
+  Mutex.protect t.lock (fun () ->
+      observe
+        (register_unlocked t name labels
+           (fun () ->
+             C_hist
+               {
+                 bounds = Array.copy default_latency_bounds;
+                 counts = Array.make (Array.length default_latency_bounds + 1) 0;
+                 sum = 0.;
+                 n = 0;
+               })
+           (function
+             | C_hist h ->
+               Array.to_list h.bounds = Array.to_list default_latency_bounds
+             | _ -> false))
+        x)
 
 type hist_snapshot = {
   bounds : float array;
@@ -126,6 +165,7 @@ type value =
 type entry = { name : string; labels : (string * string) list; value : value }
 
 let snapshot t =
+  Mutex.protect t.lock @@ fun () ->
   Hashtbl.fold
     (fun key cell acc ->
       let value =
@@ -149,9 +189,52 @@ let snapshot t =
          | c -> c)
 
 let get_counter t ?(labels = []) name =
-  match Hashtbl.find_opt t.cells (key name labels) with
-  | Some (C_counter c) -> c.count
-  | _ -> 0
+  Mutex.protect t.lock (fun () ->
+      match Hashtbl.find_opt t.cells (key name labels) with
+      | Some (C_counter c) -> c.count
+      | _ -> 0)
+
+(* Fold a snapshot from another registry (e.g. a finished worker's) into [t]:
+   counters add, gauges take the absorbed value, histograms with identical
+   bounds add bucket-wise. Commutative for counters and histograms, so the
+   merged registry is independent of worker completion order. *)
+let absorb t entries =
+  Mutex.protect t.lock @@ fun () ->
+  List.iter
+    (fun e ->
+      match e.value with
+      | Counter n ->
+        if n > 0 then
+          add (counter_unlocked t e.labels e.name) n
+      | Gauge v ->
+        set
+          (register_unlocked t e.name e.labels
+             (fun () -> C_gauge { value = 0. })
+             (function C_gauge _ -> true | _ -> false))
+          v
+      | Histogram h -> (
+        let cell =
+          register_unlocked t e.name e.labels
+            (fun () ->
+              C_hist
+                {
+                  bounds = Array.copy h.bounds;
+                  counts = Array.make (Array.length h.bounds + 1) 0;
+                  sum = 0.;
+                  n = 0;
+                })
+            (function
+              | C_hist existing ->
+                Array.to_list existing.bounds = Array.to_list h.bounds
+              | _ -> false)
+        in
+        match cell with
+        | C_hist dst ->
+          Array.iteri (fun i c -> dst.counts.(i) <- dst.counts.(i) + c) h.counts;
+          dst.sum <- dst.sum +. h.sum;
+          dst.n <- dst.n + h.count
+        | _ -> assert false))
+    entries
 
 let entry_to_json e =
   let base =

@@ -5,7 +5,14 @@
     through its handle ({!counter} / {!gauge} / {!histogram}), or use the
     [*_named] conveniences, which cost one hashtable lookup. Registering the
     same name + labels twice returns the same cell; re-registering under a
-    different metric kind raises [Invalid_argument]. *)
+    different metric kind raises [Invalid_argument].
+
+    {b Thread safety.} The registry itself (registration, the [*_named]
+    conveniences, {!snapshot}, {!get_counter}, {!absorb}) is mutex-guarded and
+    safe to share between domains. Updates through a cell {e handle} are not
+    synchronized: a handle is meant to have a single owning domain. Parallel
+    workers therefore keep a private registry each and the merge stage folds
+    worker snapshots into the campaign registry with {!absorb}. *)
 
 type t
 
@@ -66,6 +73,13 @@ val snapshot : t -> entry list
 
 val get_counter : t -> ?labels:(string * string) list -> string -> int
 (** 0 when the counter was never registered. *)
+
+val absorb : t -> entry list -> unit
+(** Fold a snapshot of another registry into this one: counters add, gauges
+    take the absorbed value, histograms add bucket-wise (absorbing a histogram
+    whose bounds differ from the resident cell's raises [Invalid_argument]).
+    Counter and histogram absorption commute, so merging worker snapshots in
+    completion order yields a deterministic result. *)
 
 val hist_quantile : hist_snapshot -> float -> float
 (** [hist_quantile h q] with [q] in [[0,1]]: the upper bound of the bucket

@@ -1,30 +1,41 @@
 type t =
   | Null
-  | Memory of Event.t list ref
-  | Channel of { oc : out_channel; owned : bool; mutable closed : bool }
+  | Memory of { events : Event.t list ref; lock : Mutex.t }
+  | Channel of {
+      oc : out_channel;
+      owned : bool;
+      mutable closed : bool;
+      lock : Mutex.t;
+    }
 
 let null = Null
-let memory () = Memory (ref [])
-let jsonl oc = Channel { oc; owned = false; closed = false }
+let memory () = Memory { events = ref []; lock = Mutex.create () }
+let jsonl oc = Channel { oc; owned = false; closed = false; lock = Mutex.create () }
 
-let open_jsonl path = Channel { oc = open_out path; owned = true; closed = false }
+let open_jsonl path =
+  Channel { oc = open_out path; owned = true; closed = false; lock = Mutex.create () }
 
 let emit sink event =
   match sink with
   | Null -> ()
-  | Memory events -> events := event :: !events
+  | Memory m ->
+    Mutex.protect m.lock (fun () -> m.events := event :: !(m.events))
   | Channel c ->
-    if not c.closed then (
-      output_string c.oc (Event.to_line event);
-      output_char c.oc '\n')
+    (* whole-line write under the lock so concurrent emitters never interleave
+       within a JSONL line *)
+    Mutex.protect c.lock (fun () ->
+        if not c.closed then (
+          output_string c.oc (Event.to_line event);
+          output_char c.oc '\n'))
 
 let events = function
-  | Memory events -> List.rev !events
+  | Memory m -> Mutex.protect m.lock (fun () -> List.rev !(m.events))
   | Null | Channel _ -> []
 
 let close = function
   | Null | Memory _ -> ()
   | Channel c ->
-    if not c.closed then (
-      c.closed <- true;
-      if c.owned then close_out c.oc else flush c.oc)
+    Mutex.protect c.lock (fun () ->
+        if not c.closed then (
+          c.closed <- true;
+          if c.owned then close_out c.oc else flush c.oc))

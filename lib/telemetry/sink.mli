@@ -5,7 +5,11 @@
     - {!memory}: accumulates events in order, for tests and in-process
       consumers;
     - {!jsonl}: streams one JSON object per line to a channel, the format
-      consumed by [once4all_cli stats] and offline analysis. *)
+      consumed by [once4all_cli stats] and offline analysis.
+
+    {!emit} is thread-safe for every implementation (memory and channel sinks
+    serialize writers behind a per-sink mutex), so several domains may share
+    one sink. *)
 
 type t
 

@@ -3,6 +3,7 @@ type t = {
   metrics : Metrics.t;
   sink : Sink.t;
   clock : unit -> float;
+  labels : (string * string) list;
   mutable span_stack : string list;
 }
 
@@ -12,28 +13,50 @@ let disabled =
     metrics = Metrics.create ();
     sink = Sink.null;
     clock = Unix.gettimeofday;
+    labels = [];
     span_stack = [];
   }
 
-let create ?(sink = Sink.null) ?(clock = Unix.gettimeofday) () =
-  { enabled = true; metrics = Metrics.create (); sink; clock; span_stack = [] }
+let create ?(sink = Sink.null) ?(clock = Unix.gettimeofday) ?(labels = []) () =
+  { enabled = true; metrics = Metrics.create (); sink; clock; labels; span_stack = [] }
+
+let monotonic_clock () =
+  (* Wall-clock time nudged forward so successive reads never tie or go
+     backwards — keeps per-worker event streams totally ordered even if the
+     system clock steps. *)
+  let last = ref neg_infinity in
+  fun () ->
+    let t = Unix.gettimeofday () in
+    let t = if t <= !last then !last +. 1e-6 else t in
+    last := t;
+    t
 
 let enabled t = t.enabled
 let metrics t = t.metrics
 let sink t = t.sink
 let now t = t.clock ()
+let base_labels t = t.labels
+
+let label_fields t fields =
+  fields @ List.map (fun (k, v) -> (k, Json.String v)) t.labels
 
 let emit t name fields =
-  if t.enabled then Sink.emit t.sink (Event.make ~ts:(t.clock ()) ~name fields)
+  if t.enabled then
+    Sink.emit t.sink (Event.make ~ts:(t.clock ()) ~name (label_fields t fields))
 
+let forward t event = if t.enabled then Sink.emit t.sink event
+
+(* Counters stay unlabeled by the handle's base labels so that absorbing
+   several workers' registries sums them into one campaign total; gauges and
+   histograms carry the base labels so per-worker cells never collide. *)
 let incr t ?(labels = []) ?(by = 1) name =
   if t.enabled then Metrics.incr_named t.metrics ~labels ~by name
 
 let set_gauge t ?(labels = []) name value =
-  if t.enabled then Metrics.set_named t.metrics ~labels name value
+  if t.enabled then Metrics.set_named t.metrics ~labels:(labels @ t.labels) name value
 
 let observe t ?(labels = []) name x =
-  if t.enabled then Metrics.observe_named t.metrics ~labels name x
+  if t.enabled then Metrics.observe_named t.metrics ~labels:(labels @ t.labels) name x
 
 let with_span t ?(labels = []) stage f =
   if not t.enabled then f ()
@@ -46,7 +69,7 @@ let with_span t ?(labels = []) stage f =
       let dur = t.clock () -. start in
       t.span_stack <- (match t.span_stack with _ :: rest -> rest | [] -> []);
       Metrics.observe_named t.metrics
-        ~labels:(("stage", stage) :: labels)
+        ~labels:(("stage", stage) :: (labels @ t.labels))
         "stage.duration" dur;
       emit t "span"
         (("stage", Json.String stage)
@@ -60,16 +83,20 @@ let with_span t ?(labels = []) stage f =
 
 let snapshot t = Metrics.snapshot t.metrics
 
+let absorb_metrics t entries = if t.enabled then Metrics.absorb t.metrics entries
+
 let counter_value t ?(labels = []) name = Metrics.get_counter t.metrics ~labels name
 
 let flush t = Sink.close t.sink
 
-let ambient = ref disabled
+(* Domain-local so a worker installing its private handle with [using] never
+   disturbs the main domain's (or another worker's) ambient handle. *)
+let ambient : t Domain.DLS.key = Domain.DLS.new_key (fun () -> disabled)
 
-let global () = !ambient
-let set_global t = ambient := t
+let global () = Domain.DLS.get ambient
+let set_global t = Domain.DLS.set ambient t
 
 let using t f =
-  let saved = !ambient in
-  ambient := t;
-  Fun.protect ~finally:(fun () -> ambient := saved) f
+  let saved = Domain.DLS.get ambient in
+  Domain.DLS.set ambient t;
+  Fun.protect ~finally:(fun () -> Domain.DLS.set ambient saved) f

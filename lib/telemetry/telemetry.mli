@@ -17,20 +17,39 @@ type t
 val disabled : t
 (** Never records anything. [enabled disabled = false]. *)
 
-val create : ?sink:Sink.t -> ?clock:(unit -> float) -> unit -> t
+val create :
+  ?sink:Sink.t -> ?clock:(unit -> float) -> ?labels:(string * string) list ->
+  unit -> t
 (** A live handle. [sink] defaults to {!Sink.null} (metrics only); [clock]
     defaults to [Unix.gettimeofday] and supplies event timestamps and span
-    durations. *)
+    durations. [labels] are {e base labels} stamped onto every emitted event
+    (as string fields), every span, every gauge and every histogram — but
+    {e not} onto counters, so absorbing several workers' registries sums
+    counters into campaign totals while latency cells stay per-worker. A
+    parallel worker's handle carries [("worker", id)] here. *)
+
+val monotonic_clock : unit -> unit -> float
+(** [monotonic_clock ()] builds a fresh wall-clock that never returns the
+    same or an earlier value twice (ties are nudged forward by 1 µs), so a
+    worker's event stream is totally ordered by timestamp. Each worker should
+    build its own. *)
 
 val enabled : t -> bool
 val metrics : t -> Metrics.t
 val sink : t -> Sink.t
 val now : t -> float
 
+val base_labels : t -> (string * string) list
+
 (** {1 Recording} *)
 
 val emit : t -> string -> (string * Json.t) list -> unit
 (** Send one event to the sink, timestamped with the handle's clock. *)
+
+val forward : t -> Event.t -> unit
+(** Send an already-stamped event to the sink verbatim (no re-timestamping,
+    no base labels) — how the merge stage replays a worker's buffered events
+    into the campaign log. *)
 
 val incr : t -> ?labels:(string * string) list -> ?by:int -> string -> unit
 val set_gauge : t -> ?labels:(string * string) list -> string -> float -> unit
@@ -50,16 +69,23 @@ val with_span : t -> ?labels:(string * string) list -> string -> (unit -> 'a) ->
 val snapshot : t -> Metrics.entry list
 val counter_value : t -> ?labels:(string * string) list -> string -> int
 
+val absorb_metrics : t -> Metrics.entry list -> unit
+(** Fold a worker handle's {!snapshot} into this handle's registry (see
+    {!Metrics.absorb}). No-op on a disabled handle. *)
+
 val flush : t -> unit
 (** Flush/close the sink (see {!Sink.close}). *)
 
 (** {1 The ambient handle} *)
 
 val global : unit -> t
-(** Initially {!disabled}. *)
+(** Initially {!disabled}. The ambient handle is {e domain-local}: each
+    domain starts at {!disabled} and {!set_global}/{!using} only affect the
+    calling domain, so a worker installing its private handle never disturbs
+    the main domain's. *)
 
 val set_global : t -> unit
 
 val using : t -> (unit -> 'a) -> 'a
-(** Install [t] as the global handle for the call, restoring the previous
-    handle afterwards (even on exceptions). *)
+(** Install [t] as the calling domain's ambient handle for the call,
+    restoring the previous handle afterwards (even on exceptions). *)

@@ -18,6 +18,20 @@ let split t =
   let s = bits64 t in
   { state = s }
 
+(* O(1) jump into the seed's splitmix sequence: state_n = seed + n*gamma, so
+   the shard stream derived for index i equals the one obtained by splitting
+   the parent generator after i+1 draws — without touching the parent. *)
+let split_indexed ~seed ~index =
+  if index < 0 then invalid_arg "Rng.split_indexed: negative index";
+  let t =
+    {
+      state =
+        Int64.add (Int64.of_int seed)
+          (Int64.mul (Int64.of_int (index + 1)) golden_gamma);
+    }
+  in
+  split t
+
 let int t n =
   if n <= 0 then invalid_arg "Rng.int: bound must be positive";
   (* keep 62 bits so the value stays non-negative as a native 63-bit int *)

@@ -17,6 +17,13 @@ val split : t -> t
 (** [split t] advances [t] and returns a new generator whose stream is
     statistically independent from the remainder of [t]'s stream. *)
 
+val split_indexed : seed:int -> index:int -> t
+(** [split_indexed ~seed ~index] derives the [index]-th independent stream of
+    the campaign identified by [seed] in O(1), without a parent generator.
+    Equal [(seed, index)] pairs always yield the same stream, which is what
+    makes sharded campaigns deterministic regardless of how shards are
+    assigned to workers. Raises [Invalid_argument] on a negative index. *)
+
 val bits64 : t -> int64
 (** Next raw 64 bits. *)
 

@@ -1,0 +1,259 @@
+module Shard = Orchestrator.Shard
+module Checkpoint = Orchestrator.Checkpoint
+module Campaign = Once4all.Campaign
+module Dedup = Once4all.Dedup
+module Oracle = Once4all.Oracle
+module Fuzz = Once4all.Fuzz
+module Bug_db = Solver.Bug_db
+module Coverage = O4a_coverage.Coverage
+module Telemetry = O4a_telemetry.Telemetry
+module Sink = O4a_telemetry.Sink
+module Event = O4a_telemetry.Event
+module Json = O4a_telemetry.Json
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+(* shared engines and generator library, built once *)
+let campaign = lazy (Campaign.prepare ~seed:3 ())
+let generators () = (Lazy.force campaign).Campaign.generators
+let seed_pool = lazy (O4a_util.Listx.take 25 (Seeds.Corpus.all ()))
+
+let run ?jobs ?telemetry ?checkpoint_path ?resume ?stop_after ?(budget = 300)
+    ?(shard_size = 60) () =
+  Orchestrator.run ?jobs ?telemetry ?checkpoint_path ?resume ?stop_after
+    ~shard_size ~seed:91 ~budget ~generators:(generators ())
+    ~seeds:(Lazy.force seed_pool) ()
+
+let report_key (r : Orchestrator.report) =
+  ( r.Orchestrator.stats.Fuzz.tests,
+    r.Orchestrator.stats.Fuzz.parse_ok,
+    r.Orchestrator.stats.Fuzz.solved,
+    List.map (fun c -> (c.Dedup.key, c.Dedup.count)) r.Orchestrator.clusters,
+    r.Orchestrator.found_bug_ids,
+    r.Orchestrator.coverage )
+
+(* ------------------------- shard plan ------------------------- *)
+
+let test_plan_covers_budget () =
+  let shards = Shard.plan ~budget:600 ~shard_size:250 in
+  check_int "three shards" 3 (List.length shards);
+  check_bool "contiguous" true
+    (List.map (fun s -> (s.Shard.index, s.Shard.first_tick, s.Shard.ticks)) shards
+    = [ (0, 0, 250); (1, 250, 250); (2, 500, 100) ]);
+  check_int "sums to budget" 600
+    (List.fold_left (fun acc s -> acc + s.Shard.ticks) 0 shards)
+
+let test_plan_edges () =
+  check_bool "empty budget" true (Shard.plan ~budget:0 ~shard_size:10 = []);
+  check_int "single short shard" 1 (List.length (Shard.plan ~budget:5 ~shard_size:10));
+  check_bool "negative budget raises" true
+    (match Shard.plan ~budget:(-1) ~shard_size:10 with
+    | _ -> false
+    | exception Invalid_argument _ -> true);
+  check_bool "zero shard size raises" true
+    (match Shard.plan ~budget:10 ~shard_size:0 with
+    | _ -> false
+    | exception Invalid_argument _ -> true)
+
+let test_shard_rng_depends_on_index_only () =
+  let draw s = O4a_util.Rng.int (Shard.rng ~seed:7 s) 1_000_000 in
+  let s1 = { Shard.index = 1; first_tick = 250; ticks = 250 } in
+  let s1' = { Shard.index = 1; first_tick = 999; ticks = 3 } in
+  let s2 = { Shard.index = 2; first_tick = 500; ticks = 100 } in
+  check_bool "same index, same stream" true (draw s1 = draw s1');
+  check_bool "different index, different stream" true (draw s1 <> draw s2)
+
+(* ------------------------- determinism ------------------------- *)
+
+let test_jobs_invariance () =
+  let r1 = run ~jobs:1 () in
+  let r4 = run ~jobs:4 () in
+  check_int "budget honored" 300 r1.Orchestrator.stats.Fuzz.tests;
+  check_bool "jobs:4 reproduces jobs:1 exactly" true
+    (report_key r1 = report_key r4);
+  check_bool "finds bugs at this budget" true (r1.Orchestrator.clusters <> [])
+
+let test_matches_sequential_campaign () =
+  (* the sharded jobs:1 pipeline is itself reproducible run-to-run *)
+  let r1 = run ~jobs:1 () in
+  let r2 = run ~jobs:1 () in
+  check_bool "stable across runs" true (report_key r1 = report_key r2)
+
+(* ------------------------- checkpoint codec ------------------------- *)
+
+let sample_checkpoint () =
+  let finding =
+    {
+      Dedup.finding =
+        {
+          Oracle.kind = Bug_db.Crash;
+          solver = Coverage.Zeal;
+          solver_name = "zeal-trunk";
+          signature = "site_A";
+          bug_id = Some "zeal-018";
+          theory = "strings";
+        };
+      source = "(assert true)(check-sat)";
+    }
+  in
+  {
+    Checkpoint.seed = 91;
+    budget = 300;
+    shard_size = 60;
+    extra = [ ("profile", "trunk"); ("cli_seed", "90") ];
+    completed =
+      [
+        {
+          Checkpoint.shard = 0;
+          tests = 60;
+          parse_ok = 55;
+          solved = 40;
+          bytes_total = 12345;
+          findings = [ finding ];
+        };
+        {
+          Checkpoint.shard = 1;
+          tests = 60;
+          parse_ok = 60;
+          solved = 41;
+          bytes_total = 9999;
+          findings = [];
+        };
+      ];
+    coverage = [ ("zeal|core.ml|solve|l|0", 17); ("cove|eval.ml|step|f|", 3) ];
+  }
+
+let test_checkpoint_json_roundtrip () =
+  let cp = sample_checkpoint () in
+  match Checkpoint.of_json (Checkpoint.to_json cp) with
+  | Error e -> Alcotest.fail ("decode failed: " ^ e)
+  | Ok cp' -> check_bool "round-trips" true (cp = cp')
+
+let test_checkpoint_save_load () =
+  let path = Filename.temp_file "o4a_checkpoint" ".json" in
+  Fun.protect
+    ~finally:(fun () -> if Sys.file_exists path then Sys.remove path)
+    (fun () ->
+      let cp = sample_checkpoint () in
+      Checkpoint.save ~path cp;
+      (match Checkpoint.load ~path with
+      | Error e -> Alcotest.fail ("load failed: " ^ e)
+      | Ok cp' -> check_bool "file round-trips" true (cp = cp'));
+      check_bool "no tmp residue" false (Sys.file_exists (path ^ ".tmp")))
+
+let test_checkpoint_rejects_garbage () =
+  check_bool "not an object" true
+    (Result.is_error (Checkpoint.of_json (Json.Int 3)));
+  check_bool "missing fields" true
+    (Result.is_error (Checkpoint.of_json (Json.Obj [ ("version", Json.Int 1) ])))
+
+(* ------------------------- kill / resume ------------------------- *)
+
+let test_stop_and_resume_round_trip () =
+  let path = Filename.temp_file "o4a_resume" ".json" in
+  Fun.protect
+    ~finally:(fun () -> if Sys.file_exists path then Sys.remove path)
+    (fun () ->
+      let full = run ~jobs:1 () in
+      (* run only 2 of the 5 shards, "crash", then resume on 2 domains *)
+      let partial = run ~jobs:1 ~checkpoint_path:path ~stop_after:2 () in
+      check_bool "interrupted" true partial.Orchestrator.interrupted;
+      check_int "two shards ran" 2 partial.Orchestrator.shards_run;
+      let resumed = run ~jobs:2 ~checkpoint_path:path ~resume:true () in
+      check_bool "not interrupted" false resumed.Orchestrator.interrupted;
+      check_int "resumed shards" 2 resumed.Orchestrator.shards_resumed;
+      check_int "remaining shards ran" 3 resumed.Orchestrator.shards_run;
+      check_bool "resume lands on the uninterrupted report" true
+        (report_key full = report_key resumed))
+
+let test_resume_rejects_mismatched_provenance () =
+  let path = Filename.temp_file "o4a_resume" ".json" in
+  Fun.protect
+    ~finally:(fun () -> if Sys.file_exists path then Sys.remove path)
+    (fun () ->
+      ignore (run ~jobs:1 ~checkpoint_path:path ~stop_after:1 ());
+      check_bool "different budget refused" true
+        (match run ~budget:360 ~checkpoint_path:path ~resume:true () with
+        | _ -> false
+        | exception Failure _ -> true))
+
+(* ------------------------- telemetry merge ------------------------- *)
+
+let test_telemetry_merge () =
+  let sink = Sink.memory () in
+  let tel = Telemetry.create ~sink () in
+  let r = run ~jobs:2 ~telemetry:tel () in
+  check_int "campaign counter equals budget" 300
+    (Telemetry.counter_value tel "fuzz.tests");
+  let events = Sink.events sink in
+  let named n = List.filter (fun e -> e.Event.name = n) events in
+  check_int "one campaign.start" 1 (List.length (named "campaign.start"));
+  check_int "one campaign.end" 1 (List.length (named "campaign.end"));
+  check_int "one fuzz.test event per test" 300 (List.length (named "fuzz.test"));
+  check_int "one shard.end per shard" r.Orchestrator.shards_total
+    (List.length (named "shard.end"));
+  (* every forwarded worker event is tagged with its shard *)
+  List.iter
+    (fun e ->
+      check_bool "shard field present" true (Event.field "shard" e <> None);
+      check_bool "worker field present" true (Event.field "worker" e <> None))
+    (named "fuzz.test")
+
+let test_ledger_isolation () =
+  (* a parallel campaign must not leak coverage into the ambient ledger *)
+  let probe = Coverage.make_ledger () in
+  Coverage.with_ledger probe (fun () ->
+      let before = Coverage.export probe in
+      ignore (run ~jobs:2 ~budget:60 ~shard_size:30 ());
+      check_bool "ambient ledger untouched" true (Coverage.export probe = before))
+
+let test_parallel_map () =
+  let xs = List.init 23 Fun.id in
+  check_bool "order preserved" true
+    (Orchestrator.parallel_map ~jobs:4 (fun x -> x * x) xs
+    = List.map (fun x -> x * x) xs);
+  check_bool "jobs:1 degrades" true
+    (Orchestrator.parallel_map ~jobs:1 string_of_int xs = List.map string_of_int xs);
+  check_bool "exceptions propagate" true
+    (match
+       Orchestrator.parallel_map ~jobs:3
+         (fun x -> if x = 11 then failwith "boom" else x)
+         xs
+     with
+    | _ -> false
+    | exception Failure _ -> true)
+
+let () =
+  Alcotest.run "orchestrator"
+    [
+      ( "shard plan",
+        [
+          Alcotest.test_case "covers budget" `Quick test_plan_covers_budget;
+          Alcotest.test_case "edges" `Quick test_plan_edges;
+          Alcotest.test_case "rng by index" `Quick test_shard_rng_depends_on_index_only;
+        ] );
+      ( "determinism",
+        [
+          Alcotest.test_case "jobs 1 = jobs 4" `Slow test_jobs_invariance;
+          Alcotest.test_case "run-to-run stable" `Slow test_matches_sequential_campaign;
+        ] );
+      ( "checkpoint",
+        [
+          Alcotest.test_case "json round-trip" `Quick test_checkpoint_json_roundtrip;
+          Alcotest.test_case "save/load" `Quick test_checkpoint_save_load;
+          Alcotest.test_case "rejects garbage" `Quick test_checkpoint_rejects_garbage;
+        ] );
+      ( "resume",
+        [
+          Alcotest.test_case "stop then resume" `Slow test_stop_and_resume_round_trip;
+          Alcotest.test_case "provenance mismatch" `Slow
+            test_resume_rejects_mismatched_provenance;
+        ] );
+      ( "merge",
+        [
+          Alcotest.test_case "telemetry merge" `Slow test_telemetry_merge;
+          Alcotest.test_case "ledger isolation" `Quick test_ledger_isolation;
+          Alcotest.test_case "parallel map" `Quick test_parallel_map;
+        ] );
+    ]

@@ -119,6 +119,48 @@ let test_snapshot_sorted () =
   check_bool "sorted by name" true
     (List.map (fun e -> e.Metrics.name) (Metrics.snapshot m) = [ "aa"; "mm"; "zz" ])
 
+let test_absorb_merges_worker_snapshots () =
+  let campaign = Metrics.create () in
+  Metrics.incr_named campaign ~by:10 "tests";
+  let worker tag n lat =
+    let m = Metrics.create () in
+    Metrics.incr_named m ~by:n "tests";
+    Metrics.set_named m ~labels:[ ("worker", tag) ] "progress" (float_of_int n);
+    Metrics.observe_named m ~labels:[ ("stage", "solve") ] "stage.duration" lat;
+    Metrics.snapshot m
+  in
+  (* absorption order must not matter for counters and histograms *)
+  Metrics.absorb campaign (worker "w1" 5 0.002);
+  Metrics.absorb campaign (worker "w0" 7 0.004);
+  check_int "counters sum" 22 (Metrics.get_counter campaign "tests");
+  let hist_count =
+    List.fold_left
+      (fun acc e ->
+        match e.Metrics.value with
+        | Metrics.Histogram h when e.Metrics.name = "stage.duration" ->
+          acc + h.Metrics.count
+        | _ -> acc)
+      0 (Metrics.snapshot campaign)
+  in
+  check_int "histograms add bucket-wise" 2 hist_count;
+  (* worker-labeled gauges land in distinct cells, no clobbering *)
+  check_bool "per-worker gauges kept" true
+    (List.exists
+       (fun e ->
+         e.Metrics.name = "progress" && e.Metrics.labels = [ ("worker", "w1") ]
+         && e.Metrics.value = Metrics.Gauge 5.)
+       (Metrics.snapshot campaign))
+
+let test_absorb_rejects_foreign_bounds () =
+  let campaign = Metrics.create () in
+  ignore (Metrics.histogram campaign ~bounds:[| 1.; 2. |] "lat");
+  let m = Metrics.create () in
+  Metrics.observe (Metrics.histogram m ~bounds:[| 5.; 50. |] "lat") 7.;
+  check_bool "bounds mismatch raises" true
+    (match Metrics.absorb campaign (Metrics.snapshot m) with
+    | () -> false
+    | exception Invalid_argument _ -> true)
+
 (* ------------------------- Telemetry + sinks ------------------------- *)
 
 let test_disabled_records_nothing () =
@@ -193,6 +235,48 @@ let test_using_restores_global () =
   Telemetry.using t (fun () ->
       check_bool "installed" true (Telemetry.global () == t));
   check_bool "restored" true (Telemetry.global () == before)
+
+let test_global_is_domain_local () =
+  let t = Telemetry.create ~sink:(Sink.memory ()) () in
+  Telemetry.using t (fun () ->
+      let seen_other =
+        Domain.join
+          (Domain.spawn (fun () -> Telemetry.global () == t))
+      in
+      check_bool "fresh domain starts disabled" false seen_other;
+      check_bool "this domain keeps its handle" true (Telemetry.global () == t))
+
+let test_monotonic_clock_never_repeats () =
+  (* gettimeofday readily repeats at this call rate; the wrapper must not *)
+  let clock = Telemetry.monotonic_clock () in
+  let prev = ref neg_infinity in
+  for _ = 1 to 1000 do
+    let t = clock () in
+    check_bool "strictly increasing" true (t > !prev);
+    prev := t
+  done
+
+let test_base_labels_on_events_not_counters () =
+  let sink = Sink.memory () in
+  let t =
+    Telemetry.create ~sink ~clock:(ticking_clock ())
+      ~labels:[ ("worker", "w3") ] ()
+  in
+  Telemetry.incr t "fuzz.tests";
+  Telemetry.set_gauge t "depth" 1.;
+  Telemetry.emit t "ping" [];
+  (* counters stay label-free so absorb can sum them into campaign totals *)
+  check_int "counter unlabeled" 1 (Telemetry.counter_value t "fuzz.tests");
+  check_bool "gauge carries worker label" true
+    (List.exists
+       (fun e ->
+         e.Metrics.name = "depth" && List.mem_assoc "worker" e.Metrics.labels)
+       (Telemetry.snapshot t));
+  match Sink.events sink with
+  | [ e ] ->
+    check_bool "event carries worker field" true
+      (Event.field "worker" e = Some (Json.String "w3"))
+  | _ -> Alcotest.fail "expected one event"
 
 (* ------------------------- JSONL round-trip ------------------------- *)
 
@@ -285,6 +369,10 @@ let () =
           Alcotest.test_case "histogram" `Quick test_histogram_semantics;
           Alcotest.test_case "bad bounds" `Quick test_histogram_bad_bounds;
           Alcotest.test_case "snapshot sorted" `Quick test_snapshot_sorted;
+          Alcotest.test_case "absorb worker snapshots" `Quick
+            test_absorb_merges_worker_snapshots;
+          Alcotest.test_case "absorb bounds mismatch" `Quick
+            test_absorb_rejects_foreign_bounds;
         ] );
       ( "spans",
         [
@@ -293,6 +381,9 @@ let () =
           Alcotest.test_case "nesting" `Quick test_span_nesting;
           Alcotest.test_case "exception safety" `Quick test_span_exception_safety;
           Alcotest.test_case "using restores" `Quick test_using_restores_global;
+          Alcotest.test_case "domain-local ambient" `Quick test_global_is_domain_local;
+          Alcotest.test_case "monotonic clock" `Quick test_monotonic_clock_never_repeats;
+          Alcotest.test_case "base labels" `Quick test_base_labels_on_events_not_counters;
         ] );
       ( "jsonl",
         [ Alcotest.test_case "round-trip" `Quick test_jsonl_roundtrip ] );

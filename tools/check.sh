@@ -21,4 +21,25 @@ grep -q "tests: 200" "$out/fuzz.log" || {
 echo "== CLI smoke: stats --strict validates the JSONL log =="
 dune exec bin/once4all_cli.exe -- stats --strict "$out/run.jsonl"
 
+echo "== Parallel determinism: --jobs 2 reproduces --jobs 1 =="
+dune exec bin/once4all_cli.exe -- fuzz --budget 400 --shard-size 100 --jobs 1 \
+  --progress 0 > "$out/jobs1.log"
+dune exec bin/once4all_cli.exe -- fuzz --budget 400 --shard-size 100 --jobs 2 \
+  --progress 0 > "$out/jobs2.log"
+diff "$out/jobs1.log" "$out/jobs2.log" || {
+  echo "FAIL: --jobs 2 report differs from --jobs 1"; exit 1; }
+
+echo "== Parallel telemetry: stats --strict on a --jobs 2 log =="
+dune exec bin/once4all_cli.exe -- fuzz --budget 400 --shard-size 100 --jobs 2 \
+  --telemetry "$out/jobs2.jsonl" --progress 0 > /dev/null
+dune exec bin/once4all_cli.exe -- stats --strict "$out/jobs2.jsonl"
+
+echo "== Checkpoint/resume: stop after 2 shards, resume, same report =="
+dune exec bin/once4all_cli.exe -- fuzz --budget 400 --shard-size 100 --jobs 1 \
+  --checkpoint "$out/cp.json" --stop-after 2 --progress 0 > /dev/null
+dune exec bin/once4all_cli.exe -- resume --checkpoint "$out/cp.json" --jobs 2 \
+  --progress 0 > "$out/resumed.log"
+grep -v '^resumed ' "$out/resumed.log" | diff "$out/jobs1.log" - || {
+  echo "FAIL: resumed report differs from the uninterrupted run"; exit 1; }
+
 echo "OK"
