@@ -6,6 +6,9 @@
                  sharded over --jobs domains with deterministic merge
      resume      continue an interrupted campaign from its --checkpoint
      stats       summarize a --telemetry JSONL event log
+     replay      re-run the differential oracle on a formula (repro bundles)
+     trace       inspect provenance traces (trace show <id>)
+     triage      cluster the repro bundles under a --trace-dir directory
      reduce      delta-debug a bug-triggering .smt2 file
      lineup      list the comparison fuzzers and variants *)
 
@@ -15,6 +18,8 @@ module Sink = O4a_telemetry.Sink
 module Event = O4a_telemetry.Event
 module Json = O4a_telemetry.Json
 module Metrics = O4a_telemetry.Metrics
+module Trace = O4a_trace.Trace
+module Bundle = O4a_trace.Bundle
 
 let setup_logs verbose =
   Logs.set_reporter (Logs.format_reporter ());
@@ -111,7 +116,7 @@ let dump_metrics tel telemetry_path =
 
 let run_sharded_campaign ~tel ~telemetry_path ~seed ~budget ~profile
     ~no_skeletons ~show_formulas ~progress ~jobs ~shard_size ~checkpoint_path
-    ~resume ~stop_after =
+    ~resume ~stop_after ~trace_dir ~ring_size =
   Telemetry.set_global tel;
   let campaign = Once4all.Campaign.prepare ~seed ~profile () in
   let seeds =
@@ -141,7 +146,8 @@ let run_sharded_campaign ~tel ~telemetry_path ~seed ~budget ~profile
   in
   match
     Orchestrator.run ~jobs ~shard_size ~config ~telemetry:tel
-      ?checkpoint_path ~resume ?stop_after ~extra ~seed:(seed + 1) ~budget
+      ?checkpoint_path ~resume ?stop_after ~extra ?trace_dir ?ring_size
+      ~seed:(seed + 1) ~budget
       ~generators:campaign.Once4all.Campaign.generators ~seeds ()
   with
   | exception Failure msg ->
@@ -161,11 +167,19 @@ let run_sharded_campaign ~tel ~telemetry_path ~seed ~budget ~profile
         r.Orchestrator.shards_total
         (Option.value checkpoint_path ~default:"CHECKPOINT")
     else print_campaign_report ~show_formulas r;
+    (match trace_dir with
+    | Some dir ->
+      Printf.printf "wrote %d repro bundle%s to %s\n"
+        r.Orchestrator.bundles_written
+        (if r.Orchestrator.bundles_written = 1 then "" else "s")
+        dir
+    | None -> ());
     dump_metrics tel telemetry_path;
     0
 
 let fuzz seed budget profile_name no_skeletons show_formulas telemetry_path
-    progress jobs shard_size checkpoint_path stop_after verbose =
+    progress jobs shard_size checkpoint_path stop_after trace_dir ring_size
+    verbose =
   setup_logs verbose;
   match make_telemetry telemetry_path with
   | Error msg ->
@@ -175,9 +189,10 @@ let fuzz seed budget profile_name no_skeletons show_formulas telemetry_path
     run_sharded_campaign ~tel ~telemetry_path ~seed ~budget
       ~profile:(profile_of_name profile_name) ~no_skeletons ~show_formulas
       ~progress ~jobs ~shard_size ~checkpoint_path ~resume:false ~stop_after
+      ~trace_dir ~ring_size
 
 let resume checkpoint_path jobs show_formulas telemetry_path progress stop_after
-    verbose =
+    trace_dir ring_size verbose =
   setup_logs verbose;
   match Orchestrator.Checkpoint.load ~path:checkpoint_path with
   | Error msg ->
@@ -208,7 +223,8 @@ let resume checkpoint_path jobs show_formulas telemetry_path progress stop_after
         ~budget:cp.Orchestrator.Checkpoint.budget ~profile ~no_skeletons
         ~show_formulas ~progress ~jobs
         ~shard_size:cp.Orchestrator.Checkpoint.shard_size
-        ~checkpoint_path:(Some checkpoint_path) ~resume:true ~stop_after)
+        ~checkpoint_path:(Some checkpoint_path) ~resume:true ~stop_after
+        ~trace_dir ~ring_size)
 
 let read_file path =
   let ic = open_in_bin path in
@@ -223,13 +239,7 @@ let read_file path =
    per-generator throughput, verdict mix, and a consistency check of the
    final counters against the event stream. *)
 let stats_cmd path strict =
-  let lines =
-    read_file path |> String.split_on_char '\n'
-    |> List.filter (fun l -> String.trim l <> "")
-  in
-  let parsed = List.map Event.of_line lines in
-  let events = List.filter_map Result.to_option parsed in
-  let malformed = List.length parsed - List.length events in
+  let events, malformed, torn = Event.parse_log (read_file path) in
   let named name = List.filter (fun (e : Event.t) -> e.Event.name = name) events in
   let str_field e k =
     match Event.field k e with Some (Json.String s) -> Some s | _ -> None
@@ -239,6 +249,9 @@ let stats_cmd path strict =
   Printf.printf "%s: %d events, %d malformed line%s\n" path (List.length events)
     malformed
     (if malformed = 1 then "" else "s");
+  if torn then
+    Printf.printf
+      "warning: log ends in a torn line (writer killed mid-write); skipped\n";
   let elapsed =
     match List.map (fun (e : Event.t) -> e.Event.ts) events with
     | [] -> 0.
@@ -385,6 +398,100 @@ let stats_cmd path strict =
   | _ -> Printf.printf "\n(no campaign.end event; log may be truncated)\n");
   if strict && (malformed > 0 || not !consistent) then 1 else 0
 
+(* ---------------- replay / trace / triage ---------------- *)
+
+(* Re-run the differential oracle on one formula with fresh trunk engines —
+   what a repro bundle's repro.sh invokes. The default fuel matches the
+   fuzzing loop's, so campaign findings replay under the same limits. *)
+let replay path expect max_steps =
+  let source = read_file path in
+  let zeal = Solver.Engine.zeal () in
+  let cove = Solver.Engine.cove () in
+  let outcome = Once4all.Oracle.test ~max_steps ~zeal ~cove ~source () in
+  List.iter
+    (fun (name, result) -> Printf.printf "%-12s %s\n" name result)
+    outcome.Once4all.Oracle.results;
+  (match outcome.Once4all.Oracle.finding with
+  | Some f ->
+    Printf.printf "finding: %s in %s  signature=%s  theory=%s%s\n"
+      (Solver.Bug_db.kind_to_string f.Once4all.Oracle.kind)
+      f.Once4all.Oracle.solver_name f.Once4all.Oracle.signature
+      f.Once4all.Oracle.theory
+      (match f.Once4all.Oracle.bug_id with
+      | Some id -> "  bug=" ^ id
+      | None -> "")
+  | None -> print_endline "finding: none");
+  match expect with
+  | None -> 0
+  | Some expected -> (
+    match outcome.Once4all.Oracle.finding with
+    | Some f when f.Once4all.Oracle.signature = expected ->
+      print_endline "expected signature reproduced";
+      0
+    | Some f ->
+      Printf.printf "MISMATCH: expected signature %s, got %s\n" expected
+        f.Once4all.Oracle.signature;
+      1
+    | None ->
+      Printf.printf "MISMATCH: expected signature %s, got no finding\n" expected;
+      1)
+
+let trace_show dir id =
+  let path =
+    if Sys.file_exists id && Sys.is_directory id then id
+    else Filename.concat dir id
+  in
+  match Bundle.load ~path with
+  | Error msg ->
+    Printf.eprintf "cannot load bundle %s: %s\n" path msg;
+    1
+  | Ok p ->
+    let f = p.Trace.finding in
+    print_string (Trace.render p.Trace.trace);
+    Printf.printf "finding: %s in %s  signature=%s  cluster=%s%s\n" f.Trace.kind
+      f.Trace.solver_name f.Trace.signature f.Trace.dedup_key
+      (match f.Trace.bug_id with Some id -> "  bug=" ^ id | None -> "");
+    0
+
+(* Cluster the bundles under a trace directory with the same keys the
+   campaign report prints ({!Once4all.Dedup.signature_to_string}); sorted by
+   key, so the table is identical however the campaign was sharded. *)
+let triage dir =
+  let bundles, warnings = Bundle.scan ~dir in
+  List.iter (fun w -> Printf.eprintf "warning: %s\n" w) warnings;
+  if bundles = [] then (
+    print_endline "no repro bundles found";
+    0)
+  else (
+    let groups =
+      bundles
+      |> O4a_util.Listx.group_by (fun (p : Trace.promoted) ->
+             p.Trace.finding.Trace.dedup_key)
+      |> List.sort (fun (a, _) (b, _) -> compare a b)
+    in
+    Printf.printf "%d repro bundle%s, %d cluster%s:\n" (List.length bundles)
+      (if List.length bundles = 1 then "" else "s")
+      (List.length groups)
+      (if List.length groups = 1 then "" else "s");
+    List.iter
+      (fun (key, members) ->
+        let first : Trace.promoted = List.hd members in
+        let f = first.Trace.finding in
+        let status =
+          match f.Trace.bug_id with
+          | Some id -> (
+            match Solver.Bug_db.find id with
+            | Some spec ->
+              Printf.sprintf "%s (%s)" id
+                (Solver.Bug_db.status_to_string spec.Solver.Bug_db.status)
+            | None -> id)
+          | None -> "unattributed"
+        in
+        Printf.printf "  [%s] %s  x%d  %s  e.g. %s\n" f.Trace.kind key
+          (List.length members) status first.Trace.trace.Trace.id)
+      groups;
+    0)
+
 (* ---------------- reduce ---------------- *)
 
 let reduce path =
@@ -483,6 +590,18 @@ let stop_after_arg =
 let show_arg =
   Arg.(value & flag & info [ "show-formulas" ] ~doc:"print representative formulas")
 
+let trace_dir_arg =
+  Arg.(value & opt (some string) None
+       & info [ "trace-dir" ] ~docv:"DIR"
+           ~doc:"enable provenance tracing and write a self-contained repro \
+                 bundle per finding under DIR (inspect with trace show / triage)")
+
+let ring_size_arg =
+  Arg.(value & opt (some int) None
+       & info [ "ring-size" ] ~docv:"N"
+           ~doc:"flight-recorder depth: finished traces retained per worker \
+                 (default 64)")
+
 let fuzz_cmd =
   let budget = Arg.(value & opt int 2000 & info [ "budget" ] ~docv:"N" ~doc:"test cases") in
   let no_skel = Arg.(value & flag & info [ "no-skeletons" ] ~doc:"the w/oS ablation") in
@@ -501,7 +620,7 @@ let fuzz_cmd =
     (Cmd.info "fuzz" ~doc:"run a skeleton-guided differential campaign (Algorithm 2)")
     Term.(const fuzz $ seed_arg $ budget $ profile_arg $ no_skel $ show_arg
           $ telemetry_arg $ progress_arg $ jobs_arg $ shard_size $ checkpoint
-          $ stop_after_arg $ verbose)
+          $ stop_after_arg $ trace_dir_arg $ ring_size_arg $ verbose)
 
 let resume_cmd =
   let checkpoint =
@@ -514,7 +633,8 @@ let resume_cmd =
        ~doc:"resume an interrupted fuzz campaign from its checkpoint; lands on \
              the same report as an uninterrupted run")
     Term.(const resume $ checkpoint $ jobs_arg $ show_arg $ telemetry_arg
-          $ progress_arg $ stop_after_arg $ verbose)
+          $ progress_arg $ stop_after_arg $ trace_dir_arg $ ring_size_arg
+          $ verbose)
 
 let stats_cmd_v =
   let file = Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE") in
@@ -526,6 +646,46 @@ let stats_cmd_v =
   Cmd.v
     (Cmd.info "stats" ~doc:"summarize a --telemetry JSONL event log")
     Term.(const stats_cmd $ file $ strict)
+
+let replay_cmd =
+  let file = Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE") in
+  let expect =
+    Arg.(value & opt (some string) None
+         & info [ "expect" ] ~docv:"SIG"
+             ~doc:"exit nonzero unless the oracle finds this exact signature")
+  in
+  let max_steps =
+    Arg.(value
+         & opt int Once4all.Fuzz.default_config.Once4all.Fuzz.max_steps
+         & info [ "max-steps" ] ~docv:"N"
+             ~doc:"solver fuel per query (default: the fuzzing loop's)")
+  in
+  Cmd.v
+    (Cmd.info "replay"
+       ~doc:"re-run the differential oracle on a formula (what a repro \
+             bundle's repro.sh invokes)")
+    Term.(const replay $ file $ expect $ max_steps)
+
+let trace_cmd =
+  let dir =
+    Arg.(value & opt string "."
+         & info [ "dir" ] ~docv:"DIR" ~doc:"trace directory holding the bundles")
+  in
+  let id = Arg.(required & pos 0 (some string) None & info [] ~docv:"ID") in
+  let show =
+    Cmd.v
+      (Cmd.info "show" ~doc:"print a promoted trace's provenance, stage by stage")
+      Term.(const trace_show $ dir $ id)
+  in
+  Cmd.group (Cmd.info "trace" ~doc:"inspect provenance traces") [ show ]
+
+let triage_cmd =
+  let dir = Arg.(required & pos 0 (some string) None & info [] ~docv:"DIR") in
+  Cmd.v
+    (Cmd.info "triage"
+       ~doc:"cluster the repro bundles under a --trace-dir directory, with \
+             the same keys the campaign report prints")
+    Term.(const triage $ dir)
 
 let reduce_cmd =
   let file = Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE") in
@@ -544,7 +704,7 @@ let lineup_cmd =
 let main =
   Cmd.group
     (Cmd.info "once4all" ~doc:"skeleton-guided SMT solver fuzzing with LLM-synthesized generators")
-    [ construct_cmd; fuzz_cmd; resume_cmd; stats_cmd_v; reduce_cmd; report_cmd;
-      lineup_cmd ]
+    [ construct_cmd; fuzz_cmd; resume_cmd; stats_cmd_v; replay_cmd; trace_cmd;
+      triage_cmd; reduce_cmd; report_cmd; lineup_cmd ]
 
 let () = exit (Cmd.eval' main)

@@ -2,6 +2,7 @@ open Smtlib
 
 let adapt ~rng ?(swap_prob = 0.55) ~seed_vars ~term_vars term =
   let remaining = ref [] in
+  let swapped = ref [] in
   let term' =
     List.fold_left
       (fun t (name, sort) ->
@@ -10,10 +11,14 @@ let adapt ~rng ?(swap_prob = 0.55) ~seed_vars ~term_vars term =
         in
         if candidates <> [] && O4a_util.Rng.chance rng swap_prob then (
           let replacement = O4a_util.Rng.choose rng candidates in
+          swapped := (name, replacement) :: !swapped;
           Term.rename_var ~old_name:name ~new_name:replacement t)
         else (
           remaining := name :: !remaining;
           t))
       term term_vars
   in
+  if !swapped <> [] && O4a_trace.Trace.noting () then
+    O4a_trace.Trace.note
+      (O4a_trace.Trace.Adapted { substitutions = List.rev !swapped });
   (term', List.rev !remaining)

@@ -3,8 +3,17 @@ type found = {
   source : string;
 }
 
+type signature =
+  | Crash_site of string
+  | Verdict_group of {
+      kind : Solver.Bug_db.kind;
+      solver_name : string;
+      theory : string;
+    }
+
 type cluster = {
   key : string;
+  signature : signature;
   kind : Solver.Bug_db.kind;
   solver : O4a_coverage.Coverage.solver_tag;
   theory : string;
@@ -13,14 +22,25 @@ type cluster = {
   count : int;
 }
 
-let cluster_key f =
-  match f.finding.Oracle.kind with
-  | Solver.Bug_db.Crash -> "crash:" ^ f.finding.Oracle.signature
-  | Solver.Bug_db.Soundness | Solver.Bug_db.Invalid_model ->
+let signature (finding : Oracle.finding) =
+  match finding.Oracle.kind with
+  | Solver.Bug_db.Crash -> Crash_site finding.Oracle.signature
+  | (Solver.Bug_db.Soundness | Solver.Bug_db.Invalid_model) as kind ->
     (* group by kind, solver and theory, as the paper does *)
-    Printf.sprintf "%s:%s:%s"
-      (Solver.Bug_db.kind_to_string f.finding.Oracle.kind)
-      f.finding.Oracle.solver_name f.finding.Oracle.theory
+    Verdict_group
+      {
+        kind;
+        solver_name = finding.Oracle.solver_name;
+        theory = finding.Oracle.theory;
+      }
+
+let signature_to_string = function
+  | Crash_site site -> "crash:" ^ site
+  | Verdict_group { kind; solver_name; theory } ->
+    Printf.sprintf "%s:%s:%s" (Solver.Bug_db.kind_to_string kind) solver_name
+      theory
+
+let cluster_key f = signature_to_string (signature f.finding)
 
 let majority_bug_id members =
   members
@@ -44,6 +64,7 @@ let cluster founds =
          in
          {
            key;
+           signature = signature first.finding;
            kind = first.finding.Oracle.kind;
            solver = first.finding.Oracle.solver;
            theory = first.finding.Oracle.theory;

@@ -2,6 +2,7 @@ open Smtlib
 module Rng = O4a_util.Rng
 module Telemetry = O4a_telemetry.Telemetry
 module Json = O4a_telemetry.Json
+module Trace = O4a_trace.Trace
 
 let log_src = Logs.Src.create "once4all.fuzz" ~doc:"Once4All fuzzing loop"
 
@@ -120,6 +121,9 @@ let one_mutation ~tel ~rng ~config ~generators current =
         Synthesize.direct ~rng ~generators
           ~terms:(1 + Rng.int rng config.direct_terms_max))
   in
+  let note_skeletonized ~mode ~holes =
+    if Trace.noting () then Trace.note (Trace.Skeletonized { mode; holes })
+  in
   if not config.use_skeletons then direct ()
   else if config.mixed_sorts then (
     let supported sort =
@@ -130,6 +134,7 @@ let one_mutation ~tel ~rng ~config ~generators current =
           Skeleton.skeletonize_typed ~rng ~keep_prob:config.keep_prob ~supported
             current)
     in
+    note_skeletonized ~mode:"typed" ~holes:(List.length hole_sorts);
     if hole_sorts = [] then direct ()
     else
       Telemetry.with_span tel "synthesize" (fun () ->
@@ -140,6 +145,7 @@ let one_mutation ~tel ~rng ~config ~generators current =
       Telemetry.with_span tel "skeletonize" (fun () ->
           Skeleton.skeletonize ~rng ~keep_prob:config.keep_prob current)
     in
+    note_skeletonized ~mode:"boolean" ~holes;
     if holes = 0 then direct ()
     else
       Telemetry.with_span tel "synthesize" (fun () ->
@@ -229,10 +235,30 @@ let stats_fields stats =
     ("findings", Json.Int (List.length stats.findings));
   ]
 
+(* the promoted-trace rendering of a finding, with the same dedup key the
+   campaign report and [triage] print *)
+let finding_info (f : Oracle.finding) =
+  {
+    Trace.kind = Solver.Bug_db.kind_to_string f.Oracle.kind;
+    solver =
+      (match f.Oracle.solver with
+      | O4a_coverage.Coverage.Zeal -> "zeal"
+      | O4a_coverage.Coverage.Cove -> "cove");
+    solver_name = f.Oracle.solver_name;
+    signature = f.Oracle.signature;
+    bug_id = f.Oracle.bug_id;
+    theory = f.Oracle.theory;
+    dedup_key = Dedup.signature_to_string (Dedup.signature f);
+  }
+
 (* The Algorithm 2 loop proper, shared by the whole-campaign entry point
-   ({!run}) and the orchestrator's shard entry point ({!run_shard}). *)
-let run_loop ~rng ~config ~tel ~generators ~seeds ~zeal ~cove ~budget =
+   ({!run}) and the orchestrator's shard entry point ({!run_shard}).
+   [first_tick] anchors this loop's tests in the campaign-global tick stream
+   so trace ids are identical however the budget is sharded. *)
+let run_loop ~rng ~config ~tel ~first_tick ~generators ~seeds ~zeal ~cove
+    ~budget =
   let bandit = Bandit.create () in
+  let recorder = Trace.Recorder.ambient () in
   let stats = ref empty_stats in
   let started = Telemetry.now tel in
   while !stats.tests < budget do
@@ -240,6 +266,16 @@ let run_loop ~rng ~config ~tel ~generators ~seeds ~zeal ~cove ~budget =
     let current = ref seed in
     let rounds = min config.mutations_per_seed (budget - !stats.tests) in
     for _ = 1 to rounds do
+      Trace.Recorder.start recorder ~tick:(first_tick + !stats.tests);
+      if Trace.noting () then (
+        let printed = Printer.script !current in
+        Trace.note
+          (Trace.Seed_selected
+             {
+               hash = Digest.to_hex (Digest.string printed);
+               bytes = String.length printed;
+               size = Script.size !current;
+             }));
       let mutation_generators =
         match config.schedule with
         | Uniform -> generators
@@ -259,6 +295,12 @@ let run_loop ~rng ~config ~tel ~generators ~seeds ~zeal ~cove ~budget =
         Oracle.test ~max_steps:config.max_steps ~telemetry:tel ~zeal ~cove
           ~source:filled.Synthesize.source ()
       in
+      (match outcome.Oracle.finding with
+      | Some f when Trace.Recorder.enabled recorder ->
+        Trace.Recorder.promote recorder ~source:filled.Synthesize.source
+          ~finding:(finding_info f)
+      | _ -> ());
+      Trace.Recorder.finish recorder;
       (match config.schedule with
       | Coverage_guided ->
         Bandit.reward bandit filled.Synthesize.theories_spliced
@@ -288,7 +330,10 @@ let run ~rng ?(config = default_config) ?telemetry ~generators ~seeds ~zeal ~cov
       ("generators", Json.Int (List.length generators));
       ("skeletons", Json.Bool config.use_skeletons);
     ];
-  let stats = run_loop ~rng ~config ~tel ~generators ~seeds ~zeal ~cove ~budget in
+  let stats =
+    run_loop ~rng ~config ~tel ~first_tick:0 ~generators ~seeds ~zeal ~cove
+      ~budget
+  in
   Telemetry.emit tel "campaign.end" (stats_fields stats);
   stats
 
@@ -303,7 +348,10 @@ let run_shard ~rng ?(config = default_config) ?telemetry ~shard_index ~first_tic
       ("first_tick", Json.Int first_tick);
       ("ticks", Json.Int budget);
     ];
-  let stats = run_loop ~rng ~config ~tel ~generators ~seeds ~zeal ~cove ~budget in
+  let stats =
+    run_loop ~rng ~config ~tel ~first_tick ~generators ~seeds ~zeal ~cove
+      ~budget
+  in
   Telemetry.emit tel "shard.end" (("shard", Json.Int shard_index) :: stats_fields stats);
   stats
 

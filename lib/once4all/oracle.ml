@@ -4,6 +4,7 @@ module Engine = Solver.Engine
 module Runner = Solver.Runner
 module Bug_db = Solver.Bug_db
 module Telemetry = O4a_telemetry.Telemetry
+module Trace = O4a_trace.Trace
 
 type finding = {
   kind : Bug_db.kind;
@@ -71,6 +72,8 @@ let test ?(max_steps = 200_000) ?telemetry ~zeal ~cove ~source () =
   match Telemetry.with_span tel "parse" (fun () -> Parser.parse_script source) with
   | Error e ->
     Telemetry.incr tel "oracle.parse_errors";
+    if Trace.noting () then
+      Trace.note (Trace.Parse_rejected { error = Parser.error_message e });
     {
       finding = None;
       results = [ ("parser", Parser.error_message e) ];
@@ -85,6 +88,21 @@ let test ?(max_steps = 200_000) ?telemetry ~zeal ~cove ~source () =
     let runs =
       List.map (fun e -> (e, Runner.run ~max_steps ~telemetry:tel e script)) engines
     in
+    if Trace.noting () then
+      List.iter
+        (fun (e, r) ->
+          let q = Engine.last_query_stats e in
+          Trace.note
+            (Trace.Solver_run
+               {
+                 solver = Engine.name e;
+                 commit = Engine.commit e;
+                 verdict = Runner.verdict_label r;
+                 steps = q.Engine.steps;
+                 decisions = q.Engine.decisions;
+                 propagations = q.Engine.propagations;
+               }))
+        runs;
     let results =
       List.map (fun (e, r) -> (Engine.name e, Runner.result_to_string r)) runs
     in
@@ -152,6 +170,18 @@ let test ?(max_steps = 200_000) ?telemetry ~zeal ~cove ~source () =
       | None, Some f, _ -> Some f
       | None, None, f -> f
     in
+    if Trace.noting () then (
+      let kind, solver, signature, bug_id, theory =
+        match finding with
+        | Some f ->
+          ( Some (Bug_db.kind_to_string f.kind),
+            Some f.solver_name,
+            Some f.signature,
+            f.bug_id,
+            Some f.theory )
+        | None -> (None, None, None, None, None)
+      in
+      Trace.note (Trace.Oracle_verdict { kind; solver; signature; bug_id; theory }));
     (match finding with
     | Some f ->
       let kind = Bug_db.kind_to_string f.kind in

@@ -1,4 +1,11 @@
 open Smtlib
+module Trace = O4a_trace.Trace
+
+let note_hole ~hole ~path ~sort =
+  if Trace.noting () then
+    Trace.note
+      (Trace.Skeleton_hole
+         { hole; path = String.concat "." (List.map string_of_int path); sort })
 
 (* positions whose children are boolean-sorted, by construction of SMT-LIB *)
 let boolean_atom_paths term =
@@ -41,6 +48,7 @@ let skeletonize_term ~rng ?(keep_prob = 0.45) ~next_hole term =
     List.fold_left
       (fun t path ->
         let hole = Term.Placeholder !next_hole in
+        note_hole ~hole:!next_hole ~path ~sort:None;
         incr next_hole;
         Term.replace_at t path hole)
       term selected
@@ -122,6 +130,7 @@ let skeletonize_typed ~rng ?(keep_prob = 0.35) ~supported script =
           let n = !next_hole in
           incr next_hole;
           hole_sorts := (n, sort) :: !hole_sorts;
+          note_hole ~hole:n ~path ~sort:(Some (Sort.to_string sort));
           Term.replace_at t path (Term.Placeholder n))
         assertion selected
   in

@@ -1,6 +1,7 @@
 open Smtlib
 module Rng = O4a_util.Rng
 module Generator = Gensynth.Generator
+module Trace = O4a_trace.Trace
 
 (* the adapt stage is deep inside hole-filling, far from any [?telemetry]
    parameter, so it reads the ambient handle *)
@@ -16,6 +17,17 @@ type filled = {
 type hole_fill =
   | Ast of { term : Term.t; decls : Command.t list }
   | Raw of { text : string; decl_lines : string list }
+
+let note_fill ~hole ~theory ~sort fill =
+  if Trace.noting () then
+    Trace.note
+      (Trace.Hole_filled
+         {
+           hole;
+           theory;
+           sort;
+           raw = (match fill with Raw _ -> true | Ast _ -> false);
+         })
 
 let parse_decl_commands lines =
   match Parser.parse_script (String.concat "\n" lines) with
@@ -147,6 +159,14 @@ let assemble ~skeleton ~fills =
       String.concat "\n" (O4a_util.Listx.dedup raw_decl_lines @ [ substituted ]))
   in
   let parsed = Result.to_option (Parser.parse_script source) in
+  if Trace.noting () then
+    Trace.note
+      (Trace.Synthesized
+         {
+           bytes = String.length source;
+           parse_ok = parsed <> None;
+           theories = theories_spliced;
+         });
   { source; parsed; theories_spliced }
 
 let fill ?(swap_prob = 0.55) ~rng ~generators ~skeleton ~holes () =
@@ -154,12 +174,14 @@ let fill ?(swap_prob = 0.55) ~rng ~generators ~skeleton ~holes () =
   let taken = Script.symbol_names skeleton in
   let fills_rev, _ =
     List.fold_left
-      (fun (fills, taken) _ ->
+      (fun (fills, taken) hole ->
         let generator = Rng.choose rng generators in
         let fill, taken = generate_fill ~rng ~swap_prob ~seed_vars ~taken generator in
-        ((generator.Generator.theory.Theories.Theory.key, fill) :: fills, taken))
+        let theory = generator.Generator.theory.Theories.Theory.key in
+        note_fill ~hole ~theory ~sort:None fill;
+        ((theory, fill) :: fills, taken))
       ([], taken)
-      (O4a_util.Listx.range 1 (max holes 0))
+      (O4a_util.Listx.range 0 (holes - 1))
   in
   assemble ~skeleton ~fills:(List.rev fills_rev)
 
@@ -203,22 +225,26 @@ let fill_typed ?(swap_prob = 0.55) ~rng ~generators ~skeleton ~hole_sorts () =
   let taken = Script.symbol_names skeleton in
   let fills_rev, _ =
     List.fold_left
-      (fun (fills, taken) (_, sort) ->
+      (fun (fills, taken) (hole, sort) ->
+        let sort_str = Some (Sort.to_string sort) in
+        let fallback () =
+          let fill = Raw { text = fallback_term_of_sort sort; decl_lines = [] } in
+          note_fill ~hole ~theory:"core" ~sort:sort_str fill;
+          (("core", fill) :: fills, taken)
+        in
         let candidates =
           List.filter (fun g -> Generator.supports_sort g sort) generators
         in
         match candidates with
-        | [] ->
-          (( "core", Raw { text = fallback_term_of_sort sort; decl_lines = [] }) :: fills,
-            taken)
+        | [] -> fallback ()
         | _ -> (
           let generator = Rng.choose rng candidates in
           match generate_fill_of_sort ~rng ~swap_prob ~seed_vars ~taken generator sort with
           | Some (fill, taken) ->
-            ((generator.Generator.theory.Theories.Theory.key, fill) :: fills, taken)
-          | None ->
-            (( "core", Raw { text = fallback_term_of_sort sort; decl_lines = [] }) :: fills,
-              taken)))
+            let theory = generator.Generator.theory.Theories.Theory.key in
+            note_fill ~hole ~theory ~sort:sort_str fill;
+            ((theory, fill) :: fills, taken)
+          | None -> fallback ()))
       ([], taken) hole_sorts
   in
   let fills = List.rev fills_rev in
@@ -236,8 +262,17 @@ let direct ~rng ~generators ~terms =
   let source =
     Generator.render_script (List.map snd emissions_and_keys)
   in
-  {
-    source;
-    parsed = Result.to_option (Parser.parse_script source);
-    theories_spliced = O4a_util.Listx.dedup (List.map fst emissions_and_keys);
-  }
+  let parsed = Result.to_option (Parser.parse_script source) in
+  let theories_spliced = O4a_util.Listx.dedup (List.map fst emissions_and_keys) in
+  if Trace.noting () then (
+    Trace.note
+      (Trace.Direct_generated
+         { terms = List.length emissions_and_keys; theories = theories_spliced });
+    Trace.note
+      (Trace.Synthesized
+         {
+           bytes = String.length source;
+           parse_ok = parsed <> None;
+           theories = theories_spliced;
+         }));
+  { source; parsed; theories_spliced }

@@ -10,6 +10,8 @@ module Coverage = O4a_coverage.Coverage
 module Engine = Solver.Engine
 module Fuzz = Once4all.Fuzz
 module Dedup = Once4all.Dedup
+module Trace = O4a_trace.Trace
+module Bundle = O4a_trace.Bundle
 
 let log_src =
   Logs.Src.create "once4all.orchestrator" ~doc:"Parallel campaign orchestrator"
@@ -27,6 +29,8 @@ type report = {
   shards_run : int;
   shards_resumed : int;
   interrupted : bool;
+  promoted : Trace.promoted list;
+  bundles_written : int;
 }
 
 (* ------------------------------------------------------------------ *)
@@ -66,10 +70,11 @@ type shard_payload = {
   events : Event.t list;
   metric_entries : Metrics.entry list;
   cov_export : (string * int) list;
+  promoted : Trace.promoted list;
 }
 
-let run_one_shard ~worker_id ~tel_enabled ~config ~generators ~seeds ~zeal ~cove
-    ~seed shard =
+let run_one_shard ~worker_id ~tel_enabled ~tracing ~ring_size ~config
+    ~generators ~seeds ~zeal ~cove ~seed shard =
   let wtel =
     if tel_enabled then
       Telemetry.create ~sink:(Sink.memory ())
@@ -78,14 +83,23 @@ let run_one_shard ~worker_id ~tel_enabled ~config ~generators ~seeds ~zeal ~cove
         ()
     else Telemetry.disabled
   in
+  (* one flight recorder per shard: trace ids come from (seed, tick), so a
+     recorder carries no cross-shard state and promoted traces merge by
+     shard order *)
+  let recorder =
+    if tracing then Trace.Recorder.create ?ring_size ~seed ()
+    else Trace.Recorder.disabled
+  in
   let ledger = Coverage.make_ledger () in
   let rng = Shard.rng ~seed shard in
   let stats =
     Coverage.with_ledger ledger (fun () ->
         Telemetry.using wtel (fun () ->
-            Fuzz.run_shard ~rng ~config ~telemetry:wtel
-              ~shard_index:shard.Shard.index ~first_tick:shard.Shard.first_tick
-              ~generators ~seeds ~zeal ~cove ~budget:shard.Shard.ticks ()))
+            Trace.Recorder.using recorder (fun () ->
+                Fuzz.run_shard ~rng ~config ~telemetry:wtel
+                  ~shard_index:shard.Shard.index
+                  ~first_tick:shard.Shard.first_tick ~generators ~seeds ~zeal
+                  ~cove ~budget:shard.Shard.ticks ())))
   in
   {
     sr =
@@ -100,6 +114,7 @@ let run_one_shard ~worker_id ~tel_enabled ~config ~generators ~seeds ~zeal ~cove
     events = (if tel_enabled then Sink.events (Telemetry.sink wtel) else []);
     metric_entries = (if tel_enabled then Telemetry.snapshot wtel else []);
     cov_export = Coverage.export ledger;
+    promoted = Trace.Recorder.promoted recorder;
   }
 
 (* ------------------------------------------------------------------ *)
@@ -137,8 +152,8 @@ let load_base ~resume ~checkpoint_path ~seed ~budget ~shard_size =
 
 let run ?(jobs = 1) ?(shard_size = default_shard_size)
     ?(config = Fuzz.default_config) ?telemetry ?checkpoint_path
-    ?(resume = false) ?stop_after ?(extra = []) ?engines ~seed ~budget
-    ~generators ~seeds () =
+    ?(resume = false) ?stop_after ?(extra = []) ?engines ?trace_dir ?ring_size
+    ~seed ~budget ~generators ~seeds () =
   if jobs < 1 then invalid_arg "Orchestrator.run: jobs must be >= 1";
   let tel = match telemetry with Some t -> t | None -> Telemetry.global () in
   let engines =
@@ -210,6 +225,7 @@ let run ?(jobs = 1) ?(shard_size = default_shard_size)
   in
   let next = Atomic.make 0 in
   let tel_enabled = Telemetry.enabled tel in
+  let tracing = trace_dir <> None in
   let worker worker_id () =
     let zeal, cove = engines () in
     let rec loop () =
@@ -217,8 +233,8 @@ let run ?(jobs = 1) ?(shard_size = default_shard_size)
       if i < n_to_run then (
         let shard = shard_arr.(i) in
         (match
-           run_one_shard ~worker_id ~tel_enabled ~config ~generators ~seeds
-             ~zeal ~cove ~seed shard
+           run_one_shard ~worker_id ~tel_enabled ~tracing ~ring_size ~config
+             ~generators ~seeds ~zeal ~cove ~seed shard
          with
         | payload -> push (shard.Shard.index, Ok payload)
         | exception e -> push (shard.Shard.index, Error (Printexc.to_string e)));
@@ -238,6 +254,7 @@ let run ?(jobs = 1) ?(shard_size = default_shard_size)
      coverage) or re-canonicalized afterwards (findings sorted by shard
      index), so the final report does not depend on that order. *)
   let completed = ref base_completed in
+  let promoted_by_shard = ref [] in
   let errors = ref [] in
   let save_checkpoint () =
     match checkpoint_path with
@@ -266,6 +283,8 @@ let run ?(jobs = 1) ?(shard_size = default_shard_size)
       Telemetry.absorb_metrics tel payload.metric_entries;
       Coverage.merge_into ~into:campaign_ledger payload.cov_export;
       completed := payload.sr :: !completed;
+      if payload.promoted <> [] then
+        promoted_by_shard := (shard_idx, payload.promoted) :: !promoted_by_shard;
       save_checkpoint ();
       Log.debug (fun m ->
           m "shard %d merged (%d/%d done)" shard_idx (List.length !completed)
@@ -304,6 +323,25 @@ let run ?(jobs = 1) ?(shard_size = default_shard_size)
     |> List.filter_map (fun (f : Dedup.found) -> f.Dedup.finding.Once4all.Oracle.bug_id)
     |> O4a_util.Listx.dedup |> List.sort compare
   in
+  (* promoted traces in shard (= campaign tick) order, like the findings —
+     a [--jobs n] campaign writes bundles in the sequential run's order *)
+  let promoted =
+    !promoted_by_shard
+    |> List.sort (fun (a, _) (b, _) -> compare a b)
+    |> List.concat_map snd
+  in
+  let bundles_written =
+    match trace_dir with
+    | None -> 0
+    | Some dir ->
+      Bundle.ensure_dir dir;
+      List.iter (fun p -> ignore (Bundle.write ~dir p)) promoted;
+      Telemetry.emit tel "campaign.bundles"
+        [
+          ("dir", Json.String dir); ("bundles", Json.Int (List.length promoted));
+        ];
+      List.length promoted
+  in
   Telemetry.emit tel "campaign.end" (Fuzz.stats_fields stats);
   Log.info (fun m ->
       m "campaign merged: %d shards (%d resumed), %d tests, %d findings, %d distinct bugs"
@@ -320,4 +358,6 @@ let run ?(jobs = 1) ?(shard_size = default_shard_size)
     shards_run = n_to_run - List.length !errors;
     shards_resumed = List.length base_completed;
     interrupted;
+    promoted;
+    bundles_written;
   }

@@ -32,6 +32,10 @@ type report = {
   shards_run : int;  (** executed by this process *)
   shards_resumed : int;  (** taken from the checkpoint *)
   interrupted : bool;  (** [stop_after] left shards unexecuted *)
+  promoted : O4a_trace.Trace.promoted list;
+      (** oracle-promoted traces in shard (= campaign tick) order; empty
+          unless [trace_dir] was given *)
+  bundles_written : int;  (** repro bundles written under [trace_dir] *)
 }
 
 val default_shard_size : int
@@ -46,6 +50,8 @@ val run :
   ?stop_after:int ->
   ?extra:(string * string) list ->
   ?engines:(unit -> Solver.Engine.t * Solver.Engine.t) ->
+  ?trace_dir:string ->
+  ?ring_size:int ->
   seed:int ->
   budget:int ->
   generators:Gensynth.Generator.t list ->
@@ -72,6 +78,14 @@ val run :
       must never be shared across workers.
     - [generators] are shared across workers: they are immutable after
       construction.
+    - [trace_dir]: enable provenance tracing ({!O4a_trace.Trace}) and write a
+      repro bundle per promoted trace under this directory at the merge
+      barrier, in shard order. Trace ids derive from [(seed, tick)] and
+      traces record no wall-clock, so the bundle set is byte-identical for
+      every [jobs]. Checkpoints do not carry promoted traces: a resumed
+      campaign only writes bundles for the shards it actually executes.
+    - [ring_size]: per-shard flight-recorder depth (default
+      {!O4a_trace.Trace.Recorder.default_ring_size}).
 
     Raises [Failure] if any shard raises (after merging and checkpointing the
     shards that did finish). *)

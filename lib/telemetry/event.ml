@@ -33,6 +33,29 @@ let of_line line =
   | Error e -> Error e
   | Ok json -> of_json json
 
+let parse_log content =
+  let ends_nl =
+    String.length content > 0 && content.[String.length content - 1] = '\n'
+  in
+  let lines =
+    String.split_on_char '\n' content
+    |> List.filter (fun l -> String.trim l <> "")
+  in
+  let last = List.length lines - 1 in
+  let events = ref [] in
+  let malformed = ref 0 in
+  let torn = ref false in
+  List.iteri
+    (fun i line ->
+      match of_line line with
+      | Ok e -> events := e :: !events
+      | Error _ ->
+        (* an unparseable, unterminated final line is a torn write (the
+           emitter died mid-line), not log corruption *)
+        if i = last && not ends_nl then torn := true else incr malformed)
+    lines;
+  (List.rev !events, !malformed, !torn)
+
 let field key event = List.assoc_opt key event.fields
 
 let equal a b =

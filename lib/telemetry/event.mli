@@ -22,6 +22,13 @@ val to_line : t -> string
 
 val of_line : string -> (t, string) result
 
+val parse_log : string -> t list * int * bool
+(** [parse_log contents] reads a whole JSONL log: the events in file order,
+    the number of malformed lines, and whether the log ends in a {e torn}
+    line — a final line that both fails to parse and lacks its terminating
+    newline, the signature of a writer killed mid-write. The torn line is
+    skipped and not counted as malformed; blank lines are ignored. *)
+
 val field : string -> t -> Json.t option
 
 val equal : t -> t -> bool

@@ -12,8 +12,23 @@ let null = Null
 let memory () = Memory { events = ref []; lock = Mutex.create () }
 let jsonl oc = Channel { oc; owned = false; closed = false; lock = Mutex.create () }
 
+let close = function
+  | Null | Memory _ -> ()
+  | Channel c ->
+    Mutex.protect c.lock (fun () ->
+        if not c.closed then (
+          c.closed <- true;
+          if c.owned then close_out c.oc else flush c.oc))
+
 let open_jsonl path =
-  Channel { oc = open_out path; owned = true; closed = false; lock = Mutex.create () }
+  let sink =
+    Channel { oc = open_out path; owned = true; closed = false; lock = Mutex.create () }
+  in
+  (* flush-on-exit safety net: a campaign killed by an uncaught exception (or
+     one that simply never calls [close]) still leaves complete JSONL lines
+     behind. [close] is idempotent, so the normal shutdown path is unaffected. *)
+  at_exit (fun () -> close sink);
+  sink
 
 let emit sink event =
   match sink with
@@ -31,11 +46,3 @@ let emit sink event =
 let events = function
   | Memory m -> Mutex.protect m.lock (fun () -> List.rev !(m.events))
   | Null | Channel _ -> []
-
-let close = function
-  | Null | Memory _ -> ()
-  | Channel c ->
-    Mutex.protect c.lock (fun () ->
-        if not c.closed then (
-          c.closed <- true;
-          if c.owned then close_out c.oc else flush c.oc))

@@ -404,6 +404,42 @@ let test_dedup_theory_grouping () =
   let clusters = Dedup.cluster founds in
   check_int "three groups" 3 (List.length clusters)
 
+(* cluster keys are the on-disk dedup vocabulary (checkpoints, repro-bundle
+   meta, triage): pin the exact strings per verdict kind *)
+let test_signature_strings_pinned () =
+  let sig_of kind solver_name signature theory =
+    Dedup.signature (mk_found kind solver_name signature theory "x").Dedup.finding
+  in
+  let check_sig label expected s =
+    Alcotest.(check string) label expected (Dedup.signature_to_string s)
+  in
+  let crash = sig_of Bug_db.Crash "zeal-trunk" "src/rewriter.ml:88 rw_ite" "ints" in
+  check_bool "crash groups by site" true
+    (crash = Dedup.Crash_site "src/rewriter.ml:88 rw_ite");
+  check_sig "crash key" "crash:src/rewriter.ml:88 rw_ite" crash;
+  let soundness = sig_of Bug_db.Soundness "zeal-trunk" "ignored" "strings" in
+  check_bool "soundness groups by kind/solver/theory" true
+    (soundness
+    = Dedup.Verdict_group
+        { kind = Bug_db.Soundness; solver_name = "zeal-trunk"; theory = "strings" });
+  check_sig "soundness key" "soundness:zeal-trunk:strings" soundness;
+  check_sig "invalid-model key" "invalid model:cove-trunk:sets"
+    (sig_of Bug_db.Invalid_model "cove-trunk" "ignored" "sets")
+
+let test_cluster_carries_signature () =
+  let founds =
+    [
+      mk_found Bug_db.Crash "zeal-trunk" "site_A" "ints" "a";
+      mk_found Bug_db.Soundness "cove-trunk" "s" "bags" "b";
+    ]
+  in
+  List.iter
+    (fun c ->
+      Alcotest.(check string)
+        "key is the rendered signature" c.Dedup.key
+        (Dedup.signature_to_string c.Dedup.signature))
+    (Dedup.cluster founds)
+
 let test_dedup_majority_bug_id () =
   let with_id id f = { f with Dedup.finding = { f.Dedup.finding with Oracle.bug_id = id } } in
   let founds =
@@ -519,6 +555,10 @@ let () =
         [
           Alcotest.test_case "crash clustering" `Quick test_dedup_crash_clustering;
           Alcotest.test_case "theory grouping" `Quick test_dedup_theory_grouping;
+          Alcotest.test_case "signature strings pinned" `Quick
+            test_signature_strings_pinned;
+          Alcotest.test_case "cluster carries signature" `Quick
+            test_cluster_carries_signature;
           Alcotest.test_case "majority bug id" `Quick test_dedup_majority_bug_id;
         ] );
       ( "fuzz & campaign",

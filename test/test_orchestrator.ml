@@ -19,10 +19,10 @@ let campaign = lazy (Campaign.prepare ~seed:3 ())
 let generators () = (Lazy.force campaign).Campaign.generators
 let seed_pool = lazy (O4a_util.Listx.take 25 (Seeds.Corpus.all ()))
 
-let run ?jobs ?telemetry ?checkpoint_path ?resume ?stop_after ?(budget = 300)
-    ?(shard_size = 60) () =
+let run ?jobs ?telemetry ?checkpoint_path ?resume ?stop_after ?trace_dir
+    ?(budget = 300) ?(shard_size = 60) () =
   Orchestrator.run ?jobs ?telemetry ?checkpoint_path ?resume ?stop_after
-    ~shard_size ~seed:91 ~budget ~generators:(generators ())
+    ?trace_dir ~shard_size ~seed:91 ~budget ~generators:(generators ())
     ~seeds:(Lazy.force seed_pool) ()
 
 let report_key (r : Orchestrator.report) =
@@ -73,6 +73,58 @@ let test_jobs_invariance () =
   check_bool "jobs:4 reproduces jobs:1 exactly" true
     (report_key r1 = report_key r4);
   check_bool "finds bugs at this budget" true (r1.Orchestrator.clusters <> [])
+
+(* relative path -> file contents, for every regular file under [dir] *)
+let dir_contents dir =
+  let rec walk rel acc =
+    let abs = if rel = "" then dir else Filename.concat dir rel in
+    if Sys.is_directory abs then
+      Array.fold_left
+        (fun acc entry ->
+          walk (if rel = "" then entry else Filename.concat rel entry) acc)
+        acc
+        (let es = Sys.readdir abs in
+         Array.sort compare es;
+         es)
+    else (rel, In_channel.with_open_bin abs In_channel.input_all) :: acc
+  in
+  List.rev (walk "" [])
+
+let with_temp_dir f =
+  let dir = Filename.temp_file "o4a_bundles" "" in
+  Sys.remove dir;
+  let rec rm path =
+    if Sys.is_directory path then (
+      Array.iter (fun e -> rm (Filename.concat path e)) (Sys.readdir path);
+      Sys.rmdir path)
+    else Sys.remove path
+  in
+  Fun.protect ~finally:(fun () -> if Sys.file_exists dir then rm dir) (fun () -> f dir)
+
+let test_trace_bundles_jobs_invariant () =
+  with_temp_dir (fun d1 ->
+      with_temp_dir (fun d4 ->
+          let r1 = run ~jobs:1 ~trace_dir:d1 () in
+          let r4 = run ~jobs:4 ~trace_dir:d4 () in
+          check_bool "campaign finds bugs at this budget" true
+            (r1.Orchestrator.bundles_written > 0);
+          check_int "same bundle count" r1.Orchestrator.bundles_written
+            r4.Orchestrator.bundles_written;
+          check_int "one bundle per promoted trace"
+            (List.length r1.Orchestrator.promoted)
+            r1.Orchestrator.bundles_written;
+          (* the tentpole acceptance bar: trace trees are byte-identical *)
+          check_bool "jobs:4 bundle tree byte-identical to jobs:1" true
+            (dir_contents d1 = dir_contents d4);
+          (* promoted traces are merged in campaign tick order *)
+          let ticks =
+            List.map
+              (fun (p : O4a_trace.Trace.promoted) ->
+                p.O4a_trace.Trace.trace.O4a_trace.Trace.tick)
+              r4.Orchestrator.promoted
+          in
+          check_bool "promotions in tick order" true
+            (List.sort compare ticks = ticks)))
 
 let test_matches_sequential_campaign () =
   (* the sharded jobs:1 pipeline is itself reproducible run-to-run *)
@@ -236,6 +288,8 @@ let () =
       ( "determinism",
         [
           Alcotest.test_case "jobs 1 = jobs 4" `Slow test_jobs_invariance;
+          Alcotest.test_case "trace bundles jobs-invariant" `Slow
+            test_trace_bundles_jobs_invariant;
           Alcotest.test_case "run-to-run stable" `Slow test_matches_sequential_campaign;
         ] );
       ( "checkpoint",

@@ -318,6 +318,28 @@ let test_jsonl_roundtrip () =
             (Json.equal (Json.Obj a.Event.fields) (Json.Obj b.Event.fields)))
         sent got)
 
+(* a log whose writer died mid-line: the unterminated tail is a torn write,
+   not corruption, and everything before it still parses *)
+let test_parse_log_torn_tail () =
+  let line ts name = Event.to_line (Event.make ~ts ~name []) in
+  let intact = line 1. "a" ^ "\n" ^ line 2. "b" ^ "\n" in
+  let torn = intact ^ "{\"ts\":3.0,\"event\":\"c\",\"x" in
+  let events, malformed, was_torn = Event.parse_log torn in
+  check_int "intact events survive" 2 (List.length events);
+  check_int "torn tail is not malformed" 0 malformed;
+  check_bool "torn flagged" true was_torn;
+  (* the same junk WITH a newline is corruption, not a torn write *)
+  let events, malformed, was_torn = Event.parse_log (torn ^ "\n") in
+  check_int "still two events" 2 (List.length events);
+  check_int "counted malformed" 1 malformed;
+  check_bool "not torn" false was_torn;
+  (* clean logs report neither *)
+  let events, malformed, was_torn = Event.parse_log intact in
+  check_int "clean events" 2 (List.length events);
+  check_int "clean malformed" 0 malformed;
+  check_bool "clean not torn" false was_torn;
+  check_bool "empty log" true (Event.parse_log "" = ([], 0, false))
+
 (* ------------------------- campaign smoke ------------------------- *)
 
 (* a tiny instrumented campaign: the telemetry counters must agree with the
@@ -386,7 +408,10 @@ let () =
           Alcotest.test_case "base labels" `Quick test_base_labels_on_events_not_counters;
         ] );
       ( "jsonl",
-        [ Alcotest.test_case "round-trip" `Quick test_jsonl_roundtrip ] );
+        [
+          Alcotest.test_case "round-trip" `Quick test_jsonl_roundtrip;
+          Alcotest.test_case "torn tail" `Quick test_parse_log_torn_tail;
+        ] );
       ( "campaign",
         [ Alcotest.test_case "counters match stats" `Quick test_campaign_counters_match ] );
     ]

@@ -34,6 +34,24 @@ dune exec bin/once4all_cli.exe -- fuzz --budget 400 --shard-size 100 --jobs 2 \
   --telemetry "$out/jobs2.jsonl" --progress 0 > /dev/null
 dune exec bin/once4all_cli.exe -- stats --strict "$out/jobs2.jsonl"
 
+echo "== Repro bundles: jobs-invariant trace tree, repro.sh replays =="
+dune exec bin/once4all_cli.exe -- fuzz --budget 400 --shard-size 100 --jobs 1 \
+  --trace-dir "$out/t1" --progress 0 > /dev/null
+dune exec bin/once4all_cli.exe -- fuzz --budget 400 --shard-size 100 --jobs 2 \
+  --trace-dir "$out/t2" --progress 0 > /dev/null
+diff -r "$out/t1" "$out/t2" || {
+  echo "FAIL: --jobs 2 trace tree differs from --jobs 1"; exit 1; }
+dune exec bin/once4all_cli.exe -- triage "$out/t1" > "$out/triage1.log"
+dune exec bin/once4all_cli.exe -- triage "$out/t2" > "$out/triage2.log"
+diff "$out/triage1.log" "$out/triage2.log" || {
+  echo "FAIL: triage clusters differ between --jobs 1 and --jobs 2"; exit 1; }
+repro="$(find "$out/t1" -name repro.sh | sort | head -n 1)"
+[ -n "$repro" ] || { echo "FAIL: campaign wrote no repro bundles"; exit 1; }
+ONCE4ALL="$PWD/_build/default/bin/once4all_cli.exe" "$repro" > "$out/repro.log" || {
+  echo "FAIL: $repro exited nonzero"; cat "$out/repro.log"; exit 1; }
+grep -q "expected signature reproduced" "$out/repro.log" || {
+  echo "FAIL: repro.sh did not reproduce its finding"; cat "$out/repro.log"; exit 1; }
+
 echo "== Checkpoint/resume: stop after 2 shards, resume, same report =="
 dune exec bin/once4all_cli.exe -- fuzz --budget 400 --shard-size 100 --jobs 1 \
   --checkpoint "$out/cp.json" --stop-after 2 --progress 0 > /dev/null
