@@ -20,6 +20,7 @@ module Json = O4a_telemetry.Json
 module Metrics = O4a_telemetry.Metrics
 module Trace = O4a_trace.Trace
 module Bundle = O4a_trace.Bundle
+module Faults = O4a_faults.Faults
 
 let setup_logs verbose =
   Logs.set_reporter (Logs.format_reporter ());
@@ -74,8 +75,40 @@ let make_telemetry telemetry_path =
 
 (* The deterministic campaign summary: every line printed here must be a pure
    function of the merged report, never of timing or worker count — check.sh
-   diffs this block across --jobs values. *)
-let print_campaign_report ~show_formulas (r : Orchestrator.report) =
+   diffs this block across --jobs values. The chaos block additionally avoids
+   per-process fault/retry counts (a resumed run re-fires only the faults of
+   the shards it executes), so it is also invariant across kill/resume; those
+   counts live in the telemetry log and the stats subcommand instead. *)
+let print_chaos_report ~chaos (r : Orchestrator.report) =
+  (match chaos with
+  | None -> ()
+  | Some (plan : Faults.plan) ->
+    Printf.printf "\nchaos: profile %s  seed %d  rate %.2f\n"
+      (Faults.profile_to_string plan.Faults.profile)
+      plan.Faults.chaos_seed plan.Faults.rate);
+  match r.Orchestrator.quarantined with
+  | [] -> ()
+  | qs ->
+    let module Checkpoint = Orchestrator.Checkpoint in
+    let ticks =
+      List.fold_left (fun acc q -> acc + q.Checkpoint.q_ticks) 0 qs
+    in
+    Printf.printf "quarantined: %d shard%s, %d tick%s excluded from merge\n"
+      (List.length qs)
+      (if List.length qs = 1 then "" else "s")
+      ticks
+      (if ticks = 1 then "" else "s");
+    List.iter
+      (fun (q : Checkpoint.quarantine) ->
+        Printf.printf "  shard %d  ticks %d-%d  after %d attempt%s  [%s]\n"
+          q.Checkpoint.q_shard q.Checkpoint.q_first_tick
+          (q.Checkpoint.q_first_tick + q.Checkpoint.q_ticks - 1)
+          q.Checkpoint.q_attempts
+          (if q.Checkpoint.q_attempts = 1 then "" else "s")
+          (String.concat " " q.Checkpoint.q_sites))
+      qs
+
+let print_campaign_report ~show_formulas ~chaos (r : Orchestrator.report) =
   let stats = r.Orchestrator.stats in
   Printf.printf "tests: %d  parse-ok: %d  solved: %d  bug-triggering: %d\n"
     stats.Once4all.Fuzz.tests stats.parse_ok stats.solved
@@ -100,7 +133,8 @@ let print_campaign_report ~show_formulas (r : Orchestrator.report) =
     (Coverage.line_pct r.Orchestrator.coverage_zeal)
     (Coverage.func_pct r.Orchestrator.coverage_zeal)
     (Coverage.line_pct r.Orchestrator.coverage_cove)
-    (Coverage.func_pct r.Orchestrator.coverage_cove)
+    (Coverage.func_pct r.Orchestrator.coverage_cove);
+  print_chaos_report ~chaos r
 
 let dump_metrics tel telemetry_path =
   match telemetry_path with
@@ -116,7 +150,7 @@ let dump_metrics tel telemetry_path =
 
 let run_sharded_campaign ~tel ~telemetry_path ~seed ~budget ~profile
     ~no_skeletons ~show_formulas ~progress ~jobs ~shard_size ~checkpoint_path
-    ~resume ~stop_after ~trace_dir ~ring_size =
+    ~resume ~stop_after ~trace_dir ~ring_size ~chaos =
   Telemetry.set_global tel;
   let campaign = Once4all.Campaign.prepare ~seed ~profile () in
   let seeds =
@@ -143,10 +177,21 @@ let run_sharded_campaign ~tel ~telemetry_path ~seed ~budget ~profile
       ("profile", profile.Llm_sim.Profile.name);
       ("use_skeletons", if no_skeletons then "false" else "true");
     ]
+    @
+    (* chaos provenance travels in the checkpoint so resume re-arms the exact
+       same fault plan without re-stating the flags *)
+    match chaos with
+    | None -> []
+    | Some (plan : Faults.plan) ->
+      [
+        ("chaos_profile", Faults.profile_to_string plan.Faults.profile);
+        ("chaos_seed", string_of_int plan.Faults.chaos_seed);
+        ("chaos_rate", Printf.sprintf "%g" plan.Faults.rate);
+      ]
   in
   match
     Orchestrator.run ~jobs ~shard_size ~config ~telemetry:tel
-      ?checkpoint_path ~resume ?stop_after ~extra ?trace_dir ?ring_size
+      ?checkpoint_path ~resume ?stop_after ~extra ?trace_dir ?ring_size ?chaos
       ~seed:(seed + 1) ~budget
       ~generators:campaign.Once4all.Campaign.generators ~seeds ()
   with
@@ -166,7 +211,7 @@ let run_sharded_campaign ~tel ~telemetry_path ~seed ~budget ~profile
         (r.Orchestrator.shards_run + r.Orchestrator.shards_resumed)
         r.Orchestrator.shards_total
         (Option.value checkpoint_path ~default:"CHECKPOINT")
-    else print_campaign_report ~show_formulas r;
+    else print_campaign_report ~show_formulas ~chaos r;
     (match trace_dir with
     | Some dir ->
       Printf.printf "wrote %d repro bundle%s to %s\n"
@@ -177,26 +222,44 @@ let run_sharded_campaign ~tel ~telemetry_path ~seed ~budget ~profile
     dump_metrics tel telemetry_path;
     0
 
+(* --chaos/--chaos-seed/--chaos-rate -> a fault plan ([None] when off) *)
+let chaos_plan ~chaos_profile ~chaos_seed ~chaos_rate =
+  match Faults.profile_of_string chaos_profile with
+  | None ->
+    Error
+      (Printf.sprintf
+         "unknown chaos profile '%s' (expected off, solver, io, workers, all)"
+         chaos_profile)
+  | Some Faults.Off -> Ok None
+  | Some profile ->
+    Ok (Some (Faults.plan ~rate:chaos_rate ~chaos_seed profile))
+
 let fuzz seed budget profile_name no_skeletons show_formulas telemetry_path
     progress jobs shard_size checkpoint_path stop_after trace_dir ring_size
-    verbose =
+    chaos_profile chaos_seed chaos_rate verbose =
   setup_logs verbose;
-  match make_telemetry telemetry_path with
+  match chaos_plan ~chaos_profile ~chaos_seed ~chaos_rate with
   | Error msg ->
-    Printf.eprintf "cannot open telemetry log: %s\n" msg;
+    Printf.eprintf "%s\n" msg;
     1
-  | Ok tel ->
-    run_sharded_campaign ~tel ~telemetry_path ~seed ~budget
-      ~profile:(profile_of_name profile_name) ~no_skeletons ~show_formulas
-      ~progress ~jobs ~shard_size ~checkpoint_path ~resume:false ~stop_after
-      ~trace_dir ~ring_size
+  | Ok chaos -> (
+    match make_telemetry telemetry_path with
+    | Error msg ->
+      Printf.eprintf "cannot open telemetry log: %s\n" msg;
+      1
+    | Ok tel ->
+      run_sharded_campaign ~tel ~telemetry_path ~seed ~budget
+        ~profile:(profile_of_name profile_name) ~no_skeletons ~show_formulas
+        ~progress ~jobs ~shard_size ~checkpoint_path ~resume:false ~stop_after
+        ~trace_dir ~ring_size ~chaos)
 
 let resume checkpoint_path jobs show_formulas telemetry_path progress stop_after
     trace_dir ring_size verbose =
   setup_logs verbose;
   match Orchestrator.Checkpoint.load ~path:checkpoint_path with
-  | Error msg ->
-    Printf.eprintf "cannot load checkpoint %s: %s\n" checkpoint_path msg;
+  | Error err ->
+    Printf.eprintf "%s\n"
+      (Orchestrator.Checkpoint.load_error_to_string ~path:checkpoint_path err);
     1
   | Ok cp -> (
     let find key default =
@@ -214,6 +277,21 @@ let resume checkpoint_path jobs show_formulas telemetry_path progress stop_after
     in
     let profile = profile_of_name (find "profile" "gpt-4") in
     let no_skeletons = find "use_skeletons" "true" = "false" in
+    (* re-arm the checkpoint's chaos plan: the remaining shards must see the
+       exact injections the uninterrupted run would have given them *)
+    let chaos =
+      match
+        chaos_plan ~chaos_profile:(find "chaos_profile" "off")
+          ~chaos_seed:
+            (Option.value ~default:1 (int_of_string_opt (find "chaos_seed" "1")))
+          ~chaos_rate:
+            (Option.value ~default:Faults.default_rate
+               (float_of_string_opt
+                  (find "chaos_rate" (string_of_float Faults.default_rate))))
+      with
+      | Ok c -> c
+      | Error _ -> None
+    in
     match make_telemetry telemetry_path with
     | Error msg ->
       Printf.eprintf "cannot open telemetry log: %s\n" msg;
@@ -224,7 +302,7 @@ let resume checkpoint_path jobs show_formulas telemetry_path progress stop_after
         ~show_formulas ~progress ~jobs
         ~shard_size:cp.Orchestrator.Checkpoint.shard_size
         ~checkpoint_path:(Some checkpoint_path) ~resume:true ~stop_after
-        ~trace_dir ~ring_size)
+        ~trace_dir ~ring_size ~chaos)
 
 let read_file path =
   let ic = open_in_bin path in
@@ -367,6 +445,45 @@ let stats_cmd path strict =
           (List.length group)
           (O4a_util.Stats.mean (List.map snd group)))
       (sort_rows by_verdict));
+  (* chaos section: injected faults by site, retries, and quarantined shards
+     from the supervision events *)
+  let faults = named "fault.injected" in
+  let retries = named "shard.retry" in
+  let quars = named "shard.quarantined" in
+  if faults <> [] || retries <> [] || quars <> [] then (
+    Printf.printf "\nchaos:\n";
+    let by_site =
+      faults
+      |> List.filter_map (fun e -> str_field e "site")
+      |> List.map (fun s -> (s, ()))
+      |> O4a_util.Listx.group_by fst
+    in
+    Printf.printf "  %-20s %8s\n" "site" "injected";
+    List.iter
+      (fun (site, group) ->
+        Printf.printf "  %-20s %8d\n" site (List.length group))
+      (sort_rows by_site);
+    Printf.printf "  shard retries: %d\n" (List.length retries);
+    if quars <> [] then (
+      Printf.printf "  quarantined shards:\n";
+      let int_field e k =
+        match Event.field k e with Some (Json.Int n) -> n | _ -> 0
+      in
+      quars
+      |> List.map (fun e -> (int_field e "shard", e))
+      |> List.sort (fun (a, _) (b, _) -> compare a b)
+      |> List.iter (fun (shard, e) ->
+             let sites =
+               match Event.field "sites" e with
+               | Some (Json.List l) ->
+                 List.filter_map
+                   (function Json.String s -> Some s | _ -> None)
+                   l
+               | _ -> []
+             in
+             Printf.printf "    shard %d  ticks %d  attempts %d  [%s]\n" shard
+               (int_field e "ticks") (int_field e "attempts")
+               (String.concat " " sites))));
   (* totals from "campaign.end", checked against the event stream. A resumed
      campaign's log only holds the shards run by that process while its
      campaign.end reports merged totals, so the check is skipped there. *)
@@ -602,6 +719,26 @@ let ring_size_arg =
            ~doc:"flight-recorder depth: finished traces retained per worker \
                  (default 64)")
 
+let chaos_arg =
+  Arg.(value & opt string "off"
+       & info [ "chaos" ] ~docv:"PROFILE"
+           ~doc:"deterministic fault injection: off, solver (hangs + spurious \
+                 crashes), io (sink writes + checkpoint corruption), workers \
+                 (worker death), or all")
+
+let chaos_seed_arg =
+  Arg.(value & opt int 1
+       & info [ "chaos-seed" ] ~docv:"N"
+           ~doc:"fault-plan seed; the same seed injects the same faults at \
+                 any --jobs value")
+
+let chaos_rate_arg =
+  Arg.(value & opt float Faults.default_rate
+       & info [ "chaos-rate" ] ~docv:"R"
+           ~doc:"per-site probability a fault fires during a shard's first \
+                 attempt (retries decay it); 1.0 fires on every attempt, \
+                 forcing quarantine")
+
 let fuzz_cmd =
   let budget = Arg.(value & opt int 2000 & info [ "budget" ] ~docv:"N" ~doc:"test cases") in
   let no_skel = Arg.(value & flag & info [ "no-skeletons" ] ~doc:"the w/oS ablation") in
@@ -620,7 +757,8 @@ let fuzz_cmd =
     (Cmd.info "fuzz" ~doc:"run a skeleton-guided differential campaign (Algorithm 2)")
     Term.(const fuzz $ seed_arg $ budget $ profile_arg $ no_skel $ show_arg
           $ telemetry_arg $ progress_arg $ jobs_arg $ shard_size $ checkpoint
-          $ stop_after_arg $ trace_dir_arg $ ring_size_arg $ verbose)
+          $ stop_after_arg $ trace_dir_arg $ ring_size_arg $ chaos_arg
+          $ chaos_seed_arg $ chaos_rate_arg $ verbose)
 
 let resume_cmd =
   let checkpoint =

@@ -266,6 +266,9 @@ let run_loop ~rng ~config ~tel ~first_tick ~generators ~seeds ~zeal ~cove
     let current = ref seed in
     let rounds = min config.mutations_per_seed (budget - !stats.tests) in
     for _ = 1 to rounds do
+      (* chaos probe: a planned worker death fires here, between two tests,
+         so the killed attempt never leaves a half-recorded trace open *)
+      O4a_faults.Faults.tick ();
       Trace.Recorder.start recorder ~tick:(first_tick + !stats.tests);
       if Trace.noting () then (
         let printed = Printer.script !current in

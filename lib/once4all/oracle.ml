@@ -45,8 +45,12 @@ let previous_release_engine engine =
   | [] -> engine
 
 let crash_finding engine script signature bug_id =
+  (* a crash whose signature lives in the reserved "chaos:" namespace was
+     injected by the fault layer, not produced by the solver: it must never
+     be attributed to a ground-truth bug-registry entry *)
+  let injected = O4a_faults.Faults.is_injected_signature signature in
   let theory =
-    match Bug_db.find bug_id with
+    match (if injected then None else Bug_db.find bug_id) with
     | Some spec -> spec.Bug_db.theory
     | None -> ( match script with Some s -> primary_theory s | None -> "core")
   in
@@ -55,7 +59,7 @@ let crash_finding engine script signature bug_id =
     solver = Engine.tag engine;
     solver_name = Engine.name engine;
     signature;
-    bug_id = Some bug_id;
+    bug_id = (if injected then None else Some bug_id);
     theory;
   }
 

@@ -11,16 +11,28 @@ type shard_result = {
   findings : Once4all.Dedup.found list;
 }
 
+type quarantine = {
+  q_shard : int;
+  q_first_tick : int;
+  q_ticks : int;
+  q_attempts : int;
+  q_sites : string list;
+}
+
 type t = {
   seed : int;
   budget : int;
   shard_size : int;
   extra : (string * string) list;
   completed : shard_result list;
+  quarantined : quarantine list;
   coverage : (string * int) list;
 }
 
-let version = 1
+(* version 2 added the quarantine list; version-1 files (no chaos layer yet)
+   still load, with an empty quarantine *)
+let version = 2
+let min_version = 1
 
 (* ------------------------------------------------------------------ *)
 (* Encoding                                                            *)
@@ -56,6 +68,16 @@ let shard_result_to_json r =
       ("findings", Json.List (List.map found_to_json r.findings));
     ]
 
+let quarantine_to_json q =
+  Json.Obj
+    [
+      ("shard", Json.Int q.q_shard);
+      ("first_tick", Json.Int q.q_first_tick);
+      ("ticks", Json.Int q.q_ticks);
+      ("attempts", Json.Int q.q_attempts);
+      ("sites", Json.List (List.map (fun s -> Json.String s) q.q_sites));
+    ]
+
 let to_json t =
   Json.Obj
     [
@@ -69,6 +91,11 @@ let to_json t =
         Json.List
           (List.map shard_result_to_json
              (List.sort (fun a b -> compare a.shard b.shard) t.completed)) );
+      ( "quarantined",
+        Json.List
+          (List.map quarantine_to_json
+             (List.sort (fun a b -> compare a.q_shard b.q_shard) t.quarantined))
+      );
       ( "coverage",
         Json.Obj (List.map (fun (k, c) -> (k, Json.Int c)) t.coverage) );
     ]
@@ -148,10 +175,26 @@ let shard_result_of_json json =
   let* findings = map_result found_of_json findings_json in
   Ok { shard; tests; parse_ok; solved; bytes_total; findings }
 
+let quarantine_of_json json =
+  let* q_shard = req "shard" Json.to_int json in
+  let* q_first_tick = req "first_tick" Json.to_int json in
+  let* q_ticks = req "ticks" Json.to_int json in
+  let* q_attempts = req "attempts" Json.to_int json in
+  let* sites_json = list_field "sites" json in
+  let* q_sites =
+    map_result
+      (fun s ->
+        match Json.to_str s with
+        | Some s -> Ok s
+        | None -> Error "checkpoint: quarantine site not a string")
+      sites_json
+  in
+  Ok { q_shard; q_first_tick; q_ticks; q_attempts; q_sites }
+
 let of_json json =
   let* v = req "version" Json.to_int json in
   let* () =
-    if v = version then Ok ()
+    if v >= min_version && v <= version then Ok ()
     else Error (Printf.sprintf "checkpoint: unsupported version %d" v)
   in
   let* seed = req "seed" Json.to_int json in
@@ -168,6 +211,12 @@ let of_json json =
   in
   let* completed_json = list_field "completed" json in
   let* completed = map_result shard_result_of_json completed_json in
+  let* quarantined =
+    match Json.member "quarantined" json with
+    | None -> Ok [] (* version 1 *)
+    | Some (Json.List l) -> map_result quarantine_of_json l
+    | Some _ -> Error "checkpoint: missing or invalid field \"quarantined\""
+  in
   let* coverage_kvs = obj_field "coverage" json in
   let* coverage =
     map_result
@@ -177,7 +226,7 @@ let of_json json =
         | None -> Error (Printf.sprintf "checkpoint: coverage count for %S not an int" k))
       coverage_kvs
   in
-  Ok { seed; budget; shard_size; extra; completed; coverage }
+  Ok { seed; budget; shard_size; extra; completed; quarantined; coverage }
 
 (* ------------------------------------------------------------------ *)
 (* Files                                                               *)
@@ -194,9 +243,28 @@ let save ~path t =
       output_char oc '\n');
   Sys.rename tmp path
 
+type load_error =
+  | Io of string
+  | Corrupt of { offset : int; reason : string }
+  | Invalid of string
+
+let load_error_to_string ~path = function
+  | Io msg -> Printf.sprintf "cannot read checkpoint %s: %s" path msg
+  | Corrupt { offset; reason } ->
+    Printf.sprintf
+      "checkpoint %s is truncated or corrupted: %s at byte offset %d\n\
+       (likely a torn write from a crash mid-save; delete the file or restore \
+       a backup, then re-run)"
+      path reason offset
+  | Invalid msg -> Printf.sprintf "checkpoint %s is not usable: %s" path msg
+
 let load ~path =
   match In_channel.with_open_text path In_channel.input_all with
-  | exception Sys_error msg -> Error msg
-  | contents ->
-    let* json = Json.parse contents in
-    of_json json
+  | exception Sys_error msg -> Error (Io msg)
+  | contents -> (
+    match Json.parse_located contents with
+    | Error (offset, reason) -> Error (Corrupt { offset; reason })
+    | Ok json -> (
+      match of_json json with
+      | Ok t -> Ok t
+      | Error msg -> Error (Invalid msg)))

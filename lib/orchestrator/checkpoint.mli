@@ -17,6 +17,17 @@ type shard_result = {
   findings : Once4all.Dedup.found list;  (** oldest first, as the shard found them *)
 }
 
+(** A shard that exhausted its chaos retries: its results were discarded and
+    its tick range is reported instead of merged. Site names are
+    {!Faults.site_name} strings, distinct, sorted. *)
+type quarantine = {
+  q_shard : int;
+  q_first_tick : int;
+  q_ticks : int;
+  q_attempts : int;  (** attempts made before giving up *)
+  q_sites : string list;  (** fault sites that fired across those attempts *)
+}
+
 type t = {
   seed : int;
   budget : int;
@@ -25,6 +36,8 @@ type t = {
       (** opaque caller provenance (the CLI stores its seed/profile flags
           here so [resume] can rebuild the same generator pool) *)
   completed : shard_result list;
+  quarantined : quarantine list;
+      (** shards the supervision layer gave up on; resume skips them too *)
   coverage : (string * int) list;
       (** merged {!O4a_coverage.Coverage.export} of the completed shards *)
 }
@@ -36,4 +49,17 @@ val save : path:string -> t -> unit
 (** Atomic: writes [path ^ ".tmp"] then renames over [path], so an interrupt
     mid-write never corrupts the previous checkpoint. *)
 
-val load : path:string -> (t, string) result
+(** Why a checkpoint file could not be loaded. [Corrupt] means the bytes are
+    not one well-formed JSON document — the classic torn/truncated write —
+    and names the byte offset where parsing gave up; [Invalid] means the JSON
+    is well-formed but not a checkpoint this version understands. *)
+type load_error =
+  | Io of string
+  | Corrupt of { offset : int; reason : string }
+  | Invalid of string
+
+val load_error_to_string : path:string -> load_error -> string
+(** One clean printable diagnostic (may span two lines for [Corrupt], where
+    it also suggests a remedy). *)
+
+val load : path:string -> (t, load_error) result

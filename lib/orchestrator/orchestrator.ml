@@ -12,6 +12,7 @@ module Fuzz = Once4all.Fuzz
 module Dedup = Once4all.Dedup
 module Trace = O4a_trace.Trace
 module Bundle = O4a_trace.Bundle
+module Faults = O4a_faults.Faults
 
 let log_src =
   Logs.Src.create "once4all.orchestrator" ~doc:"Parallel campaign orchestrator"
@@ -31,6 +32,9 @@ type report = {
   interrupted : bool;
   promoted : Trace.promoted list;
   bundles_written : int;
+  quarantined : Checkpoint.quarantine list;
+  shard_retries : int;
+  faults_injected : int;
 }
 
 (* ------------------------------------------------------------------ *)
@@ -118,6 +122,76 @@ let run_one_shard ~worker_id ~tel_enabled ~tracing ~ring_size ~config
   }
 
 (* ------------------------------------------------------------------ *)
+(* Supervision                                                         *)
+(* ------------------------------------------------------------------ *)
+
+(* one failed attempt at a shard: which faults fired before it was given up *)
+type attempt_log = { attempt : int; fired : Faults.site list }
+
+type shard_outcome =
+  | Merged of shard_payload * attempt_log list
+      (** clean result, after the listed tainted attempts were retried *)
+  | Quarantined of attempt_log list
+      (** every attempt was tainted; results discarded, ticks reported *)
+  | Failed of string  (** a genuine (non-injected) worker exception *)
+
+(* Retry a shard until an attempt completes with zero fired faults. Any fired
+   fault taints the whole attempt — even one whose effect was merely a wrong
+   solver answer — because only all-or-nothing discarding guarantees that the
+   merged payload is byte-identical to the fault-free run's. The fault plan
+   re-rolls per attempt (with decayed probability), so a retried shard is a
+   pure function of (plan, shard index, attempt): the supervision outcome is
+   the same at any --jobs N and on resume. *)
+(* An injected fault can escape through a [Fun.protect] cleanup (e.g. a
+   telemetry span emitting its end event into a faulted sink), arriving
+   wrapped in [Fun.Finally_raised] — possibly several layers deep. *)
+let rec is_injected = function
+  | Faults.Injected _ -> true
+  | Fun.Finally_raised e -> is_injected e
+  | _ -> false
+
+let run_supervised ~chaos ~run_attempt shard_index =
+  match chaos with
+  | None -> (
+    match run_attempt () with
+    | payload -> Merged (payload, [])
+    | exception e -> Failed (Printexc.to_string e))
+  | Some plan ->
+    let rec go attempt failed_rev =
+      let inj = Faults.Injector.create plan ~shard:shard_index ~attempt in
+      let result =
+        match Faults.using inj run_attempt with
+        | payload -> Ok payload
+        | exception e when is_injected e -> Error `Injected
+        | exception e -> Error (`Fatal (Printexc.to_string e))
+      in
+      match result with
+      | Error (`Fatal msg) -> Failed msg
+      | Ok payload when Faults.Injector.fired inj = [] ->
+        Merged (payload, List.rev failed_rev)
+      | Ok _ | Error `Injected ->
+        let log = { attempt; fired = Faults.Injector.fired inj } in
+        if attempt >= Faults.max_retries then
+          Quarantined (List.rev (log :: failed_rev))
+        else (
+          ignore (Faults.backoff ~attempt);
+          go (attempt + 1) (log :: failed_rev))
+    in
+    go 0 []
+
+let quarantine_of_logs (shard : Shard.t) logs =
+  {
+    Checkpoint.q_shard = shard.Shard.index;
+    q_first_tick = shard.Shard.first_tick;
+    q_ticks = shard.Shard.ticks;
+    q_attempts = List.length logs;
+    q_sites =
+      logs
+      |> List.concat_map (fun l -> List.map Faults.site_name l.fired)
+      |> O4a_util.Listx.dedup |> List.sort compare;
+  }
+
+(* ------------------------------------------------------------------ *)
 (* The campaign                                                        *)
 (* ------------------------------------------------------------------ *)
 
@@ -137,7 +211,7 @@ let load_base ~resume ~checkpoint_path ~seed ~budget ~shard_size =
     | None -> invalid_arg "Orchestrator.run: resume requires a checkpoint path"
     | Some path -> (
       match Checkpoint.load ~path with
-      | Error msg -> failwith (Printf.sprintf "cannot resume from %s: %s" path msg)
+      | Error err -> failwith (Checkpoint.load_error_to_string ~path err)
       | Ok cp ->
         if cp.Checkpoint.seed <> seed || cp.Checkpoint.budget <> budget
            || cp.Checkpoint.shard_size <> shard_size
@@ -153,8 +227,11 @@ let load_base ~resume ~checkpoint_path ~seed ~budget ~shard_size =
 let run ?(jobs = 1) ?(shard_size = default_shard_size)
     ?(config = Fuzz.default_config) ?telemetry ?checkpoint_path
     ?(resume = false) ?stop_after ?(extra = []) ?engines ?trace_dir ?ring_size
-    ~seed ~budget ~generators ~seeds () =
+    ?chaos ~seed ~budget ~generators ~seeds () =
   if jobs < 1 then invalid_arg "Orchestrator.run: jobs must be >= 1";
+  let chaos =
+    match chaos with Some p when Faults.enabled p -> Some p | _ -> None
+  in
   let tel = match telemetry with Some t -> t | None -> Telemetry.global () in
   let engines =
     match engines with
@@ -165,14 +242,22 @@ let run ?(jobs = 1) ?(shard_size = default_shard_size)
   let base_completed =
     match base with Some cp -> cp.Checkpoint.completed | None -> []
   in
+  let base_quarantined =
+    match base with Some cp -> cp.Checkpoint.quarantined | None -> []
+  in
   let extra =
     match base with Some cp when extra = [] -> cp.Checkpoint.extra | _ -> extra
   in
   let plan = Shard.plan ~budget ~shard_size in
+  (* quarantined shards count as handled: resume must not re-run them, or the
+     resumed report would diverge from the uninterrupted chaos run *)
   let done_set =
     List.fold_left
-      (fun acc (r : Checkpoint.shard_result) -> r.Checkpoint.shard :: acc)
-      [] base_completed
+      (fun acc (q : Checkpoint.quarantine) -> q.Checkpoint.q_shard :: acc)
+      (List.fold_left
+         (fun acc (r : Checkpoint.shard_result) -> r.Checkpoint.shard :: acc)
+         [] base_completed)
+      base_quarantined
   in
   let remaining =
     List.filter (fun s -> not (List.mem s.Shard.index done_set)) plan
@@ -204,9 +289,7 @@ let run ?(jobs = 1) ?(shard_size = default_shard_size)
   let nworkers = max 1 (min jobs n_to_run) in
   (* a single results queue: workers push, the main domain is the only
      consumer — the merge stage has one owner *)
-  let queue : (int * (shard_payload, string) Stdlib.result) Queue.t =
-    Queue.create ()
-  in
+  let queue : (Shard.t * shard_outcome) Queue.t = Queue.create () in
   let qmutex = Mutex.create () in
   let qcond = Condition.create () in
   let push r =
@@ -232,12 +315,11 @@ let run ?(jobs = 1) ?(shard_size = default_shard_size)
       let i = Atomic.fetch_and_add next 1 in
       if i < n_to_run then (
         let shard = shard_arr.(i) in
-        (match
-           run_one_shard ~worker_id ~tel_enabled ~tracing ~ring_size ~config
-             ~generators ~seeds ~zeal ~cove ~seed shard
-         with
-        | payload -> push (shard.Shard.index, Ok payload)
-        | exception e -> push (shard.Shard.index, Error (Printexc.to_string e)));
+        let run_attempt () =
+          run_one_shard ~worker_id ~tel_enabled ~tracing ~ring_size ~config
+            ~generators ~seeds ~zeal ~cove ~seed shard
+        in
+        push (shard, run_supervised ~chaos ~run_attempt shard.Shard.index);
         loop ())
     in
     loop ()
@@ -254,26 +336,131 @@ let run ?(jobs = 1) ?(shard_size = default_shard_size)
      coverage) or re-canonicalized afterwards (findings sorted by shard
      index), so the final report does not depend on that order. *)
   let completed = ref base_completed in
+  let quarantined = ref base_quarantined in
   let promoted_by_shard = ref [] in
   let errors = ref [] in
-  let save_checkpoint () =
+  let shard_retries = ref 0 in
+  let faults_injected = ref 0 in
+  (* Supervised save: the Checkpoint_corrupt site tears the write on the main
+     domain (a truncated raw dump instead of the atomic write-then-rename),
+     then the verify step detects the corruption through the same
+     [Checkpoint.load] path [resume] uses and rewrites cleanly — bounded by
+     the same retry budget as shard faults, and per-(shard, attempt)
+     deterministic, so the injected count is identical at any --jobs N. *)
+  let save_checkpoint ~after_shard =
     match checkpoint_path with
     | None -> ()
     | Some path ->
-      Checkpoint.save ~path
+      let cp =
         {
           Checkpoint.seed;
           budget;
           shard_size;
           extra;
           completed = !completed;
+          quarantined = !quarantined;
           coverage = Coverage.export campaign_ledger;
         }
+      in
+      let rec attempt_save attempt =
+        let tear =
+          attempt < Faults.max_retries
+          && (match chaos with
+             | None -> false
+             | Some plan ->
+               Faults.decide plan ~site:Faults.Checkpoint_corrupt
+                 ~shard:after_shard ~attempt
+               <> None)
+        in
+        if tear then (
+          let s = Json.to_string (Checkpoint.to_json cp) in
+          let cut = max 1 (String.length s / 2) in
+          Out_channel.with_open_bin path (fun oc ->
+              output_string oc (String.sub s 0 cut));
+          incr faults_injected;
+          Telemetry.emit tel "fault.injected"
+            [
+              ("site", Json.String (Faults.site_name Faults.Checkpoint_corrupt));
+              ("shard", Json.Int after_shard);
+              ("attempt", Json.Int attempt);
+            ])
+        else Checkpoint.save ~path cp;
+        match Checkpoint.load ~path with
+        | Ok _ -> ()
+        | Error err when tear && attempt < Faults.max_retries ->
+          Log.debug (fun m ->
+              m "checkpoint write torn by chaos (%s), rewriting"
+                (Checkpoint.load_error_to_string ~path err));
+          attempt_save (attempt + 1)
+        | Error err ->
+          failwith
+            (Printf.sprintf "checkpoint verify failed after save: %s"
+               (Checkpoint.load_error_to_string ~path err))
+      in
+      attempt_save 0
+  in
+  let emit_attempt_faults shard_idx logs =
+    List.iter
+      (fun { attempt; fired } ->
+        List.iter
+          (fun site ->
+            incr faults_injected;
+            Telemetry.emit tel "fault.injected"
+              [
+                ("site", Json.String (Faults.site_name site));
+                ("shard", Json.Int shard_idx);
+                ("attempt", Json.Int attempt);
+              ])
+          fired)
+      logs
+  in
+  let emit_retries shard_idx logs ~quarantining =
+    (* every tainted attempt except a quarantining shard's last one was
+       followed by a backoff + retry *)
+    let retried =
+      if quarantining then max 0 (List.length logs - 1) else List.length logs
+    in
+    List.iteri
+      (fun i { attempt; _ } ->
+        if i < retried then (
+          incr shard_retries;
+          Telemetry.emit tel "shard.retry"
+            [
+              ("shard", Json.Int shard_idx);
+              ("attempt", Json.Int (attempt + 1));
+              ( "backoff_fuel",
+                Json.Int (1_000 * (1 lsl min attempt 10)) );
+            ]))
+      logs
   in
   for _ = 1 to n_to_run do
     match pop () with
-    | shard_idx, Error msg -> errors := (shard_idx, msg) :: !errors
-    | shard_idx, Ok payload ->
+    | shard, Failed msg -> errors := (shard.Shard.index, msg) :: !errors
+    | shard, Quarantined logs ->
+      let shard_idx = shard.Shard.index in
+      emit_attempt_faults shard_idx logs;
+      emit_retries shard_idx logs ~quarantining:true;
+      let q = quarantine_of_logs shard logs in
+      quarantined := q :: !quarantined;
+      Telemetry.emit tel "shard.quarantined"
+        [
+          ("shard", Json.Int shard_idx);
+          ("first_tick", Json.Int q.Checkpoint.q_first_tick);
+          ("ticks", Json.Int q.Checkpoint.q_ticks);
+          ("attempts", Json.Int q.Checkpoint.q_attempts);
+          ( "sites",
+            Json.List
+              (List.map (fun s -> Json.String s) q.Checkpoint.q_sites) );
+        ];
+      save_checkpoint ~after_shard:shard_idx;
+      Log.warn (fun m ->
+          m "shard %d quarantined after %d attempts (sites: %s)" shard_idx
+            q.Checkpoint.q_attempts
+            (String.concat " " q.Checkpoint.q_sites))
+    | shard, Merged (payload, logs) ->
+      let shard_idx = shard.Shard.index in
+      emit_attempt_faults shard_idx logs;
+      emit_retries shard_idx logs ~quarantining:false;
       List.iter
         (fun (e : Event.t) ->
           Telemetry.forward tel
@@ -285,7 +472,7 @@ let run ?(jobs = 1) ?(shard_size = default_shard_size)
       completed := payload.sr :: !completed;
       if payload.promoted <> [] then
         promoted_by_shard := (shard_idx, payload.promoted) :: !promoted_by_shard;
-      save_checkpoint ();
+      save_checkpoint ~after_shard:shard_idx;
       Log.debug (fun m ->
           m "shard %d merged (%d/%d done)" shard_idx (List.length !completed)
             (List.length plan))
@@ -342,11 +529,24 @@ let run ?(jobs = 1) ?(shard_size = default_shard_size)
         ];
       List.length promoted
   in
-  Telemetry.emit tel "campaign.end" (Fuzz.stats_fields stats);
+  (* canonical quarantine order, like the findings: shard index *)
+  let quarantined =
+    List.sort
+      (fun (a : Checkpoint.quarantine) b ->
+        compare a.Checkpoint.q_shard b.Checkpoint.q_shard)
+      !quarantined
+  in
+  Telemetry.emit tel "campaign.end"
+    (Fuzz.stats_fields stats
+    @
+    if quarantined = [] then []
+    else [ ("quarantined_shards", Json.Int (List.length quarantined)) ]);
   Log.info (fun m ->
-      m "campaign merged: %d shards (%d resumed), %d tests, %d findings, %d distinct bugs"
-        (List.length all_results) (List.length base_completed) stats.Fuzz.tests
-        (List.length findings) (List.length found_bug_ids));
+      m "campaign merged: %d shards (%d resumed, %d quarantined), %d tests, \
+         %d findings, %d distinct bugs"
+        (List.length all_results) (List.length base_completed)
+        (List.length quarantined) stats.Fuzz.tests (List.length findings)
+        (List.length found_bug_ids));
   {
     stats;
     clusters;
@@ -360,4 +560,7 @@ let run ?(jobs = 1) ?(shard_size = default_shard_size)
     interrupted;
     promoted;
     bundles_written;
+    quarantined;
+    shard_retries = !shard_retries;
+    faults_injected = !faults_injected;
   }

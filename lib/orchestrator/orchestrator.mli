@@ -14,7 +14,17 @@
 
     After every merged shard the campaign can be checkpointed
     ({!Checkpoint}); [run ~resume:true] skips the shards a checkpoint already
-    covers and lands on the same final report as an uninterrupted run. *)
+    covers and lands on the same final report as an uninterrupted run.
+
+    With a chaos [plan] ({!O4a_faults.Faults.plan}) the orchestrator also
+    supervises deterministic fault injection: each shard attempt runs under a
+    per-(shard, attempt) injector, any attempt during which a fault fired is
+    discarded wholesale and retried after a fuel-based backoff, and a shard
+    that exhausts {!O4a_faults.Faults.max_retries} retries is quarantined —
+    its tick range is reported (and persisted in the checkpoint) instead of
+    aborting the campaign. Because only zero-fault attempts merge, a chaos
+    run whose retries all eventually succeed produces a report, trace tree,
+    and bundle set byte-identical to the fault-free run. *)
 
 module Shard = Shard
 module Checkpoint = Checkpoint
@@ -36,6 +46,11 @@ type report = {
       (** oracle-promoted traces in shard (= campaign tick) order; empty
           unless [trace_dir] was given *)
   bundles_written : int;  (** repro bundles written under [trace_dir] *)
+  quarantined : Checkpoint.quarantine list;
+      (** shards that exhausted their chaos retries, in shard order; their
+          ticks are excluded from [stats] (degraded-mode merge) *)
+  shard_retries : int;  (** tainted attempts that were retried *)
+  faults_injected : int;  (** faults fired across all attempts *)
 }
 
 val default_shard_size : int
@@ -52,6 +67,7 @@ val run :
   ?engines:(unit -> Solver.Engine.t * Solver.Engine.t) ->
   ?trace_dir:string ->
   ?ring_size:int ->
+  ?chaos:O4a_faults.Faults.plan ->
   seed:int ->
   budget:int ->
   generators:Gensynth.Generator.t list ->
@@ -86,9 +102,13 @@ val run :
       campaign only writes bundles for the shards it actually executes.
     - [ring_size]: per-shard flight-recorder depth (default
       {!O4a_trace.Trace.Recorder.default_ring_size}).
+    - [chaos]: deterministic fault-injection plan. [None] (and a plan whose
+      profile is [Off]) injects nothing and skips supervision entirely. The
+      plan is pure, so the same plan gives the same injections, retries, and
+      quarantines at any [jobs] and across resume.
 
-    Raises [Failure] if any shard raises (after merging and checkpointing the
-    shards that did finish). *)
+    Raises [Failure] if any shard raises a non-injected exception (after
+    merging and checkpointing the shards that did finish). *)
 
 val parallel_map : ?jobs:int -> ('a -> 'b) -> 'a list -> 'b list
 (** Order-preserving map over a domain pool ([jobs] <= 1 degrades to

@@ -58,19 +58,46 @@ let observed tel engine f =
       ];
     result)
 
+(* Chaos hook: consult the ambient fault injector before running the engine.
+   A fired Solver_crash short-circuits into a spurious crash result whose
+   signature lives in the reserved "chaos:" namespace; a fired Solver_hang
+   clamps the fuel budget to a single step, producing a genuine
+   resource-limit exhaustion (and hence R_timeout) through the normal path. *)
+let injected_run ?max_steps solve =
+  let module Faults = O4a_faults.Faults in
+  if Faults.triggered Faults.Solver_crash then (
+    if O4a_trace.Trace.noting () then
+      O4a_trace.Trace.note
+        (O4a_trace.Trace.Fault_injected
+           { site = Faults.site_name Faults.Solver_crash });
+    R_crash
+      { signature = Faults.crash_signature; bug_id = Faults.crash_bug_id })
+  else (
+    let max_steps =
+      if Faults.triggered Faults.Solver_hang then (
+        if O4a_trace.Trace.noting () then
+          O4a_trace.Trace.note
+            (O4a_trace.Trace.Fault_injected
+               { site = Faults.site_name Faults.Solver_hang });
+        Some 1)
+      else max_steps
+    in
+    match solve max_steps with
+    | outcome -> of_outcome outcome
+    | exception Engine.Crash { signature; bug_id; _ } ->
+      R_crash { signature; bug_id })
+
 let run ?max_steps ?telemetry engine script =
   let tel = match telemetry with Some t -> t | None -> Telemetry.global () in
   observed tel engine (fun () ->
-      match Engine.solve_script ?max_steps engine script with
-      | outcome -> of_outcome outcome
-      | exception Engine.Crash { signature; bug_id; _ } -> R_crash { signature; bug_id })
+      injected_run ?max_steps (fun max_steps ->
+          Engine.solve_script ?max_steps engine script))
 
 let run_source ?max_steps ?telemetry engine source =
   let tel = match telemetry with Some t -> t | None -> Telemetry.global () in
   observed tel engine (fun () ->
-      match Engine.solve_source ?max_steps engine source with
-      | outcome -> of_outcome outcome
-      | exception Engine.Crash { signature; bug_id; _ } -> R_crash { signature; bug_id })
+      injected_run ?max_steps (fun max_steps ->
+          Engine.solve_source ?max_steps engine source))
 
 let result_to_string = function
   | R_sat _ -> "sat"

@@ -67,12 +67,12 @@ let to_string v =
 
 (* ------------------------------- parsing -------------------------------- *)
 
-exception Bad of string
+exception Bad of int * string
 
-let parse input =
+let parse_located input =
   let n = String.length input in
   let pos = ref 0 in
-  let fail msg = raise (Bad (Printf.sprintf "%s at offset %d" msg !pos)) in
+  let fail msg = raise (Bad (!pos, msg)) in
   let peek () = if !pos < n then Some input.[!pos] else None in
   let advance () = incr pos in
   let skip_ws () =
@@ -205,9 +205,13 @@ let parse input =
   match parse_value () with
   | value ->
     skip_ws ();
-    if !pos <> n then Error (Printf.sprintf "trailing garbage at offset %d" !pos)
-    else Ok value
-  | exception Bad msg -> Error msg
+    if !pos <> n then Error (!pos, "trailing garbage") else Ok value
+  | exception Bad (offset, msg) -> Error (offset, msg)
+
+let parse input =
+  match parse_located input with
+  | Ok v -> Ok v
+  | Error (offset, msg) -> Error (Printf.sprintf "%s at offset %d" msg offset)
 
 (* ------------------------------ accessors ------------------------------- *)
 

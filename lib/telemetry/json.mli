@@ -22,6 +22,12 @@ val parse : string -> (t, string) result
 (** Parse one JSON document; trailing whitespace is allowed, trailing
     garbage is an error. *)
 
+val parse_located : string -> (t, int * string) result
+(** Like {!parse} but the error carries the byte offset separately, for
+    callers that want to point at the failure position in their own
+    diagnostics (e.g. truncated-checkpoint detection). [parse] is
+    [parse_located] with the offset folded into the message. *)
+
 (** {1 Accessors} *)
 
 val member : string -> t -> t option

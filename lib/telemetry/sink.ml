@@ -30,12 +30,23 @@ let open_jsonl path =
   at_exit (fun () -> close sink);
   sink
 
+(* Chaos hook: a worker's ambient fault injector may fail this write, the
+   moral equivalent of a full disk or a closed pipe under the JSONL sink.
+   Checked before taking the lock so an injected failure can never leave the
+   sink lock held. The merge domain never arms an injector, so the campaign's
+   own log writes are unaffected. *)
+let faulted_write () =
+  let module Faults = O4a_faults.Faults in
+  if Faults.triggered Faults.Sink_write then Faults.raise_injected Faults.Sink_write
+
 let emit sink event =
   match sink with
   | Null -> ()
   | Memory m ->
+    faulted_write ();
     Mutex.protect m.lock (fun () -> m.events := event :: !(m.events))
   | Channel c ->
+    faulted_write ();
     (* whole-line write under the lock so concurrent emitters never interleave
        within a JSONL line *)
     Mutex.protect c.lock (fun () ->

@@ -24,6 +24,7 @@ type record =
       bug_id : string option;
       theory : string option;
     }
+  | Fault_injected of { site : string }
 
 type t = {
   id : string;
@@ -142,6 +143,8 @@ let record_to_json = function
         ("bug_id", opt_str bug_id);
         ("theory", opt_str theory);
       ]
+  | Fault_injected { site } ->
+    Json.Obj [ ("stage", Json.String "fault"); ("site", Json.String site) ]
 
 let ( let* ) = Result.bind
 
@@ -223,6 +226,9 @@ let record_of_json json =
            bug_id = opt "bug_id" json;
            theory = opt "theory" json;
          })
+  | "fault" ->
+    let* site = req "site" Json.to_str json in
+    Ok (Fault_injected { site })
   | other -> Error (Printf.sprintf "trace: unknown stage %S" other)
 
 let rec map_result f = function
@@ -349,7 +355,8 @@ let render t =
           line "  verdict      %s in %s  [%s]%s" k
             (Option.value solver ~default:"?")
             (Option.value signature ~default:"?")
-            (match bug_id with Some id -> "  -> " ^ id | None -> "")))
+            (match bug_id with Some id -> "  -> " ^ id | None -> ""))
+      | Fault_injected { site } -> line "  fault        INJECTED %s (chaos)" site)
     t.records;
   Buffer.contents buf
 

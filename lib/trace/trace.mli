@@ -58,6 +58,10 @@ type record =
       bug_id : string option;
       theory : string option;
     }  (** the differential oracle's conclusion ([kind = None]: no finding) *)
+  | Fault_injected of { site : string }
+      (** a chaos-testing fault fired at the named site while this formula was
+          in flight ({!Faults.site_name}); marks the trace as tainted so repro
+          bundles can never pass injected chaos off as a real finding *)
 
 type t = {
   id : string;

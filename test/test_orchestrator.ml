@@ -174,6 +174,16 @@ let sample_checkpoint () =
         };
       ];
     coverage = [ ("zeal|core.ml|solve|l|0", 17); ("cove|eval.ml|step|f|", 3) ];
+    quarantined =
+      [
+        {
+          Checkpoint.q_shard = 2;
+          q_first_tick = 120;
+          q_ticks = 60;
+          q_attempts = 4;
+          q_sites = [ "solver-crash"; "worker-death" ];
+        };
+      ];
   }
 
 let test_checkpoint_json_roundtrip () =
@@ -190,9 +200,61 @@ let test_checkpoint_save_load () =
       let cp = sample_checkpoint () in
       Checkpoint.save ~path cp;
       (match Checkpoint.load ~path with
-      | Error e -> Alcotest.fail ("load failed: " ^ e)
+      | Error e ->
+          Alcotest.fail
+            ("load failed: " ^ Checkpoint.load_error_to_string ~path e)
       | Ok cp' -> check_bool "file round-trips" true (cp = cp'));
       check_bool "no tmp residue" false (Sys.file_exists (path ^ ".tmp")))
+
+let test_checkpoint_reads_v1 () =
+  (* a version-1 checkpoint (no "quarantined" member) still loads *)
+  let cp = { (sample_checkpoint ()) with Checkpoint.quarantined = [] } in
+  let strip = function
+    | Json.Obj fields ->
+        Json.Obj
+          (List.filter_map
+             (fun (k, v) ->
+               if k = "quarantined" then None
+               else if k = "version" then Some (k, Json.Int 1)
+               else Some (k, v))
+             fields)
+    | j -> j
+  in
+  match Checkpoint.of_json (strip (Checkpoint.to_json cp)) with
+  | Error e -> Alcotest.fail ("v1 decode failed: " ^ e)
+  | Ok cp' -> check_bool "v1 loads with empty quarantine" true (cp = cp')
+
+let test_checkpoint_load_truncated () =
+  (* torn write: load must produce Corrupt with a byte offset, not crash *)
+  let path = Filename.temp_file "o4a_checkpoint" ".json" in
+  Fun.protect
+    ~finally:(fun () -> if Sys.file_exists path then Sys.remove path)
+    (fun () ->
+      Checkpoint.save ~path (sample_checkpoint ());
+      let whole = In_channel.with_open_bin path In_channel.input_all in
+      Out_channel.with_open_bin path (fun oc ->
+          Out_channel.output_string oc
+            (String.sub whole 0 (String.length whole / 2)));
+      match Checkpoint.load ~path with
+      | Ok _ -> Alcotest.fail "truncated checkpoint loaded"
+      | Error (Checkpoint.Corrupt { offset; reason }) ->
+          check_bool "offset within file" true
+            (offset >= 0 && offset <= String.length whole / 2);
+          check_bool "reason non-empty" true (reason <> "");
+          let msg =
+            Checkpoint.load_error_to_string ~path
+              (Checkpoint.Corrupt { offset; reason })
+          in
+          check_bool "diagnostic names the byte offset" true
+            (let needle = Printf.sprintf "byte offset %d" offset in
+             let nl = String.length needle and ml = String.length msg in
+             let rec find i =
+               i + nl <= ml && (String.sub msg i nl = needle || find (i + 1))
+             in
+             find 0)
+      | Error e ->
+          Alcotest.fail
+            ("expected Corrupt, got: " ^ Checkpoint.load_error_to_string ~path e))
 
 let test_checkpoint_rejects_garbage () =
   check_bool "not an object" true
@@ -296,6 +358,8 @@ let () =
         [
           Alcotest.test_case "json round-trip" `Quick test_checkpoint_json_roundtrip;
           Alcotest.test_case "save/load" `Quick test_checkpoint_save_load;
+          Alcotest.test_case "reads v1" `Quick test_checkpoint_reads_v1;
+          Alcotest.test_case "load truncated" `Quick test_checkpoint_load_truncated;
           Alcotest.test_case "rejects garbage" `Quick test_checkpoint_rejects_garbage;
         ] );
       ( "resume",

@@ -1,0 +1,181 @@
+(* Cross-cutting property tests: the determinism contracts the chaos harness
+   leans on. SMT-LIB printing must be a parser fixpoint (repro bundles round-
+   trip), [Rng.split_indexed] must be a stable O(1) jump (shard and fault
+   plans are derived from it), and [Metrics.absorb] must commute (the merge
+   stage folds worker snapshots in completion order). *)
+
+open Smtlib
+module Rng = O4a_util.Rng
+module Metrics = O4a_telemetry.Metrics
+module Campaign = Once4all.Campaign
+module Synthesize = Once4all.Synthesize
+
+(* shared generator library, built once *)
+let campaign = lazy (Campaign.prepare ~seed:3 ())
+let generators () = (Lazy.force campaign).Campaign.generators
+
+(* ------------------------- SMT-LIB round-trip ------------------------- *)
+
+let script_props =
+  let arb = QCheck.(pair (int_range 0 100_000) (int_range 1 4)) in
+  [
+    QCheck.Test.make ~name:"synthesized script print/parse fixpoint" ~count:80
+      arb
+      (fun (seed, terms) ->
+        let rng = Rng.create seed in
+        let filled = Synthesize.direct ~rng ~generators:(generators ()) ~terms in
+        (* generators keep a residue of deliberately flawed output (§3.2);
+           the fixpoint claim is about scripts that do parse *)
+        QCheck.assume (filled.Synthesize.parsed <> None);
+        match filled.Synthesize.parsed with
+        | None -> false
+        | Some script -> (
+            let printed = Printer.script script in
+            match Parser.parse_script printed with
+            | Error e ->
+                QCheck.Test.fail_reportf "printed script no longer parses: %s"
+                  (Parser.error_message e)
+            | Ok script' ->
+                script = script' && Printer.script script' = printed));
+  ]
+
+(* ------------------------- Rng.split_indexed ------------------------- *)
+
+let rec draws k g = if k = 0 then [] else let x = Rng.bits64 g in x :: draws (k - 1) g
+
+let rng_props =
+  let arb = QCheck.(pair int (int_range 0 200)) in
+  [
+    QCheck.Test.make ~name:"split_indexed is stable" ~count:300 arb
+      (fun (seed, index) ->
+        draws 8 (Rng.split_indexed ~seed ~index)
+        = draws 8 (Rng.split_indexed ~seed ~index));
+    QCheck.Test.make ~name:"split_indexed = split after index+1 draws" ~count:300
+      arb
+      (fun (seed, index) ->
+        let parent = Rng.create seed in
+        for _ = 0 to index do
+          ignore (Rng.bits64 parent)
+        done;
+        draws 8 (Rng.split parent) = draws 8 (Rng.split_indexed ~seed ~index));
+    QCheck.Test.make ~name:"distinct indices, distinct streams" ~count:300
+      QCheck.(triple int (int_range 0 200) (int_range 0 200))
+      (fun (seed, i, j) ->
+        QCheck.assume (i <> j);
+        Rng.bits64 (Rng.split_indexed ~seed ~index:i)
+        <> Rng.bits64 (Rng.split_indexed ~seed ~index:j));
+    QCheck.Test.make ~name:"split_indexed leaves no parent to disturb" ~count:100
+      arb
+      (fun (seed, index) ->
+        (* deriving stream [index] must not depend on other derivations *)
+        ignore (draws 3 (Rng.split_indexed ~seed ~index:(index + 7)));
+        let a = draws 4 (Rng.split_indexed ~seed ~index) in
+        ignore (draws 3 (Rng.split_indexed ~seed ~index:(index + 1)));
+        a = draws 4 (Rng.split_indexed ~seed ~index));
+  ]
+
+(* ------------------------- Metrics.absorb ------------------------- *)
+
+(* snapshots restricted to counters and histograms: gauge absorption is
+   last-write-wins by design and the parallel merge never absorbs gauges *)
+let hist_bounds = [| 0.001; 0.01; 0.1 |]
+
+let gen_snapshot =
+  let open QCheck.Gen in
+  let counter_entry =
+    map2
+      (fun name v ->
+        { Metrics.name; labels = []; value = Metrics.Counter v })
+      (oneofl [ "c.requests"; "c.hits"; "c.errors" ])
+      (int_range 0 50)
+  in
+  let labeled_counter_entry =
+    map3
+      (fun name w v ->
+        {
+          Metrics.name;
+          labels = [ ("worker", string_of_int w) ];
+          value = Metrics.Counter v;
+        })
+      (oneofl [ "c.shards"; "c.tests" ])
+      (int_range 0 2) (int_range 1 20)
+  in
+  let hist_entry =
+    map
+      (fun counts ->
+        let counts = Array.of_list counts in
+        let count = Array.fold_left ( + ) 0 counts in
+        {
+          Metrics.name = "h.latency";
+          labels = [];
+          value =
+            Metrics.Histogram
+              {
+                Metrics.bounds = Array.copy hist_bounds;
+                counts;
+                (* multiples of 0.5 add exactly, so absorption order cannot
+                   introduce float rounding differences *)
+                sum = 0.5 *. float_of_int count;
+                count;
+              };
+        })
+      (list_repeat (Array.length hist_bounds + 1) (int_range 0 9))
+  in
+  small_list (frequency [ (3, counter_entry); (2, labeled_counter_entry); (2, hist_entry) ])
+
+let arb_snapshot =
+  QCheck.make
+    ~print:(fun entries ->
+      String.concat ";"
+        (List.map
+           (fun (e : Metrics.entry) ->
+             match e.Metrics.value with
+             | Metrics.Counter n -> Printf.sprintf "%s=%d" e.Metrics.name n
+             | Metrics.Gauge v -> Printf.sprintf "%s=%g" e.Metrics.name v
+             | Metrics.Histogram h -> Printf.sprintf "%s#%d" e.Metrics.name h.Metrics.count)
+           entries))
+    gen_snapshot
+
+let absorb_all snapshots =
+  let t = Metrics.create () in
+  List.iter (Metrics.absorb t) snapshots;
+  Metrics.snapshot t
+
+let metrics_props =
+  [
+    QCheck.Test.make ~name:"absorb commutes" ~count:200
+      QCheck.(pair arb_snapshot arb_snapshot)
+      (fun (s1, s2) -> absorb_all [ s1; s2 ] = absorb_all [ s2; s1 ]);
+    QCheck.Test.make ~name:"absorb is associative" ~count:200
+      QCheck.(triple arb_snapshot arb_snapshot arb_snapshot)
+      (fun (s1, s2, s3) ->
+        (* ((s1 + s2) + s3) versus (s1 + (s2 + s3)) via an intermediate
+           registry's own snapshot *)
+        let left = absorb_all [ absorb_all [ s1; s2 ]; s3 ] in
+        let right = absorb_all [ s1; absorb_all [ s2; s3 ] ] in
+        left = right);
+    QCheck.Test.make ~name:"absorbing a snapshot of itself doubles counters"
+      ~count:200 arb_snapshot
+      (fun s ->
+        let once = absorb_all [ s ] in
+        let twice = absorb_all [ s; s ] in
+        List.for_all2
+          (fun (a : Metrics.entry) (b : Metrics.entry) ->
+            a.Metrics.name = b.Metrics.name
+            && a.Metrics.labels = b.Metrics.labels
+            &&
+            match (a.Metrics.value, b.Metrics.value) with
+            | Metrics.Counter x, Metrics.Counter y -> y = 2 * x
+            | Metrics.Histogram x, Metrics.Histogram y ->
+                y.Metrics.count = 2 * x.Metrics.count
+            | _ -> false)
+          once twice);
+  ]
+
+let () =
+  Alcotest.run "props"
+    [
+      ("smtlib", List.map QCheck_alcotest.to_alcotest script_props);
+      ("rng", List.map QCheck_alcotest.to_alcotest rng_props);
+      ("metrics", List.map QCheck_alcotest.to_alcotest metrics_props);
+    ]

@@ -45,7 +45,8 @@ dune exec bin/once4all_cli.exe -- triage "$out/t1" > "$out/triage1.log"
 dune exec bin/once4all_cli.exe -- triage "$out/t2" > "$out/triage2.log"
 diff "$out/triage1.log" "$out/triage2.log" || {
   echo "FAIL: triage clusters differ between --jobs 1 and --jobs 2"; exit 1; }
-repro="$(find "$out/t1" -name repro.sh | sort | head -n 1)"
+# head closing the pipe early can SIGPIPE sort/find under pipefail
+repro="$(find "$out/t1" -name repro.sh | sort | head -n 1)" || true
 [ -n "$repro" ] || { echo "FAIL: campaign wrote no repro bundles"; exit 1; }
 ONCE4ALL="$PWD/_build/default/bin/once4all_cli.exe" "$repro" > "$out/repro.log" || {
   echo "FAIL: $repro exited nonzero"; cat "$out/repro.log"; exit 1; }
@@ -59,5 +60,45 @@ dune exec bin/once4all_cli.exe -- resume --checkpoint "$out/cp.json" --jobs 2 \
   --progress 0 > "$out/resumed.log"
 grep -v '^resumed ' "$out/resumed.log" | diff "$out/jobs1.log" - || {
   echo "FAIL: resumed report differs from the uninterrupted run"; exit 1; }
+
+echo "== Chaos determinism: --chaos all --jobs 4 reproduces --jobs 1 =="
+dune exec bin/once4all_cli.exe -- fuzz --budget 400 --shard-size 100 --jobs 1 \
+  --chaos all --chaos-seed 5 --trace-dir "$out/c1" --progress 0 > "$out/chaos1.log"
+dune exec bin/once4all_cli.exe -- fuzz --budget 400 --shard-size 100 --jobs 4 \
+  --chaos all --chaos-seed 5 --trace-dir "$out/c4" --progress 0 > "$out/chaos4.log"
+# the report is identical up to the trace-dir path it names
+diff <(grep -v '^wrote ' "$out/chaos1.log") <(grep -v '^wrote ' "$out/chaos4.log") || {
+  echo "FAIL: chaos --jobs 4 report differs from --jobs 1"; exit 1; }
+diff -r "$out/c1" "$out/c4" || {
+  echo "FAIL: chaos --jobs 4 trace tree differs from --jobs 1"; exit 1; }
+
+echo "== Chaos kill/resume: resumed chaos run matches uninterrupted =="
+dune exec bin/once4all_cli.exe -- fuzz --budget 400 --shard-size 100 --jobs 1 \
+  --chaos all --chaos-seed 5 --checkpoint "$out/ccp.json" --stop-after 2 \
+  --progress 0 > /dev/null
+dune exec bin/once4all_cli.exe -- resume --checkpoint "$out/ccp.json" --jobs 2 \
+  --progress 0 > "$out/cresumed.log"
+grep -v '^resumed ' "$out/cresumed.log" | diff <(grep -v '^wrote ' "$out/chaos1.log") - || {
+  echo "FAIL: resumed chaos report differs from the uninterrupted chaos run"; exit 1; }
+
+echo "== Chaos quarantine: rate 1.0 quarantines every shard, exits 0 =="
+dune exec bin/once4all_cli.exe -- fuzz --budget 200 --shard-size 100 --jobs 2 \
+  --chaos workers --chaos-rate 1.0 --chaos-seed 3 --telemetry "$out/quar.jsonl" \
+  --progress 0 > "$out/quar.log" || {
+  echo "FAIL: quarantined campaign exited nonzero"; cat "$out/quar.log"; exit 1; }
+grep -q "quarantined: 2 shards" "$out/quar.log" || {
+  echo "FAIL: quarantine missing from the campaign report"; cat "$out/quar.log"; exit 1; }
+dune exec bin/once4all_cli.exe -- stats "$out/quar.jsonl" > "$out/quarstats.log"
+grep -q "quarantined shards:" "$out/quarstats.log" || {
+  echo "FAIL: quarantine missing from stats"; cat "$out/quarstats.log"; exit 1; }
+
+echo "== Corrupt checkpoint: resume fails with a byte-offset diagnostic =="
+head -c "$(( $(wc -c < "$out/cp.json") / 2 ))" "$out/cp.json" > "$out/bad.json"
+if dune exec bin/once4all_cli.exe -- resume --checkpoint "$out/bad.json" \
+     > "$out/bad.log" 2>&1; then
+  echo "FAIL: resume on a truncated checkpoint exited 0"; exit 1
+fi
+grep -q "byte offset" "$out/bad.log" || {
+  echo "FAIL: diagnostic does not name the byte offset"; cat "$out/bad.log"; exit 1; }
 
 echo "OK"
