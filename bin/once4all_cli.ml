@@ -21,6 +21,7 @@ module Metrics = O4a_telemetry.Metrics
 module Trace = O4a_trace.Trace
 module Bundle = O4a_trace.Bundle
 module Faults = O4a_faults.Faults
+module Health = O4a_health.Health
 
 let setup_logs verbose =
   Logs.set_reporter (Logs.format_reporter ());
@@ -108,6 +109,28 @@ let print_chaos_report ~chaos (r : Orchestrator.report) =
           (String.concat " " q.Checkpoint.q_sites))
       qs
 
+(* Health block: pure function of the merged (sorted, commutative) health
+   counters, so it diffs clean across --jobs values and kill/resume. *)
+let print_health_report (r : Orchestrator.report) =
+  match r.Orchestrator.health with
+  | [] -> ()
+  | entries ->
+    let total f = List.fold_left (fun acc e -> acc + f e) 0 entries in
+    Printf.printf "\nbreakers: trips %d  recloses %d  suppressed %d\n"
+      (total (fun (e : Health.entry) -> e.Health.opened))
+      (total (fun (e : Health.entry) -> e.Health.reclosed))
+      (total (fun (e : Health.entry) -> e.Health.suppressed));
+    List.iter
+      (fun (e : Health.entry) ->
+        if e.Health.opened > 0 || e.Health.suppressed > 0 then
+          Printf.printf
+            "  %s/%s  queries %d  timeouts %d  crashes %d  opened %d  \
+             reclosed %d  suppressed %d  probes %d\n"
+            e.Health.e_solver e.Health.e_theory e.Health.queries
+            e.Health.timeouts e.Health.crashes e.Health.opened
+            e.Health.reclosed e.Health.suppressed e.Health.probes)
+      entries
+
 let print_campaign_report ~show_formulas ~chaos (r : Orchestrator.report) =
   let stats = r.Orchestrator.stats in
   Printf.printf "tests: %d  parse-ok: %d  solved: %d  bug-triggering: %d\n"
@@ -134,7 +157,8 @@ let print_campaign_report ~show_formulas ~chaos (r : Orchestrator.report) =
     (Coverage.func_pct r.Orchestrator.coverage_zeal)
     (Coverage.line_pct r.Orchestrator.coverage_cove)
     (Coverage.func_pct r.Orchestrator.coverage_cove);
-  print_chaos_report ~chaos r
+  print_chaos_report ~chaos r;
+  print_health_report r
 
 let dump_metrics tel telemetry_path =
   match telemetry_path with
@@ -148,10 +172,23 @@ let dump_metrics tel telemetry_path =
     Telemetry.flush tel;
     Printf.printf "\ntelemetry written to %s\n" path
 
+(* First SIGINT/SIGTERM: raise the orchestrator's stop flag — workers drain
+   at the next shard boundary, the checkpoint and partial report are flushed,
+   and the process exits 0. A second signal aborts immediately with the
+   conventional interrupted status. *)
+let install_stop_handlers () =
+  let handle _ = if not (Orchestrator.request_stop ()) then exit 130 in
+  List.iter
+    (fun signal ->
+      try Sys.set_signal signal (Sys.Signal_handle handle)
+      with Invalid_argument _ | Sys_error _ -> ())
+    [ Sys.sigterm; Sys.sigint ]
+
 let run_sharded_campaign ~tel ~telemetry_path ~seed ~budget ~profile
     ~no_skeletons ~show_formulas ~progress ~jobs ~shard_size ~checkpoint_path
-    ~resume ~stop_after ~trace_dir ~ring_size ~chaos =
+    ~resume ~stop_after ~trace_dir ~ring_size ~chaos ~health =
   Telemetry.set_global tel;
+  install_stop_handlers ();
   let campaign = Once4all.Campaign.prepare ~seed ~profile () in
   let seeds =
     Seeds.Corpus.filtered ~zeal:campaign.Once4all.Campaign.zeal
@@ -180,19 +217,31 @@ let run_sharded_campaign ~tel ~telemetry_path ~seed ~budget ~profile
     @
     (* chaos provenance travels in the checkpoint so resume re-arms the exact
        same fault plan without re-stating the flags *)
-    match chaos with
+    (match chaos with
     | None -> []
     | Some (plan : Faults.plan) ->
       [
         ("chaos_profile", Faults.profile_to_string plan.Faults.profile);
         ("chaos_seed", string_of_int plan.Faults.chaos_seed);
         ("chaos_rate", Printf.sprintf "%g" plan.Faults.rate);
-      ]
+      ])
+    @
+    (* breaker provenance likewise: a resumed campaign must trip the same
+       breakers the uninterrupted run would, so the config is part of the
+       campaign's identity *)
+    (match health with
+    | None -> [ ("breakers", "off") ]
+    | Some (cfg : Health.config) ->
+      [
+        ("breakers", "on");
+        ("breaker_window", string_of_int cfg.Health.window);
+        ("breaker_threshold", string_of_int cfg.Health.threshold);
+      ])
   in
   match
     Orchestrator.run ~jobs ~shard_size ~config ~telemetry:tel
       ?checkpoint_path ~resume ?stop_after ~extra ?trace_dir ?ring_size ?chaos
-      ~seed:(seed + 1) ~budget
+      ?health ~seed:(seed + 1) ~budget
       ~generators:campaign.Once4all.Campaign.generators ~seeds ()
   with
   | exception Failure msg ->
@@ -203,9 +252,10 @@ let run_sharded_campaign ~tel ~telemetry_path ~seed ~budget ~profile
       Printf.printf "resumed %d completed shard%s from checkpoint\n"
         r.Orchestrator.shards_resumed
         (if r.Orchestrator.shards_resumed = 1 then "" else "s");
-    if r.Orchestrator.interrupted then
+    if r.Orchestrator.stopped || r.Orchestrator.interrupted then
       Printf.printf
-        "stopped after %d shard%s (%d of %d done); resume with: once4all resume --checkpoint %s\n"
+        "stopped%s after %d shard%s (%d of %d done); resume with: once4all resume --checkpoint %s\n"
+        (if r.Orchestrator.stopped then " gracefully" else "")
         r.Orchestrator.shards_run
         (if r.Orchestrator.shards_run = 1 then "" else "s")
         (r.Orchestrator.shards_run + r.Orchestrator.shards_resumed)
@@ -228,7 +278,8 @@ let chaos_plan ~chaos_profile ~chaos_seed ~chaos_rate =
   | None ->
     Error
       (Printf.sprintf
-         "unknown chaos profile '%s' (expected off, solver, io, workers, all)"
+         "unknown chaos profile '%s' (expected off, solver, io, workers, all, \
+          solver_hang)"
          chaos_profile)
   | Some Faults.Off -> Ok None
   | Some profile ->
@@ -236,22 +287,40 @@ let chaos_plan ~chaos_profile ~chaos_seed ~chaos_rate =
 
 let fuzz seed budget profile_name no_skeletons show_formulas telemetry_path
     progress jobs shard_size checkpoint_path stop_after trace_dir ring_size
-    chaos_profile chaos_seed chaos_rate verbose =
+    chaos_profile chaos_seed chaos_rate breaker_window breaker_threshold
+    no_breakers verbose =
   setup_logs verbose;
   match chaos_plan ~chaos_profile ~chaos_seed ~chaos_rate with
   | Error msg ->
     Printf.eprintf "%s\n" msg;
     1
   | Ok chaos -> (
-    match make_telemetry telemetry_path with
-    | Error msg ->
-      Printf.eprintf "cannot open telemetry log: %s\n" msg;
-      1
-    | Ok tel ->
-      run_sharded_campaign ~tel ~telemetry_path ~seed ~budget
-        ~profile:(profile_of_name profile_name) ~no_skeletons ~show_formulas
-        ~progress ~jobs ~shard_size ~checkpoint_path ~resume:false ~stop_after
-        ~trace_dir ~ring_size ~chaos)
+    if breaker_window < 1 || breaker_threshold < 1 then (
+      Printf.eprintf "--breaker-window and --breaker-threshold must be >= 1\n";
+      1)
+    else (
+      let health =
+        if no_breakers then None
+        else
+          Some
+            {
+              Health.default_config with
+              Health.window = breaker_window;
+              threshold = breaker_threshold;
+              (* cooldown tracks the window: a breaker stays open for one
+                 window's worth of suppressed queries before probing *)
+              cooldown = breaker_window;
+            }
+      in
+      match make_telemetry telemetry_path with
+      | Error msg ->
+        Printf.eprintf "cannot open telemetry log: %s\n" msg;
+        1
+      | Ok tel ->
+        run_sharded_campaign ~tel ~telemetry_path ~seed ~budget
+          ~profile:(profile_of_name profile_name) ~no_skeletons ~show_formulas
+          ~progress ~jobs ~shard_size ~checkpoint_path ~resume:false
+          ~stop_after ~trace_dir ~ring_size ~chaos ~health))
 
 let resume checkpoint_path jobs show_formulas telemetry_path progress stop_after
     trace_dir ring_size verbose =
@@ -292,6 +361,29 @@ let resume checkpoint_path jobs show_formulas telemetry_path progress stop_after
       | Ok c -> c
       | Error _ -> None
     in
+    (* re-arm the checkpoint's breaker config the same way: trips on the
+       remaining shards must match the uninterrupted run's *)
+    let health =
+      if find "breakers" "off" <> "on" then None
+      else (
+        let window =
+          Option.value
+            ~default:Health.default_config.Health.window
+            (int_of_string_opt (find "breaker_window" ""))
+        in
+        let threshold =
+          Option.value
+            ~default:Health.default_config.Health.threshold
+            (int_of_string_opt (find "breaker_threshold" ""))
+        in
+        Some
+          {
+            Health.default_config with
+            Health.window;
+            threshold;
+            cooldown = window;
+          })
+    in
     match make_telemetry telemetry_path with
     | Error msg ->
       Printf.eprintf "cannot open telemetry log: %s\n" msg;
@@ -302,7 +394,7 @@ let resume checkpoint_path jobs show_formulas telemetry_path progress stop_after
         ~show_formulas ~progress ~jobs
         ~shard_size:cp.Orchestrator.Checkpoint.shard_size
         ~checkpoint_path:(Some checkpoint_path) ~resume:true ~stop_after
-        ~trace_dir ~ring_size ~chaos)
+        ~trace_dir ~ring_size ~chaos ~health)
 
 let read_file path =
   let ic = open_in_bin path in
@@ -484,6 +576,33 @@ let stats_cmd path strict =
              Printf.printf "    shard %d  ticks %d  attempts %d  [%s]\n" shard
                (int_field e "ticks") (int_field e "attempts")
                (String.concat " " sites))));
+  (* health section: breaker transitions by (solver, theory, state) from the
+     "health.breaker" events *)
+  let breakers = named "health.breaker" in
+  if breakers <> [] then (
+    Printf.printf "\nbreakers:\n  %-10s %-14s %-10s %8s\n" "solver" "theory"
+      "to" "count";
+    breakers
+    |> List.filter_map (fun e ->
+           match
+             (str_field e "solver", str_field e "theory", str_field e "to")
+           with
+           | Some s, Some t, Some st -> Some ((s, t, st), ())
+           | _ -> None)
+    |> O4a_util.Listx.group_by fst
+    |> sort_rows
+    |> List.iter (fun ((s, t, st), group) ->
+           Printf.printf "  %-10s %-14s %-10s %8d\n" s t st
+             (List.length group)));
+  (match named "campaign.stopped" with
+  | e :: _ ->
+    let get k = match Event.field k e with Some (Json.Int n) -> n | _ -> 0 in
+    Printf.printf
+      "\ngraceful stop: %d shard%s drained, %d left for resume\n"
+      (get "shards_done")
+      (if get "shards_done" = 1 then "" else "s")
+      (get "shards_remaining")
+  | [] -> ());
   (* totals from "campaign.end", checked against the event stream. A resumed
      campaign's log only holds the shards run by that process while its
      campaign.end reports merged totals, so the check is skipped there. *)
@@ -530,13 +649,16 @@ let replay path expect max_steps =
     outcome.Once4all.Oracle.results;
   (match outcome.Once4all.Oracle.finding with
   | Some f ->
-    Printf.printf "finding: %s in %s  signature=%s  theory=%s%s\n"
+    Printf.printf "finding: %s in %s  signature=%s  theory=%s%s%s\n"
       (Solver.Bug_db.kind_to_string f.Once4all.Oracle.kind)
       f.Once4all.Oracle.solver_name f.Once4all.Oracle.signature
       f.Once4all.Oracle.theory
       (match f.Once4all.Oracle.bug_id with
       | Some id -> "  bug=" ^ id
       | None -> "")
+      (match f.Once4all.Oracle.mode with
+      | Once4all.Oracle.Differential -> ""
+      | m -> "  (" ^ Once4all.Oracle.mode_to_string m ^ ")")
   | None -> print_endline "finding: none");
   match expect with
   | None -> 0
@@ -565,9 +687,11 @@ let trace_show dir id =
   | Ok p ->
     let f = p.Trace.finding in
     print_string (Trace.render p.Trace.trace);
-    Printf.printf "finding: %s in %s  signature=%s  cluster=%s%s\n" f.Trace.kind
-      f.Trace.solver_name f.Trace.signature f.Trace.dedup_key
-      (match f.Trace.bug_id with Some id -> "  bug=" ^ id | None -> "");
+    Printf.printf "finding: %s in %s  signature=%s  cluster=%s%s%s\n"
+      f.Trace.kind f.Trace.solver_name f.Trace.signature f.Trace.dedup_key
+      (match f.Trace.bug_id with Some id -> "  bug=" ^ id | None -> "")
+      (if f.Trace.mode <> "differential" then "  (" ^ f.Trace.mode ^ ")"
+       else "");
     0
 
 (* Cluster the bundles under a trace directory with the same keys the
@@ -604,8 +728,10 @@ let triage dir =
             | None -> id)
           | None -> "unattributed"
         in
-        Printf.printf "  [%s] %s  x%d  %s  e.g. %s\n" f.Trace.kind key
-          (List.length members) status first.Trace.trace.Trace.id)
+        Printf.printf "  [%s] %s  x%d  %s  e.g. %s%s\n" f.Trace.kind key
+          (List.length members) status first.Trace.trace.Trace.id
+          (if f.Trace.mode <> "differential" then "  (" ^ f.Trace.mode ^ ")"
+           else ""))
       groups;
     0)
 
@@ -724,7 +850,8 @@ let chaos_arg =
        & info [ "chaos" ] ~docv:"PROFILE"
            ~doc:"deterministic fault injection: off, solver (hangs + spurious \
                  crashes), io (sink writes + checkpoint corruption), workers \
-                 (worker death), or all")
+                 (worker death), all, or solver_hang (a solver goes sick for \
+                 a stretch — non-tainting, exercises the circuit breakers)")
 
 let chaos_seed_arg =
   Arg.(value & opt int 1
@@ -738,6 +865,24 @@ let chaos_rate_arg =
            ~doc:"per-site probability a fault fires during a shard's first \
                  attempt (retries decay it); 1.0 fires on every attempt, \
                  forcing quarantine")
+
+let breaker_window_arg =
+  Arg.(value & opt int Health.default_config.O4a_health.Health.window
+       & info [ "breaker-window" ] ~docv:"N"
+           ~doc:"circuit-breaker sliding window, in queries per \
+                 (solver, theory); also the cooldown before a half-open probe")
+
+let breaker_threshold_arg =
+  Arg.(value & opt int Health.default_config.O4a_health.Health.threshold
+       & info [ "breaker-threshold" ] ~docv:"N"
+           ~doc:"bad outcomes (timeouts/crashes) within the window that trip \
+                 the breaker and degrade the oracle for that theory")
+
+let no_breakers_arg =
+  Arg.(value & flag
+       & info [ "no-breakers" ]
+           ~doc:"disable solver health circuit breakers (always run the full \
+                 differential oracle)")
 
 let fuzz_cmd =
   let budget = Arg.(value & opt int 2000 & info [ "budget" ] ~docv:"N" ~doc:"test cases") in
@@ -758,7 +903,8 @@ let fuzz_cmd =
     Term.(const fuzz $ seed_arg $ budget $ profile_arg $ no_skel $ show_arg
           $ telemetry_arg $ progress_arg $ jobs_arg $ shard_size $ checkpoint
           $ stop_after_arg $ trace_dir_arg $ ring_size_arg $ chaos_arg
-          $ chaos_seed_arg $ chaos_rate_arg $ verbose)
+          $ chaos_seed_arg $ chaos_rate_arg $ breaker_window_arg
+          $ breaker_threshold_arg $ no_breakers_arg $ verbose)
 
 let resume_cmd =
   let checkpoint =

@@ -24,6 +24,8 @@ let run_incremental engine source =
           match s.Solver.Engine.step_outcome with
           | Solver.Engine.Sat _ -> print_endline "sat"
           | Solver.Engine.Unsat -> print_endline "unsat"
+          | Solver.Engine.Resource_limit ->
+            print_endline "unknown ; resource limit"
           | Solver.Engine.Unknown reason -> Printf.printf "unknown ; %s\n" reason
           | Solver.Engine.Error msg -> Printf.printf "(error \"%s\")\n" msg)
         steps;

@@ -57,6 +57,7 @@ let () =
         (match step.Solver.Engine.step_outcome with
         | Solver.Engine.Sat _ -> "sat"
         | Solver.Engine.Unsat -> "unsat"
+        | Solver.Engine.Resource_limit -> "unknown (resource limit)"
         | Solver.Engine.Unknown r -> "unknown (" ^ r ^ ")"
         | Solver.Engine.Error e -> "error (" ^ e ^ ")"))
     (Solver.Engine.solve_incremental cove inc);

@@ -34,7 +34,7 @@ let site_of_name = function
   | "checkpoint_corrupt" -> Some Checkpoint_corrupt
   | _ -> None
 
-type profile = Off | Solver | Io | Workers | All
+type profile = Off | Solver | Io | Workers | All | Sick_solver
 
 let profile_sites = function
   | Off -> []
@@ -42,6 +42,7 @@ let profile_sites = function
   | Io -> [ Sink_write; Checkpoint_corrupt ]
   | Workers -> [ Worker_death ]
   | All -> all_sites
+  | Sick_solver -> [ Solver_hang ]
 
 let profile_to_string = function
   | Off -> "off"
@@ -49,6 +50,7 @@ let profile_to_string = function
   | Io -> "io"
   | Workers -> "workers"
   | All -> "all"
+  | Sick_solver -> "solver_hang"
 
 let profile_of_string = function
   | "off" -> Some Off
@@ -56,6 +58,7 @@ let profile_of_string = function
   | "io" -> Some Io
   | "workers" -> Some Workers
   | "all" -> Some All
+  | "solver_hang" -> Some Sick_solver
   | _ -> None
 
 type plan = { chaos_seed : int; profile : profile; rate : float }
@@ -65,6 +68,18 @@ let plan ?(rate = default_rate) ?(chaos_seed = 1) profile =
   { chaos_seed; profile; rate }
 
 let enabled p = p.profile <> Off
+
+(* The sick-solver profile simulates a solver gone sick for a stretch of the
+   campaign rather than corrupting a single answer: its hangs are the
+   subject under test for the health/breaker layer, not pollution, so they
+   do not taint the attempt and the shard's results merge as-is. *)
+let taints p _site = p.profile <> Sick_solver
+
+(* How many consecutive consults of Solver_hang stay sick under the
+   sick-solver profile: long enough to trip per-(solver, theory) breakers,
+   short enough that the shard heals and Half_open probes can re-close
+   them within the same shard. *)
+let sick_stretch = 120
 
 let max_retries = 3
 let retry_decay = 0.5
@@ -101,6 +116,7 @@ module Injector = struct
     shard : int;
     attempt : int;
     fire_at : int option array; (* indexed by site_code *)
+    stretch : int array; (* consults a fired site stays fired for *)
     hits : int array;
     mutable fired_rev : site list;
   }
@@ -119,6 +135,14 @@ module Injector = struct
           fire_at =
             Array.of_list
               (List.map (fun site -> decide p ~site ~shard ~attempt) all_sites);
+          stretch =
+            Array.of_list
+              (List.map
+                 (fun site ->
+                   if p.profile = Sick_solver && site = Solver_hang then
+                     sick_stretch
+                   else 1)
+                 all_sites);
           hits = Array.make n_sites 0;
           fired_rev = [];
         }
@@ -131,8 +155,9 @@ module Injector = struct
         let h = a.hits.(c) in
         a.hits.(c) <- h + 1;
         (match a.fire_at.(c) with
-        | Some k when k = h ->
-            a.fired_rev <- site :: a.fired_rev;
+        | Some k when h >= k && h < k + a.stretch.(c) ->
+            if not (List.mem site a.fired_rev) then
+              a.fired_rev <- site :: a.fired_rev;
             true
         | _ -> false)
 

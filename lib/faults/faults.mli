@@ -30,7 +30,13 @@ val all_sites : site list
 val site_name : site -> string
 val site_of_name : string -> site option
 
-type profile = Off | Solver | Io | Workers | All
+type profile = Off | Solver | Io | Workers | All | Sick_solver
+(** [Sick_solver] (spelled ["solver_hang"] on the CLI) arms only
+    {!Solver_hang}, and with different semantics: instead of corrupting a
+    single answer, a fired hang stays stuck for {!sick_stretch} consecutive
+    consults — a solver gone sick for a stretch of the shard. Its firings do
+    not {!taints} the attempt, because the resulting timeouts are the
+    subject under test for the health/breaker layer, not pollution. *)
 
 val profile_sites : profile -> site list
 val profile_to_string : profile -> string
@@ -48,6 +54,13 @@ val plan : ?rate:float -> ?chaos_seed:int -> profile -> plan
 
 val enabled : plan -> bool
 (** [false] exactly when the profile is [Off]. *)
+
+val taints : plan -> site -> bool
+(** Whether a firing of [site] under this plan taints the attempt (discard
+    and retry). [true] for every profile except [Sick_solver]. *)
+
+val sick_stretch : int
+(** Consults a [Sick_solver] hang stays stuck for once fired. *)
 
 val max_retries : int
 (** A shard is attempted at most [max_retries + 1] times before quarantine. *)
@@ -74,7 +87,10 @@ module Injector : sig
 
   val check : t -> site -> bool
   (** [check t site] consumes one consult of [site] and returns whether the
-      fault fires now. Fires at most once per site per injector. *)
+      fault fires now. Fires at most once per site per injector, except
+      under [Sick_solver], where a fired hang stays stuck for
+      {!sick_stretch} consecutive consults (still listed once in
+      {!fired}). *)
 
   val fired : t -> site list
   (** Sites that have fired so far, in firing order. Non-empty means the

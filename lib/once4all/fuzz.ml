@@ -249,6 +249,7 @@ let finding_info (f : Oracle.finding) =
     bug_id = f.Oracle.bug_id;
     theory = f.Oracle.theory;
     dedup_key = Dedup.signature_to_string (Dedup.signature f);
+    mode = Oracle.mode_to_string f.Oracle.mode;
   }
 
 (* The Algorithm 2 loop proper, shared by the whole-campaign entry point

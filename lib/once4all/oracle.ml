@@ -5,6 +5,23 @@ module Runner = Solver.Runner
 module Bug_db = Solver.Bug_db
 module Telemetry = O4a_telemetry.Telemetry
 module Trace = O4a_trace.Trace
+module Health = O4a_health.Health
+
+type mode = Differential | Degraded of string
+
+let mode_to_string = function
+  | Differential -> "differential"
+  | Degraded solvers -> "degraded:" ^ solvers
+
+let mode_of_string s =
+  if s = "differential" then Some Differential
+  else (
+    let prefix = "degraded:" in
+    if String.starts_with ~prefix s then
+      Some
+        (Degraded (String.sub s (String.length prefix)
+                     (String.length s - String.length prefix)))
+    else None)
 
 type finding = {
   kind : Bug_db.kind;
@@ -13,6 +30,7 @@ type finding = {
   signature : string;
   bug_id : string option;
   theory : string;
+  mode : mode;
 }
 
 type outcome = {
@@ -41,10 +59,10 @@ let previous_release_engine engine =
   let tag = Engine.tag engine in
   let history = Solver.Version.history_of tag in
   match List.rev history.Solver.Version.releases with
-  | last :: _ -> Engine.make tag ~commit:last.Solver.Version.commit
-  | [] -> engine
+  | last :: _ -> Some (Engine.make tag ~commit:last.Solver.Version.commit)
+  | [] -> None
 
-let crash_finding engine script signature bug_id =
+let crash_finding engine script signature bug_id ~mode =
   (* a crash whose signature lives in the reserved "chaos:" namespace was
      injected by the fault layer, not produced by the solver: it must never
      be attributed to a ground-truth bug-registry entry *)
@@ -61,6 +79,7 @@ let crash_finding engine script signature bug_id =
     signature;
     bug_id = (if injected then None else Some bug_id);
     theory;
+    mode;
   }
 
 (* validate a model against the parsed script with the reference evaluator *)
@@ -84,13 +103,75 @@ let test ?(max_steps = 200_000) ?telemetry ~zeal ~cove ~source () =
       solved = false;
     }
   | Ok script ->
+    let theory = primary_theory script in
     let zeal_supports = Engine.supports_script zeal script in
     let engines =
       if zeal_supports then [ zeal; cove ]
-      else [ cove; previous_release_engine cove ]
+      else (
+        match previous_release_engine cove with
+        | Some prev -> [ cove; prev ]
+        | None ->
+          (* no release history: the cross-version comparison would pit the
+             engine against itself, so skip the bisection pairing and fall
+             back to single-solver + model-validation *)
+          Telemetry.incr tel "oracle.no_history";
+          Telemetry.emit tel "oracle.no_history"
+            [ ("solver", O4a_telemetry.Json.String (Engine.name cove)) ];
+          [ cove ])
+    in
+    let ledger = Health.ambient () in
+    let emit_transition solver = function
+      | None -> ()
+      | Some st ->
+        let st_name = Health.state_name st in
+        Telemetry.incr tel
+          ~labels:[ ("solver", solver); ("theory", theory); ("to", st_name) ]
+          "health.transitions";
+        Telemetry.emit tel "health.breaker"
+          [
+            ("solver", O4a_telemetry.Json.String solver);
+            ("theory", O4a_telemetry.Json.String theory);
+            ("to", O4a_telemetry.Json.String st_name);
+          ]
+    in
+    let decisions =
+      List.map
+        (fun e ->
+          let d, transition = Health.admit ledger ~solver:(Engine.name e) ~theory in
+          emit_transition (Engine.name e) transition;
+          (e, d))
+        engines
+    in
+    let admitted, suppressed =
+      List.partition (fun (_, d) -> d <> Health.Suppress) decisions
+    in
+    let mode =
+      match suppressed with
+      | [] -> Differential
+      | es ->
+        Degraded (String.concat "+" (List.map (fun (e, _) -> Engine.name e) es))
+    in
+    if mode <> Differential then
+      Telemetry.incr tel ~labels:[ ("theory", theory) ] "oracle.degraded";
+    let classify = function
+      | Runner.R_timeout -> Health.Timeout
+      | Runner.R_crash _ -> Health.Crash
+      | Runner.R_error _ -> Health.Error
+      | Runner.R_sat _ | Runner.R_unsat | Runner.R_unknown _ -> Health.Good
     in
     let runs =
-      List.map (fun e -> (e, Runner.run ~max_steps ~telemetry:tel e script)) engines
+      List.map
+        (fun (e, d) ->
+          let r = Runner.run ~max_steps ~telemetry:tel e script in
+          if Health.enabled ledger then (
+            let q = Engine.last_query_stats e in
+            let transition =
+              Health.record ledger ~solver:(Engine.name e) ~theory
+                ~probe:(d = Health.Probe) ~fuel:q.Engine.steps (classify r)
+            in
+            emit_transition (Engine.name e) transition);
+          (e, r))
+        admitted
     in
     if Trace.noting () then
       List.iter
@@ -109,6 +190,9 @@ let test ?(max_steps = 200_000) ?telemetry ~zeal ~cove ~source () =
         runs;
     let results =
       List.map (fun (e, r) -> (Engine.name e, Runner.result_to_string r)) runs
+      @ List.map
+          (fun (e, _) -> (Engine.name e, "suppressed (breaker open)"))
+          suppressed
     in
     let solved =
       List.exists
@@ -121,11 +205,10 @@ let test ?(max_steps = 200_000) ?telemetry ~zeal ~cove ~source () =
         (fun (e, r) ->
           match r with
           | Runner.R_crash { signature; bug_id } ->
-            Some (crash_finding e (Some script) signature bug_id)
+            Some (crash_finding e (Some script) signature bug_id ~mode)
           | _ -> None)
         runs
     in
-    let theory = primary_theory script in
     let mk_finding kind engine signature =
       {
         kind;
@@ -134,6 +217,7 @@ let test ?(max_steps = 200_000) ?telemetry ~zeal ~cove ~source () =
         signature;
         bug_id = attribute engine script ~kind;
         theory;
+        mode;
       }
     in
     (* 2. sat/unsat discrepancy *)
@@ -185,7 +269,16 @@ let test ?(max_steps = 200_000) ?telemetry ~zeal ~cove ~source () =
             Some f.theory )
         | None -> (None, None, None, None, None)
       in
-      Trace.note (Trace.Oracle_verdict { kind; solver; signature; bug_id; theory }));
+      Trace.note
+        (Trace.Oracle_verdict
+           {
+             kind;
+             solver;
+             signature;
+             bug_id;
+             theory;
+             mode = Some (mode_to_string mode);
+           }));
     (match finding with
     | Some f ->
       let kind = Bug_db.kind_to_string f.kind in
@@ -202,6 +295,7 @@ let test ?(max_steps = 200_000) ?telemetry ~zeal ~cove ~source () =
             match f.bug_id with
             | Some id -> O4a_telemetry.Json.String id
             | None -> O4a_telemetry.Json.Null );
+          ("mode", O4a_telemetry.Json.String (mode_to_string f.mode));
         ]
     | None -> ());
     { finding; results; solved }

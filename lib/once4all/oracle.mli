@@ -15,6 +15,20 @@
 
 open Smtlib
 
+(** Which oracle produced a finding. [Degraded] names the solver(s) whose
+    open circuit breaker ({!O4a_health.Health}) suppressed them for this
+    query, leaving single-solver + model-validation: degraded-mode findings
+    are tagged so triage can discount soundness claims made without a full
+    differential comparison (structurally, a degraded query cannot even
+    produce one — a soundness finding needs a sat/unsat split across two
+    solvers). *)
+type mode = Differential | Degraded of string
+
+val mode_to_string : mode -> string
+(** ["differential"], or ["degraded:" ^ suppressed_solvers]. *)
+
+val mode_of_string : string -> mode option
+
 type finding = {
   kind : Solver.Bug_db.kind;
   solver : O4a_coverage.Coverage.solver_tag;
@@ -22,6 +36,7 @@ type finding = {
   signature : string;  (** crash site, or a synthesized signature for others *)
   bug_id : string option;  (** ground-truth specimen id when attributable *)
   theory : string;  (** primary theory tag for triage grouping *)
+  mode : mode;  (** oracle mode the finding was produced under *)
 }
 
 type outcome = {
@@ -42,7 +57,14 @@ val test :
     to the ambient global handle; when enabled the test is wrapped in an
     ["oracle.compare"] span with nested ["parse"] and per-solver
     ["solver.run"] spans, and each solver run emits an ["oracle.verdict"]
-    event (see {!Solver.Runner.run}). *)
+    event (see {!Solver.Runner.run}).
+
+    When the ambient {!O4a_health.Health} ledger is live, every query first
+    consults the per-(solver, theory) circuit breaker: suppressed solvers
+    are skipped (degrading the oracle to single-solver + model-validation,
+    with findings tagged [Degraded]), Half_open probes run normally, and
+    each admitted run's outcome and fuel are recorded back into the ledger.
+    Breaker transitions emit ["health.breaker"] events. *)
 
 val attribute :
   Solver.Engine.t -> Script.t -> kind:Solver.Bug_db.kind -> string option

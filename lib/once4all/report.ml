@@ -93,6 +93,9 @@ let of_cluster ?max_probes ~zeal ~cove (cluster : Dedup.cluster) =
   line "### Details";
   line "- kind: %s" (Bug_db.kind_to_string cluster.Dedup.kind);
   line "- theory: %s" cluster.Dedup.theory;
+  line "- oracle mode: %s"
+    (Oracle.mode_to_string
+       cluster.Dedup.representative.Dedup.finding.Oracle.mode);
   line "- crash/cluster signature: `%s`"
     (Dedup.signature_to_string cluster.Dedup.signature);
   line "- occurrences in this campaign: %d" cluster.Dedup.count;

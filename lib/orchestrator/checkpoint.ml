@@ -27,11 +27,14 @@ type t = {
   completed : shard_result list;
   quarantined : quarantine list;
   coverage : (string * int) list;
+  health : O4a_health.Health.entry list;
 }
 
-(* version 2 added the quarantine list; version-1 files (no chaos layer yet)
-   still load, with an empty quarantine *)
-let version = 2
+(* version 2 added the quarantine list; version 3 added the merged health
+   ledger and the per-finding oracle mode. Older files still load: version 1
+   gets an empty quarantine, versions 1-2 an empty health ledger and
+   Differential findings. *)
+let version = 3
 let min_version = 1
 
 (* ------------------------------------------------------------------ *)
@@ -48,6 +51,7 @@ let finding_to_json (f : Once4all.Oracle.finding) =
       ( "bug_id",
         match f.bug_id with Some id -> Json.String id | None -> Json.Null );
       ("theory", Json.String f.theory);
+      ("mode", Json.String (Once4all.Oracle.mode_to_string f.mode));
     ]
 
 let found_to_json (f : Once4all.Dedup.found) =
@@ -98,6 +102,8 @@ let to_json t =
       );
       ( "coverage",
         Json.Obj (List.map (fun (k, c) -> (k, Json.Int c)) t.coverage) );
+      ( "health",
+        Json.List (List.map O4a_health.Health.entry_to_json t.health) );
     ]
 
 (* ------------------------------------------------------------------ *)
@@ -138,6 +144,15 @@ let finding_of_json json =
   let* signature = req "signature" Json.to_str json in
   let bug_id = Option.bind (Json.member "bug_id" json) Json.to_str in
   let* theory = req "theory" Json.to_str json in
+  (* pre-v3 findings carry no mode; they were all full differential runs *)
+  let* mode =
+    match Json.member "mode" json with
+    | None -> Ok Once4all.Oracle.Differential
+    | Some j -> (
+      match Option.bind (Json.to_str j) Once4all.Oracle.mode_of_string with
+      | Some m -> Ok m
+      | None -> Error "checkpoint: invalid finding mode")
+  in
   Ok
     {
       Once4all.Oracle.kind;
@@ -146,6 +161,7 @@ let finding_of_json json =
       signature;
       bug_id;
       theory;
+      mode;
     }
 
 let found_of_json json =
@@ -226,7 +242,13 @@ let of_json json =
         | None -> Error (Printf.sprintf "checkpoint: coverage count for %S not an int" k))
       coverage_kvs
   in
-  Ok { seed; budget; shard_size; extra; completed; quarantined; coverage }
+  let* health =
+    match Json.member "health" json with
+    | None -> Ok [] (* versions 1-2: no health ledger yet *)
+    | Some (Json.List l) -> map_result O4a_health.Health.entry_of_json l
+    | Some _ -> Error "checkpoint: missing or invalid field \"health\""
+  in
+  Ok { seed; budget; shard_size; extra; completed; quarantined; coverage; health }
 
 (* ------------------------------------------------------------------ *)
 (* Files                                                               *)

@@ -40,6 +40,9 @@ type t = {
       (** shards the supervision layer gave up on; resume skips them too *)
   coverage : (string * int) list;
       (** merged {!O4a_coverage.Coverage.export} of the completed shards *)
+  health : O4a_health.Health.entry list;
+      (** merged {!O4a_health.Health.export} of the completed shards; empty
+          when loaded from a pre-v3 checkpoint *)
 }
 
 val to_json : t -> O4a_telemetry.Json.t

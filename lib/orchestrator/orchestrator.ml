@@ -13,6 +13,7 @@ module Dedup = Once4all.Dedup
 module Trace = O4a_trace.Trace
 module Bundle = O4a_trace.Bundle
 module Faults = O4a_faults.Faults
+module Health = O4a_health.Health
 
 let log_src =
   Logs.Src.create "once4all.orchestrator" ~doc:"Parallel campaign orchestrator"
@@ -35,7 +36,24 @@ type report = {
   quarantined : Checkpoint.quarantine list;
   shard_retries : int;
   faults_injected : int;
+  health : Health.entry list;
+  stopped : bool;
 }
+
+(* ------------------------------------------------------------------ *)
+(* Graceful shutdown                                                   *)
+(* ------------------------------------------------------------------ *)
+
+(* One process-wide flag: signal handlers (and tests) raise it, workers check
+   it before claiming another shard. Stopping therefore always lands on a
+   shard boundary — every shard is either fully merged and checkpointed or
+   not started — which is exactly the granularity resume already handles, so
+   a stopped-then-resumed campaign is byte-identical to an uninterrupted
+   one. *)
+let stop_flag = Atomic.make false
+let request_stop () = not (Atomic.exchange stop_flag true)
+let stop_requested () = Atomic.get stop_flag
+let reset_stop () = Atomic.set stop_flag false
 
 (* ------------------------------------------------------------------ *)
 (* Generic parallel map                                                *)
@@ -75,10 +93,11 @@ type shard_payload = {
   metric_entries : Metrics.entry list;
   cov_export : (string * int) list;
   promoted : Trace.promoted list;
+  health_export : Health.entry list;
 }
 
 let run_one_shard ~worker_id ~tel_enabled ~tracing ~ring_size ~config
-    ~generators ~seeds ~zeal ~cove ~seed shard =
+    ~generators ~seeds ~zeal ~cove ~seed ~health shard =
   let wtel =
     if tel_enabled then
       Telemetry.create ~sink:(Sink.memory ())
@@ -95,15 +114,25 @@ let run_one_shard ~worker_id ~tel_enabled ~tracing ~ring_size ~config
     else Trace.Recorder.disabled
   in
   let ledger = Coverage.make_ledger () in
+  (* like the coverage ledger, the health ledger is fresh per shard attempt:
+     breaker windows never straddle a shard boundary, so trips depend only on
+     (seed, shard, attempt) and are identical at any --jobs N — and a tainted
+     attempt discards its ledger wholesale along with everything else *)
+  let hledger =
+    match health with
+    | Some cfg -> Health.make_ledger cfg
+    | None -> Health.disabled
+  in
   let rng = Shard.rng ~seed shard in
   let stats =
     Coverage.with_ledger ledger (fun () ->
         Telemetry.using wtel (fun () ->
             Trace.Recorder.using recorder (fun () ->
-                Fuzz.run_shard ~rng ~config ~telemetry:wtel
-                  ~shard_index:shard.Shard.index
-                  ~first_tick:shard.Shard.first_tick ~generators ~seeds ~zeal
-                  ~cove ~budget:shard.Shard.ticks ())))
+                Health.using hledger (fun () ->
+                    Fuzz.run_shard ~rng ~config ~telemetry:wtel
+                      ~shard_index:shard.Shard.index
+                      ~first_tick:shard.Shard.first_tick ~generators ~seeds
+                      ~zeal ~cove ~budget:shard.Shard.ticks ()))))
   in
   {
     sr =
@@ -119,6 +148,7 @@ let run_one_shard ~worker_id ~tel_enabled ~tracing ~ring_size ~config
     metric_entries = (if tel_enabled then Telemetry.snapshot wtel else []);
     cov_export = Coverage.export ledger;
     promoted = Trace.Recorder.promoted recorder;
+    health_export = Health.export hledger;
   }
 
 (* ------------------------------------------------------------------ *)
@@ -129,19 +159,28 @@ let run_one_shard ~worker_id ~tel_enabled ~tracing ~ring_size ~config
 type attempt_log = { attempt : int; fired : Faults.site list }
 
 type shard_outcome =
-  | Merged of shard_payload * attempt_log list
-      (** clean result, after the listed tainted attempts were retried *)
+  | Merged of shard_payload * attempt_log list * Faults.site list
+      (** clean result, after the listed tainted attempts were retried; the
+          final site list is the non-tainting faults (sick-solver hangs)
+          that fired during the merged attempt itself *)
   | Quarantined of attempt_log list
       (** every attempt was tainted; results discarded, ticks reported *)
   | Failed of string  (** a genuine (non-injected) worker exception *)
 
-(* Retry a shard until an attempt completes with zero fired faults. Any fired
-   fault taints the whole attempt — even one whose effect was merely a wrong
-   solver answer — because only all-or-nothing discarding guarantees that the
-   merged payload is byte-identical to the fault-free run's. The fault plan
-   re-rolls per attempt (with decayed probability), so a retried shard is a
-   pure function of (plan, shard index, attempt): the supervision outcome is
-   the same at any --jobs N and on resume. *)
+(* What workers push to the single-owner merge queue. The sentinel lets the
+   merge loop count live workers instead of expected shards, which is what
+   makes early stop (graceful shutdown) drain cleanly. *)
+type merge_msg = Msg_shard of Shard.t * shard_outcome | Msg_worker_done
+
+(* Retry a shard until an attempt completes with zero tainting faults. Any
+   tainting fault spoils the whole attempt — even one whose effect was merely
+   a wrong solver answer — because only all-or-nothing discarding guarantees
+   that the merged payload is byte-identical to the fault-free run's. (The
+   sick-solver profile is the exception: its hangs are the subject under test
+   for the health layer, so they merge.) The fault plan re-rolls per attempt
+   (with decayed probability), so a retried shard is a pure function of
+   (plan, shard index, attempt): the supervision outcome is the same at any
+   --jobs N and on resume. *)
 (* An injected fault can escape through a [Fun.protect] cleanup (e.g. a
    telemetry span emitting its end event into a faulted sink), arriving
    wrapped in [Fun.Finally_raised] — possibly several layers deep. *)
@@ -154,7 +193,7 @@ let run_supervised ~chaos ~run_attempt shard_index =
   match chaos with
   | None -> (
     match run_attempt () with
-    | payload -> Merged (payload, [])
+    | payload -> Merged (payload, [], [])
     | exception e -> Failed (Printexc.to_string e))
   | Some plan ->
     let rec go attempt failed_rev =
@@ -165,12 +204,14 @@ let run_supervised ~chaos ~run_attempt shard_index =
         | exception e when is_injected e -> Error `Injected
         | exception e -> Error (`Fatal (Printexc.to_string e))
       in
+      let fired = Faults.Injector.fired inj in
+      let tainting = List.filter (Faults.taints plan) fired in
       match result with
       | Error (`Fatal msg) -> Failed msg
-      | Ok payload when Faults.Injector.fired inj = [] ->
-        Merged (payload, List.rev failed_rev)
+      | Ok payload when tainting = [] ->
+        Merged (payload, List.rev failed_rev, fired)
       | Ok _ | Error `Injected ->
-        let log = { attempt; fired = Faults.Injector.fired inj } in
+        let log = { attempt; fired } in
         if attempt >= Faults.max_retries then
           Quarantined (List.rev (log :: failed_rev))
         else (
@@ -227,7 +268,7 @@ let load_base ~resume ~checkpoint_path ~seed ~budget ~shard_size =
 let run ?(jobs = 1) ?(shard_size = default_shard_size)
     ?(config = Fuzz.default_config) ?telemetry ?checkpoint_path
     ?(resume = false) ?stop_after ?(extra = []) ?engines ?trace_dir ?ring_size
-    ?chaos ~seed ~budget ~generators ~seeds () =
+    ?chaos ?health ~seed ~budget ~generators ~seeds () =
   if jobs < 1 then invalid_arg "Orchestrator.run: jobs must be >= 1";
   let chaos =
     match chaos with Some p when Faults.enabled p -> Some p | _ -> None
@@ -288,8 +329,10 @@ let run ?(jobs = 1) ?(shard_size = default_shard_size)
   let n_to_run = Array.length shard_arr in
   let nworkers = max 1 (min jobs n_to_run) in
   (* a single results queue: workers push, the main domain is the only
-     consumer — the merge stage has one owner *)
-  let queue : (Shard.t * shard_outcome) Queue.t = Queue.create () in
+     consumer — the merge stage has one owner. Each worker pushes a final
+     [Msg_worker_done] sentinel, so the merge loop terminates whether the
+     campaign runs to completion or is stopped early by a signal. *)
+  let queue : merge_msg Queue.t = Queue.create () in
   let qmutex = Mutex.create () in
   let qcond = Condition.create () in
   let push r =
@@ -312,24 +355,22 @@ let run ?(jobs = 1) ?(shard_size = default_shard_size)
   let worker worker_id () =
     let zeal, cove = engines () in
     let rec loop () =
-      let i = Atomic.fetch_and_add next 1 in
-      if i < n_to_run then (
-        let shard = shard_arr.(i) in
-        let run_attempt () =
-          run_one_shard ~worker_id ~tel_enabled ~tracing ~ring_size ~config
-            ~generators ~seeds ~zeal ~cove ~seed shard
-        in
-        push (shard, run_supervised ~chaos ~run_attempt shard.Shard.index);
-        loop ())
+      (* graceful stop lands on a shard boundary: a worker mid-shard finishes
+         and merges it, but no new shard is claimed once the flag is up *)
+      if not (stop_requested ()) then (
+        let i = Atomic.fetch_and_add next 1 in
+        if i < n_to_run then (
+          let shard = shard_arr.(i) in
+          let run_attempt () =
+            run_one_shard ~worker_id ~tel_enabled ~tracing ~ring_size ~config
+              ~generators ~seeds ~zeal ~cove ~seed ~health shard
+          in
+          push
+            (Msg_shard (shard, run_supervised ~chaos ~run_attempt shard.Shard.index));
+          loop ()))
     in
-    loop ()
-  in
-  let domains =
-    if nworkers <= 1 || n_to_run = 0 then (
-      (* degenerate case: run the whole queue on this domain, then drain *)
-      worker 0 ();
-      [])
-    else List.init nworkers (fun wid -> Domain.spawn (worker wid))
+    loop ();
+    push Msg_worker_done
   in
   (* merge stage: single owner (this domain). Worker payloads arrive in
      completion order; everything merged here is commutative (counters,
@@ -337,6 +378,9 @@ let run ?(jobs = 1) ?(shard_size = default_shard_size)
      index), so the final report does not depend on that order. *)
   let completed = ref base_completed in
   let quarantined = ref base_quarantined in
+  let campaign_health =
+    ref (match base with Some cp -> cp.Checkpoint.health | None -> [])
+  in
   let promoted_by_shard = ref [] in
   let errors = ref [] in
   let shard_retries = ref 0 in
@@ -347,21 +391,30 @@ let run ?(jobs = 1) ?(shard_size = default_shard_size)
      [Checkpoint.load] path [resume] uses and rewrites cleanly — bounded by
      the same retry budget as shard faults, and per-(shard, attempt)
      deterministic, so the injected count is identical at any --jobs N. *)
+  let current_checkpoint () =
+    {
+      Checkpoint.seed;
+      budget;
+      shard_size;
+      extra;
+      completed = !completed;
+      quarantined = !quarantined;
+      coverage = Coverage.export campaign_ledger;
+      health = !campaign_health;
+    }
+  in
+  (* write a checkpoint before any shard runs, so a signal that lands in the
+     campaign's first seconds still leaves a resumable file behind (plain
+     save: the chaos tear site is keyed to merged shards, and nothing has
+     merged yet) *)
+  (match checkpoint_path with
+  | Some path when n_to_run > 0 -> Checkpoint.save ~path (current_checkpoint ())
+  | _ -> ());
   let save_checkpoint ~after_shard =
     match checkpoint_path with
     | None -> ()
     | Some path ->
-      let cp =
-        {
-          Checkpoint.seed;
-          budget;
-          shard_size;
-          extra;
-          completed = !completed;
-          quarantined = !quarantined;
-          coverage = Coverage.export campaign_ledger;
-        }
-      in
+      let cp = current_checkpoint () in
       let rec attempt_save attempt =
         let tear =
           attempt < Faults.max_retries
@@ -433,8 +486,18 @@ let run ?(jobs = 1) ?(shard_size = default_shard_size)
             ]))
       logs
   in
-  for _ = 1 to n_to_run do
-    match pop () with
+  let domains =
+    if nworkers <= 1 || n_to_run = 0 then (
+      (* degenerate case: run the whole queue on this domain, then drain *)
+      worker 0 ();
+      [])
+    else List.init nworkers (fun wid -> Domain.spawn (worker wid))
+  in
+  let live_workers = ref (if domains = [] then 1 else List.length domains) in
+  let processed = ref 0 in
+  let handle_msg shard outcome =
+    incr processed;
+    match (shard, outcome) with
     | shard, Failed msg -> errors := (shard.Shard.index, msg) :: !errors
     | shard, Quarantined logs ->
       let shard_idx = shard.Shard.index in
@@ -457,9 +520,16 @@ let run ?(jobs = 1) ?(shard_size = default_shard_size)
           m "shard %d quarantined after %d attempts (sites: %s)" shard_idx
             q.Checkpoint.q_attempts
             (String.concat " " q.Checkpoint.q_sites))
-    | shard, Merged (payload, logs) ->
+    | shard, Merged (payload, logs, merged_fired) ->
       let shard_idx = shard.Shard.index in
-      emit_attempt_faults shard_idx logs;
+      (* the merged attempt's own non-tainting faults (sick-solver hangs)
+         count as injected too; its attempt index is one past the tainted
+         attempts that preceded it *)
+      emit_attempt_faults shard_idx
+        (logs
+        @
+        if merged_fired = [] then []
+        else [ { attempt = List.length logs; fired = merged_fired } ]);
       emit_retries shard_idx logs ~quarantining:false;
       List.iter
         (fun (e : Event.t) ->
@@ -469,6 +539,7 @@ let run ?(jobs = 1) ?(shard_size = default_shard_size)
         payload.events;
       Telemetry.absorb_metrics tel payload.metric_entries;
       Coverage.merge_into ~into:campaign_ledger payload.cov_export;
+      campaign_health := Health.merge !campaign_health payload.health_export;
       completed := payload.sr :: !completed;
       if payload.promoted <> [] then
         promoted_by_shard := (shard_idx, payload.promoted) :: !promoted_by_shard;
@@ -476,8 +547,23 @@ let run ?(jobs = 1) ?(shard_size = default_shard_size)
       Log.debug (fun m ->
           m "shard %d merged (%d/%d done)" shard_idx (List.length !completed)
             (List.length plan))
+  in
+  while !live_workers > 0 do
+    match pop () with
+    | Msg_worker_done -> decr live_workers
+    | Msg_shard (shard, outcome) -> handle_msg shard outcome
   done;
   List.iter Domain.join domains;
+  let stopped = stop_requested () && !processed < n_to_run in
+  if stopped then (
+    Telemetry.emit tel "campaign.stopped"
+      [
+        ("shards_done", Json.Int !processed);
+        ("shards_remaining", Json.Int (n_to_run - !processed));
+      ];
+    Log.info (fun m ->
+        m "stop requested: drained %d/%d shards at the shard boundary"
+          !processed n_to_run));
   (match List.sort compare !errors with
   | (idx, msg) :: _ ->
     failwith (Printf.sprintf "Orchestrator.run: shard %d failed: %s" idx msg)
@@ -555,7 +641,7 @@ let run ?(jobs = 1) ?(shard_size = default_shard_size)
     coverage_zeal = Coverage.snapshot ~ledger:campaign_ledger Coverage.Zeal;
     coverage_cove = Coverage.snapshot ~ledger:campaign_ledger Coverage.Cove;
     shards_total = List.length plan;
-    shards_run = n_to_run - List.length !errors;
+    shards_run = !processed - List.length !errors;
     shards_resumed = List.length base_completed;
     interrupted;
     promoted;
@@ -563,4 +649,6 @@ let run ?(jobs = 1) ?(shard_size = default_shard_size)
     quarantined;
     shard_retries = !shard_retries;
     faults_injected = !faults_injected;
+    health = !campaign_health;
+    stopped;
   }

@@ -51,7 +51,32 @@ type report = {
           ticks are excluded from [stats] (degraded-mode merge) *)
   shard_retries : int;  (** tainted attempts that were retried *)
   faults_injected : int;  (** faults fired across all attempts *)
+  health : O4a_health.Health.entry list;
+      (** merged per-(solver, theory) health counters from every merged
+          shard, sorted; empty when [health] was not given *)
+  stopped : bool;
+      (** a graceful stop ({!request_stop}) drained the campaign before all
+          planned shards ran; everything merged so far is checkpointed *)
 }
+
+(** {1 Graceful shutdown}
+
+    A process-wide stop flag, designed to be raised from a signal handler:
+    workers finish the shard they are executing but claim no new ones, the
+    merge owner drains and checkpoints what completed, and {!run} returns a
+    partial report with [stopped = true]. Because stopping always lands on a
+    shard boundary, resuming from the checkpoint reproduces the
+    uninterrupted campaign byte-for-byte. *)
+
+val request_stop : unit -> bool
+(** Raise the stop flag. [true] if this call was the one that raised it —
+    lets a signal handler escalate: first signal stops gracefully, second
+    aborts. Async-signal-safe (a single atomic exchange). *)
+
+val stop_requested : unit -> bool
+
+val reset_stop : unit -> unit
+(** Lower the flag — for tests that run several campaigns in one process. *)
 
 val default_shard_size : int
 
@@ -68,6 +93,7 @@ val run :
   ?trace_dir:string ->
   ?ring_size:int ->
   ?chaos:O4a_faults.Faults.plan ->
+  ?health:O4a_health.Health.config ->
   seed:int ->
   budget:int ->
   generators:Gensynth.Generator.t list ->
@@ -106,6 +132,13 @@ val run :
       profile is [Off]) injects nothing and skips supervision entirely. The
       plan is pure, so the same plan gives the same injections, retries, and
       quarantines at any [jobs] and across resume.
+    - [health]: per-(solver, theory) circuit-breaker configuration
+      ({!O4a_health.Health.config}). Each shard attempt runs under a fresh
+      health ledger (the coverage-ledger pattern), so breaker trips depend
+      only on (seed, shard, attempt) and the campaign report — including
+      which findings are tagged degraded — is identical at any [jobs].
+      [None] disables breakers entirely and changes nothing about existing
+      campaigns.
 
     Raises [Failure] if any shard raises a non-injected exception (after
     merging and checkpointing the shards that did finish). *)

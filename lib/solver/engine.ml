@@ -28,6 +28,7 @@ type t = {
 type outcome =
   | Sat of Model.t
   | Unsat
+  | Resource_limit
   | Unknown of string
   | Error of string
 
@@ -447,6 +448,7 @@ let solve_script_inner ?(max_steps = 200_000) t script =
               with
               | Search.Sat model -> Sat model
               | Search.Unsat -> Unsat
+              | Search.Resource_limit -> Resource_limit
               | Search.Unknown reason -> Unknown reason)
           in
           (* 8. behavioral bugs *)
@@ -585,7 +587,7 @@ let unsat_core ?max_steps t script =
   let is_unsat assertions =
     match solve_script ?max_steps t (rebuild assertions) with
     | Unsat -> true
-    | Sat _ | Unknown _ | Error _ -> false
+    | Sat _ | Resource_limit | Unknown _ | Error _ -> false
     | exception Crash _ -> false
   in
   let initial = Script.assertions script in

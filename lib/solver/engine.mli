@@ -25,7 +25,8 @@ type t
 type outcome =
   | Sat of Model.t
   | Unsat
-  | Unknown of string  (** resource limit — the analog of a timeout *)
+  | Resource_limit  (** fuel exhausted — the analog of a timeout *)
+  | Unknown of string  (** gave up for a reason other than fuel *)
   | Error of string  (** parse / sort / unsupported-symbol error *)
 
 exception Crash of { signature : string; bug_id : string; solver_name : string }

@@ -12,9 +12,8 @@ type result =
 let of_outcome = function
   | Engine.Sat model -> R_sat model
   | Engine.Unsat -> R_unsat
-  | Engine.Unknown reason ->
-    if O4a_util.Strx.contains_sub ~sub:"resource limit" reason then R_timeout
-    else R_unknown reason
+  | Engine.Resource_limit -> R_timeout
+  | Engine.Unknown reason -> R_unknown reason
   | Engine.Error msg -> R_error msg
 
 let verdict_label = function

@@ -3,6 +3,7 @@ open Smtlib
 type outcome =
   | Sat of Model.t
   | Unsat
+  | Resource_limit
   | Unknown of string
 
 type order = Ascending | Descending
@@ -108,7 +109,7 @@ let solve ?(config = Domain.default_config) ?(max_steps = 200_000)
     | None ->
       cov "search.unsat" 0;
       Unsat
-    | exception Eval.Out_of_fuel -> Unknown "resource limit exceeded"
+    | exception Eval.Out_of_fuel -> Resource_limit
     | exception Eval.Eval_failure msg -> Unknown msg
   in
   (match steps_used with Some r -> r := ctx.Eval.steps | None -> ());

@@ -11,7 +11,8 @@ open Smtlib
 type outcome =
   | Sat of Model.t
   | Unsat
-  | Unknown of string
+  | Resource_limit  (** fuel exhausted — the analog of a solver timeout *)
+  | Unknown of string  (** the evaluator gave up for a reason other than fuel *)
 
 type order = Ascending | Descending
 
@@ -25,7 +26,7 @@ val solve :
   Script.t ->
   outcome
 (** [Unsat] means "no model within the bounded domains" — the shared bounded
-    semantics of DESIGN.md. [Unknown] is returned on fuel exhaustion (the
-    analog of a 10-second solver timeout). When given, [steps_used] receives
+    semantics of DESIGN.md. [Resource_limit] is returned on fuel exhaustion
+    (the analog of a 10-second solver timeout). When given, [steps_used] receives
     the evaluator fuel this query consumed — the telemetry layer's
     "fuel per query" signal. *)

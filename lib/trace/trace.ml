@@ -23,6 +23,7 @@ type record =
       signature : string option;
       bug_id : string option;
       theory : string option;
+      mode : string option;
     }
   | Fault_injected of { site : string }
 
@@ -41,6 +42,7 @@ type finding_info = {
   bug_id : string option;
   theory : string;
   dedup_key : string;
+  mode : string;
 }
 
 type promoted = {
@@ -133,7 +135,7 @@ let record_to_json = function
         ("decisions", Json.Int decisions);
         ("propagations", Json.Int propagations);
       ]
-  | Oracle_verdict { kind; solver; signature; bug_id; theory } ->
+  | Oracle_verdict { kind; solver; signature; bug_id; theory; mode } ->
     Json.Obj
       [
         ("stage", Json.String "verdict");
@@ -142,6 +144,7 @@ let record_to_json = function
         ("signature", opt_str signature);
         ("bug_id", opt_str bug_id);
         ("theory", opt_str theory);
+        ("mode", opt_str mode);
       ]
   | Fault_injected { site } ->
     Json.Obj [ ("stage", Json.String "fault"); ("site", Json.String site) ]
@@ -225,6 +228,7 @@ let record_of_json json =
            signature = opt "signature" json;
            bug_id = opt "bug_id" json;
            theory = opt "theory" json;
+           mode = opt "mode" json;
          })
   | "fault" ->
     let* site = req "site" Json.to_str json in
@@ -269,6 +273,7 @@ let finding_to_json f =
       ("bug_id", opt_str f.bug_id);
       ("theory", Json.String f.theory);
       ("dedup_key", Json.String f.dedup_key);
+      ("mode", Json.String f.mode);
     ]
 
 let finding_of_json json =
@@ -279,7 +284,10 @@ let finding_of_json json =
   let bug_id = opt "bug_id" json in
   let* theory = req "theory" Json.to_str json in
   let* dedup_key = req "dedup_key" Json.to_str json in
-  Ok { kind; solver; solver_name; signature; bug_id; theory; dedup_key }
+  (* bundles written before oracle modes existed carry no "mode" member;
+     they were all full differential comparisons *)
+  let mode = Option.value (opt "mode" json) ~default:"differential" in
+  Ok { kind; solver; solver_name; signature; bug_id; theory; dedup_key; mode }
 
 let promoted_to_json p =
   Json.Obj
@@ -348,14 +356,20 @@ let render t =
       | Solver_run { solver; commit; verdict; steps; decisions; propagations } ->
         line "  %-12s %-8s steps=%d decisions=%d propagations=%d  (commit %d)"
           solver verdict steps decisions propagations commit
-      | Oracle_verdict { kind; solver; signature; bug_id; _ } -> (
+      | Oracle_verdict { kind; solver; signature; bug_id; mode; _ } -> (
+        let degraded_tag =
+          match mode with
+          | Some m when m <> "differential" -> "  (" ^ m ^ ")"
+          | _ -> ""
+        in
         match kind with
-        | None -> line "  verdict      agreement (no finding)"
+        | None -> line "  verdict      agreement (no finding)%s" degraded_tag
         | Some k ->
-          line "  verdict      %s in %s  [%s]%s" k
+          line "  verdict      %s in %s  [%s]%s%s" k
             (Option.value solver ~default:"?")
             (Option.value signature ~default:"?")
-            (match bug_id with Some id -> "  -> " ^ id | None -> ""))
+            (match bug_id with Some id -> "  -> " ^ id | None -> "")
+            degraded_tag)
       | Fault_injected { site } -> line "  fault        INJECTED %s (chaos)" site)
     t.records;
   Buffer.contents buf

@@ -57,6 +57,9 @@ type record =
       signature : string option;
       bug_id : string option;
       theory : string option;
+      mode : string option;
+          (** oracle mode ({!Once4all.Oracle.mode_to_string}); [None] in
+              traces recorded before oracle modes existed *)
     }  (** the differential oracle's conclusion ([kind = None]: no finding) *)
   | Fault_injected of { site : string }
       (** a chaos-testing fault fired at the named site while this formula was
@@ -80,6 +83,10 @@ type finding_info = {
   bug_id : string option;  (** ground-truth bug-registry tag, if attributed *)
   theory : string;
   dedup_key : string;  (** {!Once4all.Dedup.signature_to_string} cluster key *)
+  mode : string;
+      (** oracle mode the finding was produced under (["differential"] or
+          ["degraded:..."]); bundles written before oracle modes existed
+          decode as ["differential"] *)
 }
 
 type promoted = {

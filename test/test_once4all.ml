@@ -372,6 +372,7 @@ let mk_found kind solver_name signature theory source =
         signature;
         bug_id = None;
         theory;
+        mode = Oracle.Differential;
       };
     source;
   }

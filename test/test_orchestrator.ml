@@ -20,10 +20,10 @@ let generators () = (Lazy.force campaign).Campaign.generators
 let seed_pool = lazy (O4a_util.Listx.take 25 (Seeds.Corpus.all ()))
 
 let run ?jobs ?telemetry ?checkpoint_path ?resume ?stop_after ?trace_dir
-    ?(budget = 300) ?(shard_size = 60) () =
+    ?chaos ?health ?(budget = 300) ?(shard_size = 60) () =
   Orchestrator.run ?jobs ?telemetry ?checkpoint_path ?resume ?stop_after
-    ?trace_dir ~shard_size ~seed:91 ~budget ~generators:(generators ())
-    ~seeds:(Lazy.force seed_pool) ()
+    ?trace_dir ?chaos ?health ~shard_size ~seed:91 ~budget
+    ~generators:(generators ()) ~seeds:(Lazy.force seed_pool) ()
 
 let report_key (r : Orchestrator.report) =
   ( r.Orchestrator.stats.Fuzz.tests,
@@ -31,7 +31,8 @@ let report_key (r : Orchestrator.report) =
     r.Orchestrator.stats.Fuzz.solved,
     List.map (fun c -> (c.Dedup.key, c.Dedup.count)) r.Orchestrator.clusters,
     r.Orchestrator.found_bug_ids,
-    r.Orchestrator.coverage )
+    r.Orchestrator.coverage,
+    r.Orchestrator.health )
 
 (* ------------------------- shard plan ------------------------- *)
 
@@ -145,6 +146,7 @@ let sample_checkpoint () =
           signature = "site_A";
           bug_id = Some "zeal-018";
           theory = "strings";
+          mode = Oracle.Degraded "cove-trunk";
         };
       source = "(assert true)(check-sat)";
     }
@@ -184,6 +186,22 @@ let sample_checkpoint () =
           q_sites = [ "solver-crash"; "worker-death" ];
         };
       ];
+    health =
+      [
+        {
+          O4a_health.Health.e_solver = "zeal-trunk";
+          e_theory = "strings";
+          queries = 40;
+          timeouts = 9;
+          errors = 1;
+          crashes = 0;
+          fuel = 123_456;
+          suppressed = 12;
+          probes = 2;
+          opened = 1;
+          reclosed = 1;
+        };
+      ];
   }
 
 let test_checkpoint_json_roundtrip () =
@@ -206,23 +224,90 @@ let test_checkpoint_save_load () =
       | Ok cp' -> check_bool "file round-trips" true (cp = cp'));
       check_bool "no tmp residue" false (Sys.file_exists (path ^ ".tmp")))
 
+(* remove members that did not exist in an older checkpoint version, at any
+   nesting depth (the "mode" member lives inside findings) *)
+let rec strip_keys keys = function
+  | Json.Obj fields ->
+      Json.Obj
+        (List.filter_map
+           (fun (k, v) ->
+             if List.mem k keys then None else Some (k, strip_keys keys v))
+           fields)
+  | Json.List l -> Json.List (List.map (strip_keys keys) l)
+  | j -> j
+
+let set_version v = function
+  | Json.Obj fields ->
+      Json.Obj
+        (List.map
+           (fun (k, x) -> if k = "version" then (k, Json.Int v) else (k, x))
+           fields)
+  | j -> j
+
+(* what an old file decodes to: no quarantine/health, all-differential
+   findings *)
+let downgrade_expected cp =
+  {
+    cp with
+    Checkpoint.health = [];
+    completed =
+      List.map
+        (fun (sr : Checkpoint.shard_result) ->
+          {
+            sr with
+            Checkpoint.findings =
+              List.map
+                (fun (fd : Dedup.found) ->
+                  {
+                    fd with
+                    Dedup.finding =
+                      {
+                        fd.Dedup.finding with
+                        Oracle.mode = Oracle.Differential;
+                      };
+                  })
+                sr.Checkpoint.findings;
+          })
+        cp.Checkpoint.completed;
+  }
+
 let test_checkpoint_reads_v1 () =
-  (* a version-1 checkpoint (no "quarantined" member) still loads *)
-  let cp = { (sample_checkpoint ()) with Checkpoint.quarantined = [] } in
-  let strip = function
-    | Json.Obj fields ->
-        Json.Obj
-          (List.filter_map
-             (fun (k, v) ->
-               if k = "quarantined" then None
-               else if k = "version" then Some (k, Json.Int 1)
-               else Some (k, v))
-             fields)
-    | j -> j
+  (* a version-1 checkpoint (no "quarantined", "health", or per-finding
+     "mode" members) still loads *)
+  let cp =
+    downgrade_expected
+      { (sample_checkpoint ()) with Checkpoint.quarantined = [] }
   in
-  match Checkpoint.of_json (strip (Checkpoint.to_json cp)) with
+  let json =
+    set_version 1
+      (strip_keys [ "quarantined"; "health"; "mode" ]
+         (Checkpoint.to_json (sample_checkpoint ())))
+  in
+  match Checkpoint.of_json json with
   | Error e -> Alcotest.fail ("v1 decode failed: " ^ e)
-  | Ok cp' -> check_bool "v1 loads with empty quarantine" true (cp = cp')
+  | Ok cp' ->
+      check_bool "v1 loads with empty quarantine and health" true
+        ({ cp with Checkpoint.quarantined = [] } = cp')
+
+let test_checkpoint_reads_v2 () =
+  (* a version-2 checkpoint has quarantine but no health ledger and no
+     per-finding oracle mode *)
+  let cp = downgrade_expected (sample_checkpoint ()) in
+  let json =
+    set_version 2
+      (strip_keys [ "health"; "mode" ]
+         (Checkpoint.to_json (sample_checkpoint ())))
+  in
+  match Checkpoint.of_json json with
+  | Error e -> Alcotest.fail ("v2 decode failed: " ^ e)
+  | Ok cp' ->
+      check_bool "v2 loads with empty health, differential findings" true
+        (cp = cp')
+
+let test_checkpoint_rejects_future_version () =
+  let json = set_version 99 (Checkpoint.to_json (sample_checkpoint ())) in
+  check_bool "future version refused" true
+    (Result.is_error (Checkpoint.of_json json))
 
 let test_checkpoint_load_truncated () =
   (* torn write: load must produce Corrupt with a byte offset, not crash *)
@@ -278,6 +363,29 @@ let test_stop_and_resume_round_trip () =
       check_bool "not interrupted" false resumed.Orchestrator.interrupted;
       check_int "resumed shards" 2 resumed.Orchestrator.shards_resumed;
       check_int "remaining shards ran" 3 resumed.Orchestrator.shards_run;
+      check_bool "resume lands on the uninterrupted report" true
+        (report_key full = report_key resumed))
+
+let test_graceful_stop_then_resume () =
+  let path = Filename.temp_file "o4a_stop" ".json" in
+  Fun.protect
+    ~finally:(fun () ->
+      Orchestrator.reset_stop ();
+      if Sys.file_exists path then Sys.remove path)
+    (fun () ->
+      let full = run ~jobs:1 () in
+      (* raise the stop flag before the campaign starts: no shard is
+         claimed, but the initial checkpoint still makes it resumable *)
+      check_bool "first request wins" true (Orchestrator.request_stop ());
+      check_bool "second request reports already stopping" false
+        (Orchestrator.request_stop ());
+      let stopped = run ~jobs:2 ~checkpoint_path:path () in
+      check_bool "stopped" true stopped.Orchestrator.stopped;
+      check_int "no shards ran" 0 stopped.Orchestrator.shards_run;
+      check_bool "checkpoint written before drain" true (Sys.file_exists path);
+      Orchestrator.reset_stop ();
+      let resumed = run ~jobs:2 ~checkpoint_path:path ~resume:true () in
+      check_bool "not stopped" false resumed.Orchestrator.stopped;
       check_bool "resume lands on the uninterrupted report" true
         (report_key full = report_key resumed))
 
@@ -359,12 +467,17 @@ let () =
           Alcotest.test_case "json round-trip" `Quick test_checkpoint_json_roundtrip;
           Alcotest.test_case "save/load" `Quick test_checkpoint_save_load;
           Alcotest.test_case "reads v1" `Quick test_checkpoint_reads_v1;
+          Alcotest.test_case "reads v2" `Quick test_checkpoint_reads_v2;
+          Alcotest.test_case "rejects future version" `Quick
+            test_checkpoint_rejects_future_version;
           Alcotest.test_case "load truncated" `Quick test_checkpoint_load_truncated;
           Alcotest.test_case "rejects garbage" `Quick test_checkpoint_rejects_garbage;
         ] );
       ( "resume",
         [
           Alcotest.test_case "stop then resume" `Slow test_stop_and_resume_round_trip;
+          Alcotest.test_case "graceful stop then resume" `Slow
+            test_graceful_stop_then_resume;
           Alcotest.test_case "provenance mismatch" `Slow
             test_resume_rejects_mismatched_provenance;
         ] );

@@ -558,7 +558,8 @@ let test_search_fuel_unknown () =
     "(declare-fun a () (Seq Int))(declare-fun b () (Seq Int))(declare-fun c () (Seq Int))\n(assert (forall ((x Int) (y Int)) (distinct (seq.++ a b c) (seq.unit (+ x y)))))(check-sat)"
   in
   match Search.solve ~max_steps:200 (parse_script_exn src) with
-  | Search.Unknown _ -> ()
+  | Search.Resource_limit -> ()
+  | Search.Unknown _ -> Alcotest.fail "expected Resource_limit, got Unknown"
   | Search.Sat _ | Search.Unsat -> Alcotest.fail "expected resource-out"
 
 (* ------------------------- Model ------------------------- *)
@@ -821,6 +822,7 @@ let test_incremental_push_pop () =
         match s.Engine.step_outcome with
         | Engine.Sat _ -> "sat"
         | Engine.Unsat -> "unsat"
+        | Engine.Resource_limit -> "unknown"
         | Engine.Unknown _ -> "unknown"
         | Engine.Error _ -> "error")
       steps

@@ -53,9 +53,17 @@ let all_records =
         signature = Some "src/x.cpp:1 f";
         bug_id = Some "cove-001";
         theory = Some "sets";
+        mode = Some "degraded:zeal-trunk";
       };
     Trace.Oracle_verdict
-      { kind = None; solver = None; signature = None; bug_id = None; theory = None };
+      {
+        kind = None;
+        solver = None;
+        signature = None;
+        bug_id = None;
+        theory = None;
+        mode = None;
+      };
   ]
 
 let test_record_roundtrip () =
@@ -83,6 +91,7 @@ let sample_finding =
     bug_id = Some "cove-001";
     theory = "sets";
     dedup_key = "crash:src/x.cpp:1 f";
+    mode = "differential";
   }
 
 let sample_promoted =

@@ -101,4 +101,53 @@ fi
 grep -q "byte offset" "$out/bad.log" || {
   echo "FAIL: diagnostic does not name the byte offset"; cat "$out/bad.log"; exit 1; }
 
+cli="$PWD/_build/default/bin/once4all_cli.exe"
+
+echo "== Graceful shutdown: SIGTERM drains, checkpoints, resumes identically =="
+"$cli" fuzz --budget 2000 --shard-size 100 --jobs 2 --progress 0 \
+  > "$out/g_full.log"
+"$cli" fuzz --budget 2000 --shard-size 100 --jobs 2 --progress 0 \
+  --checkpoint "$out/gcp.json" > "$out/g_stop.log" &
+gpid=$!
+sleep 1
+kill -TERM "$gpid" 2>/dev/null || true
+wait "$gpid" || {
+  echo "FAIL: SIGTERM-stopped campaign exited nonzero"; cat "$out/g_stop.log"; exit 1; }
+grep -q "stopped gracefully" "$out/g_stop.log" || {
+  echo "FAIL: campaign finished before the signal landed (or drain message missing)"
+  cat "$out/g_stop.log"; exit 1; }
+"$cli" resume --checkpoint "$out/gcp.json" --jobs 2 --progress 0 \
+  > "$out/g_resumed.log"
+grep -v '^resumed ' "$out/g_resumed.log" | diff "$out/g_full.log" - || {
+  echo "FAIL: resume after SIGTERM differs from the uninterrupted run"; exit 1; }
+
+echo "== Sick solver: breakers trip identically at --jobs 1 and --jobs 4 =="
+sick_flags="--chaos solver_hang --chaos-rate 1.0 --chaos-seed 7 \
+  --breaker-window 4 --breaker-threshold 2"
+"$cli" fuzz --budget 400 --shard-size 100 --jobs 1 $sick_flags \
+  --telemetry "$out/sick.jsonl" --progress 0 > "$out/sick1.log"
+"$cli" fuzz --budget 400 --shard-size 100 --jobs 4 $sick_flags \
+  --telemetry "$out/sick4.jsonl" --progress 0 > "$out/sick4.log"
+# the reports are identical up to the telemetry path each names
+diff <(grep -v '^telemetry written' "$out/sick1.log") \
+     <(grep -v '^telemetry written' "$out/sick4.log") || {
+  echo "FAIL: sick-solver --jobs 4 report differs from --jobs 1"; exit 1; }
+awk '/^breakers:/ { if ($3 > 0 && $5 > 0) found = 1 }
+     END { exit(found ? 0 : 1) }' "$out/sick1.log" || {
+  echo "FAIL: expected at least one breaker trip and one re-close"
+  cat "$out/sick1.log"; exit 1; }
+dune exec bin/once4all_cli.exe -- stats --strict "$out/sick.jsonl" > /dev/null
+
+echo "== Degraded oracle: open breakers never yield a soundness finding =="
+# single-pattern greps: `grep | grep -q` would SIGPIPE under pipefail
+grep -q '"event":"health.breaker".*"to":"open"' "$out/sick.jsonl" || {
+  echo "FAIL: no breaker-open events in the sick-solver telemetry"; exit 1; }
+grep -q '"event":"health.breaker".*"to":"closed"' "$out/sick.jsonl" || {
+  echo "FAIL: no half-open probe ever re-closed a breaker"; exit 1; }
+if grep -q '"event":"oracle.finding".*"kind":"soundness".*"mode":"degraded' \
+     "$out/sick.jsonl"; then
+  echo "FAIL: a degraded-mode (single-solver) soundness finding was reported"
+  exit 1
+fi
+
 echo "OK"
