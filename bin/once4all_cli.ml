@@ -172,6 +172,23 @@ let dump_metrics tel telemetry_path =
     Telemetry.flush tel;
     Printf.printf "\ntelemetry written to %s\n" path
 
+(* The live progress HUD: a stderr-only view of the merge owner's progress
+   snapshots. In-place rewrite when stderr is a TTY, one plain line per merged
+   shard otherwise (so piped/logged runs stay readable). Strictly an observer:
+   it writes nothing to stdout and emits no telemetry, so a --progress run's
+   report and JSONL log are byte-identical to a run without the flag. *)
+let make_hud () =
+  let tty = try Unix.isatty Unix.stderr with Unix.Unix_error _ -> false in
+  let painted = ref false in
+  let paint (p : O4a_profile.Hud.progress) =
+    let line = O4a_profile.Hud.render p in
+    painted := true;
+    if tty then Printf.eprintf "\r\027[K%s%!" line
+    else Printf.eprintf "%s\n%!" line
+  in
+  let finish () = if tty && !painted then Printf.eprintf "\n%!" in
+  (paint, finish)
+
 (* First SIGINT/SIGTERM: raise the orchestrator's stop flag — workers drain
    at the next shard boundary, the checkpoint and partial report are flushed,
    and the process exits 0. A second signal aborts immediately with the
@@ -202,11 +219,13 @@ let run_sharded_campaign ~tel ~telemetry_path ~seed ~budget ~profile
     (List.length campaign.Once4all.Campaign.generators)
     (List.length seeds) budget;
   let config =
-    {
-      Once4all.Fuzz.default_config with
-      Once4all.Fuzz.use_skeletons = not no_skeletons;
-      progress_every = progress;
-    }
+    { Once4all.Fuzz.default_config with Once4all.Fuzz.use_skeletons = not no_skeletons }
+  in
+  let on_progress, finish_hud =
+    if progress then (
+      let paint, finish = make_hud () in
+      (Some paint, finish))
+    else (None, fun () -> ())
   in
   let extra =
     [
@@ -241,13 +260,19 @@ let run_sharded_campaign ~tel ~telemetry_path ~seed ~budget ~profile
   match
     Orchestrator.run ~jobs ~shard_size ~config ~telemetry:tel
       ?checkpoint_path ~resume ?stop_after ~extra ?trace_dir ?ring_size ?chaos
-      ?health ~seed:(seed + 1) ~budget
+      ?health ~profiling:progress ?on_progress ~seed:(seed + 1) ~budget
       ~generators:campaign.Once4all.Campaign.generators ~seeds ()
   with
   | exception Failure msg ->
+    finish_hud ();
     Printf.eprintf "%s\n" msg;
     1
   | r ->
+    finish_hud ();
+    (* end-of-campaign profile summary, stderr like the HUD itself *)
+    if progress && r.Orchestrator.profile <> O4a_profile.Profile.empty then
+      Printf.eprintf "%s\n%!"
+        (O4a_profile.Hud.profile_line r.Orchestrator.profile);
     if r.Orchestrator.shards_resumed > 0 then
       Printf.printf "resumed %d completed shard%s from checkpoint\n"
         r.Orchestrator.shards_resumed
@@ -405,11 +430,29 @@ let read_file path =
 
 (* ---------------- stats ---------------- *)
 
+(* Logs declare their wire-format version in a header event (see
+   [Event.schema_event]); refuse logs newer than this tool rather than
+   misparse them, and read header-less logs as v1 (they predate versioning). *)
+let check_log_schema path events =
+  match Event.log_schema_version events with
+  | Some v when v > Event.schema_version ->
+    Error
+      (Printf.sprintf
+         "%s: log schema version %d is newer than this tool understands \
+          (%d); refusing to misparse it"
+         path v Event.schema_version)
+  | schema -> Ok schema
+
 (* Offline summary of a --telemetry JSONL log: per-stage latency percentiles,
    per-generator throughput, verdict mix, and a consistency check of the
    final counters against the event stream. *)
 let stats_cmd path strict =
   let events, malformed, torn = Event.parse_log (read_file path) in
+  match check_log_schema path events with
+  | Error msg ->
+    Printf.eprintf "%s\n" msg;
+    2
+  | Ok schema ->
   let named name = List.filter (fun (e : Event.t) -> e.Event.name = name) events in
   let str_field e k =
     match Event.field k e with Some (Json.String s) -> Some s | _ -> None
@@ -422,6 +465,11 @@ let stats_cmd path strict =
   if torn then
     Printf.printf
       "warning: log ends in a torn line (writer killed mid-write); skipped\n";
+  (match schema with
+  | None ->
+    Printf.printf
+      "note: unversioned log (predates the schema header); reading as v1\n"
+  | Some _ -> ());
   let elapsed =
     match List.map (fun (e : Event.t) -> e.Event.ts) events with
     | [] -> 0.
@@ -634,6 +682,112 @@ let stats_cmd path strict =
   | _ -> Printf.printf "\n(no campaign.end event; log may be truncated)\n");
   if strict && (malformed > 0 || not !consistent) then 1 else 0
 
+(* Side-by-side comparison of two telemetry logs: per-stage span count and
+   latency-percentile deltas plus end-to-end throughput — the offline
+   counterpart of `bench throughput` for two already-recorded campaigns. *)
+let stats_diff path_a path_b =
+  let load path =
+    let events, malformed, _torn = Event.parse_log (read_file path) in
+    match check_log_schema path events with
+    | Error msg ->
+      Printf.eprintf "%s\n" msg;
+      None
+    | Ok _ ->
+      if malformed > 0 then
+        Printf.eprintf "%s: skipped %d malformed line%s\n" path malformed
+          (if malformed = 1 then "" else "s");
+      Some events
+  in
+  match (load path_a, load path_b) with
+  | None, _ | _, None -> 2
+  | Some a, Some b ->
+    let span_ms events =
+      events
+      |> List.filter_map (fun (e : Event.t) ->
+             if e.Event.name <> "span" then None
+             else
+               match
+                 ( Event.field "stage" e,
+                   Option.bind (Event.field "dur_us" e) Json.to_float )
+               with
+               | Some (Json.String s), Some d -> Some (s, d /. 1000.)
+               | _ -> None)
+      |> O4a_util.Listx.group_by fst
+      |> List.map (fun (stage, group) -> (stage, List.map snd group))
+    in
+    let sa = span_ms a and sb = span_ms b in
+    let stages =
+      List.sort_uniq compare (List.map fst sa @ List.map fst sb)
+    in
+    let delta av bv =
+      if av = 0. then "     n/a"
+      else Printf.sprintf "%+7.1f%%" (100. *. (bv -. av) /. av)
+    in
+    Printf.printf "A = %s\nB = %s\n" path_a path_b;
+    if stages <> [] then (
+      Printf.printf
+        "\nstage latency deltas (ms, all workers):\n\
+        \  %-16s %7s %7s %9s %9s %8s %9s %9s %8s\n"
+        "stage" "cntA" "cntB" "p50A" "p50B" "d-p50" "p99A" "p99B" "d-p99";
+      List.iter
+        (fun stage ->
+          let ms side = Option.value ~default:[] (List.assoc_opt stage side) in
+          let msa = ms sa and msb = ms sb in
+          let pct q l =
+            if l = [] then 0. else O4a_util.Stats.percentile q l
+          in
+          let p50a = pct 50. msa and p50b = pct 50. msb in
+          let p99a = pct 99. msa and p99b = pct 99. msb in
+          Printf.printf "  %-16s %7d %7d %9.3f %9.3f %8s %9.3f %9.3f %8s\n"
+            stage (List.length msa) (List.length msb) p50a p50b
+            (delta p50a p50b) p99a p99b (delta p99a p99b))
+        stages);
+    let elapsed events =
+      match List.map (fun (e : Event.t) -> e.Event.ts) events with
+      | [] -> 0.
+      | ts -> O4a_util.Stats.maximum ts -. O4a_util.Stats.minimum ts
+    in
+    let count name events =
+      List.length
+        (List.filter (fun (e : Event.t) -> e.Event.name = name) events)
+    in
+    let ea = elapsed a and eb = elapsed b in
+    let ta = count "fuzz.test" a and tb = count "fuzz.test" b in
+    let rate t e = if e > 0. then float_of_int t /. e else 0. in
+    Printf.printf "\ntotals:\n  %-12s %12s %12s %10s\n" "" "A" "B" "delta";
+    Printf.printf "  %-12s %12d %12d %10s\n" "tests" ta tb
+      (delta (float_of_int ta) (float_of_int tb));
+    let findings events =
+      List.length
+        (List.filter
+           (fun (e : Event.t) ->
+             e.Event.name = "fuzz.test"
+             &&
+             match Event.field "finding" e with
+             | Some (Json.String _) -> true
+             | _ -> false)
+           events)
+    in
+    let fa = findings a and fb = findings b in
+    Printf.printf "  %-12s %12d %12d %10s\n" "findings" fa fb
+      (delta (float_of_int fa) (float_of_int fb));
+    Printf.printf "  %-12s %12.2f %12.2f %10s\n" "elapsed (s)" ea eb
+      (delta ea eb);
+    Printf.printf "  %-12s %12.1f %12.1f %10s\n" "tests/s" (rate ta ea)
+      (rate tb eb)
+      (delta (rate ta ea) (rate tb eb));
+    0
+
+(* `stats FILE` summarizes one log; `stats --diff A B` (or just giving a
+   second positional) compares two. *)
+let stats_main path path_b diff strict =
+  match (path_b, diff) with
+  | Some b, _ -> stats_diff path b
+  | None, true ->
+    Printf.eprintf "stats: --diff needs two log files (stats --diff A B)\n";
+    2
+  | None, false -> stats_cmd path strict
+
 (* ---------------- replay / trace / triage ---------------- *)
 
 (* Re-run the differential oracle on one formula with fresh trunk engines —
@@ -816,9 +970,14 @@ let telemetry_arg =
            ~doc:"write a JSONL event log (read it back with the stats subcommand)")
 
 let progress_arg =
-  Arg.(value & opt int 500
-       & info [ "progress" ] ~docv:"N"
-           ~doc:"emit a progress report every N tests (0 disables)")
+  Arg.(value & flag
+       & info [ "progress" ]
+           ~doc:"render a live progress HUD on stderr (shards, ticks/sec, \
+                 coverage, findings, quarantines, breaker trips; in-place on \
+                 a TTY, one line per merged shard otherwise) plus an \
+                 end-of-run per-stage profile line. Purely an observer: the \
+                 report and any --telemetry log are byte-identical with or \
+                 without it")
 
 let jobs_arg =
   Arg.(value & opt int 1
@@ -922,14 +1081,25 @@ let resume_cmd =
 
 let stats_cmd_v =
   let file = Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE") in
+  let file_b =
+    Arg.(value & pos 1 (some file) None
+         & info [] ~docv:"FILE2"
+             ~doc:"second log: print per-stage deltas instead of a summary")
+  in
+  let diff =
+    Arg.(value & flag
+         & info [ "diff" ]
+             ~doc:"compare two logs (per-stage latency and throughput deltas)")
+  in
   let strict =
     Arg.(value & flag
          & info [ "strict" ]
              ~doc:"exit nonzero on malformed lines or counter mismatches")
   in
   Cmd.v
-    (Cmd.info "stats" ~doc:"summarize a --telemetry JSONL event log")
-    Term.(const stats_cmd $ file $ strict)
+    (Cmd.info "stats"
+       ~doc:"summarize a --telemetry JSONL event log, or diff two of them")
+    Term.(const stats_main $ file $ file_b $ diff $ strict)
 
 let replay_cmd =
   let file = Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE") in

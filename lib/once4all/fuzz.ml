@@ -270,6 +270,9 @@ let run_loop ~rng ~config ~tel ~first_tick ~generators ~seeds ~zeal ~cove
       (* chaos probe: a planned worker death fires here, between two tests,
          so the killed attempt never leaves a half-recorded trace open *)
       O4a_faults.Faults.tick ();
+      (* one profile tick per test: the denominator for bytes/tick and
+         consults/tick in the campaign profile *)
+      O4a_profile.Profile.tick ();
       Trace.Recorder.start recorder ~tick:(first_tick + !stats.tests);
       if Trace.noting () then (
         let printed = Printer.script !current in

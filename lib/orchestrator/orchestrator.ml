@@ -14,6 +14,8 @@ module Trace = O4a_trace.Trace
 module Bundle = O4a_trace.Bundle
 module Faults = O4a_faults.Faults
 module Health = O4a_health.Health
+module Profile = O4a_profile.Profile
+module Hud = O4a_profile.Hud
 
 let log_src =
   Logs.Src.create "once4all.orchestrator" ~doc:"Parallel campaign orchestrator"
@@ -37,6 +39,7 @@ type report = {
   shard_retries : int;
   faults_injected : int;
   health : Health.entry list;
+  profile : Profile.t;
   stopped : bool;
 }
 
@@ -94,10 +97,11 @@ type shard_payload = {
   cov_export : (string * int) list;
   promoted : Trace.promoted list;
   health_export : Health.entry list;
+  profile_export : Profile.t;
 }
 
 let run_one_shard ~worker_id ~tel_enabled ~tracing ~ring_size ~config
-    ~generators ~seeds ~zeal ~cove ~seed ~health shard =
+    ~generators ~seeds ~zeal ~cove ~seed ~health ~profiling shard =
   let wtel =
     if tel_enabled then
       Telemetry.create ~sink:(Sink.memory ())
@@ -123,16 +127,23 @@ let run_one_shard ~worker_id ~tel_enabled ~tracing ~ring_size ~config
     | Some cfg -> Health.make_ledger cfg
     | None -> Health.disabled
   in
+  (* the profile ledger follows the coverage/health pattern: fresh per shard
+     attempt, ambient on the worker domain, merged commutatively at the
+     barrier. It wraps only the fuzz loop itself — per-shard setup (engine
+     state, telemetry handle, recorder) stays outside, which is part of what
+     keeps the deterministic projection identical at any --jobs N. *)
+  let pledger = if profiling then Profile.make_ledger () else Profile.disabled in
   let rng = Shard.rng ~seed shard in
   let stats =
     Coverage.with_ledger ledger (fun () ->
         Telemetry.using wtel (fun () ->
             Trace.Recorder.using recorder (fun () ->
                 Health.using hledger (fun () ->
-                    Fuzz.run_shard ~rng ~config ~telemetry:wtel
-                      ~shard_index:shard.Shard.index
-                      ~first_tick:shard.Shard.first_tick ~generators ~seeds
-                      ~zeal ~cove ~budget:shard.Shard.ticks ()))))
+                    Profile.using pledger (fun () ->
+                        Fuzz.run_shard ~rng ~config ~telemetry:wtel
+                          ~shard_index:shard.Shard.index
+                          ~first_tick:shard.Shard.first_tick ~generators ~seeds
+                          ~zeal ~cove ~budget:shard.Shard.ticks ())))))
   in
   {
     sr =
@@ -149,6 +160,7 @@ let run_one_shard ~worker_id ~tel_enabled ~tracing ~ring_size ~config
     cov_export = Coverage.export ledger;
     promoted = Trace.Recorder.promoted recorder;
     health_export = Health.export hledger;
+    profile_export = Profile.export pledger;
   }
 
 (* ------------------------------------------------------------------ *)
@@ -268,7 +280,8 @@ let load_base ~resume ~checkpoint_path ~seed ~budget ~shard_size =
 let run ?(jobs = 1) ?(shard_size = default_shard_size)
     ?(config = Fuzz.default_config) ?telemetry ?checkpoint_path
     ?(resume = false) ?stop_after ?(extra = []) ?engines ?trace_dir ?ring_size
-    ?chaos ?health ~seed ~budget ~generators ~seeds () =
+    ?chaos ?health ?(profiling = false) ?on_progress ~seed ~budget ~generators
+    ~seeds () =
   if jobs < 1 then invalid_arg "Orchestrator.run: jobs must be >= 1";
   let chaos =
     match chaos with Some p when Faults.enabled p -> Some p | _ -> None
@@ -352,7 +365,29 @@ let run ?(jobs = 1) ?(shard_size = default_shard_size)
   let next = Atomic.make 0 in
   let tel_enabled = Telemetry.enabled tel in
   let tracing = trace_dir <> None in
+  let t_start = Unix.gettimeofday () in
+  let attempt ~worker_id ~zeal ~cove shard () =
+    (* Per-worker engines accumulate internal state across the shards a
+       domain happens to execute, which leaves shard results untouched (the
+       resume path already proves a shard run on a fresh engine merges
+       identically) but makes per-stage allocation counts depend on the
+       shard schedule. Profiled runs therefore give every shard attempt
+       factory-fresh engines — constructed here, outside the profile
+       ledger's scope, so construction is charged to no stage — keeping
+       {!O4a_profile.Profile.strip_timing} byte-identical at any [jobs]. *)
+    let zeal, cove = if profiling then engines () else (zeal, cove) in
+    run_one_shard ~worker_id ~tel_enabled ~tracing ~ring_size ~config
+      ~generators ~seeds ~zeal ~cove ~seed ~health ~profiling shard
+  in
+  (* backtrace recording is per-domain runtime state: a fresh domain starts
+     from the OCAMLRUNPARAM default, silently dropping whatever the
+     application (or test harness) enabled on the main domain. Mirror it so
+     worker crashes keep their backtraces — and so a raise costs the same
+     counted words on every path, keeping the profile's exact allocation
+     total identical between the inline (jobs <= 1) and worker paths. *)
+  let record_backtraces = Printexc.backtrace_status () in
   let worker worker_id () =
+    Printexc.record_backtrace record_backtraces;
     let zeal, cove = engines () in
     let rec loop () =
       (* graceful stop lands on a shard boundary: a worker mid-shard finishes
@@ -361,10 +396,7 @@ let run ?(jobs = 1) ?(shard_size = default_shard_size)
         let i = Atomic.fetch_and_add next 1 in
         if i < n_to_run then (
           let shard = shard_arr.(i) in
-          let run_attempt () =
-            run_one_shard ~worker_id ~tel_enabled ~tracing ~ring_size ~config
-              ~generators ~seeds ~zeal ~cove ~seed ~health shard
-          in
+          let run_attempt = attempt ~worker_id ~zeal ~cove shard in
           push
             (Msg_shard (shard, run_supervised ~chaos ~run_attempt shard.Shard.index));
           loop ()))
@@ -381,10 +413,38 @@ let run ?(jobs = 1) ?(shard_size = default_shard_size)
   let campaign_health =
     ref (match base with Some cp -> cp.Checkpoint.health | None -> [])
   in
+  (* profile counters cover the shards this process executed; resumed shards
+     contribute nothing (the checkpoint carries no profile) *)
+  let campaign_profile = ref Profile.empty in
   let promoted_by_shard = ref [] in
   let errors = ref [] in
   let shard_retries = ref 0 in
   let faults_injected = ref 0 in
+  (* merge-time progress snapshot for the HUD callback: a pure function of
+     already-merged state, so observing it cannot perturb the campaign *)
+  let notify_progress () =
+    match on_progress with
+    | None -> ()
+    | Some f ->
+      let sum g = List.fold_left (fun acc r -> acc + g r) 0 !completed in
+      f
+        {
+          Hud.shards_done = List.length !completed + List.length !quarantined;
+          shards_total = List.length plan;
+          ticks_done = sum (fun (r : Checkpoint.shard_result) -> r.Checkpoint.tests);
+          budget;
+          findings =
+            sum (fun (r : Checkpoint.shard_result) ->
+                List.length r.Checkpoint.findings);
+          coverage_points = List.length (Coverage.export campaign_ledger);
+          quarantined = List.length !quarantined;
+          breaker_trips =
+            List.fold_left
+              (fun acc (e : Health.entry) -> acc + e.Health.opened)
+              0 !campaign_health;
+          elapsed_s = Unix.gettimeofday () -. t_start;
+        }
+  in
   (* Supervised save: the Checkpoint_corrupt site tears the write on the main
      domain (a truncated raw dump instead of the atomic write-then-rename),
      then the verify step detects the corruption through the same
@@ -486,18 +546,10 @@ let run ?(jobs = 1) ?(shard_size = default_shard_size)
             ]))
       logs
   in
-  let domains =
-    if nworkers <= 1 || n_to_run = 0 then (
-      (* degenerate case: run the whole queue on this domain, then drain *)
-      worker 0 ();
-      [])
-    else List.init nworkers (fun wid -> Domain.spawn (worker wid))
-  in
-  let live_workers = ref (if domains = [] then 1 else List.length domains) in
   let processed = ref 0 in
   let handle_msg shard outcome =
     incr processed;
-    match (shard, outcome) with
+    (match (shard, outcome) with
     | shard, Failed msg -> errors := (shard.Shard.index, msg) :: !errors
     | shard, Quarantined logs ->
       let shard_idx = shard.Shard.index in
@@ -540,20 +592,41 @@ let run ?(jobs = 1) ?(shard_size = default_shard_size)
       Telemetry.absorb_metrics tel payload.metric_entries;
       Coverage.merge_into ~into:campaign_ledger payload.cov_export;
       campaign_health := Health.merge !campaign_health payload.health_export;
+      campaign_profile := Profile.merge !campaign_profile payload.profile_export;
       completed := payload.sr :: !completed;
       if payload.promoted <> [] then
         promoted_by_shard := (shard_idx, payload.promoted) :: !promoted_by_shard;
       save_checkpoint ~after_shard:shard_idx;
       Log.debug (fun m ->
           m "shard %d merged (%d/%d done)" shard_idx (List.length !completed)
-            (List.length plan))
+            (List.length plan)));
+    notify_progress ()
   in
-  while !live_workers > 0 do
-    match pop () with
-    | Msg_worker_done -> decr live_workers
-    | Msg_shard (shard, outcome) -> handle_msg shard outcome
-  done;
-  List.iter Domain.join domains;
+  notify_progress ();
+  (if nworkers <= 1 || n_to_run = 0 then (
+     (* degenerate case: run and merge inline on this domain, shard by shard —
+        same single-owner merge as the parallel path, but progress callbacks
+        fire live instead of after a full drain *)
+     let zeal, cove = engines () in
+     let rec loop () =
+       if not (stop_requested ()) then (
+         let i = Atomic.fetch_and_add next 1 in
+         if i < n_to_run then (
+           let shard = shard_arr.(i) in
+           let run_attempt = attempt ~worker_id:0 ~zeal ~cove shard in
+           handle_msg shard (run_supervised ~chaos ~run_attempt shard.Shard.index);
+           loop ()))
+     in
+     loop ())
+   else (
+     let domains = List.init nworkers (fun wid -> Domain.spawn (worker wid)) in
+     let live_workers = ref (List.length domains) in
+     while !live_workers > 0 do
+       match pop () with
+       | Msg_worker_done -> decr live_workers
+       | Msg_shard (shard, outcome) -> handle_msg shard outcome
+     done;
+     List.iter Domain.join domains));
   let stopped = stop_requested () && !processed < n_to_run in
   if stopped then (
     Telemetry.emit tel "campaign.stopped"
@@ -650,5 +723,6 @@ let run ?(jobs = 1) ?(shard_size = default_shard_size)
     shard_retries = !shard_retries;
     faults_injected = !faults_injected;
     health = !campaign_health;
+    profile = !campaign_profile;
     stopped;
   }

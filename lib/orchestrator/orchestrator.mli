@@ -54,6 +54,12 @@ type report = {
   health : O4a_health.Health.entry list;
       (** merged per-(solver, theory) health counters from every merged
           shard, sorted; empty when [health] was not given *)
+  profile : O4a_profile.Profile.t;
+      (** merged per-stage profile from the shards this process executed
+          (resumed shards contribute nothing — checkpoints carry no
+          profile); {!O4a_profile.Profile.empty} unless [profiling] was set.
+          Its {!O4a_profile.Profile.strip_timing} projection is identical at
+          any [jobs] *)
   stopped : bool;
       (** a graceful stop ({!request_stop}) drained the campaign before all
           planned shards ran; everything merged so far is checkpointed *)
@@ -94,6 +100,8 @@ val run :
   ?ring_size:int ->
   ?chaos:O4a_faults.Faults.plan ->
   ?health:O4a_health.Health.config ->
+  ?profiling:bool ->
+  ?on_progress:(O4a_profile.Hud.progress -> unit) ->
   seed:int ->
   budget:int ->
   generators:Gensynth.Generator.t list ->
@@ -139,6 +147,16 @@ val run :
       which findings are tagged degraded — is identical at any [jobs].
       [None] disables breakers entirely and changes nothing about existing
       campaigns.
+    - [profiling]: run each shard under a fresh {!O4a_profile.Profile}
+      ledger (the coverage-ledger pattern) and merge the exports into the
+      report's [profile]. Profiling only samples counters at span
+      boundaries — it never changes what the campaign computes.
+    - [on_progress]: called by the merge owner once before any shard runs
+      and again after every merged (or quarantined) shard, with a snapshot
+      of already-merged state — the live-HUD hook. The callback runs on the
+      calling domain, must not raise, and observes the campaign without
+      perturbing it: a run with a callback produces byte-identical reports
+      and telemetry to one without.
 
     Raises [Failure] if any shard raises a non-injected exception (after
     merging and checkpointing the shards that did finish). *)

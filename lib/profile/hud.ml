@@ -1,0 +1,50 @@
+type progress = {
+  shards_done : int;
+  shards_total : int;
+  ticks_done : int;
+  budget : int;
+  findings : int;
+  coverage_points : int;
+  quarantined : int;
+  breaker_trips : int;
+  elapsed_s : float;
+}
+
+let render ?(width = 24) p =
+  let frac =
+    if p.shards_total <= 0 then 1.
+    else float_of_int p.shards_done /. float_of_int p.shards_total
+  in
+  let filled = min width (max 0 (int_of_float (frac *. float_of_int width))) in
+  let bar = String.make filled '#' ^ String.make (width - filled) '-' in
+  let tps =
+    if p.elapsed_s > 0. then float_of_int p.ticks_done /. p.elapsed_s else 0.
+  in
+  Printf.sprintf
+    "[%s] %d/%d shards  %d/%d ticks  %.0f t/s  cov %d  findings %d  quar %d  \
+     breakers %d"
+    bar p.shards_done p.shards_total p.ticks_done p.budget tps
+    p.coverage_points p.findings p.quarantined p.breaker_trips
+
+let profile_line (p : Profile.t) =
+  let word_bytes = Sys.word_size / 8 in
+  let ticks = max 1 p.Profile.ticks in
+  let total_wall = max 1 (Profile.total_wall_ns p) in
+  let shares =
+    p.Profile.stages
+    |> List.sort (fun (a : Profile.entry) b ->
+           compare b.Profile.wall_ns a.Profile.wall_ns)
+    |> List.filter_map (fun (e : Profile.entry) ->
+           let pct = e.Profile.wall_ns * 100 / total_wall in
+           if pct < 1 then None
+           else
+             Some
+               (Printf.sprintf "%s %d%%"
+                  (Profile.display_name e.Profile.stage)
+                  pct))
+  in
+  Printf.sprintf "profile: %s | %d B/tick  %.2f consults/tick  (%d ticks)"
+    (String.concat "  " shares)
+    (Profile.total_alloc_words p * word_bytes / ticks)
+    (float_of_int (Profile.total_consults p) /. float_of_int ticks)
+    p.Profile.ticks

@@ -1,0 +1,29 @@
+(** Pure rendering for the live campaign progress HUD.
+
+    The orchestrator's merge owner builds a {!progress} snapshot after every
+    merged shard; the CLI decides how to paint it (in-place [\r] rewrite on a
+    TTY, one line per update otherwise). Rendering is pure — the HUD itself
+    never emits telemetry or touches campaign state, which is what keeps a
+    [--progress] run's reports and logs byte-identical to one without it. *)
+
+type progress = {
+  shards_done : int;  (** merged + quarantined + resumed *)
+  shards_total : int;
+  ticks_done : int;
+  budget : int;
+  findings : int;
+  coverage_points : int;  (** merged campaign coverage ledger size *)
+  quarantined : int;
+  breaker_trips : int;  (** health-breaker transitions into Open so far *)
+  elapsed_s : float;
+}
+
+val render : ?width:int -> progress -> string
+(** One status line: progress bar ([width] cells, default 24), shard and tick
+    counts, ticks/sec, coverage, findings, quarantines, breaker trips. No
+    trailing newline. *)
+
+val profile_line : Profile.t -> string
+(** End-of-campaign one-liner from the merged profile: the top stages by
+    exclusive wall share (paper vocabulary, {!Profile.display_name}), plus
+    allocated bytes/tick and solver consults/tick. *)

@@ -26,36 +26,50 @@ let verdict_label = function
 
 (* Record one solver query: the span covers the whole engine run; the
    oracle.verdict event carries the verdict plus the engine's per-query
-   activity (fuel, decisions, propagations). *)
+   activity (fuel, decisions, propagations). When a profile ledger is
+   recording, the query (and its fuel) is charged to the "solver.run" stage
+   from inside the span — even on a disabled telemetry handle, whose spans
+   still fire the ambient span hook. *)
 let observed tel engine f =
-  if not (Telemetry.enabled tel) then f ()
+  let module Profile = O4a_profile.Profile in
+  let live = Telemetry.enabled tel in
+  let profiling = Profile.recording () in
+  if not (live || profiling) then f ()
   else (
     let solver = Engine.name engine in
     let result =
-      Telemetry.with_span tel ~labels:[ ("solver", solver) ] "solver.run" f
+      Telemetry.with_span tel ~labels:[ ("solver", solver) ] "solver.run"
+        (fun () ->
+          let r = f () in
+          if profiling then
+            Profile.consult ~fuel:(Engine.last_query_stats engine).Engine.steps ();
+          r)
     in
-    let q = Engine.last_query_stats engine in
-    Telemetry.incr tel ~labels:[ ("solver", solver) ] "solver.queries";
-    Telemetry.incr tel
-      ~labels:[ ("solver", solver); ("verdict", verdict_label result) ]
-      "solver.verdicts";
-    Telemetry.incr tel ~labels:[ ("solver", solver) ] ~by:q.Engine.steps
-      "solver.fuel";
-    Telemetry.incr tel ~labels:[ ("solver", solver) ] ~by:q.Engine.decisions
-      "solver.decisions";
-    Telemetry.incr tel ~labels:[ ("solver", solver) ]
-      ~by:q.Engine.propagations "solver.propagations";
-    Telemetry.observe tel ~labels:[ ("solver", solver) ] "solver.fuel_per_query"
-      (float_of_int q.Engine.steps);
-    Telemetry.emit tel "oracle.verdict"
-      [
-        ("solver", Json.String solver);
-        ("verdict", Json.String (verdict_label result));
-        ("steps", Json.Int q.Engine.steps);
-        ("decisions", Json.Int q.Engine.decisions);
-        ("propagations", Json.Int q.Engine.propagations);
-      ];
-    result)
+    if not live then result
+    else (
+      let q = Engine.last_query_stats engine in
+      Telemetry.incr tel ~labels:[ ("solver", solver) ] "solver.queries";
+      Telemetry.incr tel
+        ~labels:[ ("solver", solver); ("verdict", verdict_label result) ]
+        "solver.verdicts";
+      Telemetry.incr tel ~labels:[ ("solver", solver) ] ~by:q.Engine.steps
+        "solver.fuel";
+      Telemetry.incr tel ~labels:[ ("solver", solver) ] ~by:q.Engine.decisions
+        "solver.decisions";
+      Telemetry.incr tel ~labels:[ ("solver", solver) ]
+        ~by:q.Engine.propagations "solver.propagations";
+      Telemetry.observe tel ~labels:[ ("solver", solver) ]
+        "solver.fuel_per_query"
+        (float_of_int q.Engine.steps);
+      Telemetry.emit tel "oracle.verdict"
+        [
+          ("solver", Json.String solver);
+          ("verdict", Json.String (verdict_label result));
+          ("steps", Json.Int q.Engine.steps);
+          ("decisions", Json.Int q.Engine.decisions);
+          ("propagations", Json.Int q.Engine.propagations);
+        ];
+      result))
 
 (* Chaos hook: consult the ambient fault injector before running the engine.
    A fired Solver_crash short-circuits into a spurious crash result whose

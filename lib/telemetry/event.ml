@@ -58,6 +58,25 @@ let parse_log content =
 
 let field key event = List.assoc_opt key event.fields
 
+(* The JSONL log format's version. Bumped when an event's wire shape changes
+   incompatibly; the ["telemetry.schema"] header event (written once, first
+   line of every log [Sink.open_jsonl] creates) lets readers reject logs
+   newer than themselves instead of misparsing. Logs with no header predate
+   versioning and are read as version 1. *)
+let schema_version = 1
+let schema_event_name = "telemetry.schema"
+
+let schema_event ~ts =
+  make ~ts ~name:schema_event_name [ ("version", Json.Int schema_version) ]
+
+let log_schema_version events =
+  List.find_map
+    (fun e ->
+      if e.name = schema_event_name then
+        Option.bind (field "version" e) Json.to_int
+      else None)
+    events
+
 let equal a b =
   a.name = b.name
   && Json.equal (Json.Float a.ts) (Json.Float b.ts)

@@ -31,6 +31,22 @@ val parse_log : string -> t list * int * bool
 
 val field : string -> t -> Json.t option
 
+(** {1 Log schema versioning} *)
+
+val schema_version : int
+(** Version of the JSONL wire format this library writes. *)
+
+val schema_event_name : string
+(** ["telemetry.schema"] — the header event's name. *)
+
+val schema_event : ts:float -> t
+(** The header event [Sink.open_jsonl] writes as the first line of every
+    log: [{"ts":…,"event":"telemetry.schema","version":N}]. *)
+
+val log_schema_version : t list -> int option
+(** The version declared by the first ["telemetry.schema"] event, if any.
+    [None] means the log predates versioning (read it as version 1). *)
+
 val equal : t -> t -> bool
 (** Field-wise equality; timestamps compare with [Json.equal]'s numeric
     coercion so a round trip through the printer is stable. *)

@@ -28,6 +28,14 @@ let open_jsonl path =
      one that simply never calls [close]) still leaves complete JSONL lines
      behind. [close] is idempotent, so the normal shutdown path is unaffected. *)
   at_exit (fun () -> close sink);
+  (* schema header, first line of every file this function creates. Memory
+     sinks (workers) never write one, so a merged campaign log carries exactly
+     one. Written before any fault injector can be armed on this domain. *)
+  (match sink with
+  | Channel c ->
+    output_string c.oc (Event.to_line (Event.schema_event ~ts:(Unix.gettimeofday ())));
+    output_char c.oc '\n'
+  | Null | Memory _ -> ());
   sink
 
 (* Chaos hook: a worker's ambient fault injector may fail this write, the

@@ -21,7 +21,9 @@ val jsonl : out_channel -> t
     closes channels opened by {!open_jsonl}. *)
 
 val open_jsonl : string -> t
-(** Create/truncate the file; the channel is closed by {!close}. The sink
+(** Create/truncate the file and write the {!Event.schema_event} header as
+    its first line, so readers can reject logs written by an incompatible
+    future format. The channel is closed by {!close}. The sink
     also registers an [at_exit] close, so a process that dies on an uncaught
     exception (or forgets to close) still flushes every fully emitted line —
     at worst the file ends in one torn line from a hard kill, which

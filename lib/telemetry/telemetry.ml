@@ -58,28 +58,50 @@ let set_gauge t ?(labels = []) name value =
 let observe t ?(labels = []) name x =
   if t.enabled then Metrics.observe_named t.metrics ~labels:(labels @ t.labels) name x
 
+(* Span hooks are domain-local and independent of any handle, so a profiling
+   layer can observe every span boundary on its domain — including spans taken
+   through the [disabled] handle — without the telemetry pipeline itself being
+   live, and without this library depending on the profiler. *)
+type span_hook = { on_enter : string -> unit; on_leave : string -> unit }
+
+let span_hook_key : span_hook option Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> None)
+
+let with_span_hook hook f =
+  let saved = Domain.DLS.get span_hook_key in
+  Domain.DLS.set span_hook_key (Some hook);
+  Fun.protect ~finally:(fun () -> Domain.DLS.set span_hook_key saved) f
+
+let instrumented_span t labels stage f =
+  let parent = match t.span_stack with [] -> None | p :: _ -> Some p in
+  let depth = List.length t.span_stack in
+  t.span_stack <- stage :: t.span_stack;
+  let start = t.clock () in
+  let finish () =
+    let dur = t.clock () -. start in
+    t.span_stack <- (match t.span_stack with _ :: rest -> rest | [] -> []);
+    Metrics.observe_named t.metrics
+      ~labels:(("stage", stage) :: (labels @ t.labels))
+      "stage.duration" dur;
+    emit t "span"
+      (("stage", Json.String stage)
+      :: ("dur_us", Json.Float (dur *. 1e6))
+      :: (match parent with
+         | Some p -> [ ("parent", Json.String p); ("depth", Json.Int depth) ]
+         | None -> [])
+      @ List.map (fun (k, v) -> (k, Json.String v)) labels)
+  in
+  Fun.protect ~finally:finish f
+
 let with_span t ?(labels = []) stage f =
-  if not t.enabled then f ()
-  else (
-    let parent = match t.span_stack with [] -> None | p :: _ -> Some p in
-    let depth = List.length t.span_stack in
-    t.span_stack <- stage :: t.span_stack;
-    let start = t.clock () in
-    let finish () =
-      let dur = t.clock () -. start in
-      t.span_stack <- (match t.span_stack with _ :: rest -> rest | [] -> []);
-      Metrics.observe_named t.metrics
-        ~labels:(("stage", stage) :: (labels @ t.labels))
-        "stage.duration" dur;
-      emit t "span"
-        (("stage", Json.String stage)
-        :: ("dur_us", Json.Float (dur *. 1e6))
-        :: (match parent with
-           | Some p -> [ ("parent", Json.String p); ("depth", Json.Int depth) ]
-           | None -> [])
-        @ List.map (fun (k, v) -> (k, Json.String v)) labels)
-    in
-    Fun.protect ~finally:finish f)
+  let body () =
+    if not t.enabled then f () else instrumented_span t labels stage f
+  in
+  match Domain.DLS.get span_hook_key with
+  | None -> body ()
+  | Some h ->
+    h.on_enter stage;
+    Fun.protect ~finally:(fun () -> h.on_leave stage) body
 
 let snapshot t = Metrics.snapshot t.metrics
 

@@ -64,6 +64,20 @@ val with_span : t -> ?labels:(string * string) list -> string -> (unit -> 'a) ->
     ["parent"] and ["depth"] fields. The duration is recorded even when [f]
     raises. *)
 
+(** {1 Span hooks}
+
+    A profiling layer (e.g. [O4a_profile.Profile]) can observe every span
+    boundary on its domain without the telemetry pipeline being live: the
+    ambient hook is domain-local, independent of any handle, and fires even
+    for spans taken through {!disabled}. The leave callback runs even when
+    the spanned function raises. *)
+
+type span_hook = { on_enter : string -> unit; on_leave : string -> unit }
+
+val with_span_hook : span_hook -> (unit -> 'a) -> 'a
+(** Install [hook] as the calling domain's ambient span hook for the call,
+    restoring the previous hook afterwards (also on exception). *)
+
 (** {1 Snapshots} *)
 
 val snapshot : t -> Metrics.entry list

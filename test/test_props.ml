@@ -1,12 +1,13 @@
 (* Cross-cutting property tests: the determinism contracts the chaos harness
    leans on. SMT-LIB printing must be a parser fixpoint (repro bundles round-
    trip), [Rng.split_indexed] must be a stable O(1) jump (shard and fault
-   plans are derived from it), and [Metrics.absorb] must commute (the merge
-   stage folds worker snapshots in completion order). *)
+   plans are derived from it), and [Metrics.absorb] and [Profile.merge] must
+   commute (the merge stage folds worker snapshots in completion order). *)
 
 open Smtlib
 module Rng = O4a_util.Rng
 module Metrics = O4a_telemetry.Metrics
+module Profile = O4a_profile.Profile
 module Campaign = Once4all.Campaign
 module Synthesize = Once4all.Synthesize
 
@@ -172,10 +173,77 @@ let metrics_props =
           once twice);
   ]
 
+(* ------------------------- Profile.merge ------------------------- *)
+
+(* worker profiles are merged at the shard barrier in completion order, so
+   the merge must be order-insensitive like [Metrics.absorb] above *)
+let gen_profile =
+  let open QCheck.Gen in
+  let entry =
+    oneofl [ "parse"; "skeletonize"; "synthesize"; "solver.run"; "other" ]
+    >>= fun stage ->
+    map3
+      (fun calls (wall_ns, alloc_words) (consults, fuel) ->
+        {
+          Profile.stage;
+          calls;
+          wall_ns;
+          alloc_words;
+          promoted_words = alloc_words / 4;
+          consults;
+          fuel;
+        })
+      (int_range 1 50)
+      (pair (int_range 0 1_000_000) (int_range 0 100_000))
+      (pair (int_range 0 30) (int_range 0 5_000))
+  in
+  map3
+    (fun ticks alloc_words stages -> { Profile.ticks; alloc_words; stages })
+    (int_range 0 500) (int_range 0 1_000_000) (small_list entry)
+
+let arb_profile =
+  QCheck.make
+    ~print:(fun p -> O4a_telemetry.Json.to_string (Profile.to_json p))
+    gen_profile
+
+(* generated stage lists may repeat a stage; merging with [empty]
+   canonicalizes (dedups and sorts) without changing totals *)
+let canon p = Profile.merge p Profile.empty
+
+let profile_props =
+  [
+    QCheck.Test.make ~name:"merge commutes" ~count:300
+      QCheck.(pair arb_profile arb_profile)
+      (fun (a, b) -> Profile.merge a b = Profile.merge b a);
+    QCheck.Test.make ~name:"merge is associative" ~count:300
+      QCheck.(triple arb_profile arb_profile arb_profile)
+      (fun (a, b, c) ->
+        Profile.merge (Profile.merge a b) c
+        = Profile.merge a (Profile.merge b c));
+    QCheck.Test.make ~name:"empty is the identity" ~count:300 arb_profile
+      (fun p -> Profile.merge (canon p) Profile.empty = canon p);
+    QCheck.Test.make ~name:"merge preserves totals" ~count:300
+      QCheck.(pair arb_profile arb_profile)
+      (fun (a, b) ->
+        let m = Profile.merge a b in
+        m.Profile.ticks = a.Profile.ticks + b.Profile.ticks
+        && Profile.total_alloc_words m
+           = Profile.total_alloc_words a + Profile.total_alloc_words b
+        && Profile.total_consults m
+           = Profile.total_consults a + Profile.total_consults b
+        && Profile.total_fuel m = Profile.total_fuel a + Profile.total_fuel b);
+    QCheck.Test.make ~name:"strip_timing commutes with merge" ~count:300
+      QCheck.(pair arb_profile arb_profile)
+      (fun (a, b) ->
+        Profile.strip_timing (Profile.merge a b)
+        = Profile.merge (Profile.strip_timing a) (Profile.strip_timing b));
+  ]
+
 let () =
   Alcotest.run "props"
     [
       ("smtlib", List.map QCheck_alcotest.to_alcotest script_props);
       ("rng", List.map QCheck_alcotest.to_alcotest rng_props);
       ("metrics", List.map QCheck_alcotest.to_alcotest metrics_props);
+      ("profile", List.map QCheck_alcotest.to_alcotest profile_props);
     ]

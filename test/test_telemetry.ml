@@ -310,6 +310,13 @@ let test_jsonl_roundtrip () =
             | Error m -> Alcotest.failf "bad line %S: %s" l m)
           !lines
       in
+      (* open_jsonl writes the schema header as the first line *)
+      let header, got =
+        match got with h :: rest -> (h, rest) | [] -> Alcotest.fail "empty log"
+      in
+      check_str "header event" Event.schema_event_name header.Event.name;
+      check_bool "header version" true
+        (Event.log_schema_version [ header ] = Some Event.schema_version);
       check_int "line per event" (List.length sent) (List.length got);
       List.iter2
         (fun a b ->

@@ -23,22 +23,22 @@ dune exec bin/once4all_cli.exe -- stats --strict "$out/run.jsonl"
 
 echo "== Parallel determinism: --jobs 2 reproduces --jobs 1 =="
 dune exec bin/once4all_cli.exe -- fuzz --budget 400 --shard-size 100 --jobs 1 \
-  --progress 0 > "$out/jobs1.log"
+  > "$out/jobs1.log"
 dune exec bin/once4all_cli.exe -- fuzz --budget 400 --shard-size 100 --jobs 2 \
-  --progress 0 > "$out/jobs2.log"
+  > "$out/jobs2.log"
 diff "$out/jobs1.log" "$out/jobs2.log" || {
   echo "FAIL: --jobs 2 report differs from --jobs 1"; exit 1; }
 
 echo "== Parallel telemetry: stats --strict on a --jobs 2 log =="
 dune exec bin/once4all_cli.exe -- fuzz --budget 400 --shard-size 100 --jobs 2 \
-  --telemetry "$out/jobs2.jsonl" --progress 0 > /dev/null
+  --telemetry "$out/jobs2.jsonl" > /dev/null
 dune exec bin/once4all_cli.exe -- stats --strict "$out/jobs2.jsonl"
 
 echo "== Repro bundles: jobs-invariant trace tree, repro.sh replays =="
 dune exec bin/once4all_cli.exe -- fuzz --budget 400 --shard-size 100 --jobs 1 \
-  --trace-dir "$out/t1" --progress 0 > /dev/null
+  --trace-dir "$out/t1" > /dev/null
 dune exec bin/once4all_cli.exe -- fuzz --budget 400 --shard-size 100 --jobs 2 \
-  --trace-dir "$out/t2" --progress 0 > /dev/null
+  --trace-dir "$out/t2" > /dev/null
 diff -r "$out/t1" "$out/t2" || {
   echo "FAIL: --jobs 2 trace tree differs from --jobs 1"; exit 1; }
 dune exec bin/once4all_cli.exe -- triage "$out/t1" > "$out/triage1.log"
@@ -55,17 +55,17 @@ grep -q "expected signature reproduced" "$out/repro.log" || {
 
 echo "== Checkpoint/resume: stop after 2 shards, resume, same report =="
 dune exec bin/once4all_cli.exe -- fuzz --budget 400 --shard-size 100 --jobs 1 \
-  --checkpoint "$out/cp.json" --stop-after 2 --progress 0 > /dev/null
+  --checkpoint "$out/cp.json" --stop-after 2 > /dev/null
 dune exec bin/once4all_cli.exe -- resume --checkpoint "$out/cp.json" --jobs 2 \
-  --progress 0 > "$out/resumed.log"
+  > "$out/resumed.log"
 grep -v '^resumed ' "$out/resumed.log" | diff "$out/jobs1.log" - || {
   echo "FAIL: resumed report differs from the uninterrupted run"; exit 1; }
 
 echo "== Chaos determinism: --chaos all --jobs 4 reproduces --jobs 1 =="
 dune exec bin/once4all_cli.exe -- fuzz --budget 400 --shard-size 100 --jobs 1 \
-  --chaos all --chaos-seed 5 --trace-dir "$out/c1" --progress 0 > "$out/chaos1.log"
+  --chaos all --chaos-seed 5 --trace-dir "$out/c1" > "$out/chaos1.log"
 dune exec bin/once4all_cli.exe -- fuzz --budget 400 --shard-size 100 --jobs 4 \
-  --chaos all --chaos-seed 5 --trace-dir "$out/c4" --progress 0 > "$out/chaos4.log"
+  --chaos all --chaos-seed 5 --trace-dir "$out/c4" > "$out/chaos4.log"
 # the report is identical up to the trace-dir path it names
 diff <(grep -v '^wrote ' "$out/chaos1.log") <(grep -v '^wrote ' "$out/chaos4.log") || {
   echo "FAIL: chaos --jobs 4 report differs from --jobs 1"; exit 1; }
@@ -75,16 +75,16 @@ diff -r "$out/c1" "$out/c4" || {
 echo "== Chaos kill/resume: resumed chaos run matches uninterrupted =="
 dune exec bin/once4all_cli.exe -- fuzz --budget 400 --shard-size 100 --jobs 1 \
   --chaos all --chaos-seed 5 --checkpoint "$out/ccp.json" --stop-after 2 \
-  --progress 0 > /dev/null
+  > /dev/null
 dune exec bin/once4all_cli.exe -- resume --checkpoint "$out/ccp.json" --jobs 2 \
-  --progress 0 > "$out/cresumed.log"
+  > "$out/cresumed.log"
 grep -v '^resumed ' "$out/cresumed.log" | diff <(grep -v '^wrote ' "$out/chaos1.log") - || {
   echo "FAIL: resumed chaos report differs from the uninterrupted chaos run"; exit 1; }
 
 echo "== Chaos quarantine: rate 1.0 quarantines every shard, exits 0 =="
 dune exec bin/once4all_cli.exe -- fuzz --budget 200 --shard-size 100 --jobs 2 \
   --chaos workers --chaos-rate 1.0 --chaos-seed 3 --telemetry "$out/quar.jsonl" \
-  --progress 0 > "$out/quar.log" || {
+  > "$out/quar.log" || {
   echo "FAIL: quarantined campaign exited nonzero"; cat "$out/quar.log"; exit 1; }
 grep -q "quarantined: 2 shards" "$out/quar.log" || {
   echo "FAIL: quarantine missing from the campaign report"; cat "$out/quar.log"; exit 1; }
@@ -104,9 +104,9 @@ grep -q "byte offset" "$out/bad.log" || {
 cli="$PWD/_build/default/bin/once4all_cli.exe"
 
 echo "== Graceful shutdown: SIGTERM drains, checkpoints, resumes identically =="
-"$cli" fuzz --budget 2000 --shard-size 100 --jobs 2 --progress 0 \
+"$cli" fuzz --budget 2000 --shard-size 100 --jobs 2 \
   > "$out/g_full.log"
-"$cli" fuzz --budget 2000 --shard-size 100 --jobs 2 --progress 0 \
+"$cli" fuzz --budget 2000 --shard-size 100 --jobs 2 \
   --checkpoint "$out/gcp.json" > "$out/g_stop.log" &
 gpid=$!
 sleep 1
@@ -116,7 +116,7 @@ wait "$gpid" || {
 grep -q "stopped gracefully" "$out/g_stop.log" || {
   echo "FAIL: campaign finished before the signal landed (or drain message missing)"
   cat "$out/g_stop.log"; exit 1; }
-"$cli" resume --checkpoint "$out/gcp.json" --jobs 2 --progress 0 \
+"$cli" resume --checkpoint "$out/gcp.json" --jobs 2 \
   > "$out/g_resumed.log"
 grep -v '^resumed ' "$out/g_resumed.log" | diff "$out/g_full.log" - || {
   echo "FAIL: resume after SIGTERM differs from the uninterrupted run"; exit 1; }
@@ -125,9 +125,9 @@ echo "== Sick solver: breakers trip identically at --jobs 1 and --jobs 4 =="
 sick_flags="--chaos solver_hang --chaos-rate 1.0 --chaos-seed 7 \
   --breaker-window 4 --breaker-threshold 2"
 "$cli" fuzz --budget 400 --shard-size 100 --jobs 1 $sick_flags \
-  --telemetry "$out/sick.jsonl" --progress 0 > "$out/sick1.log"
+  --telemetry "$out/sick.jsonl" > "$out/sick1.log"
 "$cli" fuzz --budget 400 --shard-size 100 --jobs 4 $sick_flags \
-  --telemetry "$out/sick4.jsonl" --progress 0 > "$out/sick4.log"
+  --telemetry "$out/sick4.jsonl" > "$out/sick4.log"
 # the reports are identical up to the telemetry path each names
 diff <(grep -v '^telemetry written' "$out/sick1.log") \
      <(grep -v '^telemetry written' "$out/sick4.log") || {
@@ -148,6 +148,30 @@ if grep -q '"event":"oracle.finding".*"kind":"soundness".*"mode":"degraded' \
      "$out/sick.jsonl"; then
   echo "FAIL: a degraded-mode (single-solver) soundness finding was reported"
   exit 1
+fi
+
+echo "== HUD purity: --progress changes no report and no telemetry =="
+"$cli" fuzz --budget 400 --shard-size 100 --jobs 2 \
+  --telemetry "$out/hud_off.jsonl" > "$out/hud_off.log"
+"$cli" fuzz --budget 400 --shard-size 100 --jobs 2 --progress \
+  --telemetry "$out/hud_on.jsonl" > "$out/hud_on.log" 2> /dev/null
+# the reports are identical up to the telemetry path each names
+diff <(grep -v '^telemetry written' "$out/hud_off.log") \
+     <(grep -v '^telemetry written' "$out/hud_on.log") || {
+  echo "FAIL: --progress changed the campaign report"; exit 1; }
+diff <(grep -o '"event":"[^"]*"' "$out/hud_off.jsonl" | sort | uniq -c) \
+     <(grep -o '"event":"[^"]*"' "$out/hud_on.jsonl" | sort | uniq -c) || {
+  echo "FAIL: --progress changed the telemetry event stream"; exit 1; }
+
+echo "== Bench throughput: regression gate vs committed trajectory =="
+# latest committed trajectory point; the fresh json lands in gitignored
+# bench/out/ where CI picks it up as an artifact
+baseline="$(ls BENCH_*.json 2>/dev/null | sort | tail -n 1)" || true
+if [ -n "${baseline:-}" ]; then
+  dune exec bench/main.exe -- throughput -o bench/out/bench-fresh.json \
+    --check "$baseline"
+else
+  echo "(no committed BENCH_*.json yet; gate skipped)"
 fi
 
 echo "OK"
