@@ -5,6 +5,11 @@
      fuzz        run a differential fuzzing campaign (Algorithm 2),
                  sharded over --jobs domains with deterministic merge
      resume      continue an interrupted campaign from its --checkpoint
+     serve       run the campaign server daemon (multiplexes many campaigns
+                 over one worker pool, streaming events to subscribers)
+     submit/jobs/watch/pause/resume-job/cancel/shutdown
+                 talk to a running server over its socket
+     checkpoint  inspect a checkpoint file (checkpoint info FILE)
      stats       summarize a --telemetry JSONL event log
      replay      re-run the differential oracle on a formula (repro bundles)
      trace       inspect provenance traces (trace show <id>)
@@ -22,6 +27,11 @@ module Trace = O4a_trace.Trace
 module Bundle = O4a_trace.Bundle
 module Faults = O4a_faults.Faults
 module Health = O4a_health.Health
+module Jobspec = O4a_server.Jobspec
+module Render = O4a_server.Render
+module Protocol = O4a_server.Protocol
+module Daemon = O4a_server.Daemon
+module Client = O4a_server.Client
 
 let setup_logs verbose =
   Logs.set_reporter (Logs.format_reporter ());
@@ -74,91 +84,9 @@ let make_telemetry telemetry_path =
     try Ok (Telemetry.create ~sink:(Sink.open_jsonl path) ())
     with Sys_error msg -> Error msg)
 
-(* The deterministic campaign summary: every line printed here must be a pure
-   function of the merged report, never of timing or worker count — check.sh
-   diffs this block across --jobs values. The chaos block additionally avoids
-   per-process fault/retry counts (a resumed run re-fires only the faults of
-   the shards it executes), so it is also invariant across kill/resume; those
-   counts live in the telemetry log and the stats subcommand instead. *)
-let print_chaos_report ~chaos (r : Orchestrator.report) =
-  (match chaos with
-  | None -> ()
-  | Some (plan : Faults.plan) ->
-    Printf.printf "\nchaos: profile %s  seed %d  rate %.2f\n"
-      (Faults.profile_to_string plan.Faults.profile)
-      plan.Faults.chaos_seed plan.Faults.rate);
-  match r.Orchestrator.quarantined with
-  | [] -> ()
-  | qs ->
-    let module Checkpoint = Orchestrator.Checkpoint in
-    let ticks =
-      List.fold_left (fun acc q -> acc + q.Checkpoint.q_ticks) 0 qs
-    in
-    Printf.printf "quarantined: %d shard%s, %d tick%s excluded from merge\n"
-      (List.length qs)
-      (if List.length qs = 1 then "" else "s")
-      ticks
-      (if ticks = 1 then "" else "s");
-    List.iter
-      (fun (q : Checkpoint.quarantine) ->
-        Printf.printf "  shard %d  ticks %d-%d  after %d attempt%s  [%s]\n"
-          q.Checkpoint.q_shard q.Checkpoint.q_first_tick
-          (q.Checkpoint.q_first_tick + q.Checkpoint.q_ticks - 1)
-          q.Checkpoint.q_attempts
-          (if q.Checkpoint.q_attempts = 1 then "" else "s")
-          (String.concat " " q.Checkpoint.q_sites))
-      qs
-
-(* Health block: pure function of the merged (sorted, commutative) health
-   counters, so it diffs clean across --jobs values and kill/resume. *)
-let print_health_report (r : Orchestrator.report) =
-  match r.Orchestrator.health with
-  | [] -> ()
-  | entries ->
-    let total f = List.fold_left (fun acc e -> acc + f e) 0 entries in
-    Printf.printf "\nbreakers: trips %d  recloses %d  suppressed %d\n"
-      (total (fun (e : Health.entry) -> e.Health.opened))
-      (total (fun (e : Health.entry) -> e.Health.reclosed))
-      (total (fun (e : Health.entry) -> e.Health.suppressed));
-    List.iter
-      (fun (e : Health.entry) ->
-        if e.Health.opened > 0 || e.Health.suppressed > 0 then
-          Printf.printf
-            "  %s/%s  queries %d  timeouts %d  crashes %d  opened %d  \
-             reclosed %d  suppressed %d  probes %d\n"
-            e.Health.e_solver e.Health.e_theory e.Health.queries
-            e.Health.timeouts e.Health.crashes e.Health.opened
-            e.Health.reclosed e.Health.suppressed e.Health.probes)
-      entries
-
-let print_campaign_report ~show_formulas ~chaos (r : Orchestrator.report) =
-  let stats = r.Orchestrator.stats in
-  Printf.printf "tests: %d  parse-ok: %d  solved: %d  bug-triggering: %d\n"
-    stats.Once4all.Fuzz.tests stats.parse_ok stats.solved
-    (List.length stats.findings);
-  Printf.printf "\n%d de-duplicated issues:\n" (List.length r.Orchestrator.clusters);
-  List.iter
-    (fun (c : Once4all.Dedup.cluster) ->
-      Printf.printf "  [%s] %s  x%d%s\n"
-        (Solver.Bug_db.kind_to_string c.Once4all.Dedup.kind)
-        c.Once4all.Dedup.key c.count
-        (match c.bug_id with Some id -> "  -> " ^ id | None -> "");
-      if show_formulas then
-        print_endline
-          (O4a_util.Strx.indent 6 c.representative.Once4all.Dedup.source))
-    r.Orchestrator.clusters;
-  Printf.printf "\ndistinct bugs: %s\n"
-    (match r.Orchestrator.found_bug_ids with
-    | [] -> "(none)"
-    | ids -> String.concat " " ids);
-  let module Coverage = O4a_coverage.Coverage in
-  Printf.printf "coverage: zeal %.2f%% lines %.2f%% funcs, cove %.2f%% lines %.2f%% funcs\n"
-    (Coverage.line_pct r.Orchestrator.coverage_zeal)
-    (Coverage.func_pct r.Orchestrator.coverage_zeal)
-    (Coverage.line_pct r.Orchestrator.coverage_cove)
-    (Coverage.func_pct r.Orchestrator.coverage_cove);
-  print_chaos_report ~chaos r;
-  print_health_report r
+(* The campaign summary itself is rendered by {!O4a_server.Render} — one
+   definition shared with the server's per-job report.txt, which is what
+   keeps the two byte-identical. *)
 
 let dump_metrics tel telemetry_path =
   match telemetry_path with
@@ -189,24 +117,21 @@ let make_hud () =
   let finish () = if tty && !painted then Printf.eprintf "\n%!" in
   (paint, finish)
 
-(* First SIGINT/SIGTERM: raise the orchestrator's stop flag — workers drain
-   at the next shard boundary, the checkpoint and partial report are flushed,
-   and the process exits 0. A second signal aborts immediately with the
-   conventional interrupted status. *)
-let install_stop_handlers () =
-  let handle _ = if not (Orchestrator.request_stop ()) then exit 130 in
-  List.iter
-    (fun signal ->
-      try Sys.set_signal signal (Sys.Signal_handle handle)
-      with Invalid_argument _ | Sys_error _ -> ())
-    [ Sys.sigterm; Sys.sigint ]
-
-let run_sharded_campaign ~tel ~telemetry_path ~seed ~budget ~profile
-    ~no_skeletons ~show_formulas ~progress ~jobs ~shard_size ~checkpoint_path
-    ~resume ~stop_after ~trace_dir ~ring_size ~chaos ~health =
+(* A campaign run is driven entirely by its {!O4a_server.Jobspec} — the same
+   record the server accepts over its socket. [fuzz] builds one from flags,
+   [resume] rebuilds one from the checkpoint's provenance, and both call
+   here; the server's job pipeline mirrors this function step for step, which
+   is what makes server-run campaigns byte-identical to standalone ones. *)
+let run_sharded_campaign ~tel ~telemetry_path ~(spec : Jobspec.t)
+    ~show_formulas ~progress ~jobs ~checkpoint_path ~resume ~stop_after
+    ~trace_dir ~ring_size =
   Telemetry.set_global tel;
-  install_stop_handlers ();
-  let campaign = Once4all.Campaign.prepare ~seed ~profile () in
+  Orchestrator.Stop.install_handlers ();
+  let chaos = Jobspec.chaos spec in
+  let campaign =
+    Once4all.Campaign.prepare ~seed:spec.Jobspec.seed
+      ~profile:(Jobspec.llm_profile spec) ()
+  in
   let seeds =
     Seeds.Corpus.filtered ~zeal:campaign.Once4all.Campaign.zeal
       ~cove:campaign.Once4all.Campaign.cove ()
@@ -214,53 +139,24 @@ let run_sharded_campaign ~tel ~telemetry_path ~seed ~budget ~profile
   Logs.info (fun m ->
       m "generators ready (%d); %d seeds, budget %d, jobs %d"
         (List.length campaign.Once4all.Campaign.generators)
-        (List.length seeds) budget jobs);
-  Printf.printf "Generators ready (%d); fuzzing with %d seeds, budget %d...\n%!"
-    (List.length campaign.Once4all.Campaign.generators)
-    (List.length seeds) budget;
-  let config =
-    { Once4all.Fuzz.default_config with Once4all.Fuzz.use_skeletons = not no_skeletons }
-  in
+        (List.length seeds) spec.Jobspec.budget jobs);
+  print_string
+    (Render.header
+       ~generators:(List.length campaign.Once4all.Campaign.generators)
+       ~seeds:(List.length seeds) ~budget:spec.Jobspec.budget);
+  flush stdout;
   let on_progress, finish_hud =
     if progress then (
       let paint, finish = make_hud () in
       (Some paint, finish))
     else (None, fun () -> ())
   in
-  let extra =
-    [
-      ("cli_seed", string_of_int seed);
-      ("profile", profile.Llm_sim.Profile.name);
-      ("use_skeletons", if no_skeletons then "false" else "true");
-    ]
-    @
-    (* chaos provenance travels in the checkpoint so resume re-arms the exact
-       same fault plan without re-stating the flags *)
-    (match chaos with
-    | None -> []
-    | Some (plan : Faults.plan) ->
-      [
-        ("chaos_profile", Faults.profile_to_string plan.Faults.profile);
-        ("chaos_seed", string_of_int plan.Faults.chaos_seed);
-        ("chaos_rate", Printf.sprintf "%g" plan.Faults.rate);
-      ])
-    @
-    (* breaker provenance likewise: a resumed campaign must trip the same
-       breakers the uninterrupted run would, so the config is part of the
-       campaign's identity *)
-    (match health with
-    | None -> [ ("breakers", "off") ]
-    | Some (cfg : Health.config) ->
-      [
-        ("breakers", "on");
-        ("breaker_window", string_of_int cfg.Health.window);
-        ("breaker_threshold", string_of_int cfg.Health.threshold);
-      ])
-  in
   match
-    Orchestrator.run ~jobs ~shard_size ~config ~telemetry:tel
-      ?checkpoint_path ~resume ?stop_after ~extra ?trace_dir ?ring_size ?chaos
-      ?health ~profiling:progress ?on_progress ~seed:(seed + 1) ~budget
+    Orchestrator.run ~jobs ~shard_size:spec.Jobspec.shard_size
+      ~config:(Jobspec.config spec) ~telemetry:tel ?checkpoint_path ~resume
+      ?stop_after ~extra:(Jobspec.extra spec) ?trace_dir ?ring_size ?chaos
+      ?health:(Jobspec.health spec) ~profiling:progress ?on_progress
+      ~seed:(Jobspec.fuzz_seed spec) ~budget:spec.Jobspec.budget
       ~generators:campaign.Once4all.Campaign.generators ~seeds ()
   with
   | exception Failure msg ->
@@ -273,79 +169,50 @@ let run_sharded_campaign ~tel ~telemetry_path ~seed ~budget ~profile
     if progress && r.Orchestrator.profile <> O4a_profile.Profile.empty then
       Printf.eprintf "%s\n%!"
         (O4a_profile.Hud.profile_line r.Orchestrator.profile);
-    if r.Orchestrator.shards_resumed > 0 then
-      Printf.printf "resumed %d completed shard%s from checkpoint\n"
-        r.Orchestrator.shards_resumed
-        (if r.Orchestrator.shards_resumed = 1 then "" else "s");
+    print_string (Render.resumed_line r.Orchestrator.shards_resumed);
     if r.Orchestrator.stopped || r.Orchestrator.interrupted then
-      Printf.printf
-        "stopped%s after %d shard%s (%d of %d done); resume with: once4all resume --checkpoint %s\n"
-        (if r.Orchestrator.stopped then " gracefully" else "")
-        r.Orchestrator.shards_run
-        (if r.Orchestrator.shards_run = 1 then "" else "s")
-        (r.Orchestrator.shards_run + r.Orchestrator.shards_resumed)
-        r.Orchestrator.shards_total
-        (Option.value checkpoint_path ~default:"CHECKPOINT")
-    else print_campaign_report ~show_formulas ~chaos r;
+      print_string (Render.stopped_line ~checkpoint:checkpoint_path r)
+    else print_string (Render.campaign ~show_formulas ~chaos r);
     (match trace_dir with
     | Some dir ->
-      Printf.printf "wrote %d repro bundle%s to %s\n"
-        r.Orchestrator.bundles_written
-        (if r.Orchestrator.bundles_written = 1 then "" else "s")
-        dir
+      print_string (Render.bundles_line ~dir r.Orchestrator.bundles_written)
     | None -> ());
     dump_metrics tel telemetry_path;
     0
-
-(* --chaos/--chaos-seed/--chaos-rate -> a fault plan ([None] when off) *)
-let chaos_plan ~chaos_profile ~chaos_seed ~chaos_rate =
-  match Faults.profile_of_string chaos_profile with
-  | None ->
-    Error
-      (Printf.sprintf
-         "unknown chaos profile '%s' (expected off, solver, io, workers, all, \
-          solver_hang)"
-         chaos_profile)
-  | Some Faults.Off -> Ok None
-  | Some profile ->
-    Ok (Some (Faults.plan ~rate:chaos_rate ~chaos_seed profile))
 
 let fuzz seed budget profile_name no_skeletons show_formulas telemetry_path
     progress jobs shard_size checkpoint_path stop_after trace_dir ring_size
     chaos_profile chaos_seed chaos_rate breaker_window breaker_threshold
     no_breakers verbose =
   setup_logs verbose;
-  match chaos_plan ~chaos_profile ~chaos_seed ~chaos_rate with
+  let spec =
+    {
+      (Jobspec.default ~name:"cli") with
+      Jobspec.seed;
+      budget;
+      shard_size;
+      profile = profile_name;
+      use_skeletons = not no_skeletons;
+      chaos_profile;
+      chaos_seed;
+      chaos_rate;
+      breakers = not no_breakers;
+      breaker_window;
+      breaker_threshold;
+    }
+  in
+  match Jobspec.validate spec with
   | Error msg ->
     Printf.eprintf "%s\n" msg;
     1
-  | Ok chaos -> (
-    if breaker_window < 1 || breaker_threshold < 1 then (
-      Printf.eprintf "--breaker-window and --breaker-threshold must be >= 1\n";
-      1)
-    else (
-      let health =
-        if no_breakers then None
-        else
-          Some
-            {
-              Health.default_config with
-              Health.window = breaker_window;
-              threshold = breaker_threshold;
-              (* cooldown tracks the window: a breaker stays open for one
-                 window's worth of suppressed queries before probing *)
-              cooldown = breaker_window;
-            }
-      in
-      match make_telemetry telemetry_path with
-      | Error msg ->
-        Printf.eprintf "cannot open telemetry log: %s\n" msg;
-        1
-      | Ok tel ->
-        run_sharded_campaign ~tel ~telemetry_path ~seed ~budget
-          ~profile:(profile_of_name profile_name) ~no_skeletons ~show_formulas
-          ~progress ~jobs ~shard_size ~checkpoint_path ~resume:false
-          ~stop_after ~trace_dir ~ring_size ~chaos ~health))
+  | Ok () -> (
+    match make_telemetry telemetry_path with
+    | Error msg ->
+      Printf.eprintf "cannot open telemetry log: %s\n" msg;
+      1
+    | Ok tel ->
+      run_sharded_campaign ~tel ~telemetry_path ~spec ~show_formulas ~progress
+        ~jobs ~checkpoint_path ~resume:false ~stop_after ~trace_dir ~ring_size)
 
 let resume checkpoint_path jobs show_formulas telemetry_path progress stop_after
     trace_dir ring_size verbose =
@@ -356,70 +223,23 @@ let resume checkpoint_path jobs show_formulas telemetry_path progress stop_after
       (Orchestrator.Checkpoint.load_error_to_string ~path:checkpoint_path err);
     1
   | Ok cp -> (
-    let find key default =
-      Option.value
-        (List.assoc_opt key cp.Orchestrator.Checkpoint.extra)
-        ~default
-    in
-    let cli_seed =
-      (* the checkpoint's own seed is the fuzz seed (cli seed + 1); the extra
-         record carries the original CLI seed so generator construction and
-         seed filtering replay identically *)
-      match int_of_string_opt (find "cli_seed" "") with
-      | Some s -> s
-      | None -> cp.Orchestrator.Checkpoint.seed - 1
-    in
-    let profile = profile_of_name (find "profile" "gpt-4") in
-    let no_skeletons = find "use_skeletons" "true" = "false" in
-    (* re-arm the checkpoint's chaos plan: the remaining shards must see the
-       exact injections the uninterrupted run would have given them *)
-    let chaos =
-      match
-        chaos_plan ~chaos_profile:(find "chaos_profile" "off")
-          ~chaos_seed:
-            (Option.value ~default:1 (int_of_string_opt (find "chaos_seed" "1")))
-          ~chaos_rate:
-            (Option.value ~default:Faults.default_rate
-               (float_of_string_opt
-                  (find "chaos_rate" (string_of_float Faults.default_rate))))
-      with
-      | Ok c -> c
-      | Error _ -> None
-    in
-    (* re-arm the checkpoint's breaker config the same way: trips on the
-       remaining shards must match the uninterrupted run's *)
-    let health =
-      if find "breakers" "off" <> "on" then None
-      else (
-        let window =
-          Option.value
-            ~default:Health.default_config.Health.window
-            (int_of_string_opt (find "breaker_window" ""))
-        in
-        let threshold =
-          Option.value
-            ~default:Health.default_config.Health.threshold
-            (int_of_string_opt (find "breaker_threshold" ""))
-        in
-        Some
-          {
-            Health.default_config with
-            Health.window;
-            threshold;
-            cooldown = window;
-          })
-    in
-    match make_telemetry telemetry_path with
+    (* rebuild the spec the checkpoint was written under from its provenance
+       record — the exact inverse of Jobspec.extra, shared with the server's
+       resume-job path *)
+    let spec = Jobspec.of_checkpoint ~name:"cli" cp in
+    match Jobspec.validate spec with
     | Error msg ->
-      Printf.eprintf "cannot open telemetry log: %s\n" msg;
+      Printf.eprintf "%s: %s\n" checkpoint_path msg;
       1
-    | Ok tel ->
-      run_sharded_campaign ~tel ~telemetry_path ~seed:cli_seed
-        ~budget:cp.Orchestrator.Checkpoint.budget ~profile ~no_skeletons
-        ~show_formulas ~progress ~jobs
-        ~shard_size:cp.Orchestrator.Checkpoint.shard_size
-        ~checkpoint_path:(Some checkpoint_path) ~resume:true ~stop_after
-        ~trace_dir ~ring_size ~chaos ~health)
+    | Ok () -> (
+      match make_telemetry telemetry_path with
+      | Error msg ->
+        Printf.eprintf "cannot open telemetry log: %s\n" msg;
+        1
+      | Ok tel ->
+        run_sharded_campaign ~tel ~telemetry_path ~spec ~show_formulas
+          ~progress ~jobs ~checkpoint_path:(Some checkpoint_path) ~resume:true
+          ~stop_after ~trace_dir ~ring_size))
 
 let read_file path =
   let ic = open_in_bin path in
@@ -427,6 +247,13 @@ let read_file path =
   let s = really_input_string ic n in
   close_in ic;
   s
+
+(* [read_file] for user-supplied paths: a typed error instead of an uncaught
+   Sys_error, so stats/replay can print the offending path and exit 2. *)
+let read_file_checked path =
+  match read_file path with
+  | contents -> Ok contents
+  | exception Sys_error msg -> Error msg
 
 (* ---------------- stats ---------------- *)
 
@@ -447,7 +274,12 @@ let check_log_schema path events =
    per-generator throughput, verdict mix, and a consistency check of the
    final counters against the event stream. *)
 let stats_cmd path strict =
-  let events, malformed, torn = Event.parse_log (read_file path) in
+  match read_file_checked path with
+  | Error msg ->
+    Printf.eprintf "stats: cannot read %s: %s\n" path msg;
+    2
+  | Ok contents -> (
+  let events, malformed, torn = Event.parse_log contents in
   match check_log_schema path events with
   | Error msg ->
     Printf.eprintf "%s\n" msg;
@@ -680,23 +512,28 @@ let stats_cmd path strict =
         "WARNING: campaign.end reports %d tests but the log holds %d fuzz.test events\n"
         (get "tests") (List.length tests))
   | _ -> Printf.printf "\n(no campaign.end event; log may be truncated)\n");
-  if strict && (malformed > 0 || not !consistent) then 1 else 0
+  if strict && (malformed > 0 || not !consistent) then 1 else 0)
 
 (* Side-by-side comparison of two telemetry logs: per-stage span count and
    latency-percentile deltas plus end-to-end throughput — the offline
    counterpart of `bench throughput` for two already-recorded campaigns. *)
 let stats_diff path_a path_b =
   let load path =
-    let events, malformed, _torn = Event.parse_log (read_file path) in
-    match check_log_schema path events with
+    match read_file_checked path with
     | Error msg ->
-      Printf.eprintf "%s\n" msg;
+      Printf.eprintf "stats: cannot read %s: %s\n" path msg;
       None
-    | Ok _ ->
-      if malformed > 0 then
-        Printf.eprintf "%s: skipped %d malformed line%s\n" path malformed
-          (if malformed = 1 then "" else "s");
-      Some events
+    | Ok contents -> (
+      let events, malformed, _torn = Event.parse_log contents in
+      match check_log_schema path events with
+      | Error msg ->
+        Printf.eprintf "%s\n" msg;
+        None
+      | Ok _ ->
+        if malformed > 0 then
+          Printf.eprintf "%s: skipped %d malformed line%s\n" path malformed
+            (if malformed = 1 then "" else "s");
+        Some events)
   in
   match (load path_a, load path_b) with
   | None, _ | _, None -> 2
@@ -794,7 +631,11 @@ let stats_main path path_b diff strict =
    what a repro bundle's repro.sh invokes. The default fuel matches the
    fuzzing loop's, so campaign findings replay under the same limits. *)
 let replay path expect max_steps =
-  let source = read_file path in
+  match read_file_checked path with
+  | Error msg ->
+    Printf.eprintf "replay: cannot read %s: %s\n" path msg;
+    2
+  | Ok source -> (
   let zeal = Solver.Engine.zeal () in
   let cove = Solver.Engine.cove () in
   let outcome = Once4all.Oracle.test ~max_steps ~zeal ~cove ~source () in
@@ -827,7 +668,7 @@ let replay path expect max_steps =
       1
     | None ->
       Printf.printf "MISMATCH: expected signature %s, got no finding\n" expected;
-      1)
+      1))
 
 let trace_show dir id =
   let path =
@@ -950,6 +791,221 @@ let lineup () =
     (Baselines.Registry.baselines ~client);
   print_endline "Variants (RQ3): Once4All, Once4All_w/oS, Once4All_Gemini, Once4All_Claude";
   0
+
+(* ---------------- serve + client subcommands ---------------- *)
+
+let serve socket state_dir pool verbose =
+  setup_logs verbose;
+  if pool < 1 then (
+    Printf.eprintf "--pool must be >= 1\n";
+    1)
+  else (
+    (* the daemon itself installs no handlers; the two-signal contract
+       (first SIGTERM/SIGINT drains, second exits 130) is the same one the
+       standalone fuzz command uses *)
+    Orchestrator.Stop.install_handlers ();
+    Daemon.run { Daemon.socket_path = socket; state_dir; pool })
+
+let with_client socket f =
+  match Client.connect ~socket with
+  | Error msg ->
+    Printf.eprintf "%s\n" msg;
+    1
+  | Ok c -> Fun.protect ~finally:(fun () -> Client.close c) (fun () -> f c)
+
+let str_member k json = Option.bind (Json.member k json) Json.to_str
+let int_member k json = Option.bind (Json.member k json) Json.to_int
+
+let submit socket spec_file name seed budget shard_size quota profile_name
+    no_skeletons trace telemetry chaos_profile chaos_seed chaos_rate
+    breaker_window breaker_threshold no_breakers =
+  let spec =
+    match spec_file with
+    | Some path ->
+      (* a JSON spec file is submitted as-is (the server validates too, but
+         failing locally gives the better diagnostic) *)
+      Result.bind
+        (Result.map_error
+           (fun msg -> Printf.sprintf "cannot read %s: %s" path msg)
+           (read_file_checked path))
+        (fun contents -> Result.bind (Json.parse contents) Jobspec.of_json)
+    | None ->
+      let t =
+        {
+          (Jobspec.default ~name) with
+          Jobspec.seed;
+          budget;
+          shard_size;
+          quota;
+          profile = profile_name;
+          use_skeletons = not no_skeletons;
+          trace;
+          telemetry;
+          chaos_profile;
+          chaos_seed;
+          chaos_rate;
+          breakers = not no_breakers;
+          breaker_window;
+          breaker_threshold;
+        }
+      in
+      Result.map (fun () -> t) (Jobspec.validate t)
+  in
+  match spec with
+  | Error msg ->
+    Printf.eprintf "%s\n" msg;
+    1
+  | Ok spec ->
+    with_client socket (fun c ->
+        match Client.request c (Protocol.Submit spec) with
+        | Error msg ->
+          Printf.eprintf "%s\n" msg;
+          1
+        | Ok reply ->
+          let job =
+            Option.value ~default:spec.Jobspec.name (str_member "job" reply)
+          in
+          let shards = Option.value ~default:0 (int_member "shards" reply) in
+          Printf.printf "submitted %s (%d shard%s)\n" job shards
+            (if shards = 1 then "" else "s");
+          0)
+
+let jobs_cmd socket =
+  with_client socket (fun c ->
+      match Client.request c Protocol.Jobs with
+      | Error msg ->
+        Printf.eprintf "%s\n" msg;
+        1
+      | Ok reply -> (
+        match Json.member "jobs" reply with
+        | Some (Json.List views) ->
+          Printf.printf "%-24s %-18s %11s %9s %6s\n" "job" "state" "shards"
+            "findings" "quota";
+          List.iter
+            (fun v ->
+              match Protocol.job_view_of_json v with
+              | Error _ -> ()
+              | Ok (view : Protocol.job_view) ->
+                Printf.printf "%-24s %-18s %5d/%-5d %9d %6d\n" view.v_id
+                  (Protocol.job_state_to_string view.v_state)
+                  view.v_shards_done view.v_shards_total view.v_findings
+                  view.v_quota)
+            views;
+          0
+        | _ ->
+          Printf.eprintf "malformed jobs reply\n";
+          1))
+
+(* Watch a job's event stream: backlog first (from --from), then live, one
+   JSON object per line on stdout. Exits when the job reaches a terminal
+   state (done/failed/cancelled) or the server drains. *)
+let watch_cmd socket job from =
+  with_client socket (fun c ->
+      let terminal = ref false in
+      let on_line json =
+        print_endline (Json.to_string json);
+        flush stdout;
+        (match (str_member "kind" json, Json.member "data" json) with
+        | Some "state", Some data -> (
+          match str_member "state" data with
+          | Some ("done" | "cancelled") -> terminal := true
+          | Some s when String.length s >= 6 && String.sub s 0 6 = "failed" ->
+            terminal := true
+          | _ -> ())
+        | _ -> ());
+        not !terminal
+      in
+      match Client.stream c (Protocol.Watch { job; from }) ~on_line with
+      | Error msg ->
+        Printf.eprintf "%s\n" msg;
+        1
+      | Ok _ -> 0)
+
+let simple_request socket req ~verb =
+  with_client socket (fun c ->
+      match Client.request c req with
+      | Error msg ->
+        Printf.eprintf "%s\n" msg;
+        1
+      | Ok reply ->
+        (match str_member "job" reply with
+        | Some job -> (
+          Printf.printf "%s %s" verb job;
+          match int_member "resumed" reply with
+          | Some n when n > 0 -> Printf.printf " (resumed %d shards)\n" n
+          | _ -> print_newline ())
+        | None -> Printf.printf "%s\n" verb);
+        0)
+
+let pause_cmd socket job = simple_request socket (Protocol.Pause job) ~verb:"paused"
+let resume_job_cmd socket job =
+  simple_request socket (Protocol.Resume_job job) ~verb:"resumed"
+let cancel_cmd socket job =
+  simple_request socket (Protocol.Cancel job) ~verb:"cancelled"
+let shutdown_cmd socket =
+  simple_request socket Protocol.Shutdown ~verb:"server draining"
+
+(* ---------------- checkpoint info ---------------- *)
+
+(* Inspect a checkpoint without resuming it: on-disk format version, campaign
+   provenance, progress, quarantine set, and breaker/health counters. Shares
+   Checkpoint.load's typed diagnostics, so a torn or truncated file prints
+   the same explanation resume would, and exits 2. *)
+let checkpoint_info path =
+  match Orchestrator.Checkpoint.inspect ~path with
+  | Error err ->
+    Printf.eprintf "%s\n"
+      (Orchestrator.Checkpoint.load_error_to_string ~path err);
+    2
+  | Ok { Orchestrator.Checkpoint.i_version; i_checkpoint = cp } ->
+    let module Checkpoint = Orchestrator.Checkpoint in
+    let total_shards =
+      (cp.Checkpoint.budget + cp.Checkpoint.shard_size - 1)
+      / cp.Checkpoint.shard_size
+    in
+    let findings =
+      List.fold_left
+        (fun acc (s : Checkpoint.shard_result) ->
+          acc + List.length s.Checkpoint.findings)
+        0 cp.Checkpoint.completed
+    in
+    Printf.printf "checkpoint: %s\n" path;
+    Printf.printf "version: %d\n" i_version;
+    Printf.printf "campaign: seed %d  budget %d  shard-size %d\n"
+      cp.Checkpoint.seed cp.Checkpoint.budget cp.Checkpoint.shard_size;
+    Printf.printf "progress: %d/%d shards completed, %d quarantined, %d finding%s\n"
+      (List.length cp.Checkpoint.completed)
+      total_shards
+      (List.length cp.Checkpoint.quarantined)
+      findings
+      (if findings = 1 then "" else "s");
+    Printf.printf "coverage: %d points\n" (List.length cp.Checkpoint.coverage);
+    if cp.Checkpoint.extra <> [] then (
+      Printf.printf "provenance:\n";
+      List.iter
+        (fun (k, v) -> Printf.printf "  %s = %s\n" k v)
+        cp.Checkpoint.extra);
+    (match cp.Checkpoint.quarantined with
+    | [] -> ()
+    | qs ->
+      Printf.printf "quarantine:\n";
+      List.iter
+        (fun (q : Checkpoint.quarantine) ->
+          Printf.printf "  shard %d  ticks %d-%d  after %d attempt%s  [%s]\n"
+            q.Checkpoint.q_shard q.Checkpoint.q_first_tick
+            (q.Checkpoint.q_first_tick + q.Checkpoint.q_ticks - 1)
+            q.Checkpoint.q_attempts
+            (if q.Checkpoint.q_attempts = 1 then "" else "s")
+            (String.concat " " q.Checkpoint.q_sites))
+        qs);
+    (match cp.Checkpoint.health with
+    | [] -> ()
+    | entries ->
+      Printf.printf "breaker/health:\n";
+      List.iter
+        (fun e -> Printf.printf "  %s\n" (Health.entry_to_string e))
+        entries);
+    0
 
 (* ---------------- command wiring ---------------- *)
 
@@ -1080,9 +1136,11 @@ let resume_cmd =
           $ verbose)
 
 let stats_cmd_v =
-  let file = Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE") in
+  (* plain strings, not Arg.file: a missing path gets our typed "cannot
+     read" diagnostic and exit 2, not cmdliner's usage error *)
+  let file = Arg.(required & pos 0 (some string) None & info [] ~docv:"FILE") in
   let file_b =
-    Arg.(value & pos 1 (some file) None
+    Arg.(value & pos 1 (some string) None
          & info [] ~docv:"FILE2"
              ~doc:"second log: print per-stage deltas instead of a summary")
   in
@@ -1102,7 +1160,7 @@ let stats_cmd_v =
     Term.(const stats_main $ file $ file_b $ diff $ strict)
 
 let replay_cmd =
-  let file = Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE") in
+  let file = Arg.(required & pos 0 (some string) None & info [] ~docv:"FILE") in
   let expect =
     Arg.(value & opt (some string) None
          & info [ "expect" ] ~docv:"SIG"
@@ -1155,10 +1213,137 @@ let report_cmd =
 let lineup_cmd =
   Cmd.v (Cmd.info "lineup" ~doc:"list comparison fuzzers") Term.(const lineup $ const ())
 
+(* ---- server command wiring ---- *)
+
+let socket_arg =
+  Arg.(value & opt string "once4all.sock"
+       & info [ "socket" ] ~docv:"PATH"
+           ~doc:"Unix-domain socket the server listens on")
+
+let serve_cmd =
+  let state_dir =
+    Arg.(value & opt string "once4all-state"
+         & info [ "state-dir" ] ~docv:"DIR"
+             ~doc:"per-job state root (spec, checkpoint, report, traces); \
+                   created if missing")
+  in
+  let pool =
+    Arg.(value & opt int 2
+         & info [ "pool" ] ~docv:"N"
+             ~doc:"worker domains shared fairly by all campaigns")
+  in
+  let verbose = Arg.(value & flag & info [ "verbose"; "v" ] ~doc:"log job lifecycle") in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:"run the campaign server: a daemon multiplexing many concurrent \
+             campaigns over one worker pool, streaming events to subscribers; \
+             each campaign's outputs are byte-identical to a standalone fuzz \
+             run of the same spec")
+    Term.(const serve $ socket_arg $ state_dir $ pool $ verbose)
+
+let submit_cmd =
+  let spec_file =
+    Arg.(value & opt (some string) None
+         & info [ "spec" ] ~docv:"FILE"
+             ~doc:"submit this JSON job spec verbatim (other flags ignored)")
+  in
+  let name_arg =
+    Arg.(value & opt string "job"
+         & info [ "name" ] ~docv:"NAME"
+             ~doc:"job name; the server suffixes it if taken")
+  in
+  let budget = Arg.(value & opt int 2000 & info [ "budget" ] ~docv:"N" ~doc:"test cases") in
+  let shard_size =
+    Arg.(value & opt int Orchestrator.default_shard_size
+         & info [ "shard-size" ] ~docv:"N")
+  in
+  let quota =
+    Arg.(value & opt int 1
+         & info [ "quota" ] ~docv:"N"
+             ~doc:"fair-share weight: shards this job may run per scheduling \
+                   round when the pool is contended")
+  in
+  let no_skel = Arg.(value & flag & info [ "no-skeletons" ] ~doc:"the w/oS ablation") in
+  let trace =
+    Arg.(value & flag
+         & info [ "trace" ] ~doc:"write repro bundles under the job's trace/ dir")
+  in
+  let telemetry =
+    Arg.(value & flag
+         & info [ "telemetry" ]
+             ~doc:"write a JSONL event log next to the job's checkpoint")
+  in
+  Cmd.v
+    (Cmd.info "submit" ~doc:"submit a campaign to a running server")
+    Term.(const submit $ socket_arg $ spec_file $ name_arg $ seed_arg $ budget
+          $ shard_size $ quota $ profile_arg $ no_skel $ trace $ telemetry
+          $ chaos_arg $ chaos_seed_arg $ chaos_rate_arg $ breaker_window_arg
+          $ breaker_threshold_arg $ no_breakers_arg)
+
+let job_pos = Arg.(required & pos 0 (some string) None & info [] ~docv:"JOB")
+
+let jobs_cmd_v =
+  Cmd.v
+    (Cmd.info "jobs" ~doc:"list a running server's jobs")
+    Term.(const jobs_cmd $ socket_arg)
+
+let watch_cmd_v =
+  let from =
+    Arg.(value & opt int 0
+         & info [ "from" ] ~docv:"N"
+             ~doc:"replay the job's event backlog from line N before going \
+                   live (0 = everything: a late subscriber sees exactly what \
+                   an early one saw)")
+  in
+  Cmd.v
+    (Cmd.info "watch"
+       ~doc:"stream a job's events (telemetry, findings, health, progress, \
+             state) as JSON lines until it finishes")
+    Term.(const watch_cmd $ socket_arg $ job_pos $ from)
+
+let pause_cmd_v =
+  Cmd.v
+    (Cmd.info "pause"
+       ~doc:"stop dispatching a job's shards (in-flight shards still merge \
+             and checkpoint)")
+    Term.(const pause_cmd $ socket_arg $ job_pos)
+
+let resume_job_cmd_v =
+  Cmd.v
+    (Cmd.info "resume-job"
+       ~doc:"unpause a job, or revive it from its on-disk spec + checkpoint \
+             after a server restart")
+    Term.(const resume_job_cmd $ socket_arg $ job_pos)
+
+let cancel_cmd_v =
+  Cmd.v
+    (Cmd.info "cancel" ~doc:"cancel a job (its checkpoint stays on disk)")
+    Term.(const cancel_cmd $ socket_arg $ job_pos)
+
+let shutdown_cmd_v =
+  Cmd.v
+    (Cmd.info "shutdown"
+       ~doc:"gracefully drain the server: finish in-flight shards, checkpoint \
+             every campaign, exit (the request-level twin of SIGTERM)")
+    Term.(const shutdown_cmd $ socket_arg)
+
+let checkpoint_cmd =
+  let file = Arg.(required & pos 0 (some string) None & info [] ~docv:"FILE") in
+  let info_cmd =
+    Cmd.v
+      (Cmd.info "info"
+         ~doc:"print a checkpoint's format version, campaign provenance, \
+               progress, quarantine set, and breaker/health counters")
+      Term.(const checkpoint_info $ file)
+  in
+  Cmd.group (Cmd.info "checkpoint" ~doc:"inspect checkpoint files") [ info_cmd ]
+
 let main =
   Cmd.group
     (Cmd.info "once4all" ~doc:"skeleton-guided SMT solver fuzzing with LLM-synthesized generators")
-    [ construct_cmd; fuzz_cmd; resume_cmd; stats_cmd_v; replay_cmd; trace_cmd;
-      triage_cmd; reduce_cmd; report_cmd; lineup_cmd ]
+    [ construct_cmd; fuzz_cmd; resume_cmd; serve_cmd; submit_cmd; jobs_cmd_v;
+      watch_cmd_v; pause_cmd_v; resume_job_cmd_v; cancel_cmd_v; shutdown_cmd_v;
+      checkpoint_cmd; stats_cmd_v; replay_cmd; trace_cmd; triage_cmd;
+      reduce_cmd; report_cmd; lineup_cmd ]
 
 let () = exit (Cmd.eval' main)

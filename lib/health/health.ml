@@ -254,6 +254,13 @@ let entry_to_json e =
       ("reclosed", Json.Int e.reclosed);
     ]
 
+let entry_to_string e =
+  Printf.sprintf
+    "%s/%s  queries %d  timeouts %d  errors %d  crashes %d  opened %d  \
+     reclosed %d  suppressed %d  probes %d"
+    e.e_solver e.e_theory e.queries e.timeouts e.errors e.crashes e.opened
+    e.reclosed e.suppressed e.probes
+
 let ( let* ) = Result.bind
 
 let req name conv json =

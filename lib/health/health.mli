@@ -100,6 +100,10 @@ val merge : entry list -> entry list -> entry list
 val entry_to_json : entry -> O4a_telemetry.Json.t
 val entry_of_json : O4a_telemetry.Json.t -> (entry, string) result
 
+val entry_to_string : entry -> string
+(** One-line human rendering ([solver/theory] followed by the counters) —
+    shared by [checkpoint info] and diagnostic dumps. *)
+
 val ambient : unit -> ledger
 (** The calling domain's ledger; {!disabled} unless inside {!using}. *)
 

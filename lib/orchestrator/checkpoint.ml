@@ -280,7 +280,9 @@ let load_error_to_string ~path = function
       path reason offset
   | Invalid msg -> Printf.sprintf "checkpoint %s is not usable: %s" path msg
 
-let load ~path =
+type info = { i_version : int; i_checkpoint : t }
+
+let inspect ~path =
   match In_channel.with_open_text path In_channel.input_all with
   | exception Sys_error msg -> Error (Io msg)
   | contents -> (
@@ -288,5 +290,14 @@ let load ~path =
     | Error (offset, reason) -> Error (Corrupt { offset; reason })
     | Ok json -> (
       match of_json json with
-      | Ok t -> Ok t
+      | Ok t ->
+        (* of_json validated the version's presence and range already *)
+        let i_version =
+          match Option.bind (Json.member "version" json) Json.to_int with
+          | Some v -> v
+          | None -> version
+        in
+        Ok { i_version; i_checkpoint = t }
       | Error msg -> Error (Invalid msg)))
+
+let load ~path = Result.map (fun i -> i.i_checkpoint) (inspect ~path)

@@ -66,3 +66,16 @@ val load_error_to_string : path:string -> load_error -> string
     it also suggests a remedy). *)
 
 val load : path:string -> (t, load_error) result
+
+type info = {
+  i_version : int;
+      (** the version the file was written at — {!load} upgrades older
+          versions transparently, [inspect] preserves the original *)
+  i_checkpoint : t;
+}
+
+val inspect : path:string -> (info, load_error) result
+(** Like {!load} but also reports the on-disk format version — the
+    [checkpoint info] subcommand's entry point. Shares {!load}'s typed
+    diagnostics, so a torn or invalid file gets the same printable
+    explanation instead of an exception. *)

@@ -1,5 +1,6 @@
 module Shard = Shard
 module Checkpoint = Checkpoint
+module Stop = Stop
 module Rng = O4a_util.Rng
 module Telemetry = O4a_telemetry.Telemetry
 module Metrics = O4a_telemetry.Metrics
@@ -47,16 +48,11 @@ type report = {
 (* Graceful shutdown                                                   *)
 (* ------------------------------------------------------------------ *)
 
-(* One process-wide flag: signal handlers (and tests) raise it, workers check
-   it before claiming another shard. Stopping therefore always lands on a
-   shard boundary — every shard is either fully merged and checkpointed or
-   not started — which is exactly the granularity resume already handles, so
-   a stopped-then-resumed campaign is byte-identical to an uninterrupted
-   one. *)
-let stop_flag = Atomic.make false
-let request_stop () = not (Atomic.exchange stop_flag true)
-let stop_requested () = Atomic.get stop_flag
-let reset_stop () = Atomic.set stop_flag false
+(* The flag itself lives in {!Stop} so the signal-handling contract can be
+   shared with the campaign server without a dependency cycle. *)
+let request_stop = Stop.request
+let stop_requested = Stop.requested
+let reset_stop = Stop.reset
 
 (* ------------------------------------------------------------------ *)
 (* Generic parallel map                                                *)
@@ -179,11 +175,6 @@ type shard_outcome =
       (** every attempt was tainted; results discarded, ticks reported *)
   | Failed of string  (** a genuine (non-injected) worker exception *)
 
-(* What workers push to the single-owner merge queue. The sentinel lets the
-   merge loop count live workers instead of expected shards, which is what
-   makes early stop (graceful shutdown) drain cleanly. *)
-type merge_msg = Msg_shard of Shard.t * shard_outcome | Msg_worker_done
-
 (* Retry a shard until an attempt completes with zero tainting faults. Any
    tainting fault spoils the whole attempt — even one whose effect was merely
    a wrong solver answer — because only all-or-nothing discarding guarantees
@@ -245,6 +236,439 @@ let quarantine_of_logs (shard : Shard.t) logs =
   }
 
 (* ------------------------------------------------------------------ *)
+(* The pluggable shard executor                                        *)
+(* ------------------------------------------------------------------ *)
+
+(* Everything a worker needs to execute one shard of a campaign, and nothing
+   about which worker pool runs it or where the results merge. [run] builds
+   one per campaign; the campaign server builds one per submitted job and
+   executes shards from many envs on one shared pool — a shard result is a
+   pure function of (env, shard), so multiplexing cannot perturb it. *)
+type exec_env = {
+  env_seed : int;
+  env_config : Fuzz.config;
+  env_generators : Gensynth.Generator.t list;
+  env_seeds : Smtlib.Script.t list;
+  env_tel_enabled : bool;
+  env_tracing : bool;
+  env_ring_size : int option;
+  env_chaos : Faults.plan option;
+  env_health : Health.config option;
+  env_profiling : bool;
+  env_engines : unit -> Engine.t * Engine.t;
+}
+
+let make_env ?(config = Fuzz.default_config) ?(tel_enabled = false)
+    ?(tracing = false) ?ring_size ?chaos ?health ?(profiling = false) ?engines
+    ~seed ~generators ~seeds () =
+  (* a plan whose profile is Off injects nothing and skips supervision *)
+  let chaos =
+    match chaos with Some p when Faults.enabled p -> Some p | _ -> None
+  in
+  {
+    env_seed = seed;
+    env_config = config;
+    env_generators = generators;
+    env_seeds = seeds;
+    env_tel_enabled = tel_enabled;
+    env_tracing = tracing;
+    env_ring_size = ring_size;
+    env_chaos = chaos;
+    env_health = health;
+    env_profiling = profiling;
+    env_engines =
+      (match engines with
+      | Some f -> f
+      | None -> fun () -> (Engine.zeal (), Engine.cove ()));
+  }
+
+let exec_shard ~env ~worker_id ~zeal ~cove shard =
+  let run_attempt () =
+    (* Per-worker engines accumulate internal state across the shards a
+       domain happens to execute, which leaves shard results untouched (the
+       resume path already proves a shard run on a fresh engine merges
+       identically) but makes per-stage allocation counts depend on the
+       shard schedule. Profiled runs therefore give every shard attempt
+       factory-fresh engines — constructed here, outside the profile
+       ledger's scope, so construction is charged to no stage — keeping
+       {!O4a_profile.Profile.strip_timing} byte-identical at any [jobs]. *)
+    let zeal, cove =
+      if env.env_profiling then env.env_engines () else (zeal, cove)
+    in
+    run_one_shard ~worker_id ~tel_enabled:env.env_tel_enabled
+      ~tracing:env.env_tracing ~ring_size:env.env_ring_size
+      ~config:env.env_config ~generators:env.env_generators
+      ~seeds:env.env_seeds ~zeal ~cove ~seed:env.env_seed
+      ~health:env.env_health ~profiling:env.env_profiling shard
+  in
+  run_supervised ~chaos:env.env_chaos ~run_attempt shard.Shard.index
+
+(* ------------------------------------------------------------------ *)
+(* The merge sink                                                      *)
+(* ------------------------------------------------------------------ *)
+
+(* Per-campaign merge accumulator with a single owner: whichever domain
+   created it is the only one that may call [absorb]/[finalize]. Worker
+   payloads arrive in completion order; everything merged here is commutative
+   (counters, coverage) or re-canonicalized at [finalize] (findings sorted by
+   shard index), so the final report does not depend on that order — which is
+   what lets the server interleave many campaigns on one pool and still land
+   every one of them on its standalone report. *)
+module Merge = struct
+  type t = {
+    env : exec_env;
+    tel : Telemetry.t;
+    checkpoint_path : string option;
+    on_progress : (Hud.progress -> unit) option;
+    budget : int;
+    shard_size : int;
+    extra : (string * string) list;
+    plan_total : int;
+    base_completed : int;
+    ledger : Coverage.ledger;
+    mutable completed : Checkpoint.shard_result list;
+    mutable quarantined : Checkpoint.quarantine list;
+    mutable health : Health.entry list;
+    mutable profile : Profile.t;
+    mutable promoted_by_shard : (int * Trace.promoted list) list;
+    mutable errors : (int * string) list;
+    mutable shard_retries : int;
+    mutable faults_injected : int;
+    mutable processed : int;
+    t_start : float;
+  }
+
+  let create ~env ~tel ?checkpoint_path ?base ?on_progress ~jobs ~budget
+      ~shard_size ~extra () =
+    let plan = Shard.plan ~budget ~shard_size in
+    let base_completed =
+      match base with Some cp -> cp.Checkpoint.completed | None -> []
+    in
+    let base_quarantined =
+      match base with Some cp -> cp.Checkpoint.quarantined | None -> []
+    in
+    Telemetry.emit tel "campaign.start"
+      [
+        ("budget", Json.Int budget);
+        ("seeds", Json.Int (List.length env.env_seeds));
+        ("generators", Json.Int (List.length env.env_generators));
+        ("skeletons", Json.Bool env.env_config.Fuzz.use_skeletons);
+        ("jobs", Json.Int jobs);
+        ("shard_size", Json.Int shard_size);
+        ("shards", Json.Int (List.length plan));
+        ("resumed_shards", Json.Int (List.length base_completed));
+      ];
+    let ledger = Coverage.make_ledger () in
+    (match base with
+    | Some cp -> Coverage.merge_into ~into:ledger cp.Checkpoint.coverage
+    | None -> ());
+    {
+      env;
+      tel;
+      checkpoint_path;
+      on_progress;
+      budget;
+      shard_size;
+      extra;
+      plan_total = List.length plan;
+      base_completed = List.length base_completed;
+      ledger;
+      completed = base_completed;
+      quarantined = base_quarantined;
+      health = (match base with Some cp -> cp.Checkpoint.health | None -> []);
+      profile = Profile.empty;
+      promoted_by_shard = [];
+      errors = [];
+      shard_retries = 0;
+      faults_injected = 0;
+      processed = 0;
+      t_start = Unix.gettimeofday ();
+    }
+
+  let processed t = t.processed
+  let failed t = t.errors <> []
+
+  (* merge-time progress snapshot for the HUD callback: a pure function of
+     already-merged state, so observing it cannot perturb the campaign *)
+  let notify_progress t =
+    match t.on_progress with
+    | None -> ()
+    | Some f ->
+      let sum g = List.fold_left (fun acc r -> acc + g r) 0 t.completed in
+      f
+        {
+          Hud.shards_done = List.length t.completed + List.length t.quarantined;
+          shards_total = t.plan_total;
+          ticks_done =
+            sum (fun (r : Checkpoint.shard_result) -> r.Checkpoint.tests);
+          budget = t.budget;
+          findings =
+            sum (fun (r : Checkpoint.shard_result) ->
+                List.length r.Checkpoint.findings);
+          coverage_points = List.length (Coverage.export t.ledger);
+          quarantined = List.length t.quarantined;
+          breaker_trips =
+            List.fold_left
+              (fun acc (e : Health.entry) -> acc + e.Health.opened)
+              0 t.health;
+          elapsed_s = Unix.gettimeofday () -. t.t_start;
+        }
+
+  let current_checkpoint t =
+    {
+      Checkpoint.seed = t.env.env_seed;
+      budget = t.budget;
+      shard_size = t.shard_size;
+      extra = t.extra;
+      completed = t.completed;
+      quarantined = t.quarantined;
+      coverage = Coverage.export t.ledger;
+      health = t.health;
+    }
+
+  (* plain save, bypassing the chaos tear site — used for the write-before-
+     any-shard-runs checkpoint, so a signal that lands in the campaign's
+     first seconds still leaves a resumable file behind (the tear site is
+     keyed to merged shards, and nothing has merged yet) *)
+  let checkpoint_now t =
+    match t.checkpoint_path with
+    | None -> ()
+    | Some path -> Checkpoint.save ~path (current_checkpoint t)
+
+  (* Supervised save: the Checkpoint_corrupt site tears the write on the
+     merge domain (a truncated raw dump instead of the atomic
+     write-then-rename), then the verify step detects the corruption through
+     the same [Checkpoint.load] path [resume] uses and rewrites cleanly —
+     bounded by the same retry budget as shard faults, and
+     per-(shard, attempt) deterministic, so the injected count is identical
+     at any --jobs N. *)
+  let save_checkpoint t ~after_shard =
+    match t.checkpoint_path with
+    | None -> ()
+    | Some path ->
+      let cp = current_checkpoint t in
+      let rec attempt_save attempt =
+        let tear =
+          attempt < Faults.max_retries
+          && (match t.env.env_chaos with
+             | None -> false
+             | Some plan ->
+               Faults.decide plan ~site:Faults.Checkpoint_corrupt
+                 ~shard:after_shard ~attempt
+               <> None)
+        in
+        if tear then (
+          let s = Json.to_string (Checkpoint.to_json cp) in
+          let cut = max 1 (String.length s / 2) in
+          Out_channel.with_open_bin path (fun oc ->
+              output_string oc (String.sub s 0 cut));
+          t.faults_injected <- t.faults_injected + 1;
+          Telemetry.emit t.tel "fault.injected"
+            [
+              ("site", Json.String (Faults.site_name Faults.Checkpoint_corrupt));
+              ("shard", Json.Int after_shard);
+              ("attempt", Json.Int attempt);
+            ])
+        else Checkpoint.save ~path cp;
+        match Checkpoint.load ~path with
+        | Ok _ -> ()
+        | Error err when tear && attempt < Faults.max_retries ->
+          Log.debug (fun m ->
+              m "checkpoint write torn by chaos (%s), rewriting"
+                (Checkpoint.load_error_to_string ~path err));
+          attempt_save (attempt + 1)
+        | Error err ->
+          failwith
+            (Printf.sprintf "checkpoint verify failed after save: %s"
+               (Checkpoint.load_error_to_string ~path err))
+      in
+      attempt_save 0
+
+  let emit_attempt_faults t shard_idx logs =
+    List.iter
+      (fun { attempt; fired } ->
+        List.iter
+          (fun site ->
+            t.faults_injected <- t.faults_injected + 1;
+            Telemetry.emit t.tel "fault.injected"
+              [
+                ("site", Json.String (Faults.site_name site));
+                ("shard", Json.Int shard_idx);
+                ("attempt", Json.Int attempt);
+              ])
+          fired)
+      logs
+
+  let emit_retries t shard_idx logs ~quarantining =
+    (* every tainted attempt except a quarantining shard's last one was
+       followed by a backoff + retry *)
+    let retried =
+      if quarantining then max 0 (List.length logs - 1) else List.length logs
+    in
+    List.iteri
+      (fun i { attempt; _ } ->
+        if i < retried then (
+          t.shard_retries <- t.shard_retries + 1;
+          Telemetry.emit t.tel "shard.retry"
+            [
+              ("shard", Json.Int shard_idx);
+              ("attempt", Json.Int (attempt + 1));
+              ("backoff_fuel", Json.Int (1_000 * (1 lsl min attempt 10)));
+            ]))
+      logs
+
+  let absorb t shard outcome =
+    t.processed <- t.processed + 1;
+    (match (shard, outcome) with
+    | shard, Failed msg -> t.errors <- (shard.Shard.index, msg) :: t.errors
+    | shard, Quarantined logs ->
+      let shard_idx = shard.Shard.index in
+      emit_attempt_faults t shard_idx logs;
+      emit_retries t shard_idx logs ~quarantining:true;
+      let q = quarantine_of_logs shard logs in
+      t.quarantined <- q :: t.quarantined;
+      Telemetry.emit t.tel "shard.quarantined"
+        [
+          ("shard", Json.Int shard_idx);
+          ("first_tick", Json.Int q.Checkpoint.q_first_tick);
+          ("ticks", Json.Int q.Checkpoint.q_ticks);
+          ("attempts", Json.Int q.Checkpoint.q_attempts);
+          ( "sites",
+            Json.List (List.map (fun s -> Json.String s) q.Checkpoint.q_sites)
+          );
+        ];
+      save_checkpoint t ~after_shard:shard_idx;
+      Log.warn (fun m ->
+          m "shard %d quarantined after %d attempts (sites: %s)" shard_idx
+            q.Checkpoint.q_attempts
+            (String.concat " " q.Checkpoint.q_sites))
+    | shard, Merged (payload, logs, merged_fired) ->
+      let shard_idx = shard.Shard.index in
+      (* the merged attempt's own non-tainting faults (sick-solver hangs)
+         count as injected too; its attempt index is one past the tainted
+         attempts that preceded it *)
+      emit_attempt_faults t shard_idx
+        (logs
+        @
+        if merged_fired = [] then []
+        else [ { attempt = List.length logs; fired = merged_fired } ]);
+      emit_retries t shard_idx logs ~quarantining:false;
+      List.iter
+        (fun (e : Event.t) ->
+          Telemetry.forward t.tel
+            (Event.make ~ts:e.Event.ts ~name:e.Event.name
+               (e.Event.fields @ [ ("shard", Json.Int shard_idx) ])))
+        payload.events;
+      Telemetry.absorb_metrics t.tel payload.metric_entries;
+      Coverage.merge_into ~into:t.ledger payload.cov_export;
+      t.health <- Health.merge t.health payload.health_export;
+      t.profile <- Profile.merge t.profile payload.profile_export;
+      t.completed <- payload.sr :: t.completed;
+      if payload.promoted <> [] then
+        t.promoted_by_shard <-
+          (shard_idx, payload.promoted) :: t.promoted_by_shard;
+      save_checkpoint t ~after_shard:shard_idx;
+      Log.debug (fun m ->
+          m "shard %d merged (%d/%d done)" shard_idx (List.length t.completed)
+            t.plan_total));
+    notify_progress t
+
+  let finalize ?trace_dir ~interrupted ~stopped t =
+    (match List.sort compare t.errors with
+    | (idx, msg) :: _ ->
+      failwith (Printf.sprintf "Orchestrator.run: shard %d failed: %s" idx msg)
+    | [] -> ());
+    (* canonical order: shard index, i.e. campaign tick order — the merged
+       finding stream a sequential run over the same plan would produce *)
+    let all_results =
+      List.sort
+        (fun (a : Checkpoint.shard_result) b ->
+          compare a.Checkpoint.shard b.Checkpoint.shard)
+        t.completed
+    in
+    let findings =
+      List.concat_map
+        (fun (r : Checkpoint.shard_result) -> r.Checkpoint.findings)
+        all_results
+    in
+    let sum f = List.fold_left (fun acc r -> acc + f r) 0 all_results in
+    let stats =
+      {
+        Fuzz.tests = sum (fun r -> r.Checkpoint.tests);
+        parse_ok = sum (fun r -> r.Checkpoint.parse_ok);
+        solved = sum (fun r -> r.Checkpoint.solved);
+        bytes_total = sum (fun r -> r.Checkpoint.bytes_total);
+        findings;
+      }
+    in
+    let clusters = Dedup.cluster findings in
+    let found_bug_ids =
+      findings
+      |> List.filter_map (fun (f : Dedup.found) ->
+             f.Dedup.finding.Once4all.Oracle.bug_id)
+      |> O4a_util.Listx.dedup |> List.sort compare
+    in
+    (* promoted traces in shard (= campaign tick) order, like the findings —
+       a [--jobs n] campaign writes bundles in the sequential run's order *)
+    let promoted =
+      t.promoted_by_shard
+      |> List.sort (fun (a, _) (b, _) -> compare a b)
+      |> List.concat_map snd
+    in
+    let bundles_written =
+      match trace_dir with
+      | None -> 0
+      | Some dir ->
+        Bundle.ensure_dir dir;
+        List.iter (fun p -> ignore (Bundle.write ~dir p)) promoted;
+        Telemetry.emit t.tel "campaign.bundles"
+          [
+            ("dir", Json.String dir);
+            ("bundles", Json.Int (List.length promoted));
+          ];
+        List.length promoted
+    in
+    (* canonical quarantine order, like the findings: shard index *)
+    let quarantined =
+      List.sort
+        (fun (a : Checkpoint.quarantine) b ->
+          compare a.Checkpoint.q_shard b.Checkpoint.q_shard)
+        t.quarantined
+    in
+    Telemetry.emit t.tel "campaign.end"
+      (Fuzz.stats_fields stats
+      @
+      if quarantined = [] then []
+      else [ ("quarantined_shards", Json.Int (List.length quarantined)) ]);
+    Log.info (fun m ->
+        m "campaign merged: %d shards (%d resumed, %d quarantined), %d tests, \
+           %d findings, %d distinct bugs"
+          (List.length all_results) t.base_completed (List.length quarantined)
+          stats.Fuzz.tests (List.length findings)
+          (List.length found_bug_ids));
+    {
+      stats;
+      clusters;
+      found_bug_ids;
+      coverage = Coverage.export t.ledger;
+      coverage_zeal = Coverage.snapshot ~ledger:t.ledger Coverage.Zeal;
+      coverage_cove = Coverage.snapshot ~ledger:t.ledger Coverage.Cove;
+      shards_total = t.plan_total;
+      shards_run = t.processed - List.length t.errors;
+      shards_resumed = t.base_completed;
+      interrupted;
+      promoted;
+      bundles_written;
+      quarantined;
+      shard_retries = t.shard_retries;
+      faults_injected = t.faults_injected;
+      health = t.health;
+      profile = t.profile;
+      stopped;
+    }
+end
+
+(* ------------------------------------------------------------------ *)
 (* The campaign                                                        *)
 (* ------------------------------------------------------------------ *)
 
@@ -277,45 +701,36 @@ let load_base ~resume ~checkpoint_path ~seed ~budget ~shard_size =
                cp.Checkpoint.shard_size seed budget shard_size);
         Some cp))
 
+(* The shards a checkpoint already covers — completed or quarantined — must
+   not re-run: a resumed report would otherwise diverge from the
+   uninterrupted run's. *)
+let remaining_shards ~plan base =
+  let done_set =
+    match base with
+    | None -> []
+    | Some cp ->
+      List.fold_left
+        (fun acc (q : Checkpoint.quarantine) -> q.Checkpoint.q_shard :: acc)
+        (List.fold_left
+           (fun acc (r : Checkpoint.shard_result) -> r.Checkpoint.shard :: acc)
+           [] cp.Checkpoint.completed)
+        cp.Checkpoint.quarantined
+  in
+  List.filter (fun s -> not (List.mem s.Shard.index done_set)) plan
+
 let run ?(jobs = 1) ?(shard_size = default_shard_size)
     ?(config = Fuzz.default_config) ?telemetry ?checkpoint_path
     ?(resume = false) ?stop_after ?(extra = []) ?engines ?trace_dir ?ring_size
     ?chaos ?health ?(profiling = false) ?on_progress ~seed ~budget ~generators
     ~seeds () =
   if jobs < 1 then invalid_arg "Orchestrator.run: jobs must be >= 1";
-  let chaos =
-    match chaos with Some p when Faults.enabled p -> Some p | _ -> None
-  in
   let tel = match telemetry with Some t -> t | None -> Telemetry.global () in
-  let engines =
-    match engines with
-    | Some f -> f
-    | None -> fun () -> (Engine.zeal (), Engine.cove ())
-  in
   let base = load_base ~resume ~checkpoint_path ~seed ~budget ~shard_size in
-  let base_completed =
-    match base with Some cp -> cp.Checkpoint.completed | None -> []
-  in
-  let base_quarantined =
-    match base with Some cp -> cp.Checkpoint.quarantined | None -> []
-  in
   let extra =
     match base with Some cp when extra = [] -> cp.Checkpoint.extra | _ -> extra
   in
   let plan = Shard.plan ~budget ~shard_size in
-  (* quarantined shards count as handled: resume must not re-run them, or the
-     resumed report would diverge from the uninterrupted chaos run *)
-  let done_set =
-    List.fold_left
-      (fun acc (q : Checkpoint.quarantine) -> q.Checkpoint.q_shard :: acc)
-      (List.fold_left
-         (fun acc (r : Checkpoint.shard_result) -> r.Checkpoint.shard :: acc)
-         [] base_completed)
-      base_quarantined
-  in
-  let remaining =
-    List.filter (fun s -> not (List.mem s.Shard.index done_set)) plan
-  in
+  let remaining = remaining_shards ~plan base in
   let to_run =
     match stop_after with Some k -> take (max 0 k) remaining | None -> remaining
   in
@@ -323,21 +738,15 @@ let run ?(jobs = 1) ?(shard_size = default_shard_size)
   (* populate the coverage point tables before any worker races to use them,
      and so that checkpoint merges resolve ids against a full registry *)
   Engine.prewarm ();
-  Telemetry.emit tel "campaign.start"
-    [
-      ("budget", Json.Int budget);
-      ("seeds", Json.Int (List.length seeds));
-      ("generators", Json.Int (List.length generators));
-      ("skeletons", Json.Bool config.Fuzz.use_skeletons);
-      ("jobs", Json.Int jobs);
-      ("shard_size", Json.Int shard_size);
-      ("shards", Json.Int (List.length plan));
-      ("resumed_shards", Json.Int (List.length base_completed));
-    ];
-  let campaign_ledger = Coverage.make_ledger () in
-  (match base with
-  | Some cp -> Coverage.merge_into ~into:campaign_ledger cp.Checkpoint.coverage
-  | None -> ());
+  let env =
+    make_env ~config ~tel_enabled:(Telemetry.enabled tel)
+      ~tracing:(trace_dir <> None) ?ring_size ?chaos ?health ~profiling
+      ?engines ~seed ~generators ~seeds ()
+  in
+  let merge =
+    Merge.create ~env ~tel ?checkpoint_path ?base ?on_progress ~jobs ~budget
+      ~shard_size ~extra ()
+  in
   let shard_arr = Array.of_list to_run in
   let n_to_run = Array.length shard_arr in
   let nworkers = max 1 (min jobs n_to_run) in
@@ -345,7 +754,10 @@ let run ?(jobs = 1) ?(shard_size = default_shard_size)
      consumer — the merge stage has one owner. Each worker pushes a final
      [Msg_worker_done] sentinel, so the merge loop terminates whether the
      campaign runs to completion or is stopped early by a signal. *)
-  let queue : merge_msg Queue.t = Queue.create () in
+  let module Q = struct
+    type msg = Msg_shard of Shard.t * shard_outcome | Msg_worker_done
+  end in
+  let queue : Q.msg Queue.t = Queue.create () in
   let qmutex = Mutex.create () in
   let qcond = Condition.create () in
   let push r =
@@ -363,22 +775,9 @@ let run ?(jobs = 1) ?(shard_size = default_shard_size)
     r
   in
   let next = Atomic.make 0 in
-  let tel_enabled = Telemetry.enabled tel in
-  let tracing = trace_dir <> None in
-  let t_start = Unix.gettimeofday () in
-  let attempt ~worker_id ~zeal ~cove shard () =
-    (* Per-worker engines accumulate internal state across the shards a
-       domain happens to execute, which leaves shard results untouched (the
-       resume path already proves a shard run on a fresh engine merges
-       identically) but makes per-stage allocation counts depend on the
-       shard schedule. Profiled runs therefore give every shard attempt
-       factory-fresh engines — constructed here, outside the profile
-       ledger's scope, so construction is charged to no stage — keeping
-       {!O4a_profile.Profile.strip_timing} byte-identical at any [jobs]. *)
-    let zeal, cove = if profiling then engines () else (zeal, cove) in
-    run_one_shard ~worker_id ~tel_enabled ~tracing ~ring_size ~config
-      ~generators ~seeds ~zeal ~cove ~seed ~health ~profiling shard
-  in
+  (* write a checkpoint before any shard runs, so a signal that lands in the
+     campaign's first seconds still leaves a resumable file behind *)
+  if n_to_run > 0 then Merge.checkpoint_now merge;
   (* backtrace recording is per-domain runtime state: a fresh domain starts
      from the OCAMLRUNPARAM default, silently dropping whatever the
      application (or test harness) enabled on the main domain. Mirror it so
@@ -388,7 +787,7 @@ let run ?(jobs = 1) ?(shard_size = default_shard_size)
   let record_backtraces = Printexc.backtrace_status () in
   let worker worker_id () =
     Printexc.record_backtrace record_backtraces;
-    let zeal, cove = engines () in
+    let zeal, cove = env.env_engines () in
     let rec loop () =
       (* graceful stop lands on a shard boundary: a worker mid-shard finishes
          and merges it, but no new shard is claimed once the flag is up *)
@@ -396,225 +795,25 @@ let run ?(jobs = 1) ?(shard_size = default_shard_size)
         let i = Atomic.fetch_and_add next 1 in
         if i < n_to_run then (
           let shard = shard_arr.(i) in
-          let run_attempt = attempt ~worker_id ~zeal ~cove shard in
-          push
-            (Msg_shard (shard, run_supervised ~chaos ~run_attempt shard.Shard.index));
+          push (Q.Msg_shard (shard, exec_shard ~env ~worker_id ~zeal ~cove shard));
           loop ()))
     in
     loop ();
-    push Msg_worker_done
+    push Q.Msg_worker_done
   in
-  (* merge stage: single owner (this domain). Worker payloads arrive in
-     completion order; everything merged here is commutative (counters,
-     coverage) or re-canonicalized afterwards (findings sorted by shard
-     index), so the final report does not depend on that order. *)
-  let completed = ref base_completed in
-  let quarantined = ref base_quarantined in
-  let campaign_health =
-    ref (match base with Some cp -> cp.Checkpoint.health | None -> [])
-  in
-  (* profile counters cover the shards this process executed; resumed shards
-     contribute nothing (the checkpoint carries no profile) *)
-  let campaign_profile = ref Profile.empty in
-  let promoted_by_shard = ref [] in
-  let errors = ref [] in
-  let shard_retries = ref 0 in
-  let faults_injected = ref 0 in
-  (* merge-time progress snapshot for the HUD callback: a pure function of
-     already-merged state, so observing it cannot perturb the campaign *)
-  let notify_progress () =
-    match on_progress with
-    | None -> ()
-    | Some f ->
-      let sum g = List.fold_left (fun acc r -> acc + g r) 0 !completed in
-      f
-        {
-          Hud.shards_done = List.length !completed + List.length !quarantined;
-          shards_total = List.length plan;
-          ticks_done = sum (fun (r : Checkpoint.shard_result) -> r.Checkpoint.tests);
-          budget;
-          findings =
-            sum (fun (r : Checkpoint.shard_result) ->
-                List.length r.Checkpoint.findings);
-          coverage_points = List.length (Coverage.export campaign_ledger);
-          quarantined = List.length !quarantined;
-          breaker_trips =
-            List.fold_left
-              (fun acc (e : Health.entry) -> acc + e.Health.opened)
-              0 !campaign_health;
-          elapsed_s = Unix.gettimeofday () -. t_start;
-        }
-  in
-  (* Supervised save: the Checkpoint_corrupt site tears the write on the main
-     domain (a truncated raw dump instead of the atomic write-then-rename),
-     then the verify step detects the corruption through the same
-     [Checkpoint.load] path [resume] uses and rewrites cleanly — bounded by
-     the same retry budget as shard faults, and per-(shard, attempt)
-     deterministic, so the injected count is identical at any --jobs N. *)
-  let current_checkpoint () =
-    {
-      Checkpoint.seed;
-      budget;
-      shard_size;
-      extra;
-      completed = !completed;
-      quarantined = !quarantined;
-      coverage = Coverage.export campaign_ledger;
-      health = !campaign_health;
-    }
-  in
-  (* write a checkpoint before any shard runs, so a signal that lands in the
-     campaign's first seconds still leaves a resumable file behind (plain
-     save: the chaos tear site is keyed to merged shards, and nothing has
-     merged yet) *)
-  (match checkpoint_path with
-  | Some path when n_to_run > 0 -> Checkpoint.save ~path (current_checkpoint ())
-  | _ -> ());
-  let save_checkpoint ~after_shard =
-    match checkpoint_path with
-    | None -> ()
-    | Some path ->
-      let cp = current_checkpoint () in
-      let rec attempt_save attempt =
-        let tear =
-          attempt < Faults.max_retries
-          && (match chaos with
-             | None -> false
-             | Some plan ->
-               Faults.decide plan ~site:Faults.Checkpoint_corrupt
-                 ~shard:after_shard ~attempt
-               <> None)
-        in
-        if tear then (
-          let s = Json.to_string (Checkpoint.to_json cp) in
-          let cut = max 1 (String.length s / 2) in
-          Out_channel.with_open_bin path (fun oc ->
-              output_string oc (String.sub s 0 cut));
-          incr faults_injected;
-          Telemetry.emit tel "fault.injected"
-            [
-              ("site", Json.String (Faults.site_name Faults.Checkpoint_corrupt));
-              ("shard", Json.Int after_shard);
-              ("attempt", Json.Int attempt);
-            ])
-        else Checkpoint.save ~path cp;
-        match Checkpoint.load ~path with
-        | Ok _ -> ()
-        | Error err when tear && attempt < Faults.max_retries ->
-          Log.debug (fun m ->
-              m "checkpoint write torn by chaos (%s), rewriting"
-                (Checkpoint.load_error_to_string ~path err));
-          attempt_save (attempt + 1)
-        | Error err ->
-          failwith
-            (Printf.sprintf "checkpoint verify failed after save: %s"
-               (Checkpoint.load_error_to_string ~path err))
-      in
-      attempt_save 0
-  in
-  let emit_attempt_faults shard_idx logs =
-    List.iter
-      (fun { attempt; fired } ->
-        List.iter
-          (fun site ->
-            incr faults_injected;
-            Telemetry.emit tel "fault.injected"
-              [
-                ("site", Json.String (Faults.site_name site));
-                ("shard", Json.Int shard_idx);
-                ("attempt", Json.Int attempt);
-              ])
-          fired)
-      logs
-  in
-  let emit_retries shard_idx logs ~quarantining =
-    (* every tainted attempt except a quarantining shard's last one was
-       followed by a backoff + retry *)
-    let retried =
-      if quarantining then max 0 (List.length logs - 1) else List.length logs
-    in
-    List.iteri
-      (fun i { attempt; _ } ->
-        if i < retried then (
-          incr shard_retries;
-          Telemetry.emit tel "shard.retry"
-            [
-              ("shard", Json.Int shard_idx);
-              ("attempt", Json.Int (attempt + 1));
-              ( "backoff_fuel",
-                Json.Int (1_000 * (1 lsl min attempt 10)) );
-            ]))
-      logs
-  in
-  let processed = ref 0 in
-  let handle_msg shard outcome =
-    incr processed;
-    (match (shard, outcome) with
-    | shard, Failed msg -> errors := (shard.Shard.index, msg) :: !errors
-    | shard, Quarantined logs ->
-      let shard_idx = shard.Shard.index in
-      emit_attempt_faults shard_idx logs;
-      emit_retries shard_idx logs ~quarantining:true;
-      let q = quarantine_of_logs shard logs in
-      quarantined := q :: !quarantined;
-      Telemetry.emit tel "shard.quarantined"
-        [
-          ("shard", Json.Int shard_idx);
-          ("first_tick", Json.Int q.Checkpoint.q_first_tick);
-          ("ticks", Json.Int q.Checkpoint.q_ticks);
-          ("attempts", Json.Int q.Checkpoint.q_attempts);
-          ( "sites",
-            Json.List
-              (List.map (fun s -> Json.String s) q.Checkpoint.q_sites) );
-        ];
-      save_checkpoint ~after_shard:shard_idx;
-      Log.warn (fun m ->
-          m "shard %d quarantined after %d attempts (sites: %s)" shard_idx
-            q.Checkpoint.q_attempts
-            (String.concat " " q.Checkpoint.q_sites))
-    | shard, Merged (payload, logs, merged_fired) ->
-      let shard_idx = shard.Shard.index in
-      (* the merged attempt's own non-tainting faults (sick-solver hangs)
-         count as injected too; its attempt index is one past the tainted
-         attempts that preceded it *)
-      emit_attempt_faults shard_idx
-        (logs
-        @
-        if merged_fired = [] then []
-        else [ { attempt = List.length logs; fired = merged_fired } ]);
-      emit_retries shard_idx logs ~quarantining:false;
-      List.iter
-        (fun (e : Event.t) ->
-          Telemetry.forward tel
-            (Event.make ~ts:e.Event.ts ~name:e.Event.name
-               (e.Event.fields @ [ ("shard", Json.Int shard_idx) ])))
-        payload.events;
-      Telemetry.absorb_metrics tel payload.metric_entries;
-      Coverage.merge_into ~into:campaign_ledger payload.cov_export;
-      campaign_health := Health.merge !campaign_health payload.health_export;
-      campaign_profile := Profile.merge !campaign_profile payload.profile_export;
-      completed := payload.sr :: !completed;
-      if payload.promoted <> [] then
-        promoted_by_shard := (shard_idx, payload.promoted) :: !promoted_by_shard;
-      save_checkpoint ~after_shard:shard_idx;
-      Log.debug (fun m ->
-          m "shard %d merged (%d/%d done)" shard_idx (List.length !completed)
-            (List.length plan)));
-    notify_progress ()
-  in
-  notify_progress ();
+  Merge.notify_progress merge;
   (if nworkers <= 1 || n_to_run = 0 then (
      (* degenerate case: run and merge inline on this domain, shard by shard —
         same single-owner merge as the parallel path, but progress callbacks
         fire live instead of after a full drain *)
-     let zeal, cove = engines () in
+     let zeal, cove = env.env_engines () in
      let rec loop () =
        if not (stop_requested ()) then (
          let i = Atomic.fetch_and_add next 1 in
          if i < n_to_run then (
            let shard = shard_arr.(i) in
-           let run_attempt = attempt ~worker_id:0 ~zeal ~cove shard in
-           handle_msg shard (run_supervised ~chaos ~run_attempt shard.Shard.index);
+           Merge.absorb merge shard
+             (exec_shard ~env ~worker_id:0 ~zeal ~cove shard);
            loop ()))
      in
      loop ())
@@ -623,106 +822,18 @@ let run ?(jobs = 1) ?(shard_size = default_shard_size)
      let live_workers = ref (List.length domains) in
      while !live_workers > 0 do
        match pop () with
-       | Msg_worker_done -> decr live_workers
-       | Msg_shard (shard, outcome) -> handle_msg shard outcome
+       | Q.Msg_worker_done -> decr live_workers
+       | Q.Msg_shard (shard, outcome) -> Merge.absorb merge shard outcome
      done;
      List.iter Domain.join domains));
-  let stopped = stop_requested () && !processed < n_to_run in
+  let stopped = stop_requested () && Merge.processed merge < n_to_run in
   if stopped then (
     Telemetry.emit tel "campaign.stopped"
       [
-        ("shards_done", Json.Int !processed);
-        ("shards_remaining", Json.Int (n_to_run - !processed));
+        ("shards_done", Json.Int (Merge.processed merge));
+        ("shards_remaining", Json.Int (n_to_run - Merge.processed merge));
       ];
     Log.info (fun m ->
         m "stop requested: drained %d/%d shards at the shard boundary"
-          !processed n_to_run));
-  (match List.sort compare !errors with
-  | (idx, msg) :: _ ->
-    failwith (Printf.sprintf "Orchestrator.run: shard %d failed: %s" idx msg)
-  | [] -> ());
-  (* canonical order: shard index, i.e. campaign tick order — the merged
-     finding stream a sequential run over the same plan would produce *)
-  let all_results =
-    List.sort
-      (fun (a : Checkpoint.shard_result) b ->
-        compare a.Checkpoint.shard b.Checkpoint.shard)
-      !completed
-  in
-  let findings =
-    List.concat_map (fun (r : Checkpoint.shard_result) -> r.Checkpoint.findings)
-      all_results
-  in
-  let sum f = List.fold_left (fun acc r -> acc + f r) 0 all_results in
-  let stats =
-    {
-      Fuzz.tests = sum (fun r -> r.Checkpoint.tests);
-      parse_ok = sum (fun r -> r.Checkpoint.parse_ok);
-      solved = sum (fun r -> r.Checkpoint.solved);
-      bytes_total = sum (fun r -> r.Checkpoint.bytes_total);
-      findings;
-    }
-  in
-  let clusters = Dedup.cluster findings in
-  let found_bug_ids =
-    findings
-    |> List.filter_map (fun (f : Dedup.found) -> f.Dedup.finding.Once4all.Oracle.bug_id)
-    |> O4a_util.Listx.dedup |> List.sort compare
-  in
-  (* promoted traces in shard (= campaign tick) order, like the findings —
-     a [--jobs n] campaign writes bundles in the sequential run's order *)
-  let promoted =
-    !promoted_by_shard
-    |> List.sort (fun (a, _) (b, _) -> compare a b)
-    |> List.concat_map snd
-  in
-  let bundles_written =
-    match trace_dir with
-    | None -> 0
-    | Some dir ->
-      Bundle.ensure_dir dir;
-      List.iter (fun p -> ignore (Bundle.write ~dir p)) promoted;
-      Telemetry.emit tel "campaign.bundles"
-        [
-          ("dir", Json.String dir); ("bundles", Json.Int (List.length promoted));
-        ];
-      List.length promoted
-  in
-  (* canonical quarantine order, like the findings: shard index *)
-  let quarantined =
-    List.sort
-      (fun (a : Checkpoint.quarantine) b ->
-        compare a.Checkpoint.q_shard b.Checkpoint.q_shard)
-      !quarantined
-  in
-  Telemetry.emit tel "campaign.end"
-    (Fuzz.stats_fields stats
-    @
-    if quarantined = [] then []
-    else [ ("quarantined_shards", Json.Int (List.length quarantined)) ]);
-  Log.info (fun m ->
-      m "campaign merged: %d shards (%d resumed, %d quarantined), %d tests, \
-         %d findings, %d distinct bugs"
-        (List.length all_results) (List.length base_completed)
-        (List.length quarantined) stats.Fuzz.tests (List.length findings)
-        (List.length found_bug_ids));
-  {
-    stats;
-    clusters;
-    found_bug_ids;
-    coverage = Coverage.export campaign_ledger;
-    coverage_zeal = Coverage.snapshot ~ledger:campaign_ledger Coverage.Zeal;
-    coverage_cove = Coverage.snapshot ~ledger:campaign_ledger Coverage.Cove;
-    shards_total = List.length plan;
-    shards_run = !processed - List.length !errors;
-    shards_resumed = List.length base_completed;
-    interrupted;
-    promoted;
-    bundles_written;
-    quarantined;
-    shard_retries = !shard_retries;
-    faults_injected = !faults_injected;
-    health = !campaign_health;
-    profile = !campaign_profile;
-    stopped;
-  }
+          (Merge.processed merge) n_to_run));
+  Merge.finalize ?trace_dir ~interrupted ~stopped merge

@@ -29,6 +29,11 @@
 module Shard = Shard
 module Checkpoint = Checkpoint
 
+module Stop = Stop
+(** The process-wide stop flag and the shared two-signal handler contract
+    ({!Stop.install_handlers}). {!request_stop} / {!stop_requested} /
+    {!reset_stop} below are aliases kept for existing callers. *)
+
 type report = {
   stats : Once4all.Fuzz.stats;
       (** merged totals; findings in shard (= campaign tick) order *)
@@ -85,6 +90,114 @@ val reset_stop : unit -> unit
 (** Lower the flag — for tests that run several campaigns in one process. *)
 
 val default_shard_size : int
+
+(** {1 The pluggable shard pipeline}
+
+    {!run} below is one assembly of these pieces: a shard source (the
+    campaign's own plan), {!exec_shard} on a private worker pool, and a
+    {!Merge.t} sink on the calling domain. The campaign server assembles the
+    same pieces differently — one {!exec_env}/{!Merge.t} pair per submitted
+    job, shards from many jobs interleaved on one shared pool. Because a
+    shard outcome is a pure function of [(env, shard)] and merging is
+    order-independent, both assemblies land every campaign on the same
+    report. *)
+
+type exec_env
+(** Everything needed to execute one shard of a campaign — and nothing about
+    which worker pool runs it or where the results merge. *)
+
+val make_env :
+  ?config:Once4all.Fuzz.config ->
+  ?tel_enabled:bool ->
+  ?tracing:bool ->
+  ?ring_size:int ->
+  ?chaos:O4a_faults.Faults.plan ->
+  ?health:O4a_health.Health.config ->
+  ?profiling:bool ->
+  ?engines:(unit -> Solver.Engine.t * Solver.Engine.t) ->
+  seed:int ->
+  generators:Gensynth.Generator.t list ->
+  seeds:Smtlib.Script.t list ->
+  unit ->
+  exec_env
+(** The optional arguments mirror {!run}'s (same defaults); [tel_enabled]
+    decides whether workers buffer events for forwarding, [tracing] whether
+    they record traces. A [chaos] plan whose profile is [Off] is normalized
+    to no plan. *)
+
+type shard_outcome
+(** Result of one supervised shard execution: merged payload, quarantine, or
+    a genuine worker failure. Opaque — produced by {!exec_shard}, consumed
+    by {!Merge.absorb}. *)
+
+val exec_shard :
+  env:exec_env ->
+  worker_id:int ->
+  zeal:Solver.Engine.t ->
+  cove:Solver.Engine.t ->
+  Shard.t ->
+  shard_outcome
+(** Execute one shard under the env's chaos supervision. Safe to call from
+    any domain; [zeal]/[cove] are the calling worker's private engines
+    (profiled envs ignore them and build factory-fresh ones per attempt).
+    The outcome is a pure function of [(env, shard)] — independent of
+    [worker_id] (a telemetry label), of which domain runs it, and of
+    whatever else that domain ran before. *)
+
+(** The per-campaign merge accumulator: single-owner, order-independent.
+    Whichever domain creates a [Merge.t] is the only one that may touch it;
+    worker outcomes arrive in completion order, and everything absorbed is
+    either commutative (counters, coverage, health) or re-canonicalized by
+    shard index in {!Merge.finalize}, so the report never depends on
+    interleaving. *)
+module Merge : sig
+  type t
+
+  val create :
+    env:exec_env ->
+    tel:O4a_telemetry.Telemetry.t ->
+    ?checkpoint_path:string ->
+    ?base:Checkpoint.t ->
+    ?on_progress:(O4a_profile.Hud.progress -> unit) ->
+    jobs:int ->
+    budget:int ->
+    shard_size:int ->
+    extra:(string * string) list ->
+    unit ->
+    t
+  (** Emits the [campaign.start] event (call {!Solver.Engine.prewarm}
+      first). [base] seeds the accumulator with a resumed checkpoint's
+      completed/quarantined shards and coverage; [jobs] is provenance for
+      the start event only. *)
+
+  val absorb : t -> Shard.t -> shard_outcome -> unit
+  (** Merge one outcome: forward its worker events (tagged with the shard),
+      fold its counters/coverage/health/profile, record quarantines, then
+      checkpoint (chaos may tear the write — it is verified and retried)
+      and fire the progress callback. Owner domain only. *)
+
+  val processed : t -> int
+  (** Outcomes absorbed so far (excluding shards resumed from [base]). *)
+
+  val failed : t -> bool
+  (** A genuine (non-injected) worker failure was absorbed;
+      {!finalize} will raise. *)
+
+  val notify_progress : t -> unit
+  (** Fire the progress callback with current merged state — {!run} calls
+      it once before any shard executes so HUDs render an initial frame. *)
+
+  val checkpoint_now : t -> unit
+  (** Plain checkpoint write, bypassing chaos supervision — for the
+      before-any-shard-runs save and for server-side pause. *)
+
+  val finalize :
+    ?trace_dir:string -> interrupted:bool -> stopped:bool -> t -> report
+  (** Canonicalize (findings, promoted traces, and quarantines re-sorted by
+      shard index), write repro bundles under [trace_dir], emit
+      [campaign.end], and build the report. Raises [Failure] describing the
+      first failed shard if any worker failure was absorbed. *)
+end
 
 val run :
   ?jobs:int ->

@@ -1,0 +1,23 @@
+(* One process-wide flag: signal handlers (and tests) raise it, workers check
+   it before claiming another shard. Stopping therefore always lands on a
+   shard boundary — every shard is either fully merged and checkpointed or
+   not started — which is exactly the granularity resume already handles, so
+   a stopped-then-resumed campaign is byte-identical to an uninterrupted
+   one. *)
+let flag = Atomic.make false
+let request () = not (Atomic.exchange flag true)
+let requested () = Atomic.get flag
+let reset () = Atomic.set flag false
+
+(* First SIGINT/SIGTERM: raise the stop flag — workers drain at the next
+   shard boundary, checkpoints and partial reports are flushed, and the
+   process exits 0. A second signal aborts immediately with the conventional
+   interrupted status. One definition serves fuzz, resume, and serve: every
+   long-running entry point honors the same two-signal contract. *)
+let install_handlers () =
+  let handle _ = if not (request ()) then exit 130 in
+  List.iter
+    (fun signal ->
+      try Sys.set_signal signal (Sys.Signal_handle handle)
+      with Invalid_argument _ | Sys_error _ -> ())
+    [ Sys.sigterm; Sys.sigint ]

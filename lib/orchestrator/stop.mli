@@ -1,0 +1,24 @@
+(** The process-wide graceful-stop flag and the two-signal shutdown contract
+    shared by every long-running entry point ([fuzz], [resume], [serve]).
+
+    The flag is designed to be raised from a signal handler: workers finish
+    the shard they are executing but claim no new ones, merge owners drain
+    and checkpoint what completed, and the process exits 0 with a resume
+    hint. Because stopping always lands on a shard boundary, resuming from
+    the checkpoint reproduces the uninterrupted campaign byte-for-byte. *)
+
+val request : unit -> bool
+(** Raise the stop flag. [true] if this call was the one that raised it —
+    lets a signal handler escalate: first signal stops gracefully, second
+    aborts. Async-signal-safe (a single atomic exchange). *)
+
+val requested : unit -> bool
+
+val reset : unit -> unit
+(** Lower the flag — for tests that run several campaigns in one process. *)
+
+val install_handlers : unit -> unit
+(** Install the two-signal contract on SIGTERM and SIGINT: the first signal
+    calls {!request} (graceful drain), the second exits 130 immediately.
+    Safe to call in environments where the signals cannot be trapped (the
+    handlers are then simply not installed). *)

@@ -1,0 +1,66 @@
+module Json = O4a_telemetry.Json
+
+type t = { fd : Unix.file_descr; ic : in_channel; oc : out_channel }
+
+(* Blocking line-oriented client over the daemon's Unix socket. One request
+   per line out, one JSON document per line in — the only subtlety is the
+   hello handshake: the first line on every connection is the server's
+   versioned header, checked before anything else is sent. *)
+
+let close t =
+  (try close_out_noerr t.oc with _ -> ());
+  (try close_in_noerr t.ic with _ -> ());
+  try Unix.close t.fd with Unix.Unix_error _ -> ()
+
+let read_json t =
+  match input_line t.ic with
+  | exception End_of_file -> Error "server closed the connection"
+  | exception Sys_error msg -> Error msg
+  | line -> Json.parse line
+
+let connect ~socket =
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  match Unix.connect fd (Unix.ADDR_UNIX socket) with
+  | exception Unix.Unix_error (err, _, _) ->
+    (try Unix.close fd with Unix.Unix_error _ -> ());
+    Error
+      (Printf.sprintf "cannot connect to %s: %s (is the server running?)"
+         socket (Unix.error_message err))
+  | () -> (
+    let t =
+      {
+        fd;
+        ic = Unix.in_channel_of_descr fd;
+        oc = Unix.out_channel_of_descr fd;
+      }
+    in
+    match Result.bind (read_json t) Protocol.check_hello with
+    | Error msg ->
+      close t;
+      Error msg
+    | Ok _proto -> Ok t)
+
+let send t req =
+  match
+    output_string t.oc (Json.to_string (Protocol.request_to_json req) ^ "\n");
+    flush t.oc
+  with
+  | () -> Ok ()
+  | exception Sys_error msg -> Error msg
+
+(* one request, one reply; Error for transport failures AND ok:false replies *)
+let request t req =
+  Result.bind (send t req) (fun () ->
+      Result.bind (read_json t) (fun reply ->
+          match Protocol.reply_error reply with
+          | Some msg -> Error msg
+          | None -> Ok reply))
+
+let stream t req ~on_line =
+  Result.bind (request t req) (fun reply ->
+      let rec go () =
+        match read_json t with
+        | Error _ -> Ok ()  (* stream ended: server closed or drained *)
+        | Ok json -> if on_line json then go () else Ok ()
+      in
+      Result.map (fun () -> reply) (go ()))

@@ -1,0 +1,25 @@
+(** Blocking client for the campaign server's socket protocol — what the
+    [submit]/[jobs]/[watch]/[pause]/[resume-job]/[cancel] subcommands and
+    the server tests are built on. *)
+
+type t
+
+val connect : socket:string -> (t, string) result
+(** Connect and validate the server's hello header ({!Protocol.check_hello});
+    refuses servers speaking a newer protocol. *)
+
+val request :
+  t -> Protocol.request -> (O4a_telemetry.Json.t, string) result
+(** Send one request, read its one-line reply. [Error] covers transport
+    failures and [ok:false] replies alike (the server's error message). *)
+
+val stream :
+  t ->
+  Protocol.request ->
+  on_line:(O4a_telemetry.Json.t -> bool) ->
+  (O4a_telemetry.Json.t, string) result
+(** Send a streaming request (Watch): after its [ok] reply — returned on
+    success — every subsequent line is handed to [on_line] until it returns
+    [false] or the server closes the stream. *)
+
+val close : t -> unit

@@ -1,0 +1,725 @@
+module Json = O4a_telemetry.Json
+module Event = O4a_telemetry.Event
+module Telemetry = O4a_telemetry.Telemetry
+module Sink = O4a_telemetry.Sink
+module Faults = O4a_faults.Faults
+module Hud = O4a_profile.Hud
+module Engine = Solver.Engine
+module Shard = Orchestrator.Shard
+module Checkpoint = Orchestrator.Checkpoint
+module Merge = Orchestrator.Merge
+module Stop = Orchestrator.Stop
+
+let log_src = Logs.Src.create "once4all.server" ~doc:"Campaign server daemon"
+
+module Log = (val Logs.src_log log_src : Logs.LOG)
+
+type config = { socket_path : string; state_dir : string; pool : int }
+
+(* ------------------------------------------------------------------ *)
+(* Connections                                                         *)
+(* ------------------------------------------------------------------ *)
+
+(* Non-blocking buffered writer: stream lines append to [out], the select
+   loop flushes when the fd turns writable. A subscriber that stops reading
+   grows its buffer until [max_out], then is disconnected — one slow watcher
+   must never stall the merge path or the other subscribers. *)
+type conn = {
+  fd : Unix.file_descr;
+  inbuf : Buffer.t;
+  mutable out : string;
+  mutable closed : bool;
+}
+
+let max_out = 1 lsl 20
+
+let try_flush c =
+  if (not c.closed) && c.out <> "" then (
+    match Unix.write_substring c.fd c.out 0 (String.length c.out) with
+    | 0 -> ()
+    | n -> c.out <- String.sub c.out n (String.length c.out - n)
+    | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _)
+      -> ()
+    | exception Unix.Unix_error _ -> c.closed <- true)
+
+let conn_send c line =
+  if not c.closed then
+    if String.length c.out + String.length line + 1 > max_out then (
+      Log.warn (fun m -> m "dropping slow subscriber (>%d bytes queued)" max_out);
+      c.closed <- true)
+    else (
+      c.out <- c.out ^ line ^ "\n";
+      try_flush c)
+
+let conn_send_json c json = conn_send c (Json.to_string json)
+
+(* ------------------------------------------------------------------ *)
+(* Jobs                                                                *)
+(* ------------------------------------------------------------------ *)
+
+type job = {
+  id : string;
+  spec : Jobspec.t;
+  dir : string;
+  chaos : Faults.plan option;
+  tel : Telemetry.t;
+  gen_count : int;
+  seed_count : int;
+  plan_total : int;  (* full plan, including shards resumed from disk *)
+  total : int;  (* shards this server process must execute *)
+  resumed : int;
+  mutable merge : Merge.t option;  (* set right after registration *)
+  mutable state : Protocol.job_state;
+  mutable shards_done : int;
+  mutable findings : int;
+  mutable backlog_rev : string list;  (* streamed lines, newest first *)
+  mutable backlog_len : int;
+  mutable subscribers : conn list;
+}
+
+type t = {
+  cfg : config;
+  (* shared with the worker pool, guarded by [lock] *)
+  sched : Scheduler.t;
+  envs : (string, Orchestrator.exec_env) Hashtbl.t;
+  lock : Mutex.t;
+  work : Condition.t;
+  drain : bool Atomic.t;  (* protocol-level shutdown; SIGTERM uses Stop *)
+  (* worker -> main results, guarded by [rlock]; [pipe_w] wakes the select *)
+  results : (string * Shard.t * Orchestrator.shard_outcome) Queue.t;
+  rlock : Mutex.t;
+  pipe_r : Unix.file_descr;
+  pipe_w : Unix.file_descr;
+  (* main-domain-only state *)
+  jobs : (string, job) Hashtbl.t;
+  mutable order : string list;  (* submission order *)
+  mutable conns : conn list;
+}
+
+let stopping t = Stop.requested () || Atomic.get t.drain
+
+let wake t =
+  try ignore (Unix.write_substring t.pipe_w "x" 0 1)
+  with Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EPIPE), _, _) -> ()
+
+(* ------------------------------------------------------------------ *)
+(* Event streaming                                                     *)
+(* ------------------------------------------------------------------ *)
+
+(* Append one line to the job's backlog and deliver it to every live
+   subscriber. The backlog is the catch-up source: a Watch with [from=n]
+   replays lines n.. first, so a late subscriber sees exactly the stream an
+   early one saw. *)
+let push_line job json =
+  let line = Json.to_string json in
+  job.backlog_rev <- line :: job.backlog_rev;
+  job.backlog_len <- job.backlog_len + 1;
+  List.iter (fun c -> conn_send c line) job.subscribers;
+  job.subscribers <- List.filter (fun c -> not c.closed) job.subscribers
+
+let stream job ~kind data = push_line job (Protocol.stream_line ~job:job.id ~kind data)
+
+let write_file path contents =
+  Out_channel.with_open_bin path (fun oc -> output_string oc contents)
+
+let set_state job st =
+  if job.state <> st then (
+    job.state <- st;
+    (match st with
+    | Protocol.Failed msg ->
+      stream job ~kind:"state"
+        (Json.Obj
+           [
+             ("state", Json.String (Protocol.job_state_to_string st));
+             ("error", Json.String msg);
+           ])
+    | _ ->
+      stream job ~kind:"state"
+        (Json.Obj [ ("state", Json.String (Protocol.job_state_to_string st)) ]));
+    write_file
+      (Filename.concat job.dir "status")
+      (Protocol.job_state_to_string job.state ^ "\n"))
+
+(* every campaign event a Merge forwards (or emits) lands here, on the main
+   domain; interesting ones are re-tagged so watchers can filter without
+   parsing the full telemetry stream *)
+let on_event t id (ev : Event.t) =
+  match Hashtbl.find_opt t.jobs id with
+  | None -> ()
+  | Some job ->
+    stream job ~kind:"telemetry" (Event.to_json ev);
+    let finding =
+      ev.Event.name = "fuzz.test"
+      &&
+      match Event.field "finding" ev with Some (Json.String _) -> true | _ -> false
+    in
+    if finding then stream job ~kind:"finding" (Event.to_json ev)
+    else if ev.Event.name = "health.breaker" then
+      stream job ~kind:"health" (Event.to_json ev)
+    else if ev.Event.name = "shard.quarantined" then
+      stream job ~kind:"quarantine" (Event.to_json ev)
+
+(* merge-time progress, minus [elapsed_s]: the streamed progress lines are a
+   pure function of merged state, so the backlog two subscribers compare is
+   identical no matter when they attached *)
+let on_progress t id (p : Hud.progress) =
+  match Hashtbl.find_opt t.jobs id with
+  | None -> ()
+  | Some job ->
+    job.shards_done <- p.Hud.shards_done;
+    job.findings <- p.Hud.findings;
+    stream job ~kind:"progress"
+      (Json.Obj
+         [
+           ("shards_done", Json.Int p.Hud.shards_done);
+           ("shards_total", Json.Int p.Hud.shards_total);
+           ("ticks_done", Json.Int p.Hud.ticks_done);
+           ("budget", Json.Int p.Hud.budget);
+           ("findings", Json.Int p.Hud.findings);
+           ("coverage_points", Json.Int p.Hud.coverage_points);
+           ("quarantined", Json.Int p.Hud.quarantined);
+           ("breaker_trips", Json.Int p.Hud.breaker_trips);
+         ])
+
+(* ------------------------------------------------------------------ *)
+(* Job lifecycle                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let mkdir_p dir =
+  let rec go d =
+    if d <> "" && d <> "/" && d <> "." && not (Sys.file_exists d) then (
+      go (Filename.dirname d);
+      try Unix.mkdir d 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ())
+  in
+  go dir
+
+let fresh_id t name =
+  let taken id =
+    Hashtbl.mem t.jobs id || Sys.file_exists (Filename.concat t.cfg.state_dir id)
+  in
+  if not (taken name) then name
+  else (
+    let rec go n =
+      let id = Printf.sprintf "%s-%d" name n in
+      if taken id then go (n + 1) else id
+    in
+    go 2)
+
+let finish_job job =
+  let merge = Option.get job.merge in
+  let trace_dir =
+    if job.spec.Jobspec.trace then Some (Filename.concat job.dir "trace")
+    else None
+  in
+  (match Merge.finalize ?trace_dir ~interrupted:false ~stopped:false merge with
+  | exception Failure msg ->
+    Log.err (fun m -> m "job %s failed: %s" job.id msg);
+    set_state job (Protocol.Failed msg)
+  | report ->
+    (* report.txt is the standalone run's stdout, written through the same
+       Render module the CLI prints with — byte-identical by construction,
+       modulo the path-bearing "wrote …"/"resumed …" lines check.sh strips *)
+    let text =
+      Render.header ~generators:job.gen_count ~seeds:job.seed_count
+        ~budget:job.spec.Jobspec.budget
+      ^ Render.resumed_line report.Orchestrator.shards_resumed
+      ^ Render.campaign ~chaos:job.chaos report
+      ^
+      match trace_dir with
+      | Some dir -> Render.bundles_line ~dir report.Orchestrator.bundles_written
+      | None -> ""
+    in
+    write_file (Filename.concat job.dir "report.txt") text;
+    set_state job Protocol.Done);
+  Telemetry.flush job.tel
+
+(* Build and register a job from its spec (and, when resuming, the loaded
+   checkpoint), then hand its remaining shards to the shared scheduler. The
+   pipeline here is exactly the CLI's fuzz path — Campaign.prepare,
+   Seeds.Corpus.filtered, make_env on [fuzz_seed] — so a shard executed for
+   this job is indistinguishable from one executed by `once4all fuzz`. *)
+let start_job t ~id ~dir ~spec ~base =
+  mkdir_p dir;
+  write_file (Filename.concat dir "spec.json")
+    (Json.to_string (Jobspec.to_json spec) ^ "\n");
+  let profile = Jobspec.llm_profile spec in
+  let campaign = Once4all.Campaign.prepare ~seed:spec.Jobspec.seed ~profile () in
+  let seeds =
+    Seeds.Corpus.filtered ~zeal:campaign.Once4all.Campaign.zeal
+      ~cove:campaign.Once4all.Campaign.cove ()
+  in
+  let chaos = Jobspec.chaos spec in
+  let env =
+    Orchestrator.make_env ~config:(Jobspec.config spec) ~tel_enabled:true
+      ~tracing:spec.Jobspec.trace ?chaos ?health:(Jobspec.health spec)
+      ~seed:(Jobspec.fuzz_seed spec)
+      ~generators:campaign.Once4all.Campaign.generators ~seeds ()
+  in
+  let callback = Sink.callback (fun ev -> on_event t id ev) in
+  let sink =
+    if spec.Jobspec.telemetry then
+      Sink.fanout
+        [ Sink.open_jsonl (Filename.concat dir "telemetry.jsonl"); callback ]
+    else callback
+  in
+  let tel =
+    Telemetry.create ~sink ~clock:(Telemetry.monotonic_clock ()) ()
+  in
+  let plan =
+    Shard.plan ~budget:spec.Jobspec.budget ~shard_size:spec.Jobspec.shard_size
+  in
+  let remaining =
+    match base with
+    | None -> plan
+    | Some cp ->
+      let covered =
+        List.map (fun (r : Checkpoint.shard_result) -> r.Checkpoint.shard)
+          cp.Checkpoint.completed
+        @ List.map (fun (q : Checkpoint.quarantine) -> q.Checkpoint.q_shard)
+            cp.Checkpoint.quarantined
+      in
+      List.filter (fun s -> not (List.mem s.Shard.index covered)) plan
+  in
+  let job =
+    {
+      id;
+      spec;
+      dir;
+      chaos;
+      tel;
+      gen_count = List.length campaign.Once4all.Campaign.generators;
+      seed_count = List.length seeds;
+      plan_total = List.length plan;
+      total = List.length remaining;
+      resumed =
+        (match base with
+        | Some cp ->
+          List.length cp.Checkpoint.completed
+          + List.length cp.Checkpoint.quarantined
+        | None -> 0);
+      merge = None;
+      state = Protocol.Queued;
+      shards_done = 0;
+      findings = 0;
+      backlog_rev = [];
+      backlog_len = 0;
+      subscribers = [];
+    }
+  in
+  (* register before Merge.create so its campaign.start event reaches the
+     backlog through the sink callback *)
+  Hashtbl.replace t.jobs id job;
+  t.order <- t.order @ [ id ];
+  let merge =
+    Merge.create ~env ~tel
+      ~checkpoint_path:(Filename.concat dir "checkpoint.json")
+      ?base ~on_progress:(fun p -> on_progress t id p)
+      ~jobs:t.cfg.pool ~budget:spec.Jobspec.budget
+      ~shard_size:spec.Jobspec.shard_size ~extra:(Jobspec.extra spec) ()
+  in
+  job.merge <- Some merge;
+  if job.total > 0 then (
+    (* the orchestrator's before-any-shard-runs save, so even a job killed
+       seconds after submission leaves a resumable checkpoint *)
+    Merge.checkpoint_now merge;
+    Merge.notify_progress merge;
+    set_state job Protocol.Running;
+    Mutex.protect t.lock (fun () ->
+        Hashtbl.replace t.envs id env;
+        Scheduler.add t.sched ~key:id ~quota:spec.Jobspec.quota remaining;
+        Condition.broadcast t.work))
+  else (
+    Merge.notify_progress merge;
+    finish_job job);
+  job
+
+(* ------------------------------------------------------------------ *)
+(* Result merging (main domain = single owner for every job's merge)    *)
+(* ------------------------------------------------------------------ *)
+
+let drain_pipe t =
+  let buf = Bytes.create 64 in
+  let rec go () =
+    match Unix.read t.pipe_r buf 0 64 with
+    | 0 -> ()
+    | _ -> go ()
+    | exception
+        Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _)
+      -> ()
+  in
+  go ()
+
+let drain_results t =
+  let rec go () =
+    match Mutex.protect t.rlock (fun () -> Queue.take_opt t.results) with
+    | None -> ()
+    | Some (id, shard, outcome) ->
+      (match Hashtbl.find_opt t.jobs id with
+      | None -> ()
+      | Some job when Protocol.job_state_terminal job.state ->
+        (* a cancelled job's in-flight shards complete but merge nowhere *)
+        ()
+      | Some job -> (
+        let merge = Option.get job.merge in
+        match Merge.absorb merge shard outcome with
+        | exception Failure msg ->
+          (* checkpoint verify-after-save is the only raiser here *)
+          set_state job (Protocol.Failed msg);
+          Telemetry.flush job.tel
+        | () -> if Merge.processed merge >= job.total then finish_job job));
+      go ()
+  in
+  go ()
+
+(* ------------------------------------------------------------------ *)
+(* Worker pool                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let worker t wid () =
+  Printexc.record_backtrace (Printexc.backtrace_status ());
+  let zeal = Engine.zeal () and cove = Engine.cove () in
+  let claim () =
+    Mutex.lock t.lock;
+    let rec go () =
+      if stopping t then (
+        Mutex.unlock t.lock;
+        None)
+      else (
+        match Scheduler.next t.sched with
+        | Some (key, shard) -> (
+          (* an env can only be missing if cancellation raced the scheduler;
+             skip the orphan shard rather than die holding [t.lock] *)
+          match Hashtbl.find_opt t.envs key with
+          | Some env ->
+            Mutex.unlock t.lock;
+            Some (key, env, shard)
+          | None -> go ())
+        | None ->
+          Condition.wait t.work t.lock;
+          go ())
+    in
+    go ()
+  in
+  let rec loop () =
+    match claim () with
+    | None -> ()
+    | Some (key, env, shard) ->
+      let outcome = Orchestrator.exec_shard ~env ~worker_id:wid ~zeal ~cove shard in
+      Mutex.protect t.rlock (fun () -> Queue.push (key, shard, outcome) t.results);
+      wake t;
+      loop ()
+  in
+  loop ()
+
+(* ------------------------------------------------------------------ *)
+(* Requests                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let job_view (job : job) =
+  {
+    Protocol.v_id = job.id;
+    v_name = job.spec.Jobspec.name;
+    v_state = job.state;
+    v_shards_done = job.shards_done;
+    v_shards_total = job.plan_total;
+    v_findings = job.findings;
+    v_quota = job.spec.Jobspec.quota;
+  }
+
+let submit t spec =
+  match Jobspec.validate spec with
+  | Error msg -> Protocol.error msg
+  | Ok () ->
+    let id = fresh_id t spec.Jobspec.name in
+    let dir = Filename.concat t.cfg.state_dir id in
+    let job = start_job t ~id ~dir ~spec ~base:None in
+    Log.info (fun m ->
+        m "job %s submitted: budget %d, %d shards, quota %d" id
+          spec.Jobspec.budget job.total spec.Jobspec.quota);
+    Protocol.ok
+      [
+        ("job", Json.String id);
+        ("shards", Json.Int job.total);
+        ("state", Json.String (Protocol.job_state_to_string job.state));
+      ]
+
+let pause t id =
+  match Hashtbl.find_opt t.jobs id with
+  | None -> Protocol.error (Printf.sprintf "no such job %S" id)
+  | Some job when job.state <> Protocol.Running ->
+    Protocol.error
+      (Printf.sprintf "job %S is %s, not running" id
+         (Protocol.job_state_to_string job.state))
+  | Some job ->
+    Mutex.protect t.lock (fun () -> Scheduler.set_runnable t.sched ~key:id false);
+    set_state job Protocol.Paused;
+    Protocol.ok [ ("job", Json.String id) ]
+
+(* Revive a job from its on-disk spec + checkpoint — the path a restarted
+   server (or a SIGTERM-drained one) uses to pick campaigns back up. The
+   checkpoint's provenance must match the spec's, same rule as `resume`. *)
+let revive t id =
+  let dir = Filename.concat t.cfg.state_dir id in
+  let spec_path = Filename.concat dir "spec.json" in
+  let cp_path = Filename.concat dir "checkpoint.json" in
+  if not (Sys.file_exists spec_path) then
+    Protocol.error (Printf.sprintf "no such job %S (no %s)" id spec_path)
+  else (
+    match In_channel.with_open_text spec_path In_channel.input_all with
+    | exception Sys_error msg -> Protocol.error msg
+    | contents -> (
+      match Result.bind (Json.parse contents) Jobspec.of_json with
+      | Error msg -> Protocol.error (Printf.sprintf "%s: %s" spec_path msg)
+      | Ok spec -> (
+        match Checkpoint.load ~path:cp_path with
+        | Error err ->
+          Protocol.error (Checkpoint.load_error_to_string ~path:cp_path err)
+        | Ok cp ->
+          if
+            cp.Checkpoint.seed <> Jobspec.fuzz_seed spec
+            || cp.Checkpoint.budget <> spec.Jobspec.budget
+            || cp.Checkpoint.shard_size <> spec.Jobspec.shard_size
+          then
+            Protocol.error
+              (Printf.sprintf
+                 "checkpoint %s does not match the job's spec (seed/budget/\
+                  shard_size differ)"
+                 cp_path)
+          else (
+            let job = start_job t ~id ~dir ~spec ~base:(Some cp) in
+            Log.info (fun m ->
+                m "job %s revived: %d shards left of %d" id job.total
+                  job.plan_total);
+            Protocol.ok
+              [
+                ("job", Json.String id);
+                ("shards", Json.Int job.total);
+                ("resumed", Json.Int job.resumed);
+              ]))))
+
+let resume_job t id =
+  match Hashtbl.find_opt t.jobs id with
+  | Some job when job.state = Protocol.Paused ->
+    Mutex.protect t.lock (fun () ->
+        Scheduler.set_runnable t.sched ~key:id true;
+        Condition.broadcast t.work);
+    set_state job Protocol.Running;
+    Protocol.ok [ ("job", Json.String id) ]
+  | Some job ->
+    Protocol.error
+      (Printf.sprintf "job %S is %s, not paused" id
+         (Protocol.job_state_to_string job.state))
+  | None -> revive t id
+
+let cancel t id =
+  match Hashtbl.find_opt t.jobs id with
+  | None -> Protocol.error (Printf.sprintf "no such job %S" id)
+  | Some job when Protocol.job_state_terminal job.state ->
+    Protocol.error
+      (Printf.sprintf "job %S already %s" id
+         (Protocol.job_state_to_string job.state))
+  | Some job ->
+    Mutex.protect t.lock (fun () ->
+        Scheduler.remove t.sched ~key:id;
+        Hashtbl.remove t.envs id);
+    set_state job Protocol.Cancelled;
+    Telemetry.flush job.tel;
+    Protocol.ok [ ("job", Json.String id) ]
+
+let watch t c id from =
+  match Hashtbl.find_opt t.jobs id with
+  | None -> conn_send_json c (Protocol.error (Printf.sprintf "no such job %S" id))
+  | Some job ->
+    conn_send_json c
+      (Protocol.ok
+         [
+           ("job", Json.String id);
+           ("backlog", Json.Int job.backlog_len);
+           ("state", Json.String (Protocol.job_state_to_string job.state));
+         ]);
+    (* replay the backlog from [from], oldest first, then subscribe for the
+       live tail — catch-up and live delivery use the same lines, so every
+       subscriber sees the same stream *)
+    let backlog = List.rev job.backlog_rev in
+    List.iteri (fun i line -> if i >= from then conn_send c line) backlog;
+    if not (Protocol.job_state_terminal job.state) then
+      job.subscribers <- c :: job.subscribers
+
+let handle_request t c = function
+  | Protocol.Hello proto ->
+    if proto > Protocol.version then (
+      conn_send_json c
+        (Protocol.error
+           (Printf.sprintf "client protocol %d is newer than this server (%d)"
+              proto Protocol.version));
+      c.closed <- true)
+    else conn_send_json c (Protocol.ok [ ("proto", Json.Int Protocol.version) ])
+  | Protocol.Submit spec -> conn_send_json c (submit t spec)
+  | Protocol.Jobs ->
+    let views =
+      t.order
+      |> List.filter_map (fun id -> Hashtbl.find_opt t.jobs id)
+      |> List.map (fun j -> Protocol.job_view_to_json (job_view j))
+    in
+    conn_send_json c (Protocol.ok [ ("jobs", Json.List views) ])
+  | Protocol.Watch { job; from } -> watch t c job from
+  | Protocol.Pause id -> conn_send_json c (pause t id)
+  | Protocol.Resume_job id -> conn_send_json c (resume_job t id)
+  | Protocol.Cancel id -> conn_send_json c (cancel t id)
+  | Protocol.Shutdown ->
+    Log.info (fun m -> m "shutdown requested; draining");
+    conn_send_json c (Protocol.ok [ ("draining", Json.Bool true) ]);
+    Atomic.set t.drain true;
+    Mutex.protect t.lock (fun () -> Condition.broadcast t.work)
+
+let process_line t c line =
+  if String.trim line <> "" then (
+    match Result.bind (Json.parse line) Protocol.request_of_json with
+    | Error msg -> conn_send_json c (Protocol.error msg)
+    | Ok req -> handle_request t c req)
+
+let handle_readable t c =
+  let buf = Bytes.create 4096 in
+  match Unix.read c.fd buf 0 4096 with
+  | exception
+      Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _) ->
+    ()
+  | exception Unix.Unix_error _ -> c.closed <- true
+  | 0 -> c.closed <- true
+  | n ->
+    Buffer.add_subbytes c.inbuf buf 0 n;
+    let data = Buffer.contents c.inbuf in
+    let rec split start =
+      match String.index_from_opt data start '\n' with
+      | None ->
+        Buffer.clear c.inbuf;
+        Buffer.add_string c.inbuf (String.sub data start (String.length data - start))
+      | Some nl ->
+        process_line t c (String.sub data start (nl - start));
+        split (nl + 1)
+    in
+    split 0
+
+(* ------------------------------------------------------------------ *)
+(* The server loop                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let accept_conn t listen_fd =
+  match Unix.accept listen_fd with
+  | exception
+      Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _) ->
+    ()
+  | fd, _ ->
+    Unix.set_nonblock fd;
+    let c = { fd; inbuf = Buffer.create 256; out = ""; closed = false } in
+    (* versioned hello header, first line on every connection *)
+    conn_send_json c Protocol.hello;
+    t.conns <- c :: t.conns
+
+let close_conn c =
+  c.closed <- true;
+  try Unix.close c.fd with Unix.Unix_error _ -> ()
+
+let prune_conns t =
+  let closed, live = List.partition (fun c -> c.closed) t.conns in
+  List.iter
+    (fun c -> try Unix.close c.fd with Unix.Unix_error _ -> ())
+    closed;
+  t.conns <- live
+
+let create cfg =
+  let pipe_r, pipe_w = Unix.pipe () in
+  Unix.set_nonblock pipe_r;
+  Unix.set_nonblock pipe_w;
+  {
+    cfg;
+    sched = Scheduler.create ();
+    envs = Hashtbl.create 16;
+    lock = Mutex.create ();
+    work = Condition.create ();
+    drain = Atomic.make false;
+    results = Queue.create ();
+    rlock = Mutex.create ();
+    pipe_r;
+    pipe_w;
+    jobs = Hashtbl.create 16;
+    order = [];
+    conns = [];
+  }
+
+let run cfg =
+  mkdir_p cfg.state_dir;
+  (* a subscriber vanishing mid-write must surface as EPIPE, not kill the
+     daemon *)
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
+   with Invalid_argument _ | Sys_error _ -> ());
+  Engine.prewarm ();
+  let t = create cfg in
+  let listen_fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  (if Sys.file_exists cfg.socket_path then
+     try Unix.unlink cfg.socket_path with Unix.Unix_error _ -> ());
+  Unix.bind listen_fd (Unix.ADDR_UNIX cfg.socket_path);
+  Unix.listen listen_fd 16;
+  Unix.set_nonblock listen_fd;
+  Log.info (fun m ->
+      m "listening on %s (pool %d, state %s)" cfg.socket_path cfg.pool
+        cfg.state_dir);
+  let workers =
+    List.init (max 1 cfg.pool) (fun wid -> Domain.spawn (worker t wid))
+  in
+  let rec loop () =
+    if not (stopping t) then (
+      let reads =
+        listen_fd :: t.pipe_r :: List.map (fun c -> c.fd) t.conns
+      in
+      let writes =
+        t.conns |> List.filter (fun c -> c.out <> "") |> List.map (fun c -> c.fd)
+      in
+      (match Unix.select reads writes [] 0.25 with
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+      | readable, writable, _ ->
+        if List.mem t.pipe_r readable then drain_pipe t;
+        drain_results t;
+        List.iter
+          (fun c -> if List.mem c.fd writable then try_flush c)
+          t.conns;
+        List.iter
+          (fun c -> if List.mem c.fd readable then handle_readable t c)
+          t.conns;
+        if List.mem listen_fd readable then accept_conn t listen_fd);
+      prune_conns t;
+      loop ())
+  in
+  loop ();
+  (* Graceful drain — same contract whether the trigger was SIGTERM
+     ({!Orchestrator.Stop}) or a Shutdown request: workers finish the shard
+     they are executing and exit, every in-flight result merges and
+     checkpoints, and every live campaign lands paused with a resumable
+     checkpoint on disk. *)
+  Mutex.protect t.lock (fun () -> Condition.broadcast t.work);
+  List.iter Domain.join workers;
+  drain_pipe t;
+  drain_results t;
+  List.iter
+    (fun id ->
+      match Hashtbl.find_opt t.jobs id with
+      | Some job when not (Protocol.job_state_terminal job.state) ->
+        (match job.merge with
+        | Some merge -> Merge.checkpoint_now merge
+        | None -> ());
+        set_state job Protocol.Paused;
+        Telemetry.flush job.tel;
+        Log.info (fun m ->
+            m "job %s drained at %d/%d shards; resumable from its checkpoint"
+              job.id job.shards_done job.plan_total)
+      | _ -> ())
+    t.order;
+  List.iter try_flush t.conns;
+  List.iter close_conn t.conns;
+  t.conns <- [];
+  (try Unix.close listen_fd with Unix.Unix_error _ -> ());
+  (try Unix.unlink cfg.socket_path with Unix.Unix_error _ -> ());
+  (try Unix.close t.pipe_r with Unix.Unix_error _ -> ());
+  (try Unix.close t.pipe_w with Unix.Unix_error _ -> ());
+  Log.info (fun m -> m "server drained; exiting");
+  0

@@ -1,0 +1,38 @@
+(** The campaign server: a persistent daemon multiplexing many concurrent
+    fuzzing campaigns over one shared worker-domain pool.
+
+    Architecture — the same pieces {!Orchestrator.run} assembles for one
+    campaign, assembled for many:
+
+    - One {e main domain} owns everything: the Unix-socket accept/select
+      loop, every job's {!Orchestrator.Merge.t} (single-owner merge, exactly
+      as in the standalone orchestrator), the job table, and all subscriber
+      fan-out. Workers wake it through a self-pipe after pushing results.
+    - A fixed pool of {e worker domains} pulls [(job, shard)] pairs from one
+      {!Scheduler} (fair round-robin with per-job quotas) and executes them
+      with {!Orchestrator.exec_shard}. A shard outcome is a pure function of
+      [(env, shard)], so which worker runs it, and which other campaigns'
+      shards interleave around it, cannot perturb any campaign's results —
+      every job lands on the report the standalone run produces.
+    - Each job lives under [state_dir/<id>/]: [spec.json], [checkpoint.json]
+      (updated after every merged shard), [report.txt] (written through
+      {!Render} on completion — the standalone run's stdout), optional
+      [trace/] bundles and [telemetry.jsonl], and a [status] file.
+
+    Shutdown: SIGTERM (via {!Orchestrator.Stop}, installed by the CLI) or a
+    protocol [Shutdown] request both drain gracefully — workers finish their
+    in-flight shard, every result merges and checkpoints, every live job is
+    left paused and resumable ([Resume_job] revives it, even after a server
+    restart). *)
+
+type config = {
+  socket_path : string;  (** Unix-domain socket to listen on *)
+  state_dir : string;  (** per-job state root, created if missing *)
+  pool : int;  (** worker domains shared by all campaigns (>= 1) *)
+}
+
+val run : config -> int
+(** Run the daemon until SIGTERM/SIGINT ({!Orchestrator.Stop.requested}) or
+    a [Shutdown] request, then drain and return the exit code (0). Installs
+    no signal handlers itself beyond ignoring SIGPIPE — callers that want
+    the two-signal contract install {!Orchestrator.Stop.install_handlers}. *)

@@ -1,0 +1,74 @@
+(** The campaign server's wire protocol: newline-delimited JSON over a Unix
+    domain socket.
+
+    Framing: every message is one compact JSON object on one line. On
+    accept, the server writes a {!hello} header line declaring its protocol
+    and telemetry-schema versions — the same versioned-header convention the
+    JSONL telemetry logs use — and clients {!check_hello} before sending
+    anything, refusing servers newer than they understand. After that the
+    client sends one {!request} per line; the server answers each with one
+    {!ok}/{!error} reply line, except [Watch], whose reply is followed by an
+    unbounded stream of {!stream_line} events (backlog first, then live). *)
+
+val version : int
+(** Protocol version this library speaks. *)
+
+val hello : O4a_telemetry.Json.t
+(** The header line the server writes on every accepted connection. *)
+
+val check_hello : O4a_telemetry.Json.t -> (int, string) result
+(** Validate a server's header; the server's protocol version on success. *)
+
+type request =
+  | Hello of int  (** optional client echo of its protocol version *)
+  | Submit of Jobspec.t
+  | Jobs  (** list all jobs *)
+  | Watch of { job : string; from : int }
+      (** subscribe to a job's event stream, replaying the backlog from line
+          [from] first — a late subscriber catches up to exactly what an
+          early one saw *)
+  | Pause of string
+      (** stop dispatching the job's shards; in-flight shards still merge
+          and checkpoint, so pause is always consistent *)
+  | Resume_job of string
+      (** unpause a live job, or revive one from its on-disk spec +
+          checkpoint after a server restart *)
+  | Cancel of string
+  | Shutdown
+      (** graceful drain: finish in-flight shards, checkpoint every
+          campaign, then exit — the request-level twin of SIGTERM *)
+
+val request_to_json : request -> O4a_telemetry.Json.t
+val request_of_json : O4a_telemetry.Json.t -> (request, string) result
+
+type job_state = Queued | Running | Paused | Done | Failed of string | Cancelled
+
+val job_state_to_string : job_state -> string
+
+val job_state_terminal : job_state -> bool
+(** [Done]/[Failed]/[Cancelled]: no further stream events will follow. *)
+
+type job_view = {
+  v_id : string;
+  v_name : string;
+  v_state : job_state;
+  v_shards_done : int;  (** merged or quarantined by this server process *)
+  v_shards_total : int;
+  v_findings : int;
+  v_quota : int;
+}
+
+val job_view_to_json : job_view -> O4a_telemetry.Json.t
+val job_view_of_json : O4a_telemetry.Json.t -> (job_view, string) result
+
+val ok : (string * O4a_telemetry.Json.t) list -> O4a_telemetry.Json.t
+val error : string -> O4a_telemetry.Json.t
+
+val reply_error : O4a_telemetry.Json.t -> string option
+(** [None] when the reply is [ok:true]; the error message otherwise. *)
+
+val stream_line :
+  job:string -> kind:string -> O4a_telemetry.Json.t -> O4a_telemetry.Json.t
+(** One subscriber event: [{"job";"kind";"data"}]. Kinds: ["telemetry"] (a
+    forwarded campaign event), ["finding"], ["health"], ["quarantine"],
+    ["progress"], ["state"]. *)

@@ -1,0 +1,31 @@
+(** The canonical text rendering of a campaign — one definition shared by the
+    CLI's stdout and the server's per-job [report.txt].
+
+    Every function here is a pure function of the merged
+    {!Orchestrator.report} (plus static campaign facts), never of timing,
+    worker count, or scheduling. That is what makes "a campaign run through
+    the server is byte-identical to the same spec run standalone" checkable
+    with [diff]: both sides print through this module, so they cannot
+    drift apart. *)
+
+val header : generators:int -> seeds:int -> budget:int -> string
+(** The "Generators ready …" line the CLI prints before fuzzing begins. *)
+
+val campaign :
+  ?show_formulas:bool ->
+  chaos:O4a_faults.Faults.plan option ->
+  Orchestrator.report ->
+  string
+(** The full campaign summary block: totals, de-duplicated issues, distinct
+    bugs, coverage, then the chaos and breaker sections when applicable.
+    [chaos] is the plan the campaign ran under — it prints the profile
+    banner; quarantine and breaker lines come from the report itself. *)
+
+val resumed_line : int -> string
+(** ["resumed N completed shards from checkpoint"], or [""] for [0]. *)
+
+val stopped_line : checkpoint:string option -> Orchestrator.report -> string
+(** The graceful-stop / interrupted banner with its resume hint. *)
+
+val bundles_line : dir:string -> int -> string
+(** ["wrote N repro bundles to DIR"]. *)

@@ -360,7 +360,11 @@ and eval_indexed ctx env name idxs args =
       Value.Bool (as_int v = 0))
     else Value.Bool (emod (as_int v) n = 0)
   | "re.loop", [ Term.Idx_num i; Term.Idx_num j ], [ r ] ->
-    Value.Re (Regex.loop i j (as_re r))
+    (* unrolled repetitions: clamp the indices so a synthesized loop with a
+       huge bound cannot build a regex no derivative budget could chew
+       through (domain strings are far shorter than the cap anyway) *)
+    let cap n = min n 128 in
+    Value.Re (Regex.loop (cap i) (cap j) (as_re r))
   | "char", [ Term.Idx_sym code ], [] ->
     let n =
       if O4a_util.Strx.starts_with ~prefix:"#x" code then
@@ -679,7 +683,11 @@ and eval_theory_app ctx _env name vs =
     Value.Bool (String.length s = 1 && s.[0] >= '0' && s.[0] <= '9')
   | "str.in_re", [ s; r ] ->
     cov ();
-    Value.Bool (Regex.matches (as_re r) (as_str s))
+    (* derivative matching can do unbounded work on adversarial regexes; a
+       blown node budget is a resource limit, never a verdict *)
+    (match Regex.matches_bounded ~max_nodes:ctx.max_steps (as_re r) (as_str s) with
+    | Some b -> Value.Bool b
+    | None -> raise Out_of_fuel)
   | "str.to_re", [ s ] ->
     cov ();
     Value.Re (Regex.Lit (as_str s))

@@ -36,6 +36,29 @@ let rec nullable = function
   | Star _ -> true
   | Complement r -> not (nullable r)
 
+(* Smart constructors for the derivative engine: collapse the Empty/Epsilon
+   identities (and a few idempotency cases) so successive derivatives stay
+   small. Without them a Concat/Star chain roughly doubles in size per input
+   character — the language is unchanged, but one [str.in_re] evaluation can
+   then outweigh a solver's entire fuel budget. *)
+let concat a b =
+  match (a, b) with
+  | Empty, _ | _, Empty -> Empty
+  | Epsilon, r | r, Epsilon -> r
+  | _ -> Concat (a, b)
+
+let union a b =
+  match (a, b) with
+  | Empty, r | r, Empty -> r
+  | _ -> if a = b then a else Union (a, b)
+
+let inter a b =
+  match (a, b) with
+  | Empty, _ | _, Empty -> Empty
+  | _ -> if a = b then a else Inter (a, b)
+
+let compl = function Complement r -> r | r -> Complement r
+
 let rec deriv c = function
   | Empty -> Empty
   | Epsilon -> Empty
@@ -45,12 +68,47 @@ let rec deriv c = function
     if s <> "" && s.[0] = c then Lit (String.sub s 1 (String.length s - 1)) else Empty
   | Range (lo, hi) -> if c >= lo && c <= hi then Epsilon else Empty
   | Concat (a, b) ->
-    let da = Concat (deriv c a, b) in
-    if nullable a then Union (da, deriv c b) else da
-  | Union (a, b) -> Union (deriv c a, deriv c b)
-  | Inter (a, b) -> Inter (deriv c a, deriv c b)
-  | Star r as star -> Concat (deriv c r, star)
-  | Complement r -> Complement (deriv c r)
+    let da = concat (deriv c a) b in
+    if nullable a then union da (deriv c b) else da
+  | Union (a, b) -> union (deriv c a) (deriv c b)
+  | Inter (a, b) -> inter (deriv c a) (deriv c b)
+  | Star r as star -> concat (deriv c r) star
+  | Complement r -> compl (deriv c r)
+
+exception Out_of_budget
+
+(* Like {!deriv}, but charging each constructor visit against a shared node
+   budget. Even with smart constructors, adversarial Inter/Complement nests
+   can keep growing under differentiation; the budget turns that into a
+   deterministic resource-limit signal instead of an unbounded stall. *)
+let rec deriv_spending spend c r =
+  spend ();
+  match r with
+  | Empty | Epsilon -> Empty
+  | Any_char -> Epsilon
+  | All -> All
+  | Lit s ->
+    if s <> "" && s.[0] = c then Lit (String.sub s 1 (String.length s - 1)) else Empty
+  | Range (lo, hi) -> if c >= lo && c <= hi then Epsilon else Empty
+  | Concat (a, b) ->
+    let da = concat (deriv_spending spend c a) b in
+    if nullable a then union da (deriv_spending spend c b) else da
+  | Union (a, b) -> union (deriv_spending spend c a) (deriv_spending spend c b)
+  | Inter (a, b) -> inter (deriv_spending spend c a) (deriv_spending spend c b)
+  | Star r' as star -> concat (deriv_spending spend c r') star
+  | Complement r' -> compl (deriv_spending spend c r')
+
+let matches_bounded ~max_nodes r s =
+  let nodes = ref 0 in
+  let spend () =
+    incr nodes;
+    if !nodes > max_nodes then raise Out_of_budget
+  in
+  let rec go r i =
+    if i >= String.length s then nullable r
+    else go (deriv_spending spend s.[i] r) (i + 1)
+  in
+  match go r 0 with b -> Some b | exception Out_of_budget -> None
 
 let matches r s =
   let rec go r i = if i >= String.length s then nullable r else go (deriv s.[i] r) (i + 1) in

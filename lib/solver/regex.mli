@@ -26,7 +26,14 @@ val nullable : t -> bool
 (** Whether the language contains the empty string. *)
 
 val deriv : char -> t -> t
+(** One Brzozowski derivative, built with simplifying smart constructors (the
+    language is unchanged; successive derivatives stay small). *)
 
 val matches : t -> string -> bool
+
+val matches_bounded : max_nodes:int -> t -> string -> bool option
+(** [matches] under a budget: at most [max_nodes] derivative-constructor
+    visits across the whole match. [None] means the budget was exhausted —
+    callers should surface it as a resource limit, not an answer. *)
 
 val size : t -> int

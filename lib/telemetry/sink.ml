@@ -7,18 +7,24 @@ type t =
       mutable closed : bool;
       lock : Mutex.t;
     }
+  | Callback of (Event.t -> unit)
+  | Fanout of t list
 
 let null = Null
 let memory () = Memory { events = ref []; lock = Mutex.create () }
 let jsonl oc = Channel { oc; owned = false; closed = false; lock = Mutex.create () }
+let callback f = Callback f
 
-let close = function
-  | Null | Memory _ -> ()
+let fanout = function [ s ] -> s | sinks -> Fanout sinks
+
+let rec close = function
+  | Null | Memory _ | Callback _ -> ()
   | Channel c ->
     Mutex.protect c.lock (fun () ->
         if not c.closed then (
           c.closed <- true;
           if c.owned then close_out c.oc else flush c.oc))
+  | Fanout sinks -> List.iter close sinks
 
 let open_jsonl path =
   let sink =
@@ -35,7 +41,7 @@ let open_jsonl path =
   | Channel c ->
     output_string c.oc (Event.to_line (Event.schema_event ~ts:(Unix.gettimeofday ())));
     output_char c.oc '\n'
-  | Null | Memory _ -> ());
+  | Null | Memory _ | Callback _ | Fanout _ -> ());
   sink
 
 (* Chaos hook: a worker's ambient fault injector may fail this write, the
@@ -47,7 +53,7 @@ let faulted_write () =
   let module Faults = O4a_faults.Faults in
   if Faults.triggered Faults.Sink_write then Faults.raise_injected Faults.Sink_write
 
-let emit sink event =
+let rec emit sink event =
   match sink with
   | Null -> ()
   | Memory m ->
@@ -61,7 +67,11 @@ let emit sink event =
         if not c.closed then (
           output_string c.oc (Event.to_line event);
           output_char c.oc '\n'))
+  | Callback f ->
+    faulted_write ();
+    f event
+  | Fanout sinks -> List.iter (fun s -> emit s event) sinks
 
 let events = function
   | Memory m -> Mutex.protect m.lock (fun () -> List.rev !(m.events))
-  | Null | Channel _ -> []
+  | Null | Channel _ | Callback _ | Fanout _ -> []

@@ -20,6 +20,15 @@ val jsonl : out_channel -> t
 (** The caller keeps ownership of the channel; {!close} flushes but only
     closes channels opened by {!open_jsonl}. *)
 
+val callback : (Event.t -> unit) -> t
+(** Hand every emitted event to [f] — the subscription hook the campaign
+    server fans events out with. [f] runs on the emitting domain under no
+    lock; it must be fast and must not raise. *)
+
+val fanout : t list -> t
+(** Deliver every event to each sink in order ([fanout [s] = s]). {!close}
+    closes all of them; {!events} is empty (read the member sinks). *)
+
 val open_jsonl : string -> t
 (** Create/truncate the file and write the {!Event.schema_event} header as
     its first line, so readers can reject logs written by an incompatible

@@ -163,6 +163,95 @@ diff <(grep -o '"event":"[^"]*"' "$out/hud_off.jsonl" | sort | uniq -c) \
      <(grep -o '"event":"[^"]*"' "$out/hud_on.jsonl" | sort | uniq -c) || {
   echo "FAIL: --progress changed the telemetry event stream"; exit 1; }
 
+echo "== Campaign server: concurrent jobs byte-identical to standalone =="
+ssock="$out/srv.sock"
+sstate="$out/srv-state"
+"$cli" serve --socket "$ssock" --state-dir "$sstate" --pool 2 \
+  > "$out/serve1.log" 2>&1 &
+spid=$!
+for _ in $(seq 1 100); do [ -S "$ssock" ] && break; sleep 0.1; done
+"$cli" submit --socket "$ssock" --name s-alpha --seed 7 --budget 400 \
+  --shard-size 100 --trace > /dev/null
+"$cli" submit --socket "$ssock" --name s-beta --seed 11 --budget 400 \
+  --shard-size 100 --trace > /dev/null
+# watch exits when the job reaches a terminal state (late attach replays the
+# backlog, so watching an already-finished job returns immediately)
+"$cli" watch --socket "$ssock" s-alpha > /dev/null
+"$cli" watch --socket "$ssock" s-beta > /dev/null
+"$cli" shutdown --socket "$ssock" > /dev/null
+wait "$spid" || { echo "FAIL: server exited nonzero"; cat "$out/serve1.log"; exit 1; }
+"$cli" fuzz --seed 7 --budget 400 --shard-size 100 --jobs 2 \
+  --trace-dir "$out/sa_trace" > "$out/sa.log"
+"$cli" fuzz --seed 11 --budget 400 --shard-size 100 --jobs 2 \
+  --trace-dir "$out/sb_trace" > "$out/sb.log"
+# the reports are identical up to the trace-dir path each names
+for pair in "s-alpha sa" "s-beta sb"; do
+  job="${pair% *}"; std="${pair#* }"
+  diff <(grep -v '^wrote ' "$sstate/$job/report.txt") \
+       <(grep -v '^wrote ' "$out/$std.log") || {
+    echo "FAIL: server report for $job differs from standalone fuzz"; exit 1; }
+  diff -r "$sstate/$job/trace" "$out/${std}_trace" || {
+    echo "FAIL: server trace tree for $job differs from standalone fuzz"; exit 1; }
+done
+
+echo "== Campaign server: SIGTERM drains both jobs, resume lands identically =="
+"$cli" serve --socket "$ssock" --state-dir "$sstate" --pool 2 \
+  > "$out/serve2.log" 2>&1 &
+spid=$!
+for _ in $(seq 1 100); do [ -S "$ssock" ] && break; sleep 0.1; done
+"$cli" submit --socket "$ssock" --name s-gamma --seed 5 --budget 2000 \
+  --shard-size 100 > /dev/null
+"$cli" submit --socket "$ssock" --name s-delta --seed 9 --budget 2000 \
+  --shard-size 100 > /dev/null
+# wait until BOTH jobs have merged at least one shard, so each checkpoint
+# resumes > 0 shards and the resumed-provenance line below is guaranteed
+for _ in $(seq 1 300); do
+  done_counts="$("$cli" jobs --socket "$ssock" \
+    | awk '$1 ~ /^s-(gamma|delta)$/ { split($3, a, "/"); print a[1] }')"
+  [ "$(echo "$done_counts" | sort -n | head -1)" -ge 1 ] 2>/dev/null && break
+  sleep 0.2
+done
+kill -TERM "$spid" 2>/dev/null || true
+wait "$spid" || { echo "FAIL: SIGTERM drain exited nonzero"; cat "$out/serve2.log"; exit 1; }
+for job in s-gamma s-delta; do
+  [ "$(cat "$sstate/$job/status")" = "paused" ] || {
+    echo "FAIL: $job not paused after SIGTERM (campaign finished before the \
+signal landed?)"; cat "$sstate/$job/status"; exit 1; }
+  "$cli" checkpoint info "$sstate/$job/checkpoint.json" > /dev/null || {
+    echo "FAIL: $job checkpoint unreadable after drain"; exit 1; }
+done
+"$cli" serve --socket "$ssock" --state-dir "$sstate" --pool 2 \
+  > "$out/serve3.log" 2>&1 &
+spid=$!
+for _ in $(seq 1 100); do [ -S "$ssock" ] && break; sleep 0.1; done
+"$cli" resume-job --socket "$ssock" s-gamma > /dev/null
+"$cli" resume-job --socket "$ssock" s-delta > /dev/null
+"$cli" watch --socket "$ssock" s-gamma > /dev/null
+"$cli" watch --socket "$ssock" s-delta > /dev/null
+"$cli" shutdown --socket "$ssock" > /dev/null
+wait "$spid" || { echo "FAIL: server exited nonzero after resume"; exit 1; }
+"$cli" fuzz --seed 5 --budget 2000 --shard-size 100 --jobs 2 > "$out/sg.log"
+"$cli" fuzz --seed 9 --budget 2000 --shard-size 100 --jobs 2 > "$out/sd.log"
+# resumed reports carry a "resumed N completed shards" provenance line
+for pair in "s-gamma sg" "s-delta sd"; do
+  job="${pair% *}"; std="${pair#* }"
+  grep -q '^resumed ' "$sstate/$job/report.txt" || {
+    echo "FAIL: $job report lacks the resumed-shards line"; exit 1; }
+  diff <(grep -v '^resumed ' "$sstate/$job/report.txt") "$out/$std.log" || {
+    echo "FAIL: resumed server report for $job differs from uninterrupted \
+standalone run"; exit 1; }
+done
+
+echo "== Checkpoint info: typed diagnostics, exit 2 on unreadable files =="
+if "$cli" checkpoint info "$out/does-not-exist.json" 2> "$out/ci.log"; then
+  echo "FAIL: checkpoint info on a missing file exited 0"; exit 1
+fi
+if "$cli" stats "$out/does-not-exist.jsonl" 2>> "$out/ci.log"; then
+  echo "FAIL: stats on a missing file exited 0"; exit 1
+fi
+grep -q "does-not-exist" "$out/ci.log" || {
+  echo "FAIL: diagnostics do not name the offending path"; cat "$out/ci.log"; exit 1; }
+
 echo "== Bench throughput: regression gate vs committed trajectory =="
 # latest committed trajectory point; the fresh json lands in gitignored
 # bench/out/ where CI picks it up as an artifact
