@@ -8,6 +8,8 @@
      dune exec bench/main.exe -- scaling [-o FILE]
      dune exec bench/main.exe -- throughput [-o FILE] [--jobs 1,4] [--budget N]
                                  [--shard-size N] [--seed N] [--check BENCH.json]
+     dune exec bench/main.exe -- curves [-o DIR] [--jobs 1,4] [--budget N]
+                                 [--shard-size N] [--seed N]
 
    One Bechamel Test.make per table/figure exercises that experiment's core
    pipeline step; the named modes print the reproduced rows/series (paper
@@ -657,6 +659,85 @@ let run_throughput opts =
     opts.check
 
 (* ------------------------------------------------------------------ *)
+(* Curves — the campaign analytics series as a committed-able artifact *)
+(* ------------------------------------------------------------------ *)
+
+(* Run a pinned-seed campaign at each jobs level, require the analytics
+   series to be byte-identical across levels, then write the jobs-1 curves
+   (series.csv / analytics.json / metrics.prom) under the artifact dir —
+   the data behind the paper's coverage-growth figures, produced by the
+   deterministic in-campaign sampler instead of a bespoke experiment. *)
+let run_curves opts =
+  section "Curves — deterministic campaign analytics series";
+  let module Analytics = O4a_analytics.Analytics in
+  let c = Lazy.force campaign in
+  let pool = Lazy.force seeds in
+  let generators = c.Once4all.Campaign.generators in
+  let budget = opts.budget and shard_size = opts.shard_size in
+  let jobs_list =
+    let l = Option.value opts.jobs ~default:[ 1; 4 ] in
+    if List.mem 1 l then l else 1 :: l
+  in
+  let dir = Option.value opts.out ~default:"bench/out/curves" in
+  say "pinned seed %d, budget %d tests, shard size %d; jobs: %s" opts.seed
+    budget shard_size
+    (String.concat "," (List.map string_of_int jobs_list));
+  let runs =
+    List.map
+      (fun jobs ->
+        let r =
+          Orchestrator.run ~jobs ~shard_size ~seed:opts.seed ~budget
+            ~generators ~seeds:pool ()
+        in
+        (jobs, r.Orchestrator.analytics, r.Orchestrator.plateaus))
+      jobs_list
+  in
+  let _, a1, plateaus = List.hd runs in
+  let csv = Analytics.to_csv a1 in
+  let divergent =
+    List.filter (fun (_, a, _) -> Analytics.to_csv a <> csv) runs
+  in
+  say "";
+  say "series byte-identical across jobs levels: %s"
+    (if divergent = [] then "yes" else "NO");
+  let pts = Analytics.series a1 in
+  (match List.rev pts with
+  | [] -> say "(no samples: campaign too small for one shard?)"
+  | last :: _ ->
+    say "%d sample(s): coverage |%s| final %d   clusters |%s| final %d"
+      (List.length pts)
+      (Analytics.sparkline
+         (List.map (fun p -> float_of_int p.Analytics.p_cum_cov) pts))
+      last.Analytics.p_cum_cov
+      (Analytics.sparkline
+         (List.map (fun p -> float_of_int p.Analytics.p_cum_clusters) pts))
+      last.Analytics.p_cum_clusters);
+  (match plateaus with
+  | [] -> say "no plateau: curves still growing at the end"
+  | pls ->
+    List.iter
+      (fun (pl : Analytics.plateau) ->
+        say "%s plateaued at tick %d (flat at %d across a %d-shard window)"
+          pl.Analytics.pl_series pl.Analytics.pl_tick pl.Analytics.pl_value
+          pl.Analytics.pl_window)
+      pls);
+  ensure_dir dir;
+  let write name contents =
+    let path = Filename.concat dir name in
+    Out_channel.with_open_text path (fun oc -> output_string oc contents);
+    say "wrote %s" path
+  in
+  write "series.csv" csv;
+  write "analytics.json" (Json.to_string (Analytics.to_json a1) ^ "\n");
+  write "metrics.prom" (Analytics.to_prometheus a1);
+  if divergent <> [] then (
+    List.iter
+      (fun (jobs, _, _) ->
+        say "DETERMINISM VIOLATION: jobs=%d series diverged from jobs=1" jobs)
+      divergent;
+    exit 1)
+
+(* ------------------------------------------------------------------ *)
 
 let all_modes =
   let plain f _opts = f () in
@@ -677,6 +758,7 @@ let all_modes =
     ("ablation-schedule", plain run_ablation_schedule);
     ("scaling", run_scaling);
     ("throughput", run_throughput);
+    ("curves", run_curves);
   ]
 
 let () =

@@ -7,9 +7,11 @@
      resume      continue an interrupted campaign from its --checkpoint
      serve       run the campaign server daemon (multiplexes many campaigns
                  over one worker pool, streaming events to subscribers)
-     submit/jobs/watch/pause/resume-job/cancel/shutdown
+     submit/jobs/watch/pause/resume-job/cancel/metrics/shutdown
                  talk to a running server over its socket
      checkpoint  inspect a checkpoint file (checkpoint info FILE)
+     analyze     render a checkpoint's campaign analytics (sparklines,
+                 plateau verdict, yield table; --csv/--json/--export)
      stats       summarize a --telemetry JSONL event log
      replay      re-run the differential oracle on a formula (repro bundles)
      trace       inspect provenance traces (trace show <id>)
@@ -27,6 +29,7 @@ module Trace = O4a_trace.Trace
 module Bundle = O4a_trace.Bundle
 module Faults = O4a_faults.Faults
 module Health = O4a_health.Health
+module Analytics = O4a_analytics.Analytics
 module Jobspec = O4a_server.Jobspec
 module Render = O4a_server.Render
 module Protocol = O4a_server.Protocol
@@ -945,6 +948,35 @@ let cancel_cmd socket job =
 let shutdown_cmd socket =
   simple_request socket Protocol.Shutdown ~verb:"server draining"
 
+(* Snapshot a running job's merged analytics. Default output is the compact
+   canonical JSON (Analytics.to_json) on one line — the same bytes [analyze
+   --json] writes from the job's checkpoint once it finishes, so live and
+   post-hoc views diff clean. --prom prints the Prometheus text rendering
+   instead, ready to serve from a textfile collector. *)
+let metrics_cmd socket job prom =
+  with_client socket (fun c ->
+      match Client.request c (Protocol.Metrics job) with
+      | Error msg ->
+        Printf.eprintf "%s\n" msg;
+        1
+      | Ok reply ->
+        if prom then (
+          match str_member "prometheus" reply with
+          | Some text ->
+            print_string text;
+            0
+          | None ->
+            Printf.eprintf "malformed metrics reply (no prometheus field)\n";
+            1)
+        else (
+          match Json.member "analytics" reply with
+          | Some analytics ->
+            print_endline (Json.to_string analytics);
+            0
+          | None ->
+            Printf.eprintf "malformed metrics reply (no analytics field)\n";
+            1))
+
 (* ---------------- checkpoint info ---------------- *)
 
 (* Inspect a checkpoint without resuming it: on-disk format version, campaign
@@ -980,6 +1012,25 @@ let checkpoint_info path =
       findings
       (if findings = 1 then "" else "s");
     Printf.printf "coverage: %d points\n" (List.length cp.Checkpoint.coverage);
+    (* which observability artifacts the writing campaign was recording —
+       i.e. what a resume re-arms (given the matching flags) vs starts cold *)
+    if i_version < 4 then
+      Printf.printf
+        "observability: unrecorded (pre-v4 checkpoint); resume starts \
+         telemetry/trace/analytics cold\n"
+    else (
+      let flag b = if b then "yes" else "no" in
+      Printf.printf "observability: telemetry %s  trace %s  analytics %s\n"
+        (flag cp.Checkpoint.artifacts.Checkpoint.a_telemetry)
+        (flag cp.Checkpoint.artifacts.Checkpoint.a_trace)
+        (flag cp.Checkpoint.artifacts.Checkpoint.a_analytics);
+      Printf.printf "analytics: %d sample%s, %d yield row%s\n"
+        (List.length cp.Checkpoint.analytics.Analytics.samples)
+        (if List.length cp.Checkpoint.analytics.Analytics.samples = 1 then ""
+         else "s")
+        (List.length cp.Checkpoint.analytics.Analytics.yield)
+        (if List.length cp.Checkpoint.analytics.Analytics.yield = 1 then ""
+         else "s"));
     if cp.Checkpoint.extra <> [] then (
       Printf.printf "provenance:\n";
       List.iter
@@ -1006,6 +1057,161 @@ let checkpoint_info path =
         (fun e -> Printf.printf "  %s\n" (Health.entry_to_string e))
         entries);
     0
+
+(* ---------------- analyze ---------------- *)
+
+let write_file_checked path contents =
+  try
+    let oc = open_out path in
+    Fun.protect
+      ~finally:(fun () -> close_out_noerr oc)
+      (fun () -> output_string oc contents);
+    Ok ()
+  with Sys_error msg -> Error msg
+
+(* Render a checkpoint's analytics series: sparklines over the per-shard
+   buckets, the plateau verdict, and the yield-attribution table. Every
+   byte printed (and every exported file) is a pure function of the
+   checkpoint's analytics record, which is itself jobs-invariant — so
+   check.sh can diff the output of a --jobs 4 campaign against --jobs 1. *)
+let analyze path csv json export window =
+  match Orchestrator.Checkpoint.inspect ~path with
+  | Error err ->
+    Printf.eprintf "%s\n"
+      (Orchestrator.Checkpoint.load_error_to_string ~path err);
+    2
+  | Ok { Orchestrator.Checkpoint.i_version; i_checkpoint = cp } ->
+    let a = cp.Orchestrator.Checkpoint.analytics in
+    let pts = Analytics.series a in
+    let failed = ref false in
+    let write what out contents =
+      match write_file_checked out contents with
+      | Ok () -> Printf.printf "wrote %s to %s\n" what out
+      | Error msg ->
+        Printf.eprintf "cannot write %s: %s\n" out msg;
+        failed := true
+    in
+    (match pts with
+    | [] ->
+      Printf.printf
+        "%s: no analytics series (version %d checkpoint; campaigns record \
+         analytics from v4 on)\n"
+        path i_version
+    | pts ->
+      let last = List.nth pts (List.length pts - 1) in
+      let fcol f = List.map (fun p -> float_of_int (f p)) pts in
+      let sum f = List.fold_left (fun acc p -> acc + f p) 0 pts in
+      Printf.printf "checkpoint: %s\n" path;
+      Printf.printf "analytics: %d sample%s  %d tick%s  %d tests  %d findings\n"
+        (List.length pts)
+        (if List.length pts = 1 then "" else "s")
+        (last.Analytics.p_first_tick + last.Analytics.p_ticks)
+        (if last.Analytics.p_first_tick + last.Analytics.p_ticks = 1 then ""
+         else "s")
+        (Analytics.total_tests a)
+        (Analytics.total_findings a);
+      let line name values note =
+        Printf.printf "  %-9s |%s|  %s\n" name (Analytics.sparkline values) note
+      in
+      line "coverage"
+        (fcol (fun p -> p.Analytics.p_cum_cov))
+        (Printf.sprintf "cumulative, final %d" last.Analytics.p_cum_cov);
+      line "new-cov"
+        (fcol (fun p -> p.Analytics.p_new_cov))
+        "per bucket";
+      line "clusters"
+        (fcol (fun p -> p.Analytics.p_cum_clusters))
+        (Printf.sprintf "cumulative, final %d" last.Analytics.p_cum_clusters);
+      line "findings"
+        (fcol (fun p -> p.Analytics.p_findings))
+        (Printf.sprintf "per bucket, total %d"
+           (sum (fun p -> p.Analytics.p_findings)));
+      line "validity"
+        (List.map
+           (fun (p : Analytics.point) ->
+             if p.Analytics.p_tests = 0 then 0.
+             else
+               float_of_int p.Analytics.p_parse_ok
+               /. float_of_int p.Analytics.p_tests)
+           pts)
+        (let tests = sum (fun p -> p.Analytics.p_tests) in
+         Printf.sprintf "parse-ok rate, overall %.1f%%"
+           (if tests = 0 then 0.
+            else
+              100.
+              *. float_of_int (sum (fun p -> p.Analytics.p_parse_ok))
+              /. float_of_int tests));
+      line "consults"
+        (fcol (fun p -> p.Analytics.p_consults))
+        (Printf.sprintf "per bucket, total %d  fuel %d"
+           (sum (fun p -> p.Analytics.p_consults))
+           (sum (fun p -> p.Analytics.p_fuel)));
+      (match Analytics.plateaus ~window a with
+      | [] ->
+        Printf.printf
+          "no plateau in a %d-shard window: curves still growing at the end\n"
+          window
+      | pls ->
+        List.iter
+          (fun (pl : Analytics.plateau) ->
+            Printf.printf
+              "%s plateaued at tick %d (flat at %d across a %d-shard window)\n"
+              pl.Analytics.pl_series pl.Analytics.pl_tick pl.Analytics.pl_value
+              pl.Analytics.pl_window)
+          pls);
+      match a.Analytics.yield with
+      | [] -> ()
+      | rows ->
+        Printf.printf "yield attribution (%d row%s):\n" (List.length rows)
+          (if List.length rows = 1 then "" else "s");
+        Printf.printf "  %-14s %-18s %-10s %7s %9s %9s\n" "theory" "profile"
+          "seed" "tests" "parse-ok" "findings";
+        let shown, hidden =
+          (* highest-yield rows first; ties broken by the canonical key so
+             the listing stays jobs-invariant *)
+          let ranked =
+            List.stable_sort
+              (fun (x : Analytics.yield_row) (y : Analytics.yield_row) ->
+                compare
+                  (- x.Analytics.y_findings, - x.Analytics.y_tests)
+                  (- y.Analytics.y_findings, - y.Analytics.y_tests))
+              rows
+          in
+          if List.length ranked <= 24 then (ranked, 0)
+          else
+            ( List.filteri (fun i _ -> i < 20) ranked,
+              List.length ranked - 20 )
+        in
+        List.iter
+          (fun (y : Analytics.yield_row) ->
+            Printf.printf "  %-14s %-18s %-10s %7d %9d %9d\n"
+              y.Analytics.y_theory y.Analytics.y_profile
+              y.Analytics.y_seed_cluster y.Analytics.y_tests
+              y.Analytics.y_parse_ok y.Analytics.y_findings)
+          shown;
+        if hidden > 0 then
+          Printf.printf "  ... %d more row%s (full table in --json)\n" hidden
+            (if hidden = 1 then "" else "s"));
+    (match csv with
+    | Some out -> write "series CSV" out (Analytics.to_csv a)
+    | None -> ());
+    (match json with
+    | Some out ->
+      write "analytics JSON" out (Json.to_string (Analytics.to_json a) ^ "\n")
+    | None -> ());
+    (match export with
+    | Some dir ->
+      Bundle.ensure_dir dir;
+      write "series CSV" (Filename.concat dir "series.csv")
+        (Analytics.to_csv a);
+      write "analytics JSON"
+        (Filename.concat dir "analytics.json")
+        (Json.to_string (Analytics.to_json a) ^ "\n");
+      write "Prometheus snapshot"
+        (Filename.concat dir "metrics.prom")
+        (Analytics.to_prometheus a)
+    | None -> ());
+    if !failed then 1 else 0
 
 (* ---------------- command wiring ---------------- *)
 
@@ -1327,23 +1533,75 @@ let shutdown_cmd_v =
              every campaign, exit (the request-level twin of SIGTERM)")
     Term.(const shutdown_cmd $ socket_arg)
 
+let metrics_cmd_v =
+  let prom =
+    Arg.(value & flag
+         & info [ "prom" ]
+             ~doc:"print the Prometheus text-exposition rendering instead of \
+                   the canonical analytics JSON")
+  in
+  Cmd.v
+    (Cmd.info "metrics"
+       ~doc:"snapshot a job's merged analytics from a running server; for a \
+             finished job the JSON is byte-identical to analyze --json on \
+             its checkpoint")
+    Term.(const metrics_cmd $ socket_arg $ job_pos $ prom)
+
 let checkpoint_cmd =
   let file = Arg.(required & pos 0 (some string) None & info [] ~docv:"FILE") in
   let info_cmd =
     Cmd.v
       (Cmd.info "info"
          ~doc:"print a checkpoint's format version, campaign provenance, \
-               progress, quarantine set, and breaker/health counters")
+               progress, observability artifacts, quarantine set, and \
+               breaker/health counters")
       Term.(const checkpoint_info $ file)
   in
   Cmd.group (Cmd.info "checkpoint" ~doc:"inspect checkpoint files") [ info_cmd ]
+
+let analyze_cmd =
+  let file =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"CHECKPOINT")
+  in
+  let csv =
+    Arg.(value & opt (some string) None
+         & info [ "csv" ] ~docv:"FILE"
+             ~doc:"export the per-bucket series as CSV (one row per shard, \
+                   raw and cumulative columns; byte-stable across --jobs N)")
+  in
+  let json =
+    Arg.(value & opt (some string) None
+         & info [ "json" ] ~docv:"FILE"
+             ~doc:"export the full analytics record (series + yield table) \
+                   as canonical JSON — the same bytes the server's metrics \
+                   request returns for the finished job")
+  in
+  let export =
+    Arg.(value & opt (some string) None
+         & info [ "export" ] ~docv:"DIR"
+             ~doc:"write series.csv, analytics.json, and metrics.prom under \
+                   DIR (created if missing) — the paper's coverage/yield \
+                   curve data, ready for plotting")
+  in
+  let window =
+    Arg.(value & opt int Analytics.default_window
+         & info [ "window" ] ~docv:"N"
+             ~doc:"plateau window: shards of zero cumulative growth that \
+                   count as saturation")
+  in
+  Cmd.v
+    (Cmd.info "analyze"
+       ~doc:"render a checkpoint's campaign analytics: coverage/yield \
+             sparklines, saturation verdict, and the per-(theory, profile, \
+             seed-cluster) yield table")
+    Term.(const analyze $ file $ csv $ json $ export $ window)
 
 let main =
   Cmd.group
     (Cmd.info "once4all" ~doc:"skeleton-guided SMT solver fuzzing with LLM-synthesized generators")
     [ construct_cmd; fuzz_cmd; resume_cmd; serve_cmd; submit_cmd; jobs_cmd_v;
       watch_cmd_v; pause_cmd_v; resume_job_cmd_v; cancel_cmd_v; shutdown_cmd_v;
-      checkpoint_cmd; stats_cmd_v; replay_cmd; trace_cmd; triage_cmd;
-      reduce_cmd; report_cmd; lineup_cmd ]
+      metrics_cmd_v; checkpoint_cmd; analyze_cmd; stats_cmd_v; replay_cmd;
+      trace_cmd; triage_cmd; reduce_cmd; report_cmd; lineup_cmd ]
 
 let () = exit (Cmd.eval' main)

@@ -3,6 +3,7 @@ module Rng = O4a_util.Rng
 module Telemetry = O4a_telemetry.Telemetry
 module Json = O4a_telemetry.Json
 module Trace = O4a_trace.Trace
+module Analytics = O4a_analytics.Analytics
 
 let log_src = Logs.Src.create "once4all.fuzz" ~doc:"Once4All fuzzing loop"
 
@@ -264,6 +265,13 @@ let run_loop ~rng ~config ~tel ~first_tick ~generators ~seeds ~zeal ~cove
   let started = Telemetry.now tel in
   while !stats.tests < budget do
     let seed = Telemetry.with_span tel "seed.select" (fun () -> Rng.choose rng seeds) in
+    (* yield-attribution key: the seed's cluster identity, hashed once per
+       mutation batch — every test in the batch descends from this pick *)
+    let seed_cluster =
+      if Analytics.recording () then
+        String.sub (Digest.to_hex (Digest.string (Printer.script seed))) 0 8
+      else ""
+    in
     let current = ref seed in
     let rounds = min config.mutations_per_seed (budget - !stats.tests) in
     for _ = 1 to rounds do
@@ -314,6 +322,9 @@ let run_loop ~rng ~config ~tel ~first_tick ~generators ~seeds ~zeal ~cove
           (float_of_int (coverage_hits () - before))
       | Uniform -> ());
       stats := record !stats filled outcome;
+      Analytics.record_test ~theories:filled.Synthesize.theories_spliced
+        ~seed_cluster ~parse_ok:(filled.Synthesize.parsed <> None)
+        ~found:(outcome.Oracle.finding <> None) ();
       record_test tel filled outcome;
       report_progress tel ~config ~started ~generators !stats;
       (* Algorithm 2, line 9: the synthesized formula becomes the next seed *)

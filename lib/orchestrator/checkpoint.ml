@@ -19,6 +19,14 @@ type quarantine = {
   q_sites : string list;
 }
 
+type artifacts = {
+  a_telemetry : bool;
+  a_trace : bool;
+  a_analytics : bool;
+}
+
+let no_artifacts = { a_telemetry = false; a_trace = false; a_analytics = false }
+
 type t = {
   seed : int;
   budget : int;
@@ -28,13 +36,17 @@ type t = {
   quarantined : quarantine list;
   coverage : (string * int) list;
   health : O4a_health.Health.entry list;
+  analytics : O4a_analytics.Analytics.t;
+  artifacts : artifacts;
 }
 
 (* version 2 added the quarantine list; version 3 added the merged health
-   ledger and the per-finding oracle mode. Older files still load: version 1
+   ledger and the per-finding oracle mode; version 4 the analytics series
+   and the observability-artifact flags. Older files still load: version 1
    gets an empty quarantine, versions 1-2 an empty health ledger and
-   Differential findings. *)
-let version = 3
+   Differential findings, versions 1-3 an empty analytics series and
+   all-false artifact flags. *)
+let version = 4
 let min_version = 1
 
 (* ------------------------------------------------------------------ *)
@@ -104,6 +116,14 @@ let to_json t =
         Json.Obj (List.map (fun (k, c) -> (k, Json.Int c)) t.coverage) );
       ( "health",
         Json.List (List.map O4a_health.Health.entry_to_json t.health) );
+      ("analytics", O4a_analytics.Analytics.to_json t.analytics);
+      ( "artifacts",
+        Json.Obj
+          [
+            ("telemetry", Json.Bool t.artifacts.a_telemetry);
+            ("trace", Json.Bool t.artifacts.a_trace);
+            ("analytics", Json.Bool t.artifacts.a_analytics);
+          ] );
     ]
 
 (* ------------------------------------------------------------------ *)
@@ -248,7 +268,30 @@ let of_json json =
     | Some (Json.List l) -> map_result O4a_health.Health.entry_of_json l
     | Some _ -> Error "checkpoint: missing or invalid field \"health\""
   in
-  Ok { seed; budget; shard_size; extra; completed; quarantined; coverage; health }
+  let* analytics =
+    match Json.member "analytics" json with
+    | None -> Ok O4a_analytics.Analytics.empty (* versions 1-3 *)
+    | Some j -> O4a_analytics.Analytics.of_json j
+  in
+  let* artifacts =
+    match Json.member "artifacts" json with
+    | None -> Ok no_artifacts (* versions 1-3 *)
+    | Some j ->
+      let flag name =
+        match Option.bind (Json.member name j) Json.to_bool with
+        | Some b -> b
+        | None -> false
+      in
+      Ok
+        {
+          a_telemetry = flag "telemetry";
+          a_trace = flag "trace";
+          a_analytics = flag "analytics";
+        }
+  in
+  Ok
+    { seed; budget; shard_size; extra; completed; quarantined; coverage;
+      health; analytics; artifacts }
 
 (* ------------------------------------------------------------------ *)
 (* Files                                                               *)

@@ -28,6 +28,17 @@ type quarantine = {
   q_sites : string list;  (** fault sites that fired across those attempts *)
 }
 
+(** Which observability artifacts the campaign that wrote the checkpoint
+    was recording — what a resume re-arms (given the matching flags) versus
+    what it would start cold. [checkpoint info] prints these. *)
+type artifacts = {
+  a_telemetry : bool;  (** a JSONL telemetry sink was attached *)
+  a_trace : bool;  (** provenance tracing / repro bundles were on *)
+  a_analytics : bool;  (** the analytics series below is being extended *)
+}
+
+val no_artifacts : artifacts
+
 type t = {
   seed : int;
   budget : int;
@@ -43,6 +54,10 @@ type t = {
   health : O4a_health.Health.entry list;
       (** merged {!O4a_health.Health.export} of the completed shards; empty
           when loaded from a pre-v3 checkpoint *)
+  analytics : O4a_analytics.Analytics.t;
+      (** merged campaign time series of the completed shards; empty when
+          loaded from a pre-v4 checkpoint *)
+  artifacts : artifacts;  (** all-false when loaded from a pre-v4 file *)
 }
 
 val to_json : t -> O4a_telemetry.Json.t

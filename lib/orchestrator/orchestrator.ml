@@ -17,6 +17,7 @@ module Faults = O4a_faults.Faults
 module Health = O4a_health.Health
 module Profile = O4a_profile.Profile
 module Hud = O4a_profile.Hud
+module Analytics = O4a_analytics.Analytics
 
 let log_src =
   Logs.Src.create "once4all.orchestrator" ~doc:"Parallel campaign orchestrator"
@@ -41,6 +42,8 @@ type report = {
   faults_injected : int;
   health : Health.entry list;
   profile : Profile.t;
+  analytics : Analytics.t;
+  plateaus : Analytics.plateau list;
   stopped : bool;
 }
 
@@ -94,10 +97,11 @@ type shard_payload = {
   promoted : Trace.promoted list;
   health_export : Health.entry list;
   profile_export : Profile.t;
+  analytics_export : Analytics.t;
 }
 
 let run_one_shard ~worker_id ~tel_enabled ~tracing ~ring_size ~config
-    ~generators ~seeds ~zeal ~cove ~seed ~health ~profiling shard =
+    ~generators ~seeds ~zeal ~cove ~seed ~health ~profiling ~gen_profile shard =
   let wtel =
     if tel_enabled then
       Telemetry.create ~sink:(Sink.memory ())
@@ -129,6 +133,11 @@ let run_one_shard ~worker_id ~tel_enabled ~tracing ~ring_size ~config
      state, telemetry handle, recorder) stays outside, which is part of what
      keeps the deterministic projection identical at any --jobs N. *)
   let pledger = if profiling then Profile.make_ledger () else Profile.disabled in
+  (* the analytics ledger is always on: its counters are cheap, and keeping
+     it unconditional means `analyze` works on every checkpoint a campaign
+     ever writes. Same lifecycle as the coverage ledger — fresh per shard
+     attempt, discarded wholesale with a tainted attempt. *)
+  let aledger = Analytics.make_ledger ~profile:gen_profile () in
   let rng = Shard.rng ~seed shard in
   let stats =
     Coverage.with_ledger ledger (fun () ->
@@ -136,10 +145,11 @@ let run_one_shard ~worker_id ~tel_enabled ~tracing ~ring_size ~config
             Trace.Recorder.using recorder (fun () ->
                 Health.using hledger (fun () ->
                     Profile.using pledger (fun () ->
-                        Fuzz.run_shard ~rng ~config ~telemetry:wtel
-                          ~shard_index:shard.Shard.index
-                          ~first_tick:shard.Shard.first_tick ~generators ~seeds
-                          ~zeal ~cove ~budget:shard.Shard.ticks ())))))
+                        Analytics.using aledger (fun () ->
+                            Fuzz.run_shard ~rng ~config ~telemetry:wtel
+                              ~shard_index:shard.Shard.index
+                              ~first_tick:shard.Shard.first_tick ~generators
+                              ~seeds ~zeal ~cove ~budget:shard.Shard.ticks ()))))))
   in
   {
     sr =
@@ -157,6 +167,18 @@ let run_one_shard ~worker_id ~tel_enabled ~tracing ~ring_size ~config
     promoted = Trace.Recorder.promoted recorder;
     health_export = Health.export hledger;
     profile_export = Profile.export pledger;
+    analytics_export =
+      Analytics.export aledger ~bucket:shard.Shard.index
+        ~first_tick:shard.Shard.first_tick ~ticks:shard.Shard.ticks
+        ~tests:stats.Fuzz.tests ~parse_ok:stats.Fuzz.parse_ok
+        ~solved:stats.Fuzz.solved
+        ~findings:(List.length stats.Fuzz.findings)
+        ~cov_points:(List.map fst (Coverage.export ledger))
+        ~clusters:
+          (stats.Fuzz.findings
+          |> List.map (fun (f : Dedup.found) ->
+                 Dedup.signature_to_string (Dedup.signature f.Dedup.finding))
+          |> List.sort_uniq compare);
   }
 
 (* ------------------------------------------------------------------ *)
@@ -255,12 +277,14 @@ type exec_env = {
   env_chaos : Faults.plan option;
   env_health : Health.config option;
   env_profiling : bool;
+  env_gen_profile : string;
+      (** the LLM generator profile, for yield attribution *)
   env_engines : unit -> Engine.t * Engine.t;
 }
 
 let make_env ?(config = Fuzz.default_config) ?(tel_enabled = false)
-    ?(tracing = false) ?ring_size ?chaos ?health ?(profiling = false) ?engines
-    ~seed ~generators ~seeds () =
+    ?(tracing = false) ?ring_size ?chaos ?health ?(profiling = false)
+    ?(gen_profile = "") ?engines ~seed ~generators ~seeds () =
   (* a plan whose profile is Off injects nothing and skips supervision *)
   let chaos =
     match chaos with Some p when Faults.enabled p -> Some p | _ -> None
@@ -276,6 +300,7 @@ let make_env ?(config = Fuzz.default_config) ?(tel_enabled = false)
     env_chaos = chaos;
     env_health = health;
     env_profiling = profiling;
+    env_gen_profile = gen_profile;
     env_engines =
       (match engines with
       | Some f -> f
@@ -299,7 +324,8 @@ let exec_shard ~env ~worker_id ~zeal ~cove shard =
       ~tracing:env.env_tracing ~ring_size:env.env_ring_size
       ~config:env.env_config ~generators:env.env_generators
       ~seeds:env.env_seeds ~zeal ~cove ~seed:env.env_seed
-      ~health:env.env_health ~profiling:env.env_profiling shard
+      ~health:env.env_health ~profiling:env.env_profiling
+      ~gen_profile:env.env_gen_profile shard
   in
   run_supervised ~chaos:env.env_chaos ~run_attempt shard.Shard.index
 
@@ -330,6 +356,16 @@ module Merge = struct
     mutable quarantined : Checkpoint.quarantine list;
     mutable health : Health.entry list;
     mutable profile : Profile.t;
+    mutable analytics : Analytics.t;
+    (* plateau detection state: [accounted.(i)] is true once shard [i] is
+       merged or quarantined (or came in via the base checkpoint), [settled]
+       is the length of the contiguous accounted prefix. Detection only ever
+       runs over samples inside that prefix, so the event stream is a pure
+       function of merged content — independent of shard completion order
+       and therefore of [--jobs]. *)
+    accounted : bool array;
+    mutable settled : int;
+    mutable plateau_emitted : string list;  (* series names already announced *)
     mutable promoted_by_shard : (int * Trace.promoted list) list;
     mutable errors : (int * string) list;
     mutable shard_retries : int;
@@ -362,6 +398,37 @@ module Merge = struct
     (match base with
     | Some cp -> Coverage.merge_into ~into:ledger cp.Checkpoint.coverage
     | None -> ());
+    let analytics =
+      match base with
+      | Some cp -> cp.Checkpoint.analytics
+      | None -> Analytics.empty
+    in
+    let accounted = Array.make (List.length plan) false in
+    List.iter
+      (fun (r : Checkpoint.shard_result) ->
+        if r.Checkpoint.shard < Array.length accounted then
+          accounted.(r.Checkpoint.shard) <- true)
+      base_completed;
+    List.iter
+      (fun (q : Checkpoint.quarantine) ->
+        if q.Checkpoint.q_shard < Array.length accounted then
+          accounted.(q.Checkpoint.q_shard) <- true)
+      base_quarantined;
+    let settled = ref 0 in
+    while !settled < Array.length accounted && accounted.(!settled) do
+      incr settled
+    done;
+    (* plateaus already visible in the resumed prefix were announced by the
+       run that wrote the checkpoint; re-detect silently so a resumed
+       campaign only emits events for plateaus it discovers itself *)
+    let prefix_plateaus =
+      Analytics.plateaus
+        { analytics with
+          Analytics.samples =
+            List.filter
+              (fun (s : Analytics.sample) -> s.Analytics.bucket < !settled)
+              analytics.Analytics.samples }
+    in
     {
       env;
       tel;
@@ -377,6 +444,12 @@ module Merge = struct
       quarantined = base_quarantined;
       health = (match base with Some cp -> cp.Checkpoint.health | None -> []);
       profile = Profile.empty;
+      analytics;
+      accounted;
+      settled = !settled;
+      plateau_emitted =
+        List.map (fun (p : Analytics.plateau) -> p.Analytics.pl_series)
+          prefix_plateaus;
       promoted_by_shard = [];
       errors = [];
       shard_retries = 0;
@@ -387,6 +460,7 @@ module Merge = struct
 
   let processed t = t.processed
   let failed t = t.errors <> []
+  let analytics_snapshot t = t.analytics
 
   (* merge-time progress snapshot for the HUD callback: a pure function of
      already-merged state, so observing it cannot perturb the campaign *)
@@ -406,6 +480,22 @@ module Merge = struct
             sum (fun (r : Checkpoint.shard_result) ->
                 List.length r.Checkpoint.findings);
           coverage_points = List.length (Coverage.export t.ledger);
+          cov_rate =
+            (* derived from the analytics series — [None] (rendered as "–")
+               until the first sample merges, instead of a stale 0.0 *)
+            (let pts = Analytics.series t.analytics in
+             let ticks =
+               List.fold_left
+                 (fun acc (p : Analytics.point) -> acc + p.Analytics.p_ticks)
+                 0 pts
+             in
+             match List.rev pts with
+             | last :: _ when ticks > 0 ->
+               Some
+                 (1000.
+                 *. float_of_int last.Analytics.p_cum_cov
+                 /. float_of_int ticks)
+             | _ -> None);
           quarantined = List.length t.quarantined;
           breaker_trips =
             List.fold_left
@@ -424,6 +514,13 @@ module Merge = struct
       quarantined = t.quarantined;
       coverage = Coverage.export t.ledger;
       health = t.health;
+      analytics = t.analytics;
+      artifacts =
+        {
+          Checkpoint.a_telemetry = t.env.env_tel_enabled;
+          a_trace = t.env.env_tracing;
+          a_analytics = true;
+        };
     }
 
   (* plain save, bypassing the chaos tear site — used for the write-before-
@@ -517,6 +614,45 @@ module Merge = struct
             ]))
       logs
 
+  (* Advance the settled cursor past newly accounted shards, then run
+     plateau detection over the settled prefix. Detection is positional and
+     monotone (see {!Analytics.plateaus}), so the first plateau a prefix
+     exhibits is the one the full series reports — emitting here is safe and
+     happens exactly once per series, at a point determined by shard
+     *indices*, not completion order. *)
+  let settle_and_detect t shard_idx =
+    if shard_idx < Array.length t.accounted then
+      t.accounted.(shard_idx) <- true;
+    while
+      t.settled < Array.length t.accounted && t.accounted.(t.settled)
+    do
+      t.settled <- t.settled + 1
+    done;
+    let prefix =
+      { t.analytics with
+        Analytics.samples =
+          List.filter
+            (fun (s : Analytics.sample) -> s.Analytics.bucket < t.settled)
+            t.analytics.Analytics.samples }
+    in
+    List.iter
+      (fun (pl : Analytics.plateau) ->
+        if not (List.mem pl.Analytics.pl_series t.plateau_emitted) then (
+          t.plateau_emitted <- pl.Analytics.pl_series :: t.plateau_emitted;
+          Telemetry.emit t.tel Analytics.plateau_event_name
+            [
+              ("series", Json.String pl.Analytics.pl_series);
+              ("bucket", Json.Int pl.Analytics.pl_bucket);
+              ("tick", Json.Int pl.Analytics.pl_tick);
+              ("window", Json.Int pl.Analytics.pl_window);
+              ("value", Json.Int pl.Analytics.pl_value);
+            ];
+          Log.info (fun m ->
+              m "%s plateaued at tick %d (%d after %d-shard window)"
+                pl.Analytics.pl_series pl.Analytics.pl_tick
+                pl.Analytics.pl_value pl.Analytics.pl_window)))
+      (Analytics.plateaus prefix)
+
   let absorb t shard outcome =
     t.processed <- t.processed + 1;
     (match (shard, outcome) with
@@ -537,6 +673,7 @@ module Merge = struct
             Json.List (List.map (fun s -> Json.String s) q.Checkpoint.q_sites)
           );
         ];
+      settle_and_detect t shard_idx;
       save_checkpoint t ~after_shard:shard_idx;
       Log.warn (fun m ->
           m "shard %d quarantined after %d attempts (sites: %s)" shard_idx
@@ -563,10 +700,12 @@ module Merge = struct
       Coverage.merge_into ~into:t.ledger payload.cov_export;
       t.health <- Health.merge t.health payload.health_export;
       t.profile <- Profile.merge t.profile payload.profile_export;
+      t.analytics <- Analytics.merge t.analytics payload.analytics_export;
       t.completed <- payload.sr :: t.completed;
       if payload.promoted <> [] then
         t.promoted_by_shard <-
           (shard_idx, payload.promoted) :: t.promoted_by_shard;
+      settle_and_detect t shard_idx;
       save_checkpoint t ~after_shard:shard_idx;
       Log.debug (fun m ->
           m "shard %d merged (%d/%d done)" shard_idx (List.length t.completed)
@@ -664,6 +803,8 @@ module Merge = struct
       faults_injected = t.faults_injected;
       health = t.health;
       profile = t.profile;
+      analytics = t.analytics;
+      plateaus = Analytics.plateaus t.analytics;
       stopped;
     }
 end
@@ -738,10 +879,16 @@ let run ?(jobs = 1) ?(shard_size = default_shard_size)
   (* populate the coverage point tables before any worker races to use them,
      and so that checkpoint merges resolve ids against a full registry *)
   Engine.prewarm ();
+  (* yield attribution labels rows with the generator profile; the CLI
+     records it in the provenance extras, which resume restores — so the
+     label is a constant of the campaign, never of the run *)
+  let gen_profile =
+    match List.assoc_opt "profile" extra with Some p -> p | None -> ""
+  in
   let env =
     make_env ~config ~tel_enabled:(Telemetry.enabled tel)
       ~tracing:(trace_dir <> None) ?ring_size ?chaos ?health ~profiling
-      ?engines ~seed ~generators ~seeds ()
+      ~gen_profile ?engines ~seed ~generators ~seeds ()
   in
   let merge =
     Merge.create ~env ~tel ?checkpoint_path ?base ?on_progress ~jobs ~budget

@@ -65,6 +65,15 @@ type report = {
           profile); {!O4a_profile.Profile.empty} unless [profiling] was set.
           Its {!O4a_profile.Profile.strip_timing} projection is identical at
           any [jobs] *)
+  analytics : O4a_analytics.Analytics.t;
+      (** merged campaign time series — one sample per merged shard plus the
+          yield-attribution table; always recorded (the ledger is cheap) and
+          byte-identical at any [jobs]. Resumed shards contribute through
+          the checkpoint, so an interrupted-and-resumed campaign's series
+          equals the uninterrupted one's *)
+  plateaus : O4a_analytics.Analytics.plateau list;
+      (** saturation verdicts over the final series
+          ({!O4a_analytics.Analytics.plateaus} at the default window) *)
   stopped : bool;
       (** a graceful stop ({!request_stop}) drained the campaign before all
           planned shards ran; everything merged so far is checkpointed *)
@@ -114,6 +123,7 @@ val make_env :
   ?chaos:O4a_faults.Faults.plan ->
   ?health:O4a_health.Health.config ->
   ?profiling:bool ->
+  ?gen_profile:string ->
   ?engines:(unit -> Solver.Engine.t * Solver.Engine.t) ->
   seed:int ->
   generators:Gensynth.Generator.t list ->
@@ -123,7 +133,9 @@ val make_env :
 (** The optional arguments mirror {!run}'s (same defaults); [tel_enabled]
     decides whether workers buffer events for forwarding, [tracing] whether
     they record traces. A [chaos] plan whose profile is [Off] is normalized
-    to no plan. *)
+    to no plan. [gen_profile] (default [""]) labels the analytics yield
+    table with the LLM generator profile; {!run} derives it from the
+    ["profile"] provenance extra. *)
 
 type shard_outcome
 (** Result of one supervised shard execution: merged payload, quarantine, or
@@ -172,9 +184,17 @@ module Merge : sig
 
   val absorb : t -> Shard.t -> shard_outcome -> unit
   (** Merge one outcome: forward its worker events (tagged with the shard),
-      fold its counters/coverage/health/profile, record quarantines, then
-      checkpoint (chaos may tear the write — it is verified and retried)
-      and fire the progress callback. Owner domain only. *)
+      fold its counters/coverage/health/profile/analytics, record
+      quarantines, run plateau detection over the contiguous settled shard
+      prefix (emitting ["analytics.plateau"] at most once per series, at a
+      point independent of completion order), then checkpoint (chaos may
+      tear the write — it is verified and retried) and fire the progress
+      callback. Owner domain only. *)
+
+  val analytics_snapshot : t -> O4a_analytics.Analytics.t
+  (** The series merged so far — the live [metrics] exposition reads this
+      between shards; a pure snapshot, observing it perturbs nothing. Owner
+      domain only. *)
 
   val processed : t -> int
   (** Outcomes absorbed so far (excluding shards resumed from [base]). *)

@@ -5,6 +5,7 @@ type progress = {
   budget : int;
   findings : int;
   coverage_points : int;
+  cov_rate : float option;
   quarantined : int;
   breaker_trips : int;
   elapsed_s : float;
@@ -20,11 +21,18 @@ let render ?(width = 24) p =
   let tps =
     if p.elapsed_s > 0. then float_of_int p.ticks_done /. p.elapsed_s else 0.
   in
+  let rate =
+    (* no sample has merged yet: show an explicit placeholder, not a bogus
+       0.0 that only corrects itself after the first shard lands *)
+    match p.cov_rate with
+    | None -> "\xe2\x80\x93" (* – *)
+    | Some r -> Printf.sprintf "%.1f" r
+  in
   Printf.sprintf
-    "[%s] %d/%d shards  %d/%d ticks  %.0f t/s  cov %d  findings %d  quar %d  \
-     breakers %d"
+    "[%s] %d/%d shards  %d/%d ticks  %.0f t/s  cov %d (%s/kt)  findings %d  \
+     quar %d  breakers %d"
     bar p.shards_done p.shards_total p.ticks_done p.budget tps
-    p.coverage_points p.findings p.quarantined p.breaker_trips
+    p.coverage_points rate p.findings p.quarantined p.breaker_trips
 
 let profile_line (p : Profile.t) =
   let word_bytes = Sys.word_size / 8 in

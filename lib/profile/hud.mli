@@ -13,6 +13,9 @@ type progress = {
   budget : int;
   findings : int;
   coverage_points : int;  (** merged campaign coverage ledger size *)
+  cov_rate : float option;
+      (** coverage points per 1000 ticks, derived from the analytics series;
+          [None] until the first sample has merged *)
   quarantined : int;
   breaker_trips : int;  (** health-breaker transitions into Open so far *)
   elapsed_s : float;
@@ -20,8 +23,9 @@ type progress = {
 
 val render : ?width:int -> progress -> string
 (** One status line: progress bar ([width] cells, default 24), shard and tick
-    counts, ticks/sec, coverage, findings, quarantines, breaker trips. No
-    trailing newline. *)
+    counts, ticks/sec, coverage (count plus rate per kilotick, "–" before the
+    first merged sample), findings, quarantines, breaker trips. No trailing
+    newline. *)
 
 val profile_line : Profile.t -> string
 (** End-of-campaign one-liner from the merged profile: the top stages by

@@ -158,6 +158,8 @@ let on_event t id (ev : Event.t) =
       stream job ~kind:"health" (Event.to_json ev)
     else if ev.Event.name = "shard.quarantined" then
       stream job ~kind:"quarantine" (Event.to_json ev)
+    else if ev.Event.name = O4a_analytics.Analytics.plateau_event_name then
+      stream job ~kind:"plateau" (Event.to_json ev)
 
 (* merge-time progress, minus [elapsed_s]: the streamed progress lines are a
    pure function of merged state, so the backlog two subscribers compare is
@@ -177,6 +179,10 @@ let on_progress t id (p : Hud.progress) =
            ("budget", Json.Int p.Hud.budget);
            ("findings", Json.Int p.Hud.findings);
            ("coverage_points", Json.Int p.Hud.coverage_points);
+           ( "cov_rate",
+             match p.Hud.cov_rate with
+             | None -> Json.Null
+             | Some r -> Json.Float r );
            ("quarantined", Json.Int p.Hud.quarantined);
            ("breaker_trips", Json.Int p.Hud.breaker_trips);
          ])
@@ -252,6 +258,7 @@ let start_job t ~id ~dir ~spec ~base =
   let env =
     Orchestrator.make_env ~config:(Jobspec.config spec) ~tel_enabled:true
       ~tracing:spec.Jobspec.trace ?chaos ?health:(Jobspec.health spec)
+      ~gen_profile:profile.Llm_sim.Profile.name
       ~seed:(Jobspec.fuzz_seed spec)
       ~generators:campaign.Once4all.Campaign.generators ~seeds ()
   in
@@ -566,6 +573,26 @@ let handle_request t c = function
   | Protocol.Pause id -> conn_send_json c (pause t id)
   | Protocol.Resume_job id -> conn_send_json c (resume_job t id)
   | Protocol.Cancel id -> conn_send_json c (cancel t id)
+  | Protocol.Metrics id -> (
+    match Hashtbl.find_opt t.jobs id with
+    | None -> conn_send_json c (Protocol.error (Printf.sprintf "no job %S" id))
+    | Some job -> (
+      match job.merge with
+      | None ->
+        conn_send_json c
+          (Protocol.error (Printf.sprintf "job %S has no merged state yet" id))
+      | Some merge ->
+        (* the snapshot is read on the main domain — the merge owner — so it
+           is exactly the state the last shard barrier left behind *)
+        let a = Merge.analytics_snapshot merge in
+        conn_send_json c
+          (Protocol.ok
+             [
+               ("job", Json.String id);
+               ("analytics", O4a_analytics.Analytics.to_json a);
+               ( "prometheus",
+                 Json.String (O4a_analytics.Analytics.to_prometheus a) );
+             ])))
   | Protocol.Shutdown ->
     Log.info (fun m -> m "shutdown requested; draining");
     conn_send_json c (Protocol.ok [ ("draining", Json.Bool true) ]);

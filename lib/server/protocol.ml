@@ -48,6 +48,7 @@ type request =
   | Pause of string
   | Resume_job of string
   | Cancel of string
+  | Metrics of string
   | Shutdown
 
 let request_to_json = function
@@ -69,6 +70,8 @@ let request_to_json = function
     Json.Obj [ ("req", Json.String "resume"); ("job", Json.String job) ]
   | Cancel job ->
     Json.Obj [ ("req", Json.String "cancel"); ("job", Json.String job) ]
+  | Metrics job ->
+    Json.Obj [ ("req", Json.String "metrics"); ("job", Json.String job) ]
   | Shutdown -> Json.Obj [ ("req", Json.String "shutdown") ]
 
 let job_field json =
@@ -101,6 +104,7 @@ let request_of_json json =
   | Some "pause" -> Result.map (fun j -> Pause j) (job_field json)
   | Some "resume" -> Result.map (fun j -> Resume_job j) (job_field json)
   | Some "cancel" -> Result.map (fun j -> Cancel j) (job_field json)
+  | Some "metrics" -> Result.map (fun j -> Metrics j) (job_field json)
   | Some "shutdown" -> Ok Shutdown
   | Some other -> Error (Printf.sprintf "request: unknown verb %S" other)
 

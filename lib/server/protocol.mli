@@ -34,6 +34,12 @@ type request =
       (** unpause a live job, or revive one from its on-disk spec +
           checkpoint after a server restart *)
   | Cancel of string
+  | Metrics of string
+      (** snapshot the job's merged analytics series: the reply carries
+          {!O4a_analytics.Analytics.to_json} under ["analytics"] (plus the
+          Prometheus text rendering under ["prometheus"]), computed at the
+          merge barrier — so a snapshot of a finished job is byte-identical
+          to what [once4all analyze] reads from its checkpoint *)
   | Shutdown
       (** graceful drain: finish in-flight shards, checkpoint every
           campaign, then exit — the request-level twin of SIGTERM *)

@@ -2,6 +2,7 @@ module Faults = O4a_faults.Faults
 module Health = O4a_health.Health
 module Coverage = O4a_coverage.Coverage
 module Checkpoint = Orchestrator.Checkpoint
+module Analytics = O4a_analytics.Analytics
 
 (* Every string built here is a pure function of the merged report — never of
    timing, worker count, or scheduling. The CLI prints these to stdout and
@@ -71,6 +72,34 @@ let health_block (r : Orchestrator.report) =
       entries;
     Buffer.contents buf
 
+let analytics_block (r : Orchestrator.report) =
+  match Analytics.series r.Orchestrator.analytics with
+  | [] -> ""
+  | pts ->
+    let last = List.nth pts (List.length pts - 1) in
+    let buf = Buffer.create 256 in
+    Buffer.add_string buf
+      (Printf.sprintf
+         "\nanalytics: %d sample%s  %d coverage points  %d cluster%s\n"
+         (List.length pts)
+         (if List.length pts = 1 then "" else "s")
+         last.Analytics.p_cum_cov last.Analytics.p_cum_clusters
+         (if last.Analytics.p_cum_clusters = 1 then "" else "s"));
+    (match r.Orchestrator.plateaus with
+    | [] ->
+      Buffer.add_string buf "  no plateau: curves still growing at the end\n"
+    | pls ->
+      List.iter
+        (fun (pl : Analytics.plateau) ->
+          Buffer.add_string buf
+            (Printf.sprintf
+               "  %s plateaued at tick %d (flat at %d across a %d-shard \
+                window)\n"
+               pl.Analytics.pl_series pl.Analytics.pl_tick
+               pl.Analytics.pl_value pl.Analytics.pl_window))
+        pls);
+    Buffer.contents buf
+
 let campaign ?(show_formulas = false) ~chaos (r : Orchestrator.report) =
   let buf = Buffer.create 1024 in
   let stats = r.Orchestrator.stats in
@@ -108,6 +137,7 @@ let campaign ?(show_formulas = false) ~chaos (r : Orchestrator.report) =
        (Coverage.func_pct r.Orchestrator.coverage_cove));
   Buffer.add_string buf (chaos_block ~chaos r);
   Buffer.add_string buf (health_block r);
+  Buffer.add_string buf (analytics_block r);
   Buffer.contents buf
 
 let resumed_line n =

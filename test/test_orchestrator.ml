@@ -202,6 +202,39 @@ let sample_checkpoint () =
           reclosed = 1;
         };
       ];
+    analytics =
+      {
+        O4a_analytics.Analytics.samples =
+          [
+            {
+              O4a_analytics.Analytics.bucket = 0;
+              first_tick = 0;
+              ticks = 60;
+              tests = 60;
+              parse_ok = 55;
+              solved = 40;
+              findings = 1;
+              consults = 120;
+              fuel = 9_000;
+              cov_points =
+                [ "cove|eval.ml|step|f|"; "zeal|core.ml|solve|l|0" ];
+              clusters = [ "crash:site_A" ];
+            };
+          ];
+        yield =
+          [
+            {
+              O4a_analytics.Analytics.y_theory = "strings";
+              y_profile = "gpt-4";
+              y_seed_cluster = "ab12cd34";
+              y_tests = 60;
+              y_parse_ok = 55;
+              y_findings = 1;
+            };
+          ];
+      };
+    artifacts =
+      { Checkpoint.a_telemetry = true; a_trace = false; a_analytics = true };
   }
 
 let test_checkpoint_json_roundtrip () =

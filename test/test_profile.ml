@@ -183,8 +183,8 @@ let test_progress_callback_pure () =
 let test_hud_render () =
   let p =
     { Hud.shards_done = 2; shards_total = 4; ticks_done = 150; budget = 300;
-      findings = 3; coverage_points = 42; quarantined = 1; breaker_trips = 0;
-      elapsed_s = 2.0 }
+      findings = 3; coverage_points = 42; cov_rate = Some 280.0;
+      quarantined = 1; breaker_trips = 0; elapsed_s = 2.0 }
   in
   let line = Hud.render ~width:8 p in
   check_bool "half-full bar" true
@@ -194,7 +194,12 @@ let test_hud_render () =
   check_bool "mentions rate" true
     (O4a_util.Strx.contains_sub ~sub:"75 t/s" line);
   check_bool "mentions quarantine" true
-    (O4a_util.Strx.contains_sub ~sub:"quar 1" line)
+    (O4a_util.Strx.contains_sub ~sub:"quar 1" line);
+  check_bool "mentions coverage rate" true
+    (O4a_util.Strx.contains_sub ~sub:"cov 42 (280.0/kt)" line);
+  check_bool "dash before first sample" true
+    (O4a_util.Strx.contains_sub ~sub:"cov 42 (\xe2\x80\x93/kt)"
+       (Hud.render ~width:8 { p with Hud.cov_rate = None }))
 
 let test_hud_profile_line () =
   let p =

@@ -239,6 +239,103 @@ let profile_props =
         = Profile.merge (Profile.strip_timing a) (Profile.strip_timing b));
   ]
 
+(* ------------------------- Analytics.merge ------------------------- *)
+
+(* shard analytics are merged at the same barrier as profiles, in completion
+   order, and the series must come out byte-identical at any --jobs N — so
+   merge needs the full commutative-monoid contract plus total preservation *)
+module Analytics = O4a_analytics.Analytics
+
+let gen_analytics =
+  let open QCheck.Gen in
+  let sample =
+    int_range 0 7 >>= fun bucket ->
+    map3
+      (fun (tests, parse_ok, solved) (findings, consults, fuel)
+           (cov_points, clusters) ->
+        {
+          Analytics.bucket;
+          first_tick = bucket * 50;
+          ticks = 50;
+          tests;
+          parse_ok;
+          solved;
+          findings;
+          consults;
+          fuel;
+          cov_points;
+          clusters;
+        })
+      (triple (int_range 0 60) (int_range 0 60) (int_range 0 60))
+      (triple (int_range 0 5) (int_range 0 120) (int_range 0 10_000))
+      (pair
+         (small_list (oneofl [ "z|a"; "z|b"; "c|a"; "c|b"; "c|c" ]))
+         (small_list (oneofl [ "crash:x"; "unsound:y"; "timeout:z" ])))
+  in
+  let yrow =
+    map3
+      (fun theory cluster (tests, parse_ok, findings) ->
+        {
+          Analytics.y_theory = theory;
+          y_profile = "gpt-4";
+          y_seed_cluster = cluster;
+          y_tests = tests;
+          y_parse_ok = parse_ok;
+          y_findings = findings;
+        })
+      (oneofl [ "strings"; "arrays"; "bitvectors" ])
+      (oneofl [ "aa11"; "bb22"; "cc33" ])
+      (triple (int_range 1 40) (int_range 0 40) (int_range 0 3))
+  in
+  map2
+    (fun samples yield -> { Analytics.samples; yield })
+    (small_list sample) (small_list yrow)
+
+let arb_analytics =
+  QCheck.make
+    ~print:(fun t -> O4a_telemetry.Json.to_string (Analytics.to_json t))
+    gen_analytics
+
+(* generated records may repeat buckets and yield keys; merging with [empty]
+   canonicalizes without changing totals *)
+let acanon t = Analytics.merge t Analytics.empty
+
+let analytics_props =
+  [
+    QCheck.Test.make ~name:"merge commutes" ~count:300
+      QCheck.(pair arb_analytics arb_analytics)
+      (fun (a, b) -> Analytics.merge a b = Analytics.merge b a);
+    QCheck.Test.make ~name:"merge is associative" ~count:300
+      QCheck.(triple arb_analytics arb_analytics arb_analytics)
+      (fun (a, b, c) ->
+        Analytics.merge (Analytics.merge a b) c
+        = Analytics.merge a (Analytics.merge b c));
+    QCheck.Test.make ~name:"empty is the identity" ~count:300 arb_analytics
+      (fun t -> Analytics.merge (acanon t) Analytics.empty = acanon t);
+    QCheck.Test.make ~name:"merge preserves bucket totals" ~count:300
+      QCheck.(pair arb_analytics arb_analytics)
+      (fun (a, b) ->
+        let m = Analytics.merge a b in
+        Analytics.total_tests m
+        = Analytics.total_tests a + Analytics.total_tests b
+        && Analytics.total_findings m
+           = Analytics.total_findings a + Analytics.total_findings b);
+    QCheck.Test.make ~name:"json round-trips to the canonical form" ~count:300
+      arb_analytics
+      (fun t -> Analytics.of_json (Analytics.to_json t) = Ok (acanon t));
+    QCheck.Test.make ~name:"cumulative series is monotone" ~count:300
+      arb_analytics
+      (fun t ->
+        let rec mono = function
+          | (a : Analytics.point) :: (b :: _ as rest) ->
+            a.Analytics.p_cum_cov <= b.Analytics.p_cum_cov
+            && a.Analytics.p_cum_clusters <= b.Analytics.p_cum_clusters
+            && mono rest
+          | _ -> true
+        in
+        mono (Analytics.series (acanon t)));
+  ]
+
 let () =
   Alcotest.run "props"
     [
@@ -246,4 +343,5 @@ let () =
       ("rng", List.map QCheck_alcotest.to_alcotest rng_props);
       ("metrics", List.map QCheck_alcotest.to_alcotest metrics_props);
       ("profile", List.map QCheck_alcotest.to_alcotest profile_props);
+      ("analytics", List.map QCheck_alcotest.to_alcotest analytics_props);
     ]

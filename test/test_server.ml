@@ -130,6 +130,8 @@ let test_jobspec_checkpoint_inverse () =
       quarantined = [];
       coverage = [];
       health = [];
+      analytics = O4a_analytics.Analytics.empty;
+      artifacts = Orchestrator.Checkpoint.no_artifacts;
     }
   in
   let spec' = Jobspec.of_checkpoint ~name:"inv" cp in

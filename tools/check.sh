@@ -105,7 +105,7 @@ cli="$PWD/_build/default/bin/once4all_cli.exe"
 
 echo "== Graceful shutdown: SIGTERM drains, checkpoints, resumes identically =="
 "$cli" fuzz --budget 2000 --shard-size 100 --jobs 2 \
-  > "$out/g_full.log"
+  --checkpoint "$out/gfull_cp.json" > "$out/g_full.log"
 "$cli" fuzz --budget 2000 --shard-size 100 --jobs 2 \
   --checkpoint "$out/gcp.json" > "$out/g_stop.log" &
 gpid=$!
@@ -120,6 +120,12 @@ grep -q "stopped gracefully" "$out/g_stop.log" || {
   > "$out/g_resumed.log"
 grep -v '^resumed ' "$out/g_resumed.log" | diff "$out/g_full.log" - || {
   echo "FAIL: resume after SIGTERM differs from the uninterrupted run"; exit 1; }
+# the resumed checkpoint's analytics series must equal the uninterrupted one
+"$cli" analyze "$out/gfull_cp.json" --csv "$out/gfull.csv" > /dev/null
+"$cli" analyze "$out/gcp.json" --csv "$out/gresumed.csv" > /dev/null
+diff "$out/gfull.csv" "$out/gresumed.csv" || {
+  echo "FAIL: analytics series after SIGTERM+resume differs from the \
+uninterrupted run"; exit 1; }
 
 echo "== Sick solver: breakers trip identically at --jobs 1 and --jobs 4 =="
 sick_flags="--chaos solver_hang --chaos-rate 1.0 --chaos-seed 7 \
@@ -178,10 +184,15 @@ for _ in $(seq 1 100); do [ -S "$ssock" ] && break; sleep 0.1; done
 # backlog, so watching an already-finished job returns immediately)
 "$cli" watch --socket "$ssock" s-alpha > /dev/null
 "$cli" watch --socket "$ssock" s-beta > /dev/null
+# live metrics snapshot of the finished job, before the server goes away
+"$cli" metrics --socket "$ssock" s-alpha > "$out/sa_metrics.json"
+"$cli" metrics --socket "$ssock" s-alpha --prom > "$out/sa_metrics.prom"
+grep -q '^once4all_tests_total ' "$out/sa_metrics.prom" || {
+  echo "FAIL: Prometheus exposition lacks once4all_tests_total"; exit 1; }
 "$cli" shutdown --socket "$ssock" > /dev/null
 wait "$spid" || { echo "FAIL: server exited nonzero"; cat "$out/serve1.log"; exit 1; }
 "$cli" fuzz --seed 7 --budget 400 --shard-size 100 --jobs 2 \
-  --trace-dir "$out/sa_trace" > "$out/sa.log"
+  --trace-dir "$out/sa_trace" --checkpoint "$out/sa_cp.json" > "$out/sa.log"
 "$cli" fuzz --seed 11 --budget 400 --shard-size 100 --jobs 2 \
   --trace-dir "$out/sb_trace" > "$out/sb.log"
 # the reports are identical up to the trace-dir path each names
@@ -193,6 +204,12 @@ for pair in "s-alpha sa" "s-beta sb"; do
   diff -r "$sstate/$job/trace" "$out/${std}_trace" || {
     echo "FAIL: server trace tree for $job differs from standalone fuzz"; exit 1; }
 done
+# the live metrics snapshot is the same canonical JSON analyze reads from the
+# equivalent standalone campaign's checkpoint
+"$cli" analyze "$out/sa_cp.json" --json "$out/sa_analyze.json" > /dev/null
+diff "$out/sa_metrics.json" "$out/sa_analyze.json" || {
+  echo "FAIL: server metrics snapshot differs from analyze --json on the \
+standalone checkpoint"; exit 1; }
 
 echo "== Campaign server: SIGTERM drains both jobs, resume lands identically =="
 "$cli" serve --socket "$ssock" --state-dir "$sstate" --pool 2 \
@@ -251,6 +268,44 @@ if "$cli" stats "$out/does-not-exist.jsonl" 2>> "$out/ci.log"; then
 fi
 grep -q "does-not-exist" "$out/ci.log" || {
   echo "FAIL: diagnostics do not name the offending path"; cat "$out/ci.log"; exit 1; }
+
+echo "== Campaign analytics: analyze output byte-identical across --jobs =="
+"$cli" fuzz --budget 400 --shard-size 100 --jobs 1 \
+  --checkpoint "$out/an1.json" > /dev/null
+"$cli" fuzz --budget 400 --shard-size 100 --jobs 4 \
+  --checkpoint "$out/an4.json" > /dev/null
+"$cli" analyze "$out/an1.json" --csv "$out/an1.csv" --json "$out/an1.series.json" \
+  > "$out/an1.log"
+"$cli" analyze "$out/an4.json" --csv "$out/an4.csv" --json "$out/an4.series.json" \
+  > "$out/an4.log"
+diff "$out/an1.csv" "$out/an4.csv" || {
+  echo "FAIL: analyze --csv differs between --jobs 1 and --jobs 4"; exit 1; }
+diff "$out/an1.series.json" "$out/an4.series.json" || {
+  echo "FAIL: analyze --json differs between --jobs 1 and --jobs 4"; exit 1; }
+# the rendered report too, up to the file paths each run names
+diff <(grep -v '^checkpoint: \|^wrote ' "$out/an1.log") \
+     <(grep -v '^checkpoint: \|^wrote ' "$out/an4.log") || {
+  echo "FAIL: analyze report differs between --jobs 1 and --jobs 4"; exit 1; }
+grep -q '^analytics: ' "$out/an1.log" || {
+  echo "FAIL: analyze printed no analytics summary"; cat "$out/an1.log"; exit 1; }
+
+echo "== Checkpoint info: v4 files name their observability artifacts =="
+"$cli" checkpoint info "$out/an1.json" > "$out/an_info.log"
+grep -q '^observability: telemetry no  trace no  analytics yes$' "$out/an_info.log" || {
+  echo "FAIL: checkpoint info lacks the observability artifact flags"
+  cat "$out/an_info.log"; exit 1; }
+grep -q '^analytics: ' "$out/an_info.log" || {
+  echo "FAIL: checkpoint info lacks the analytics sample count"
+  cat "$out/an_info.log"; exit 1; }
+
+echo "== Bench curves: deterministic coverage/yield artifact =="
+# lands in gitignored bench/out/ where CI uploads it alongside the bench json
+dune exec bench/main.exe -- curves -o bench/out/curves \
+  --budget 400 --shard-size 100 --jobs 1,2
+for f in series.csv analytics.json metrics.prom; do
+  [ -s "bench/out/curves/$f" ] || {
+    echo "FAIL: curves artifact missing bench/out/curves/$f"; exit 1; }
+done
 
 echo "== Bench throughput: regression gate vs committed trajectory =="
 # latest committed trajectory point; the fresh json lands in gitignored
