@@ -35,6 +35,8 @@ module Render = O4a_server.Render
 module Protocol = O4a_server.Protocol
 module Daemon = O4a_server.Daemon
 module Client = O4a_server.Client
+module Addr = O4a_server.Addr
+module Worker = O4a_server.Worker
 
 let setup_logs verbose =
   Logs.set_reporter (Logs.format_reporter ());
@@ -797,20 +799,45 @@ let lineup () =
 
 (* ---------------- serve + client subcommands ---------------- *)
 
-let serve socket state_dir pool verbose =
+let serve socket state_dir pool tcp handshake_timeout idle_timeout
+    lease_timeout verbose =
   setup_logs verbose;
-  if pool < 1 then (
-    Printf.eprintf "--pool must be >= 1\n";
+  if pool < 0 then (
+    Printf.eprintf "--pool must be >= 0\n";
+    1)
+  else if pool = 0 && tcp = None then (
+    Printf.eprintf "--pool 0 needs --tcp: without remote workers, nothing \
+                    would ever execute a shard\n";
     1)
   else (
     (* the daemon itself installs no handlers; the two-signal contract
        (first SIGTERM/SIGINT drains, second exits 130) is the same one the
        standalone fuzz command uses *)
     Orchestrator.Stop.install_handlers ();
-    Daemon.run { Daemon.socket_path = socket; state_dir; pool })
+    Daemon.run
+      {
+        Daemon.socket_path = socket;
+        state_dir;
+        pool;
+        tcp;
+        handshake_timeout;
+        idle_timeout;
+        lease_timeout;
+      })
 
-let with_client socket f =
-  match Client.connect ~socket with
+(* client subcommands reach the server over the Unix socket by default, or
+   over TCP with --connect HOST:PORT — same protocol either way *)
+let client_addr socket connect =
+  match connect with
+  | None -> Ok (Addr.Unix_path socket)
+  | Some spec ->
+    Result.map (fun (h, p) -> Addr.Tcp (h, p)) (Addr.parse_tcp spec)
+
+let with_client socket connect timeout f =
+  match
+    Result.bind (client_addr socket connect) (fun addr ->
+        Client.connect ~timeout addr)
+  with
   | Error msg ->
     Printf.eprintf "%s\n" msg;
     1
@@ -819,7 +846,7 @@ let with_client socket f =
 let str_member k json = Option.bind (Json.member k json) Json.to_str
 let int_member k json = Option.bind (Json.member k json) Json.to_int
 
-let submit socket spec_file name seed budget shard_size quota profile_name
+let submit socket connect timeout spec_file name seed budget shard_size quota profile_name
     no_skeletons trace telemetry chaos_profile chaos_seed chaos_rate
     breaker_window breaker_threshold no_breakers =
   let spec =
@@ -859,7 +886,7 @@ let submit socket spec_file name seed budget shard_size quota profile_name
     Printf.eprintf "%s\n" msg;
     1
   | Ok spec ->
-    with_client socket (fun c ->
+    with_client socket connect timeout (fun c ->
         match Client.request c (Protocol.Submit spec) with
         | Error msg ->
           Printf.eprintf "%s\n" msg;
@@ -873,8 +900,8 @@ let submit socket spec_file name seed budget shard_size quota profile_name
             (if shards = 1 then "" else "s");
           0)
 
-let jobs_cmd socket =
-  with_client socket (fun c ->
+let jobs_cmd socket connect timeout =
+  with_client socket connect timeout (fun c ->
       match Client.request c Protocol.Jobs with
       | Error msg ->
         Printf.eprintf "%s\n" msg;
@@ -902,8 +929,8 @@ let jobs_cmd socket =
 (* Watch a job's event stream: backlog first (from --from), then live, one
    JSON object per line on stdout. Exits when the job reaches a terminal
    state (done/failed/cancelled) or the server drains. *)
-let watch_cmd socket job from =
-  with_client socket (fun c ->
+let watch_cmd socket connect timeout job from =
+  with_client socket connect timeout (fun c ->
       let terminal = ref false in
       let on_line json =
         print_endline (Json.to_string json);
@@ -924,8 +951,8 @@ let watch_cmd socket job from =
         1
       | Ok _ -> 0)
 
-let simple_request socket req ~verb =
-  with_client socket (fun c ->
+let simple_request socket connect timeout req ~verb =
+  with_client socket connect timeout (fun c ->
       match Client.request c req with
       | Error msg ->
         Printf.eprintf "%s\n" msg;
@@ -940,21 +967,22 @@ let simple_request socket req ~verb =
         | None -> Printf.printf "%s\n" verb);
         0)
 
-let pause_cmd socket job = simple_request socket (Protocol.Pause job) ~verb:"paused"
-let resume_job_cmd socket job =
-  simple_request socket (Protocol.Resume_job job) ~verb:"resumed"
-let cancel_cmd socket job =
-  simple_request socket (Protocol.Cancel job) ~verb:"cancelled"
-let shutdown_cmd socket =
-  simple_request socket Protocol.Shutdown ~verb:"server draining"
+let pause_cmd socket connect timeout job =
+  simple_request socket connect timeout (Protocol.Pause job) ~verb:"paused"
+let resume_job_cmd socket connect timeout job =
+  simple_request socket connect timeout (Protocol.Resume_job job) ~verb:"resumed"
+let cancel_cmd socket connect timeout job =
+  simple_request socket connect timeout (Protocol.Cancel job) ~verb:"cancelled"
+let shutdown_cmd socket connect timeout =
+  simple_request socket connect timeout Protocol.Shutdown ~verb:"server draining"
 
 (* Snapshot a running job's merged analytics. Default output is the compact
    canonical JSON (Analytics.to_json) on one line — the same bytes [analyze
    --json] writes from the job's checkpoint once it finishes, so live and
    post-hoc views diff clean. --prom prints the Prometheus text rendering
    instead, ready to serve from a textfile collector. *)
-let metrics_cmd socket job prom =
-  with_client socket (fun c ->
+let metrics_cmd socket connect timeout job prom =
+  with_client socket connect timeout (fun c ->
       match Client.request c (Protocol.Metrics job) with
       | Error msg ->
         Printf.eprintf "%s\n" msg;
@@ -1426,6 +1454,19 @@ let socket_arg =
        & info [ "socket" ] ~docv:"PATH"
            ~doc:"Unix-domain socket the server listens on")
 
+let connect_arg =
+  Arg.(value & opt (some string) None
+       & info [ "connect" ] ~docv:"HOST:PORT"
+           ~doc:"reach the server over TCP instead of the Unix socket \
+                 (same protocol either way)")
+
+let connect_timeout_arg =
+  Arg.(value & opt float 0.
+       & info [ "connect-timeout" ] ~docv:"SECONDS"
+           ~doc:"total retry budget for the initial connect: transient \
+                 failures (no socket file yet, connection refused) retry \
+                 with backoff until it runs out; 0 means one attempt")
+
 let serve_cmd =
   let state_dir =
     Arg.(value & opt string "once4all-state"
@@ -1436,16 +1477,96 @@ let serve_cmd =
   let pool =
     Arg.(value & opt int 2
          & info [ "pool" ] ~docv:"N"
-             ~doc:"worker domains shared fairly by all campaigns")
+             ~doc:"local worker domains shared fairly by all campaigns; 0 \
+                   runs every shard on remote worker pools (needs --tcp)")
+  in
+  let tcp =
+    Arg.(value & opt (some string) None
+         & info [ "tcp" ] ~docv:"[HOST:]PORT"
+             ~doc:"also listen on TCP for remote workers and clients; port \
+                   0 binds an ephemeral port, written to \
+                   $(i,state-dir)/tcp.port")
+  in
+  let handshake_timeout =
+    Arg.(value & opt float Daemon.default_handshake_timeout
+         & info [ "handshake-timeout" ] ~docv:"SECONDS"
+             ~doc:"drop connections that send no valid request within this \
+                   deadline")
+  in
+  let idle_timeout =
+    Arg.(value & opt float Daemon.default_idle_timeout
+         & info [ "idle-timeout" ] ~docv:"SECONDS"
+             ~doc:"drop non-subscriber connections idle past this deadline")
+  in
+  let lease_timeout =
+    Arg.(value & opt float Daemon.default_lease_timeout
+         & info [ "lease-timeout" ] ~docv:"SECONDS"
+             ~doc:"heartbeat deadline for remote shard leases: a worker \
+                   that misses it forfeits the shard, which is reassigned \
+                   deterministically")
   in
   let verbose = Arg.(value & flag & info [ "verbose"; "v" ] ~doc:"log job lifecycle") in
   Cmd.v
     (Cmd.info "serve"
        ~doc:"run the campaign server: a daemon multiplexing many concurrent \
-             campaigns over one worker pool, streaming events to subscribers; \
-             each campaign's outputs are byte-identical to a standalone fuzz \
+             campaigns over one worker pool (plus any remote worker pools \
+             connected over TCP), streaming events to subscribers; each \
+             campaign's outputs are byte-identical to a standalone fuzz \
              run of the same spec")
-    Term.(const serve $ socket_arg $ state_dir $ pool $ verbose)
+    Term.(const serve $ socket_arg $ state_dir $ pool $ tcp
+          $ handshake_timeout $ idle_timeout $ lease_timeout $ verbose)
+
+let worker_run connect socket slots connect_timeout heartbeat quit_after
+    verbose =
+  setup_logs verbose;
+  let addr =
+    match connect with
+    | Some spec ->
+      Result.map (fun (h, p) -> Addr.Tcp (h, p)) (Addr.parse_tcp spec)
+    | None -> Ok (Addr.Unix_path socket)
+  in
+  match addr with
+  | Error msg ->
+    Printf.eprintf "%s\n" msg;
+    1
+  | Ok addr ->
+    Orchestrator.Stop.install_handlers ();
+    Worker.run
+      {
+        Worker.addr;
+        slots;
+        connect_timeout;
+        heartbeat_interval = heartbeat;
+        quit_after;
+      }
+
+let worker_cmd =
+  let slots =
+    Arg.(value & opt int 2
+         & info [ "slots" ] ~docv:"N" ~doc:"executor domains in this pool")
+  in
+  let heartbeat =
+    Arg.(value & opt float Worker.default_heartbeat_interval
+         & info [ "heartbeat-interval" ] ~docv:"SECONDS"
+             ~doc:"seconds between lease heartbeats; keep well under the \
+                   coordinator's --lease-timeout")
+  in
+  let quit_after =
+    Arg.(value & opt (some int) None
+         & info [ "quit-after" ] ~docv:"N"
+             ~doc:"testing hook: die abruptly (connection dropped, lease \
+                   unsettled) instead of sending result N+1")
+  in
+  let verbose = Arg.(value & flag & info [ "verbose"; "v" ] ~doc:"log leases") in
+  Cmd.v
+    (Cmd.info "worker"
+       ~doc:"run a remote worker pool: connect to a coordinator (serve \
+             --tcp), lease shards, execute them with the standalone \
+             pipeline, and stream results back; shards forfeited by a \
+             dying worker are reassigned without changing one byte of the \
+             campaign's outputs")
+    Term.(const worker_run $ connect_arg $ socket_arg $ slots
+          $ connect_timeout_arg $ heartbeat $ quit_after $ verbose)
 
 let submit_cmd =
   let spec_file =
@@ -1481,7 +1602,8 @@ let submit_cmd =
   in
   Cmd.v
     (Cmd.info "submit" ~doc:"submit a campaign to a running server")
-    Term.(const submit $ socket_arg $ spec_file $ name_arg $ seed_arg $ budget
+    Term.(const submit $ socket_arg $ connect_arg $ connect_timeout_arg
+          $ spec_file $ name_arg $ seed_arg $ budget
           $ shard_size $ quota $ profile_arg $ no_skel $ trace $ telemetry
           $ chaos_arg $ chaos_seed_arg $ chaos_rate_arg $ breaker_window_arg
           $ breaker_threshold_arg $ no_breakers_arg)
@@ -1491,7 +1613,7 @@ let job_pos = Arg.(required & pos 0 (some string) None & info [] ~docv:"JOB")
 let jobs_cmd_v =
   Cmd.v
     (Cmd.info "jobs" ~doc:"list a running server's jobs")
-    Term.(const jobs_cmd $ socket_arg)
+    Term.(const jobs_cmd $ socket_arg $ connect_arg $ connect_timeout_arg)
 
 let watch_cmd_v =
   let from =
@@ -1505,33 +1627,38 @@ let watch_cmd_v =
     (Cmd.info "watch"
        ~doc:"stream a job's events (telemetry, findings, health, progress, \
              state) as JSON lines until it finishes")
-    Term.(const watch_cmd $ socket_arg $ job_pos $ from)
+    Term.(const watch_cmd $ socket_arg $ connect_arg $ connect_timeout_arg
+          $ job_pos $ from)
 
 let pause_cmd_v =
   Cmd.v
     (Cmd.info "pause"
        ~doc:"stop dispatching a job's shards (in-flight shards still merge \
              and checkpoint)")
-    Term.(const pause_cmd $ socket_arg $ job_pos)
+    Term.(const pause_cmd $ socket_arg $ connect_arg $ connect_timeout_arg
+          $ job_pos)
 
 let resume_job_cmd_v =
   Cmd.v
     (Cmd.info "resume-job"
        ~doc:"unpause a job, or revive it from its on-disk spec + checkpoint \
              after a server restart")
-    Term.(const resume_job_cmd $ socket_arg $ job_pos)
+    Term.(const resume_job_cmd $ socket_arg $ connect_arg
+          $ connect_timeout_arg $ job_pos)
 
 let cancel_cmd_v =
   Cmd.v
     (Cmd.info "cancel" ~doc:"cancel a job (its checkpoint stays on disk)")
-    Term.(const cancel_cmd $ socket_arg $ job_pos)
+    Term.(const cancel_cmd $ socket_arg $ connect_arg $ connect_timeout_arg
+          $ job_pos)
 
 let shutdown_cmd_v =
   Cmd.v
     (Cmd.info "shutdown"
        ~doc:"gracefully drain the server: finish in-flight shards, checkpoint \
              every campaign, exit (the request-level twin of SIGTERM)")
-    Term.(const shutdown_cmd $ socket_arg)
+    Term.(const shutdown_cmd $ socket_arg $ connect_arg
+          $ connect_timeout_arg)
 
 let metrics_cmd_v =
   let prom =
@@ -1545,7 +1672,8 @@ let metrics_cmd_v =
        ~doc:"snapshot a job's merged analytics from a running server; for a \
              finished job the JSON is byte-identical to analyze --json on \
              its checkpoint")
-    Term.(const metrics_cmd $ socket_arg $ job_pos $ prom)
+    Term.(const metrics_cmd $ socket_arg $ connect_arg
+          $ connect_timeout_arg $ job_pos $ prom)
 
 let checkpoint_cmd =
   let file = Arg.(required & pos 0 (some string) None & info [] ~docv:"FILE") in
@@ -1599,7 +1727,8 @@ let analyze_cmd =
 let main =
   Cmd.group
     (Cmd.info "once4all" ~doc:"skeleton-guided SMT solver fuzzing with LLM-synthesized generators")
-    [ construct_cmd; fuzz_cmd; resume_cmd; serve_cmd; submit_cmd; jobs_cmd_v;
+    [ construct_cmd; fuzz_cmd; resume_cmd; serve_cmd; worker_cmd; submit_cmd;
+      jobs_cmd_v;
       watch_cmd_v; pause_cmd_v; resume_job_cmd_v; cancel_cmd_v; shutdown_cmd_v;
       metrics_cmd_v; checkpoint_cmd; analyze_cmd; stats_cmd_v; replay_cmd;
       trace_cmd; triage_cmd; reduce_cmd; report_cmd; lineup_cmd ]

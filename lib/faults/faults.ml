@@ -6,9 +6,24 @@ type site =
   | Sink_write
   | Worker_death
   | Checkpoint_corrupt
+  | Conn_drop
+  | Stream_stall
+  | Lease_dup
 
+(* new sites append with fresh codes: a site's fault-plan stream is keyed by
+   its code, so older sites keep their decisions under any existing chaos
+   seed *)
 let all_sites =
-  [ Solver_hang; Solver_crash; Sink_write; Worker_death; Checkpoint_corrupt ]
+  [
+    Solver_hang;
+    Solver_crash;
+    Sink_write;
+    Worker_death;
+    Checkpoint_corrupt;
+    Conn_drop;
+    Stream_stall;
+    Lease_dup;
+  ]
 
 let n_sites = List.length all_sites
 
@@ -18,6 +33,9 @@ let site_code = function
   | Sink_write -> 2
   | Worker_death -> 3
   | Checkpoint_corrupt -> 4
+  | Conn_drop -> 5
+  | Stream_stall -> 6
+  | Lease_dup -> 7
 
 let site_name = function
   | Solver_hang -> "solver_hang"
@@ -25,6 +43,9 @@ let site_name = function
   | Sink_write -> "sink_write"
   | Worker_death -> "worker_death"
   | Checkpoint_corrupt -> "checkpoint_corrupt"
+  | Conn_drop -> "conn_drop"
+  | Stream_stall -> "stream_stall"
+  | Lease_dup -> "lease_dup"
 
 let site_of_name = function
   | "solver_hang" -> Some Solver_hang
@@ -32,15 +53,21 @@ let site_of_name = function
   | "sink_write" -> Some Sink_write
   | "worker_death" -> Some Worker_death
   | "checkpoint_corrupt" -> Some Checkpoint_corrupt
+  | "conn_drop" -> Some Conn_drop
+  | "stream_stall" -> Some Stream_stall
+  | "lease_dup" -> Some Lease_dup
   | _ -> None
 
-type profile = Off | Solver | Io | Workers | All | Sick_solver
+type profile = Off | Solver | Io | Workers | Net | All | Sick_solver
+
+let net_sites = [ Conn_drop; Stream_stall; Lease_dup ]
 
 let profile_sites = function
   | Off -> []
   | Solver -> [ Solver_hang; Solver_crash ]
   | Io -> [ Sink_write; Checkpoint_corrupt ]
   | Workers -> [ Worker_death ]
+  | Net -> net_sites
   | All -> all_sites
   | Sick_solver -> [ Solver_hang ]
 
@@ -49,6 +76,7 @@ let profile_to_string = function
   | Solver -> "solver"
   | Io -> "io"
   | Workers -> "workers"
+  | Net -> "net"
   | All -> "all"
   | Sick_solver -> "solver_hang"
 
@@ -57,6 +85,7 @@ let profile_of_string = function
   | "solver" -> Some Solver
   | "io" -> Some Io
   | "workers" -> Some Workers
+  | "net" -> Some Net
   | "all" -> Some All
   | "solver_hang" -> Some Sick_solver
   | _ -> None
@@ -86,8 +115,17 @@ let retry_decay = 0.5
 
 (* How many consults of a site a fault may wait before firing. Small enough
    that armed faults actually fire within a shard (every site is consulted at
-   least once per tick and shards are tens of ticks long). *)
+   least once per tick and shards are tens of ticks long). The network sites
+   are consulted exactly once per shard attempt — a result either survives
+   its trip to the merge owner or it does not — so their window collapses to
+   a single consult; a wider window would silently divide the effective fire
+   rate by its width. *)
 let fire_window = 16
+
+let site_window = function
+  | Conn_drop | Stream_stall | Lease_dup -> 1
+  | Solver_hang | Solver_crash | Sink_write | Worker_death | Checkpoint_corrupt
+    -> fire_window
 
 (* Stream derivation mirrors shard RNGs and trace ids: (site, attempt) picks a
    sub-campaign seed in O(1), then the shard index picks the stream inside it.
@@ -109,7 +147,7 @@ let decide p ~site ~shard ~attempt =
       if p.rate >= 1.0 then 1.0
       else p.rate *. (retry_decay ** float_of_int attempt)
     in
-    if Rng.chance g prob then Some (Rng.int g fire_window) else None
+    if Rng.chance g prob then Some (Rng.int g (site_window site)) else None
 
 module Injector = struct
   type armed = {
@@ -196,6 +234,18 @@ let raise_injected site =
        { site; shard = Injector.shard inj; attempt = Injector.attempt inj })
 
 let tick () = if triggered Worker_death then raise_injected Worker_death
+
+(* One consult of each in-path network site, made by the supervisor after an
+   attempt finishes and before its payload is handed to the merge owner: a
+   fired site means the result was lost in transit (connection dropped, or
+   the stream stalled past its deadline). No exception is needed — the fired
+   record alone taints the attempt, so the payload is discarded and the
+   shard deterministically re-executed. Consulted identically by standalone
+   campaigns, the server's local pool, and remote workers, which is what
+   keeps a [--chaos net] run byte-identical across venues and job counts. *)
+let transit () =
+  ignore (triggered Conn_drop : bool);
+  ignore (triggered Stream_stall : bool)
 
 let backoff_base_fuel = 1_000
 

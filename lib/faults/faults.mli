@@ -23,14 +23,26 @@ type site =
   | Sink_write  (** fail a telemetry sink write *)
   | Worker_death  (** kill the worker mid-shard, between two ticks *)
   | Checkpoint_corrupt  (** tear a checkpoint write, leaving truncated JSON *)
+  | Conn_drop
+      (** drop the connection carrying a finished shard result before it
+          reaches the merge owner; the attempt is lost in transit *)
+  | Stream_stall
+      (** stall the result stream past its deadline — indistinguishable from
+          a loss downstream, so the attempt is likewise discarded *)
+  | Lease_dup
+      (** deliver a lease grant twice (a retransmitted/duplicated grant);
+          consulted by the coordinator at grant time, never by workers *)
 
 val all_sites : site list
 (** In site-code order; stable, used to index fault-plan streams. *)
 
+val net_sites : site list
+(** The network fault sites: {!Conn_drop}, {!Stream_stall}, {!Lease_dup}. *)
+
 val site_name : site -> string
 val site_of_name : string -> site option
 
-type profile = Off | Solver | Io | Workers | All | Sick_solver
+type profile = Off | Solver | Io | Workers | Net | All | Sick_solver
 (** [Sick_solver] (spelled ["solver_hang"] on the CLI) arms only
     {!Solver_hang}, and with different semantics: instead of corrupting a
     single answer, a fired hang stays stuck for {!sick_stretch} consecutive
@@ -72,6 +84,13 @@ val decide : plan -> site:site -> shard:int -> attempt:int -> int option
     for [site] to fire on the [k]-th consult of that site during the given
     shard attempt, [None] otherwise. Pure: equal arguments always yield the
     same decision, independent of [--jobs], scheduling, or call order. *)
+
+val site_window : site -> int
+(** How many consults of the site a scheduled fault may wait before firing:
+    {!fire_window} for in-shard sites, [1] for the single-consult network
+    sites ([decide] then always answers [Some 0] when it fires). *)
+
+val fire_window : int
 
 (** The per-(shard, attempt) injector a worker arms while executing a shard.
     Each instrumented site consults it once per potential fault point; the
@@ -129,6 +148,14 @@ val raise_injected : site -> 'a
 val tick : unit -> unit
 (** Worker-death probe for the fuzz loop: consults [Worker_death] on the
     ambient injector and raises {!Injected} when it fires. *)
+
+val transit : unit -> unit
+(** Result-in-transit probe for the supervisor: one consult each of
+    {!Conn_drop} and {!Stream_stall}, made after an attempt completes and
+    before its payload reaches the merge owner. A firing taints the attempt
+    (the result was lost on the wire), so the shard is discarded and
+    deterministically re-executed — identically in standalone campaigns, the
+    server's local pool, and remote workers. *)
 
 val backoff : attempt:int -> int
 (** Deterministic, fuel-based backoff: burns [1000 * 2^attempt] units of

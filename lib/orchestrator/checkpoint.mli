@@ -63,6 +63,13 @@ type t = {
 val to_json : t -> O4a_telemetry.Json.t
 val of_json : O4a_telemetry.Json.t -> (t, string) result
 
+val shard_result_to_json : shard_result -> O4a_telemetry.Json.t
+val shard_result_of_json :
+  O4a_telemetry.Json.t -> (shard_result, string) result
+(** The per-shard codec on its own: the distributed campaign fabric ships a
+    remote worker's shard result over the wire in exactly the encoding the
+    checkpoint persists, so the two can never drift. *)
+
 val save : path:string -> t -> unit
 (** Atomic: writes [path ^ ".tmp"] then renames over [path], so an interrupt
     mid-write never corrupts the previous checkpoint. *)

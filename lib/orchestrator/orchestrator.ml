@@ -223,8 +223,16 @@ let run_supervised ~chaos ~run_attempt shard_index =
   | Some plan ->
     let rec go attempt failed_rev =
       let inj = Faults.Injector.create plan ~shard:shard_index ~attempt in
+      let attempt_and_ship () =
+        let payload = run_attempt () in
+        (* the finished payload still has to survive its trip to the merge
+           owner: a fired network site means it was lost on the wire, which
+           taints the attempt exactly like an in-shard fault *)
+        Faults.transit ();
+        payload
+      in
       let result =
-        match Faults.using inj run_attempt with
+        match Faults.using inj attempt_and_ship with
         | payload -> Ok payload
         | exception e when is_injected e -> Error `Injected
         | exception e -> Error (`Fatal (Printexc.to_string e))

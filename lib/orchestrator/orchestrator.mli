@@ -137,10 +137,35 @@ val make_env :
     table with the LLM generator profile; {!run} derives it from the
     ["profile"] provenance extra. *)
 
-type shard_outcome
-(** Result of one supervised shard execution: merged payload, quarantine, or
-    a genuine worker failure. Opaque — produced by {!exec_shard}, consumed
-    by {!Merge.absorb}. *)
+(** Everything one clean shard execution hands the merge owner. Concrete so
+    the campaign server's wire layer can ship it between hosts — a remote
+    worker's payload must absorb exactly like a local one. *)
+type shard_payload = {
+  sr : Checkpoint.shard_result;
+  events : O4a_telemetry.Event.t list;
+  metric_entries : O4a_telemetry.Metrics.entry list;
+  cov_export : (string * int) list;
+  promoted : O4a_trace.Trace.promoted list;
+  health_export : O4a_health.Health.entry list;
+  profile_export : O4a_profile.Profile.t;
+  analytics_export : O4a_analytics.Analytics.t;
+}
+
+type attempt_log = { attempt : int; fired : O4a_faults.Faults.site list }
+(** One failed attempt at a shard: which faults fired before it was
+    discarded. *)
+
+(** Result of one supervised shard execution — produced by {!exec_shard},
+    consumed by {!Merge.absorb} (possibly after a round trip through
+    {!O4a_server}'s wire codecs). *)
+type shard_outcome =
+  | Merged of shard_payload * attempt_log list * O4a_faults.Faults.site list
+      (** clean result, after the listed tainted attempts were retried; the
+          final site list is the non-tainting faults (sick-solver hangs)
+          that fired during the merged attempt itself *)
+  | Quarantined of attempt_log list
+      (** every attempt was tainted; results discarded, ticks reported *)
+  | Failed of string  (** a genuine (non-injected) worker exception *)
 
 val exec_shard :
   env:exec_env ->

@@ -2,10 +2,12 @@ module Json = O4a_telemetry.Json
 
 type t = { fd : Unix.file_descr; ic : in_channel; oc : out_channel }
 
-(* Blocking line-oriented client over the daemon's Unix socket. One request
-   per line out, one JSON document per line in — the only subtlety is the
-   hello handshake: the first line on every connection is the server's
-   versioned header, checked before anything else is sent. *)
+(* Blocking line-oriented client over the daemon's Unix socket or TCP
+   listener. One request per line out, one JSON document per line in — the
+   only subtlety is the hello handshake: the first line on every connection
+   is the server's versioned header, checked before anything else is sent. *)
+
+let fd t = t.fd
 
 let close t =
   (try close_out_noerr t.oc with _ -> ());
@@ -18,27 +20,83 @@ let read_json t =
   | exception Sys_error msg -> Error msg
   | line -> Json.parse line
 
-let connect ~socket =
-  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
-  match Unix.connect fd (Unix.ADDR_UNIX socket) with
-  | exception Unix.Unix_error (err, _, _) ->
-    (try Unix.close fd with Unix.Unix_error _ -> ());
-    Error
-      (Printf.sprintf "cannot connect to %s: %s (is the server running?)"
-         socket (Unix.error_message err))
-  | () -> (
-    let t =
-      {
-        fd;
-        ic = Unix.in_channel_of_descr fd;
-        oc = Unix.out_channel_of_descr fd;
-      }
-    in
-    match Result.bind (read_json t) Protocol.check_hello with
-    | Error msg ->
-      close t;
-      Error msg
-    | Ok _proto -> Ok t)
+(* The two ways a connect can fail before the server is even involved get
+   distinct diagnostics, because they call for opposite reactions:
+   - no socket file yet: the daemon is not running (or is still binding) —
+     waiting can help, so say so;
+   - the file exists but nothing accepts: a dead server left its socket
+     behind — waiting is useless, the file needs removing (a fresh server
+     unlinks it itself). *)
+let diagnose addr err =
+  match (addr, err) with
+  | Addr.Unix_path path, Unix.ENOENT ->
+    Printf.sprintf
+      "cannot connect to %s: no such socket file (server not running, or \
+       still starting — --connect-timeout waits for it)"
+      path
+  | Addr.Unix_path path, Unix.ECONNREFUSED when Sys.file_exists path ->
+    Printf.sprintf
+      "socket file %s exists but nothing is accepting on it — stale socket \
+       left by a dead server? remove it or restart the server"
+      path
+  | addr, err ->
+    Printf.sprintf "cannot connect to %s: %s (is the server running?)"
+      (Addr.to_string addr) (Unix.error_message err)
+
+let sockaddr_of = function
+  | Addr.Unix_path path -> Ok (Unix.PF_UNIX, Unix.ADDR_UNIX path)
+  | Addr.Tcp (host, port) ->
+    Result.map
+      (fun sa -> (Unix.domain_of_sockaddr sa, sa))
+      (Addr.resolve ~host ~port)
+
+let transient = function
+  | Unix.ENOENT | Unix.ECONNREFUSED | Unix.ECONNRESET | Unix.ETIMEDOUT
+  | Unix.EHOSTUNREACH | Unix.ENETUNREACH | Unix.EAGAIN | Unix.EINTR ->
+    true
+  | _ -> false
+
+let connect_once addr =
+  match sockaddr_of addr with
+  | Error msg -> Error (`Fatal msg)
+  | Ok (domain, sa) -> (
+    let fd = Unix.socket domain Unix.SOCK_STREAM 0 in
+    match Unix.connect fd sa with
+    | exception Unix.Unix_error (err, _, _) ->
+      (try Unix.close fd with Unix.Unix_error _ -> ());
+      if transient err then Error (`Transient err) else Error (`Fatal (diagnose addr err))
+    | () -> (
+      let t =
+        {
+          fd;
+          ic = Unix.in_channel_of_descr fd;
+          oc = Unix.out_channel_of_descr fd;
+        }
+      in
+      match Result.bind (read_json t) Protocol.check_hello with
+      | Error msg ->
+        close t;
+        Error (`Fatal msg)
+      | Ok _proto -> Ok t))
+
+(* Bounded retry with backoff: [timeout] is the total budget in seconds
+   (0 = exactly one attempt). Only pre-handshake transport errors retry — a
+   server that answers with a bad hello is not going to get better. *)
+let connect ?(timeout = 0.) addr =
+  let deadline = Unix.gettimeofday () +. timeout in
+  let rec go delay =
+    match connect_once addr with
+    | Ok t -> Ok t
+    | Error (`Fatal msg) -> Error msg
+    | Error (`Transient err) ->
+      let now = Unix.gettimeofday () in
+      if now >= deadline then Error (diagnose addr err)
+      else (
+        let sleep = Float.min delay (Float.max 0. (deadline -. now)) in
+        Unix.sleepf sleep;
+        go (Float.min (delay *. 2.) 0.5))
+  in
+  go 0.05
 
 let send t req =
   match

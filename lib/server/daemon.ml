@@ -14,19 +14,41 @@ let log_src = Logs.Src.create "once4all.server" ~doc:"Campaign server daemon"
 
 module Log = (val Logs.src_log log_src : Logs.LOG)
 
-type config = { socket_path : string; state_dir : string; pool : int }
+type config = {
+  socket_path : string;
+  state_dir : string;
+  pool : int;
+  tcp : string option;
+  handshake_timeout : float;
+  idle_timeout : float;
+  lease_timeout : float;
+}
+
+let default_handshake_timeout = 10.
+let default_idle_timeout = 300.
+let default_lease_timeout = 30.
 
 (* ------------------------------------------------------------------ *)
 (* Connections                                                         *)
 (* ------------------------------------------------------------------ *)
+
+(* A connection enrolled as a remote worker pool: [slots] concurrent shard
+   slots, [inflight] leases currently charged against them. *)
+type worker_state = { w_slots : int; mutable w_inflight : int }
 
 (* Non-blocking buffered writer: stream lines append to [out], the select
    loop flushes when the fd turns writable. A subscriber that stops reading
    grows its buffer until [max_out], then is disconnected — one slow watcher
    must never stall the merge path or the other subscribers. *)
 type conn = {
+  id : int;
   fd : Unix.file_descr;
-  inbuf : Buffer.t;
+  fr : Framing.t;
+  created : float;
+  mutable last_activity : float;
+  mutable hello_ok : bool;  (* completed the handshake: sent a valid request *)
+  mutable subscriber : bool;  (* watch subscriber: exempt from idle reaping *)
+  mutable worker : worker_state option;
   mutable out : string;
   mutable closed : bool;
 }
@@ -94,6 +116,8 @@ type t = {
   jobs : (string, job) Hashtbl.t;
   mutable order : string list;  (* submission order *)
   mutable conns : conn list;
+  mutable next_conn : int;
+  leases : Lease.t;
 }
 
 let stopping t = Stop.requested () || Atomic.get t.drain
@@ -419,6 +443,190 @@ let worker t wid () =
   loop ()
 
 (* ------------------------------------------------------------------ *)
+(* Remote worker pools: leases, dispatch, reassignment                 *)
+(* ------------------------------------------------------------------ *)
+
+(* Lease lifecycle events ride the watch stream under kind "lease" — they
+   are observability, not campaign data, so they must never land in the
+   job's telemetry (telemetry.jsonl stays byte-identical to a standalone
+   run no matter how many leases expired along the way). *)
+let lease_event job fields = stream job ~kind:"lease" (Json.Obj fields)
+
+let conn_by_id t id = List.find_opt (fun (c : conn) -> c.id = id) t.conns
+
+let release_slot t worker_id =
+  match conn_by_id t worker_id with
+  | Some { worker = Some w; _ } -> w.w_inflight <- max 0 (w.w_inflight - 1)
+  | Some _ | None -> ()
+
+(* Hand a leased shard back to the scheduler — unless a sibling lease for
+   the same shard is still live (chaos-duplicated grant) or the job has
+   meanwhile reached a terminal state. Requeued shards go to the front of
+   the job's queue, and because a shard outcome is a pure function of
+   (env, shard), re-executing it elsewhere cannot change one byte of the
+   merged campaign. *)
+let requeue_shard t (g : Lease.grant) =
+  match Hashtbl.find_opt t.jobs g.Lease.job with
+  | None -> ()
+  | Some job ->
+    if
+      (not (Protocol.job_state_terminal job.state))
+      && not
+           (Lease.has_lease_for t.leases ~job:g.Lease.job
+              ~shard_index:g.Lease.shard.Shard.index)
+    then (
+      Mutex.protect t.lock (fun () ->
+          Scheduler.requeue t.sched ~key:g.Lease.job g.Lease.shard;
+          Condition.broadcast t.work);
+      lease_event job
+        [
+          ("event", Json.String "lease.reassigned");
+          ("lease", Json.Int g.Lease.lease);
+          ("shard", Json.Int g.Lease.shard.Shard.index);
+        ])
+
+let reassign t ~reason (g : Lease.grant) =
+  release_slot t g.Lease.worker;
+  (match Hashtbl.find_opt t.jobs g.Lease.job with
+  | None -> ()
+  | Some job ->
+    lease_event job
+      [
+        ("event", Json.String reason);
+        ("lease", Json.Int g.Lease.lease);
+        ("shard", Json.Int g.Lease.shard.Shard.index);
+        ("worker", Json.Int g.Lease.worker);
+      ]);
+  requeue_shard t g
+
+let send_grant t job shard c =
+  let w = match c.worker with Some w -> w | None -> assert false in
+  let g =
+    Lease.grant t.leases ~now:(Unix.gettimeofday ()) ~job:job.id ~shard
+      ~worker:c.id
+  in
+  w.w_inflight <- w.w_inflight + 1;
+  conn_send_json c
+    (Protocol.worker_msg_to_json
+       (Protocol.Grant
+          {
+            lease = g.Lease.lease;
+            job = job.id;
+            grant_attempt = g.Lease.grant_attempt;
+            shard;
+            spec = job.spec;
+          }));
+  lease_event job
+    [
+      ("event", Json.String "lease.granted");
+      ("lease", Json.Int g.Lease.lease);
+      ("shard", Json.Int shard.Shard.index);
+      ("worker", Json.Int c.id);
+      ("attempt", Json.Int g.Lease.grant_attempt);
+    ];
+  g
+
+(* The Lease_dup chaos site fires at grant time, on the coordinator: the
+   same shard is granted twice, exercising the revoke-the-sibling path in
+   Lease.complete. Whichever result lands first settles the shard; the
+   sibling's arrives stale and is dropped, so the duplicate can never
+   double-merge. Consulted once per primary grant (never on the duplicate
+   itself), keyed by the pure (site, shard, attempt) fault stream. *)
+let maybe_duplicate t job shard c (g : Lease.grant) =
+  match job.chaos with
+  | None -> ()
+  | Some plan -> (
+    match
+      Faults.decide plan ~site:Faults.Lease_dup ~shard:shard.Shard.index
+        ~attempt:g.Lease.grant_attempt
+    with
+    | None -> ()
+    | Some _ ->
+      let g2 = send_grant t job shard c in
+      lease_event job
+        [
+          ("event", Json.String "lease.duplicated");
+          ("lease", Json.Int g2.Lease.lease);
+          ("of", Json.Int g.Lease.lease);
+          ("shard", Json.Int shard.Shard.index);
+        ])
+
+let free_worker t =
+  List.fold_left
+    (fun best c ->
+      if c.closed then best
+      else
+        match c.worker with
+        | Some w when w.w_inflight < w.w_slots -> (
+          match best with
+          | Some b -> (
+            match b.worker with
+            | Some bw when bw.w_slots - bw.w_inflight >= w.w_slots - w.w_inflight
+              -> best
+            | _ -> Some c)
+          | None -> Some c)
+        | _ -> best)
+    None t.conns
+
+(* Pull shards off the shared scheduler and lease them to whichever remote
+   pool has the most free slots. Runs on the main domain; the local pool
+   competes for the same scheduler under [t.lock], so a coordinator with
+   both local and remote workers load-balances naturally. *)
+let rec dispatch_remote t =
+  if not (stopping t) then
+    match free_worker t with
+    | None -> ()
+    | Some c -> (
+      match Mutex.protect t.lock (fun () -> Scheduler.next t.sched) with
+      | None -> ()
+      | Some (key, shard) -> (
+        match Hashtbl.find_opt t.jobs key with
+        | None -> dispatch_remote t  (* cancellation raced the scheduler *)
+        | Some job ->
+          let g = send_grant t job shard c in
+          maybe_duplicate t job shard c g;
+          dispatch_remote t))
+
+let reap_leases t now =
+  match Lease.expired t.leases ~now with
+  | [] -> ()
+  | gone ->
+    List.iter (fun g -> reassign t ~reason:"lease.expired" g) gone;
+    dispatch_remote t
+
+(* Handshake and idle deadlines: a connection that never sends a valid
+   request is dropped after [handshake_timeout]; one that goes quiet after
+   the handshake is dropped after [idle_timeout]. Watch subscribers are
+   exempt (they legitimately only read); worker pools are reaped on a
+   heartbeat-scaled deadline instead, so a half-open TCP peer cannot keep
+   soaking up grants forever. *)
+let reap_conns t now =
+  List.iter
+    (fun c ->
+      if not c.closed then
+        if (not c.hello_ok) && now -. c.created > t.cfg.handshake_timeout then (
+          conn_send_json c
+            (Protocol.error_coded ~code:Protocol.code_handshake_timeout
+               "closing: no request within the handshake deadline");
+          c.closed <- true)
+        else if
+          c.worker <> None
+          && now -. c.last_activity
+             > Float.max t.cfg.idle_timeout (3. *. t.cfg.lease_timeout)
+        then (
+          Log.warn (fun m -> m "worker pool conn#%d silent; dropping" c.id);
+          c.closed <- true)
+        else if
+          (not c.subscriber) && c.worker = None
+          && now -. c.last_activity > t.cfg.idle_timeout
+        then (
+          conn_send_json c
+            (Protocol.error_coded ~code:Protocol.code_idle_timeout
+               "closing: idle past the deadline");
+          c.closed <- true))
+    t.conns
+
+(* ------------------------------------------------------------------ *)
 (* Requests                                                            *)
 (* ------------------------------------------------------------------ *)
 
@@ -529,6 +737,10 @@ let cancel t id =
     Mutex.protect t.lock (fun () ->
         Scheduler.remove t.sched ~key:id;
         Hashtbl.remove t.envs id);
+    (* revoke outstanding leases: any result still in flight arrives stale *)
+    List.iter
+      (fun (g : Lease.grant) -> release_slot t g.Lease.worker)
+      (Lease.drop_job t.leases ~job:id);
     set_state job Protocol.Cancelled;
     Telemetry.flush job.tel;
     Protocol.ok [ ("job", Json.String id) ]
@@ -549,8 +761,9 @@ let watch t c id from =
        subscriber sees the same stream *)
     let backlog = List.rev job.backlog_rev in
     List.iteri (fun i line -> if i >= from then conn_send c line) backlog;
-    if not (Protocol.job_state_terminal job.state) then
-      job.subscribers <- c :: job.subscribers
+    if not (Protocol.job_state_terminal job.state) then (
+      c.subscriber <- true;  (* read-only from here on: exempt from idle *)
+      job.subscribers <- c :: job.subscribers)
 
 let handle_request t c = function
   | Protocol.Hello proto ->
@@ -593,6 +806,69 @@ let handle_request t c = function
                ( "prometheus",
                  Json.String (O4a_analytics.Analytics.to_prometheus a) );
              ])))
+  | Protocol.Worker_register { slots } -> (
+    match c.worker with
+    | Some _ ->
+      conn_send_json c
+        (Protocol.error "connection already registered as a worker pool")
+    | None ->
+      c.worker <- Some { w_slots = slots; w_inflight = 0 };
+      Log.info (fun m -> m "worker pool conn#%d joined (%d slots)" c.id slots);
+      conn_send_json c
+        (Protocol.ok [ ("worker", Json.Int c.id); ("slots", Json.Int slots) ]);
+      dispatch_remote t)
+  | Protocol.Worker_heartbeat { leases } -> (
+    match c.worker with
+    | None -> conn_send_json c (Protocol.error "not a registered worker pool")
+    | Some _ ->
+      Lease.heartbeat t.leases ~now:(Unix.gettimeofday ()) ~worker:c.id ~leases)
+  | Protocol.Worker_result { lease; outcome } -> (
+    match c.worker with
+    | None -> conn_send_json c (Protocol.error "not a registered worker pool")
+    | Some w -> (
+      match Lease.complete t.leases ~lease with
+      | None ->
+        (* Stale: the lease expired, was revoked as a duplicate's sibling,
+           or belonged to a previous connection. Its shard is (or will be)
+           settled by the replacement lease, and the slot was already
+           released when the lease left the table — merging this result
+           would double-count, so it is dropped on the floor. *)
+        Log.debug (fun m -> m "stale result for lease %d dropped" lease)
+      | Some (g, siblings) -> (
+        w.w_inflight <- max 0 (w.w_inflight - 1);
+        (match Hashtbl.find_opt t.jobs g.Lease.job with
+        | None -> ()
+        | Some job ->
+          List.iter
+            (fun (s : Lease.grant) ->
+              release_slot t s.Lease.worker;
+              lease_event job
+                [
+                  ("event", Json.String "lease.stale_result");
+                  ("lease", Json.Int s.Lease.lease);
+                  ("shard", Json.Int s.Lease.shard.Shard.index);
+                ])
+            siblings);
+        match Wire.outcome_of_json outcome with
+        | Error msg ->
+          (* a worker that ships garbage forfeits the shard like an expiry *)
+          Log.warn (fun m -> m "malformed result for lease %d: %s" lease msg);
+          requeue_shard t g
+        | Ok oc ->
+          (match Hashtbl.find_opt t.jobs g.Lease.job with
+          | None -> ()
+          | Some job ->
+            lease_event job
+              [
+                ("event", Json.String "lease.completed");
+                ("lease", Json.Int g.Lease.lease);
+                ("shard", Json.Int g.Lease.shard.Shard.index);
+                ("worker", Json.Int g.Lease.worker);
+              ]);
+          Mutex.protect t.rlock (fun () ->
+              Queue.push (g.Lease.job, g.Lease.shard, oc) t.results);
+          drain_results t;
+          dispatch_remote t)))
   | Protocol.Shutdown ->
     Log.info (fun m -> m "shutdown requested; draining");
     conn_send_json c (Protocol.ok [ ("draining", Json.Bool true) ]);
@@ -603,7 +879,12 @@ let process_line t c line =
   if String.trim line <> "" then (
     match Result.bind (Json.parse line) Protocol.request_of_json with
     | Error msg -> conn_send_json c (Protocol.error msg)
-    | Ok req -> handle_request t c req)
+    | Ok req ->
+      (* any well-formed request completes the handshake — the deadline is
+         there to shed dead and garbage-spewing peers, not to police the
+         order of first requests *)
+      c.hello_ok <- true;
+      handle_request t c req)
 
 let handle_readable t c =
   let buf = Bytes.create 4096 in
@@ -613,19 +894,18 @@ let handle_readable t c =
     ()
   | exception Unix.Unix_error _ -> c.closed <- true
   | 0 -> c.closed <- true
-  | n ->
-    Buffer.add_subbytes c.inbuf buf 0 n;
-    let data = Buffer.contents c.inbuf in
-    let rec split start =
-      match String.index_from_opt data start '\n' with
-      | None ->
-        Buffer.clear c.inbuf;
-        Buffer.add_string c.inbuf (String.sub data start (String.length data - start))
-      | Some nl ->
-        process_line t c (String.sub data start (nl - start));
-        split (nl + 1)
-    in
-    split 0
+  | n -> (
+    c.last_activity <- Unix.gettimeofday ();
+    match Framing.feed c.fr (Bytes.sub_string buf 0 n) with
+    | Ok lines ->
+      List.iter (fun line -> if not c.closed then process_line t c line) lines
+    | Error err ->
+      (* the inbound mirror of [max_out]: a peer that streams an unbounded
+         line gets a typed error and the boot, not an unbounded buffer *)
+      conn_send_json c
+        (Protocol.error_coded ~code:Protocol.code_line_too_long
+           (Framing.error_to_string err));
+      c.closed <- true)
 
 (* ------------------------------------------------------------------ *)
 (* The server loop                                                     *)
@@ -638,7 +918,22 @@ let accept_conn t listen_fd =
     ()
   | fd, _ ->
     Unix.set_nonblock fd;
-    let c = { fd; inbuf = Buffer.create 256; out = ""; closed = false } in
+    let now = Unix.gettimeofday () in
+    let c =
+      {
+        id = t.next_conn;
+        fd;
+        fr = Framing.create ();
+        created = now;
+        last_activity = now;
+        hello_ok = false;
+        subscriber = false;
+        worker = None;
+        out = "";
+        closed = false;
+      }
+    in
+    t.next_conn <- t.next_conn + 1;
     (* versioned hello header, first line on every connection *)
     conn_send_json c Protocol.hello;
     t.conns <- c :: t.conns
@@ -649,10 +944,20 @@ let close_conn c =
 
 let prune_conns t =
   let closed, live = List.partition (fun c -> c.closed) t.conns in
+  t.conns <- live;
   List.iter
-    (fun c -> try Unix.close c.fd with Unix.Unix_error _ -> ())
+    (fun c ->
+      (try Unix.close c.fd with Unix.Unix_error _ -> ());
+      (* a dropped worker connection forfeits its leases immediately — no
+         need to wait out the heartbeat deadline when the transport already
+         told us the pool is gone *)
+      if c.worker <> None then (
+        Log.info (fun m -> m "worker pool conn#%d lost" c.id);
+        List.iter
+          (reassign t ~reason:"lease.worker_lost")
+          (Lease.drop_worker t.leases ~worker:c.id)))
     closed;
-  t.conns <- live
+  if closed <> [] then dispatch_remote t
 
 let create cfg =
   let pipe_r, pipe_w = Unix.pipe () in
@@ -672,9 +977,40 @@ let create cfg =
     jobs = Hashtbl.create 16;
     order = [];
     conns = [];
+    next_conn = 1;
+    leases = Lease.create ~timeout:cfg.lease_timeout;
   }
 
-let run cfg =
+(* Bind the optional TCP listener. Port 0 asks the kernel for an ephemeral
+   port; whatever was actually bound is written to [state_dir/tcp.port] so
+   scripts (and tests) can find it without racing the log output. *)
+let bind_tcp cfg =
+  match cfg.tcp with
+  | None -> Ok None
+  | Some spec ->
+    Result.bind (Addr.parse_tcp spec) (fun (host, port) ->
+        Result.bind (Addr.resolve ~host ~port) (fun sockaddr ->
+            let fd =
+              Unix.socket (Unix.domain_of_sockaddr sockaddr) Unix.SOCK_STREAM 0
+            in
+            Unix.setsockopt fd Unix.SO_REUSEADDR true;
+            match Unix.bind fd sockaddr with
+            | exception Unix.Unix_error (e, _, _) ->
+              (try Unix.close fd with Unix.Unix_error _ -> ());
+              Error
+                (Printf.sprintf "cannot bind %s:%d: %s" host port
+                   (Unix.error_message e))
+            | () ->
+              Unix.listen fd 16;
+              Unix.set_nonblock fd;
+              let actual =
+                match Unix.getsockname fd with
+                | Unix.ADDR_INET (_, p) -> p
+                | _ -> port
+              in
+              Ok (Some (fd, host, actual))))
+
+let rec run cfg =
   mkdir_p cfg.state_dir;
   (* a subscriber vanishing mid-write must surface as EPIPE, not kill the
      daemon *)
@@ -682,47 +1018,80 @@ let run cfg =
    with Invalid_argument _ | Sys_error _ -> ());
   Engine.prewarm ();
   let t = create cfg in
-  let listen_fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
-  (if Sys.file_exists cfg.socket_path then
-     try Unix.unlink cfg.socket_path with Unix.Unix_error _ -> ());
-  Unix.bind listen_fd (Unix.ADDR_UNIX cfg.socket_path);
-  Unix.listen listen_fd 16;
-  Unix.set_nonblock listen_fd;
-  Log.info (fun m ->
-      m "listening on %s (pool %d, state %s)" cfg.socket_path cfg.pool
-        cfg.state_dir);
-  let workers =
-    List.init (max 1 cfg.pool) (fun wid -> Domain.spawn (worker t wid))
-  in
-  let rec loop () =
-    if not (stopping t) then (
-      let reads =
-        listen_fd :: t.pipe_r :: List.map (fun c -> c.fd) t.conns
-      in
-      let writes =
-        t.conns |> List.filter (fun c -> c.out <> "") |> List.map (fun c -> c.fd)
-      in
-      (match Unix.select reads writes [] 0.25 with
-      | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
-      | readable, writable, _ ->
-        if List.mem t.pipe_r readable then drain_pipe t;
-        drain_results t;
-        List.iter
-          (fun c -> if List.mem c.fd writable then try_flush c)
-          t.conns;
-        List.iter
-          (fun c -> if List.mem c.fd readable then handle_readable t c)
-          t.conns;
-        if List.mem listen_fd readable then accept_conn t listen_fd);
-      prune_conns t;
-      loop ())
-  in
-  loop ();
+  match bind_tcp cfg with
+  | Error msg ->
+    Log.err (fun m -> m "%s" msg);
+    prerr_endline ("once4all: " ^ msg);
+    1
+  | Ok tcp ->
+    let port_file = Filename.concat cfg.state_dir "tcp.port" in
+    (match tcp with
+    | Some (_, host, port) ->
+      write_file port_file (string_of_int port ^ "\n");
+      Log.info (fun m -> m "TCP listener on %s:%d" host port)
+    | None -> ());
+    let listen_fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    (if Sys.file_exists cfg.socket_path then
+       try Unix.unlink cfg.socket_path with Unix.Unix_error _ -> ());
+    Unix.bind listen_fd (Unix.ADDR_UNIX cfg.socket_path);
+    Unix.listen listen_fd 16;
+    Unix.set_nonblock listen_fd;
+    Log.info (fun m ->
+        m "listening on %s (pool %d, state %s)" cfg.socket_path cfg.pool
+          cfg.state_dir);
+    let listeners =
+      listen_fd :: (match tcp with Some (fd, _, _) -> [ fd ] | None -> [])
+    in
+    (* pool 0 is legitimate: a coordinator-only daemon whose shards all run
+       on remote worker pools *)
+    let workers =
+      List.init cfg.pool (fun wid -> Domain.spawn (worker t wid))
+    in
+    let rec loop () =
+      if not (stopping t) then (
+        let reads = listeners @ (t.pipe_r :: List.map (fun c -> c.fd) t.conns) in
+        let writes =
+          t.conns
+          |> List.filter (fun c -> c.out <> "")
+          |> List.map (fun c -> c.fd)
+        in
+        (match Unix.select reads writes [] 0.25 with
+        | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+        | readable, writable, _ ->
+          if List.mem t.pipe_r readable then drain_pipe t;
+          drain_results t;
+          List.iter
+            (fun c -> if List.mem c.fd writable then try_flush c)
+            t.conns;
+          List.iter
+            (fun c -> if List.mem c.fd readable then handle_readable t c)
+            t.conns;
+          List.iter
+            (fun lfd -> if List.mem lfd readable then accept_conn t lfd)
+            listeners);
+        let now = Unix.gettimeofday () in
+        reap_conns t now;
+        reap_leases t now;
+        prune_conns t;
+        dispatch_remote t;
+        loop ())
+    in
+    loop ();
+    finish t ~workers ~listeners ~port_file ~tcp
+
+and finish t ~workers ~listeners ~port_file ~tcp =
   (* Graceful drain — same contract whether the trigger was SIGTERM
-     ({!Orchestrator.Stop}) or a Shutdown request: workers finish the shard
-     they are executing and exit, every in-flight result merges and
-     checkpoints, and every live campaign lands paused with a resumable
-     checkpoint on disk. *)
+     ({!Orchestrator.Stop}) or a Shutdown request: local workers finish the
+     shard they are executing and exit, every in-flight local result merges
+     and checkpoints, and every live campaign lands paused with a resumable
+     checkpoint on disk. Remote pools are told to drain; their in-flight
+     shards are simply forfeited — the checkpoint records them as not done,
+     so a revive re-runs them deterministically. *)
+  List.iter
+    (fun c ->
+      if c.worker <> None && not c.closed then
+        conn_send_json c (Protocol.worker_msg_to_json Protocol.Drain))
+    t.conns;
   Mutex.protect t.lock (fun () -> Condition.broadcast t.work);
   List.iter Domain.join workers;
   drain_pipe t;
@@ -744,8 +1113,13 @@ let run cfg =
   List.iter try_flush t.conns;
   List.iter close_conn t.conns;
   t.conns <- [];
-  (try Unix.close listen_fd with Unix.Unix_error _ -> ());
-  (try Unix.unlink cfg.socket_path with Unix.Unix_error _ -> ());
+  List.iter
+    (fun lfd -> try Unix.close lfd with Unix.Unix_error _ -> ())
+    listeners;
+  (try Unix.unlink t.cfg.socket_path with Unix.Unix_error _ -> ());
+  (match tcp with
+  | Some _ -> ( try Sys.remove port_file with Sys_error _ -> ())
+  | None -> ());
   (try Unix.close t.pipe_r with Unix.Unix_error _ -> ());
   (try Unix.close t.pipe_w with Unix.Unix_error _ -> ());
   Log.info (fun m -> m "server drained; exiting");

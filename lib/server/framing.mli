@@ -1,0 +1,32 @@
+(** Shared NDJSON framing for the server's listeners and clients.
+
+    Byte streams deliver frames torn across reads or several to a chunk; a
+    framer carries the partial tail between {!feed}s and enforces the
+    inbound line cap (the mirror of the daemon's outbound buffer bound), so
+    a peer streaming one endless line cannot grow server memory without
+    limit. Used identically by the Unix-socket listener, the TCP listener,
+    and the remote worker's read path — one framing implementation, every
+    transport. *)
+
+type error = Line_too_long of int  (** the cap that was exceeded, in bytes *)
+
+val error_to_string : error -> string
+
+val default_max_line : int
+(** 1 MiB, matching the daemon's outbound [max_out] bound. *)
+
+type t
+
+val create : ?max_line:int -> unit -> t
+
+val max_line : t -> int
+
+val pending : t -> int
+(** Bytes of partial line currently carried. *)
+
+val feed : t -> string -> (string list, error) result
+(** [feed t chunk] appends [chunk] and returns the complete lines now
+    available, oldest first (without their terminating newline); a partial
+    final line is carried into the next feed. Once any line exceeds the cap
+    the framer is poisoned — the stream cannot be re-synchronized — and this
+    and every subsequent feed return [Error]: drop the connection. *)

@@ -1,0 +1,106 @@
+module Shard = Orchestrator.Shard
+
+(* Lease bookkeeping for shards dispatched to remote worker pools.
+
+   A lease is the coordinator's claim that one remote worker owes it one
+   shard result, bounded by a heartbeat deadline. Deadlines use wall-clock
+   time — the only wall-clock in the whole campaign path — and that is safe
+   because a lease only ever decides WHICH worker executes a shard, never
+   what the shard computes: a shard outcome is a pure function of
+   (env, shard), so expiring early, late, or never cannot perturb the merged
+   campaign, only its latency.
+
+   Owned by the daemon's main domain; plain data, no locking. *)
+
+type grant = {
+  lease : int;  (* unique per coordinator lifetime *)
+  job : string;
+  shard : Shard.t;
+  worker : int;  (* connection id of the remote pool *)
+  grant_attempt : int;  (* 0 first grant, +1 per reassignment/duplicate *)
+  mutable deadline : float;
+}
+
+type t = {
+  timeout : float;
+  mutable next_lease : int;
+  live : (int, grant) Hashtbl.t;  (* lease id -> grant *)
+  grants_made : (string * int, int) Hashtbl.t;
+      (* (job, shard index) -> grants issued so far, for attempt numbering *)
+}
+
+let create ~timeout =
+  {
+    timeout;
+    next_lease = 1;
+    live = Hashtbl.create 64;
+    grants_made = Hashtbl.create 64;
+  }
+
+let timeout t = t.timeout
+let live_count t = Hashtbl.length t.live
+let find t ~lease = Hashtbl.find_opt t.live lease
+
+let grant t ~now ~job ~shard ~worker =
+  let key = (job, shard.Shard.index) in
+  let grant_attempt =
+    Option.value ~default:0 (Hashtbl.find_opt t.grants_made key)
+  in
+  Hashtbl.replace t.grants_made key (grant_attempt + 1);
+  let g =
+    {
+      lease = t.next_lease;
+      job;
+      shard;
+      worker;
+      grant_attempt;
+      deadline = now +. t.timeout;
+    }
+  in
+  t.next_lease <- t.next_lease + 1;
+  Hashtbl.replace t.live g.lease g;
+  g
+
+(* a heartbeat extends only leases the beating worker actually owns: a
+   worker cannot keep another pool's (or its own previous connection's)
+   leases alive by guessing ids *)
+let heartbeat t ~now ~worker ~leases =
+  List.iter
+    (fun lease ->
+      match Hashtbl.find_opt t.live lease with
+      | Some g when g.worker = worker -> g.deadline <- now +. t.timeout
+      | Some _ | None -> ())
+    leases
+
+let take_matching t pred =
+  let gone =
+    Hashtbl.fold (fun _ g acc -> if pred g then g :: acc else acc) t.live []
+  in
+  List.iter (fun g -> Hashtbl.remove t.live g.lease) gone;
+  List.sort (fun a b -> compare a.lease b.lease) gone
+
+let expired t ~now = take_matching t (fun g -> g.deadline < now)
+let drop_worker t ~worker = take_matching t (fun g -> g.worker = worker)
+
+let siblings t g =
+  take_matching t (fun s ->
+      s.lease <> g.lease && s.job = g.job
+      && s.shard.Shard.index = g.shard.Shard.index)
+
+let complete t ~lease =
+  match Hashtbl.find_opt t.live lease with
+  | None -> None  (* stale: expired, reassigned, or a prior connection's *)
+  | Some g ->
+    Hashtbl.remove t.live g.lease;
+    (* a duplicated grant means a sibling worker may still deliver the same
+       shard; revoke the sibling leases now so that result arrives stale and
+       is dropped instead of double-merging *)
+    Some (g, siblings t g)
+
+let has_lease_for t ~job ~shard_index =
+  Hashtbl.fold
+    (fun _ g acc ->
+      acc || (g.job = job && g.shard.Shard.index = shard_index))
+    t.live false
+
+let drop_job t ~job = take_matching t (fun g -> g.job = job)

@@ -1,0 +1,66 @@
+(** Lease bookkeeping for shards dispatched to remote worker pools.
+
+    A lease is the coordinator's claim that one remote worker owes it one
+    shard result, bounded by a heartbeat deadline: a worker that misses its
+    deadline (or whose connection drops) forfeits the lease and the shard is
+    requeued for deterministic re-execution elsewhere. Deadlines are the
+    campaign path's only wall-clock, and that is safe because a lease only
+    ever decides {e which} worker executes a shard, never what the shard
+    computes — a shard outcome is a pure function of [(env, shard)], so
+    expiry timing can perturb latency but not one byte of the merged
+    campaign.
+
+    Owned by the daemon's main domain; plain data, no locking. *)
+
+type grant = {
+  lease : int;  (** unique per coordinator lifetime *)
+  job : string;
+  shard : Orchestrator.Shard.t;
+  worker : int;  (** connection id of the remote pool holding the lease *)
+  grant_attempt : int;
+      (** 0 for the shard's first grant, +1 per reassignment or
+          chaos-duplicated grant — the [attempt] axis of the
+          {!O4a_faults.Faults.Lease_dup} fault stream *)
+  mutable deadline : float;
+}
+
+type t
+
+val create : timeout:float -> t
+(** [timeout] is the heartbeat deadline extension, in seconds. *)
+
+val timeout : t -> float
+
+val grant :
+  t -> now:float -> job:string -> shard:Orchestrator.Shard.t -> worker:int ->
+  grant
+(** Issue a lease with deadline [now + timeout]. *)
+
+val heartbeat : t -> now:float -> worker:int -> leases:int list -> unit
+(** Extend the named leases' deadlines to [now + timeout] — but only those
+    [worker] actually owns; a worker cannot keep another pool's (or its own
+    previous connection's) leases alive by guessing ids. *)
+
+val expired : t -> now:float -> grant list
+(** Remove and return every lease whose deadline has passed, in lease-id
+    order. The caller requeues each shard (unless a duplicate lease for the
+    same shard is still live — see {!has_lease_for}). *)
+
+val drop_worker : t -> worker:int -> grant list
+(** Remove and return every lease held by a worker whose connection died —
+    the immediate-reassignment path, no need to wait out the deadline. *)
+
+val drop_job : t -> job:string -> grant list
+(** Remove every lease of a cancelled job. *)
+
+val complete : t -> lease:int -> (grant * grant list) option
+(** Settle a lease against an arriving result. [None] means the lease is
+    stale — expired, reassigned, or granted on a previous connection — and
+    the result must be dropped. [Some (g, siblings)] returns the settled
+    grant plus any revoked sibling leases for the same shard (from a
+    chaos-duplicated grant): their results, when they arrive, will be stale,
+    which is exactly what keeps a duplicated grant from double-merging. *)
+
+val find : t -> lease:int -> grant option
+val has_lease_for : t -> job:string -> shard_index:int -> bool
+val live_count : t -> int

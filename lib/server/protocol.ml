@@ -50,6 +50,9 @@ type request =
   | Cancel of string
   | Metrics of string
   | Shutdown
+  | Worker_register of { slots : int }
+  | Worker_heartbeat of { leases : int list }
+  | Worker_result of { lease : int; outcome : Json.t }
 
 let request_to_json = function
   | Hello proto ->
@@ -73,6 +76,21 @@ let request_to_json = function
   | Metrics job ->
     Json.Obj [ ("req", Json.String "metrics"); ("job", Json.String job) ]
   | Shutdown -> Json.Obj [ ("req", Json.String "shutdown") ]
+  | Worker_register { slots } ->
+    Json.Obj [ ("req", Json.String "worker"); ("slots", Json.Int slots) ]
+  | Worker_heartbeat { leases } ->
+    Json.Obj
+      [
+        ("req", Json.String "heartbeat");
+        ("leases", Json.List (List.map (fun l -> Json.Int l) leases));
+      ]
+  | Worker_result { lease; outcome } ->
+    Json.Obj
+      [
+        ("req", Json.String "result");
+        ("lease", Json.Int lease);
+        ("outcome", outcome);
+      ]
 
 let job_field json =
   match Option.bind (Json.member "job" json) Json.to_str with
@@ -106,6 +124,27 @@ let request_of_json json =
   | Some "cancel" -> Result.map (fun j -> Cancel j) (job_field json)
   | Some "metrics" -> Result.map (fun j -> Metrics j) (job_field json)
   | Some "shutdown" -> Ok Shutdown
+  | Some "worker" ->
+    let slots =
+      Option.value ~default:1
+        (Option.bind (Json.member "slots" json) Json.to_int)
+    in
+    if slots < 1 then Error "request: worker registration needs slots >= 1"
+    else Ok (Worker_register { slots })
+  | Some "heartbeat" -> (
+    match Json.member "leases" json with
+    | Some (Json.List ls) ->
+      let leases = List.filter_map Json.to_int ls in
+      Ok (Worker_heartbeat { leases })
+    | None -> Ok (Worker_heartbeat { leases = [] })
+    | Some _ -> Error "request: heartbeat \"leases\" must be a list")
+  | Some "result" -> (
+    match
+      ( Option.bind (Json.member "lease" json) Json.to_int,
+        Json.member "outcome" json )
+    with
+    | Some lease, Some outcome -> Ok (Worker_result { lease; outcome })
+    | _ -> Error "request: result needs \"lease\" and \"outcome\"")
   | Some other -> Error (Printf.sprintf "request: unknown verb %S" other)
 
 (* ------------------------------------------------------------------ *)
@@ -194,6 +233,23 @@ let job_view_of_json json =
 let ok fields = Json.Obj (("ok", Json.Bool true) :: fields)
 let error msg = Json.Obj [ ("ok", Json.Bool false); ("error", Json.String msg) ]
 
+(* typed errors carry a machine-readable code next to the prose, so clients
+   (and tests) can distinguish e.g. an oversized-line disconnect from a
+   malformed request without parsing English *)
+let error_coded ~code msg =
+  Json.Obj
+    [
+      ("ok", Json.Bool false);
+      ("code", Json.String code);
+      ("error", Json.String msg);
+    ]
+
+let code_line_too_long = "line_too_long"
+let code_handshake_timeout = "handshake_timeout"
+let code_idle_timeout = "idle_timeout"
+
+let error_code json = Option.bind (Json.member "code" json) Json.to_str
+
 let reply_error json =
   match Option.bind (Json.member "ok" json) Json.to_bool with
   | Some true -> None
@@ -204,3 +260,82 @@ let reply_error json =
 
 let stream_line ~job ~kind data =
   Json.Obj [ ("job", Json.String job); ("kind", Json.String kind); ("data", data) ]
+
+(* ------------------------------------------------------------------ *)
+(* Coordinator -> worker push messages                                  *)
+(* ------------------------------------------------------------------ *)
+
+(* Replies carry an ["ok"] field and pushes a ["msg"] field, so the two can
+   share a registered worker's connection without ambiguity. *)
+
+module Shard = Orchestrator.Shard
+
+let shard_to_json (s : Shard.t) =
+  Json.Obj
+    [
+      ("index", Json.Int s.Shard.index);
+      ("first_tick", Json.Int s.Shard.first_tick);
+      ("ticks", Json.Int s.Shard.ticks);
+    ]
+
+let shard_of_json json =
+  match
+    ( Option.bind (Json.member "index" json) Json.to_int,
+      Option.bind (Json.member "first_tick" json) Json.to_int,
+      Option.bind (Json.member "ticks" json) Json.to_int )
+  with
+  | Some index, Some first_tick, Some ticks ->
+    Ok { Shard.index; first_tick; ticks }
+  | _ -> Error "shard: missing index/first_tick/ticks"
+
+type worker_msg =
+  | Grant of {
+      lease : int;
+      job : string;
+      grant_attempt : int;
+      shard : Shard.t;
+      spec : Jobspec.t;
+    }
+  | Drain
+
+let worker_msg_to_json = function
+  | Grant { lease; job; grant_attempt; shard; spec } ->
+    Json.Obj
+      [
+        ("msg", Json.String "grant");
+        ("lease", Json.Int lease);
+        ("job", Json.String job);
+        ("attempt", Json.Int grant_attempt);
+        ("shard", shard_to_json shard);
+        ("spec", Jobspec.to_json spec);
+      ]
+  | Drain -> Json.Obj [ ("msg", Json.String "drain") ]
+
+let worker_msg_of_json json =
+  match Option.bind (Json.member "msg" json) Json.to_str with
+  | None -> Error "worker message: missing field \"msg\""
+  | Some "drain" -> Ok Drain
+  | Some "grant" -> (
+    match
+      ( Option.bind (Json.member "lease" json) Json.to_int,
+        Option.bind (Json.member "job" json) Json.to_str,
+        Json.member "shard" json,
+        Json.member "spec" json )
+    with
+    | Some lease, Some job, Some shard_json, Some spec_json ->
+      Result.bind (shard_of_json shard_json) (fun shard ->
+          Result.map
+            (fun spec ->
+              Grant
+                {
+                  lease;
+                  job;
+                  grant_attempt =
+                    Option.value ~default:0
+                      (Option.bind (Json.member "attempt" json) Json.to_int);
+                  shard;
+                  spec;
+                })
+            (Jobspec.of_json spec_json))
+    | _ -> Error "worker message: grant needs lease/job/shard/spec")
+  | Some other -> Error (Printf.sprintf "worker message: unknown kind %S" other)

@@ -43,6 +43,18 @@ type request =
   | Shutdown
       (** graceful drain: finish in-flight shards, checkpoint every
           campaign, then exit — the request-level twin of SIGTERM *)
+  | Worker_register of { slots : int }
+      (** enroll this connection as a remote worker pool with [slots]
+          concurrent shard slots; after the [ok] reply the server pushes
+          {!worker_msg} lines at it *)
+  | Worker_heartbeat of { leases : int list }
+      (** extend the named leases' deadlines; an empty list is a pure
+          liveness beacon. No reply — the post-registration channel is
+          message-oriented *)
+  | Worker_result of { lease : int; outcome : O4a_telemetry.Json.t }
+      (** a finished shard: [outcome] is a {!Wire}-encoded
+          {!Orchestrator.shard_outcome}. No reply; a stale lease (expired,
+          reassigned, or from a previous connection) is silently dropped *)
 
 val request_to_json : request -> O4a_telemetry.Json.t
 val request_of_json : O4a_telemetry.Json.t -> (request, string) result
@@ -70,6 +82,19 @@ val job_view_of_json : O4a_telemetry.Json.t -> (job_view, string) result
 val ok : (string * O4a_telemetry.Json.t) list -> O4a_telemetry.Json.t
 val error : string -> O4a_telemetry.Json.t
 
+val error_coded : code:string -> string -> O4a_telemetry.Json.t
+(** An [ok:false] reply carrying a machine-readable ["code"] next to the
+    prose, for failures a client may want to branch on. *)
+
+val code_line_too_long : string
+(** The typed code sent (with a disconnect) when a request line exceeds the
+    daemon's inbound frame cap. *)
+
+val code_handshake_timeout : string
+val code_idle_timeout : string
+
+val error_code : O4a_telemetry.Json.t -> string option
+
 val reply_error : O4a_telemetry.Json.t -> string option
 (** [None] when the reply is [ok:true]; the error message otherwise. *)
 
@@ -77,4 +102,31 @@ val stream_line :
   job:string -> kind:string -> O4a_telemetry.Json.t -> O4a_telemetry.Json.t
 (** One subscriber event: [{"job";"kind";"data"}]. Kinds: ["telemetry"] (a
     forwarded campaign event), ["finding"], ["health"], ["quarantine"],
-    ["progress"], ["state"]. *)
+    ["progress"], ["plateau"], ["lease"], ["state"]. *)
+
+(** {1 Coordinator → worker push messages}
+
+    Replies carry an ["ok"] field and pushes a ["msg"] field, so both can
+    share a registered worker's connection without ambiguity. *)
+
+val shard_to_json : Orchestrator.Shard.t -> O4a_telemetry.Json.t
+val shard_of_json : O4a_telemetry.Json.t -> (Orchestrator.Shard.t, string) result
+
+type worker_msg =
+  | Grant of {
+      lease : int;
+      job : string;
+      grant_attempt : int;
+          (** 0 for the first grant of the shard, +1 per reassignment (or
+              chaos-injected duplicate) — coordinator bookkeeping, echoed
+              for observability *)
+      shard : Orchestrator.Shard.t;
+      spec : Jobspec.t;
+          (** the full job spec rides along so a worker can rebuild the
+              campaign environment from scratch — same
+              generators/seeds/fault plan as the coordinator's own pool *)
+    }
+  | Drain  (** finish in-flight shards, send their results, disconnect *)
+
+val worker_msg_to_json : worker_msg -> O4a_telemetry.Json.t
+val worker_msg_of_json : O4a_telemetry.Json.t -> (worker_msg, string) result

@@ -56,6 +56,15 @@ let remove t ~key =
 let pending t ~key =
   match find t key with Some s -> List.length s.pending | None -> 0
 
+(* An expired lease hands its shard back; it goes to the queue's front so a
+   reassignment is the very next dispatch for that job. The shard's result
+   is a pure function of (env, shard), so where it lands in the dispatch
+   order cannot perturb the campaign. *)
+let requeue t ~key shard =
+  match find t key with
+  | Some s -> s.pending <- shard :: s.pending
+  | None -> ()
+
 let has_work s = s.runnable && s.pending <> []
 let eligible s = has_work s && s.round_spent < s.quota
 

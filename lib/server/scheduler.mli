@@ -29,6 +29,11 @@ val remove : t -> key:string -> unit
 
 val pending : t -> key:string -> int
 
+val requeue : t -> key:string -> Orchestrator.Shard.t -> unit
+(** Hand a shard back after its lease expired: it goes to the front of the
+    job's pending queue, so the reassignment is the job's next dispatch.
+    Unknown keys are ignored (the job was cancelled meanwhile). *)
+
 val next : t -> (string * Orchestrator.Shard.t) option
 (** The next [(job, shard)] to dispatch under the fairness discipline, or
     [None] when no runnable job has pending work. *)

@@ -9,6 +9,8 @@ module Protocol = O4a_server.Protocol
 module Scheduler = O4a_server.Scheduler
 module Daemon = O4a_server.Daemon
 module Client = O4a_server.Client
+module Addr = O4a_server.Addr
+module Framing = O4a_server.Framing
 module Render = O4a_server.Render
 module Shard = Orchestrator.Shard
 module Json = O4a_telemetry.Json
@@ -193,6 +195,43 @@ let test_scheduler_pause_skips () =
   Scheduler.set_runnable sched ~key:"p" true;
   check_bool "unpaused job resumes" true (drain sched = [ "p"; "p" ])
 
+(* ------------------------- framing ------------------------- *)
+
+let feed_exn fr chunk =
+  match Framing.feed fr chunk with
+  | Ok lines -> lines
+  | Error e ->
+    Alcotest.failf "unexpected framing error: %s" (Framing.error_to_string e)
+
+(* NDJSON frames torn across reads reassemble exactly; frames packed into
+   one read split exactly — the property every listener leans on *)
+let test_framing_torn_frames () =
+  let fr = Framing.create () in
+  check_bool "partial frame yields nothing" true (feed_exn fr "{\"req\":" = []);
+  check_int "tail carried" 7 (Framing.pending fr);
+  check_bool "completion stitches the line" true
+    (feed_exn fr "\"jobs\"}\n{\"a\"" = [ "{\"req\":\"jobs\"}" ]);
+  check_bool "several lines in one chunk, oldest first" true
+    (feed_exn fr ":1}\nx\ny\n" = [ "{\"a\":1}"; "x"; "y" ]);
+  check_bool "empty feed is a no-op" true (feed_exn fr "" = []);
+  check_int "nothing pending after clean frames" 0 (Framing.pending fr);
+  (* byte-at-a-time delivery — the most torn a stream can get *)
+  let fr2 = Framing.create () in
+  let out = ref [] in
+  String.iter (fun ch -> out := !out @ feed_exn fr2 (String.make 1 ch)) "ab\ncd\n";
+  check_bool "byte-wise reassembly" true (!out = [ "ab"; "cd" ])
+
+let test_framing_oversized_poisons () =
+  let fr = Framing.create ~max_line:8 () in
+  check_bool "under the cap passes" true (feed_exn fr "1234\n" = [ "1234" ]);
+  (match Framing.feed fr "123456789" with
+  | Error (Framing.Line_too_long cap) -> check_int "cap reported" 8 cap
+  | Ok _ -> Alcotest.fail "oversized line accepted");
+  (* once poisoned, always poisoned: the stream cannot re-synchronize *)
+  match Framing.feed fr "\n" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "poisoned framer kept going"
+
 (* ------------------------- daemon end-to-end ------------------------- *)
 
 let temp_dir () =
@@ -201,14 +240,25 @@ let temp_dir () =
   Unix.mkdir path 0o700;
   path
 
-let rec connect_retry ~socket n =
-  match Client.connect ~socket with
+(* the client's own bounded retry-with-backoff: the daemon may still be
+   binding its socket when the test asks for a connection *)
+let connect_retry ~socket n =
+  match
+    Client.connect ~timeout:(float_of_int n *. 0.1) (Addr.Unix_path socket)
+  with
   | Ok c -> c
-  | Error msg ->
-    if n <= 0 then Alcotest.failf "cannot connect to test daemon: %s" msg
-    else (
-      Unix.sleepf 0.1;
-      connect_retry ~socket (n - 1))
+  | Error msg -> Alcotest.failf "cannot connect to test daemon: %s" msg
+
+let default_cfg ~socket ~state_dir ~pool =
+  {
+    Daemon.socket_path = socket;
+    state_dir;
+    pool;
+    tcp = None;
+    handshake_timeout = Daemon.default_handshake_timeout;
+    idle_timeout = Daemon.default_idle_timeout;
+    lease_timeout = Daemon.default_lease_timeout;
+  }
 
 let request_exn c req =
   match Client.request c req with
@@ -303,6 +353,111 @@ let standalone_text (spec : Jobspec.t) ~jobs =
   ^ Render.resumed_line r.Orchestrator.shards_resumed
   ^ Render.campaign ~chaos:(Jobspec.chaos spec) r
 
+(* ------------------------- client diagnostics ------------------------- *)
+
+let contains hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+  go 0
+
+let test_client_connect_diagnostics () =
+  (* no socket file at all: the server isn't running (waiting could help) *)
+  (match Client.connect (Addr.Unix_path "/nonexistent/o4a-test.sock") with
+  | Ok _ -> Alcotest.fail "connected to nothing"
+  | Error msg ->
+    check_bool "missing-file diagnostic" true (contains msg "no such socket file"));
+  (* the file exists but nothing accepts: a dead server's leftover *)
+  let dir = temp_dir () in
+  let stale = Filename.concat dir "stale.sock" in
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.bind fd (Unix.ADDR_UNIX stale);
+  Unix.close fd;  (* bound but never listening; the file stays behind *)
+  match Client.connect (Addr.Unix_path stale) with
+  | Ok _ -> Alcotest.fail "connected to a dead socket"
+  | Error msg -> check_bool "stale-socket diagnostic" true (contains msg "stale")
+
+(* ------------------------- inbound robustness ------------------------- *)
+
+(* a raw connection that speaks whatever bytes we want — for exercising the
+   paths a well-behaved Client can't reach *)
+let raw_connect socket =
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.connect fd (Unix.ADDR_UNIX socket);
+  (fd, Unix.in_channel_of_descr fd, Unix.out_channel_of_descr fd)
+
+let expect_error_code ~what ic code =
+  match input_line ic with
+  | exception End_of_file -> Alcotest.failf "%s: closed without a diagnostic" what
+  | line -> (
+    match Json.parse line with
+    | Error msg -> Alcotest.failf "%s: unparseable diagnostic: %s" what msg
+    | Ok json ->
+      check_bool
+        (what ^ " carries code " ^ code)
+        true
+        (O4a_server.Protocol.error_code json = Some code))
+
+let expect_eof ~what ic =
+  match input_line ic with
+  | exception End_of_file -> ()
+  | line -> Alcotest.failf "%s: expected disconnect, got %s" what line
+
+(* One short-deadline daemon, three misbehaving peers: an oversized request
+   line earns a typed line_too_long error and the boot; a peer that never
+   sends a valid request is dropped at the handshake deadline; a peer that
+   goes silent after its handshake is dropped at the idle deadline. A
+   well-behaved client then shuts the daemon down — misbehaving neighbors
+   cost it nothing. *)
+let test_daemon_inbound_robustness () =
+  let dir = temp_dir () in
+  let socket = Filename.concat dir "s.sock" in
+  let cfg =
+    {
+      (default_cfg ~socket ~state_dir:(Filename.concat dir "state") ~pool:1) with
+      Daemon.handshake_timeout = 0.6;
+      idle_timeout = 2.5;
+    }
+  in
+  let daemon = Domain.spawn (fun () -> Daemon.run cfg) in
+  (* await startup, then disconnect — under these short deadlines a client
+     would be idle-reaped before the end of the test, which is the point *)
+  Client.close (connect_retry ~socket 300);
+  (* oversized line: typed error, then disconnect. Handshake first, so the
+     slow megabyte write cannot race the handshake deadline instead *)
+  let fd1, ic1, oc1 = raw_connect socket in
+  ignore (input_line ic1 : string);  (* hello *)
+  output_string oc1 (Json.to_string (Protocol.request_to_json Protocol.Jobs));
+  output_string oc1 "\n";
+  flush oc1;
+  ignore (input_line ic1 : string);  (* jobs reply *)
+  output_string oc1 (String.make ((1 lsl 20) + 16) 'x');
+  output_string oc1 "\n";
+  flush oc1;
+  expect_error_code ~what:"oversized line" ic1 Protocol.code_line_too_long;
+  expect_eof ~what:"oversized line" ic1;
+  Unix.close fd1;
+  (* never completes the handshake: dropped at the deadline *)
+  let fd2, ic2, _ = raw_connect socket in
+  ignore (input_line ic2 : string);
+  expect_error_code ~what:"handshake deadline" ic2 Protocol.code_handshake_timeout;
+  expect_eof ~what:"handshake deadline" ic2;
+  Unix.close fd2;
+  (* valid request, then silence: dropped at the idle deadline *)
+  let fd3, ic3, oc3 = raw_connect socket in
+  ignore (input_line ic3 : string);
+  output_string oc3 (Json.to_string (Protocol.request_to_json Protocol.Jobs));
+  output_string oc3 "\n";
+  flush oc3;
+  ignore (input_line ic3 : string);  (* jobs reply *)
+  expect_error_code ~what:"idle deadline" ic3 Protocol.code_idle_timeout;
+  expect_eof ~what:"idle deadline" ic3;
+  Unix.close fd3;
+  (* the daemon shrugged all of that off *)
+  let c = connect_retry ~socket 50 in
+  let _ = request_exn c Protocol.Shutdown in
+  Client.close c;
+  check_int "daemon still drains cleanly" 0 (Domain.join daemon)
+
 (* One daemon, one exercise: two concurrent campaigns multiplexed over a
    4-domain pool; an early subscriber attached mid-run and a late subscriber
    attached after completion see the same stream; each job's report.txt is
@@ -311,7 +466,7 @@ let test_daemon_end_to_end () =
   let dir = temp_dir () in
   let socket = Filename.concat dir "s.sock" in
   let cfg =
-    { Daemon.socket_path = socket; state_dir = Filename.concat dir "state"; pool = 4 }
+    default_cfg ~socket ~state_dir:(Filename.concat dir "state") ~pool:4
   in
   let daemon = Domain.spawn (fun () -> Daemon.run cfg) in
   let c = connect_retry ~socket 300 in
@@ -388,6 +543,23 @@ let () =
           Alcotest.test_case "quota accounting" `Quick
             test_scheduler_quota_accounting;
           Alcotest.test_case "pause skips" `Quick test_scheduler_pause_skips;
+        ] );
+      ( "framing",
+        [
+          Alcotest.test_case "torn frames reassemble" `Quick
+            test_framing_torn_frames;
+          Alcotest.test_case "oversized line poisons" `Quick
+            test_framing_oversized_poisons;
+        ] );
+      ( "client",
+        [
+          Alcotest.test_case "connect diagnostics" `Quick
+            test_client_connect_diagnostics;
+        ] );
+      ( "robustness",
+        [
+          Alcotest.test_case "inbound deadlines and caps" `Slow
+            test_daemon_inbound_robustness;
         ] );
       ( "daemon",
         [ Alcotest.test_case "end-to-end" `Slow test_daemon_end_to_end ] );

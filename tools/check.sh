@@ -259,6 +259,63 @@ for pair in "s-gamma sg" "s-delta sd"; do
 standalone run"; exit 1; }
 done
 
+echo "== Distributed fabric: TCP serve + remote worker equals standalone =="
+dstate="$out/dist-state"
+dsock="$out/dist.sock"
+# --pool 0: the coordinator runs nothing locally, every shard must travel
+# the wire to the remote worker pool and back
+"$cli" serve --socket "$dsock" --state-dir "$dstate" --pool 0 \
+  --tcp 127.0.0.1:0 > "$out/dserve.log" 2>&1 &
+dpid=$!
+for _ in $(seq 1 100); do [ -s "$dstate/tcp.port" ] && break; sleep 0.1; done
+daddr="127.0.0.1:$(cat "$dstate/tcp.port")"
+"$cli" worker --connect "$daddr" --slots 2 --connect-timeout 10 \
+  > "$out/dworker.log" 2>&1 &
+wpid=$!
+"$cli" submit --connect "$daddr" --connect-timeout 10 --name d-alpha --seed 7 \
+  --budget 400 --shard-size 100 --trace > /dev/null
+"$cli" watch --connect "$daddr" d-alpha > /dev/null
+"$cli" metrics --connect "$daddr" d-alpha > "$out/da_metrics.json"
+# report, repro bundles, and analytics: the same bytes standalone fuzz
+# produced above (reports differ only in the trace-dir path each names)
+diff <(grep -v '^wrote ' "$dstate/d-alpha/report.txt") \
+     <(grep -v '^wrote ' "$out/sa.log") || {
+  echo "FAIL: TCP-fabric report differs from standalone fuzz"; exit 1; }
+diff -r "$dstate/d-alpha/trace" "$out/sa_trace" || {
+  echo "FAIL: TCP-fabric trace tree differs from standalone fuzz"; exit 1; }
+diff "$out/da_metrics.json" "$out/sa_analyze.json" || {
+  echo "FAIL: TCP-fabric metrics differ from analyze --json on the \
+standalone checkpoint"; exit 1; }
+
+echo "== Distributed fabric: worker SIGKILLed mid-lease, report unchanged =="
+"$cli" worker --connect "$daddr" --slots 1 --connect-timeout 10 \
+  > "$out/dvictim.log" 2>&1 &
+vpid=$!
+"$cli" submit --connect "$daddr" --name d-beta --seed 5 --budget 2000 \
+  --shard-size 100 > /dev/null
+sleep 1
+kill -KILL "$vpid" 2>/dev/null || true
+wait "$vpid" || true
+"$cli" watch --connect "$daddr" d-beta > /dev/null
+diff "$dstate/d-beta/report.txt" "$out/sg.log" || {
+  echo "FAIL: report after SIGKILLed worker differs from standalone fuzz"; exit 1; }
+
+echo "== Distributed fabric: --chaos net over TCP equals standalone chaos =="
+"$cli" fuzz --seed 7 --budget 400 --shard-size 100 --jobs 1 \
+  --chaos net --chaos-seed 2 > "$out/net1.log"
+"$cli" fuzz --seed 7 --budget 400 --shard-size 100 --jobs 4 \
+  --chaos net --chaos-seed 2 > "$out/net4.log"
+diff "$out/net1.log" "$out/net4.log" || {
+  echo "FAIL: --chaos net --jobs 4 report differs from --jobs 1"; exit 1; }
+"$cli" submit --connect "$daddr" --name d-chaos --seed 7 --budget 400 \
+  --shard-size 100 --chaos net --chaos-seed 2 > /dev/null
+"$cli" watch --connect "$daddr" d-chaos > /dev/null
+diff "$dstate/d-chaos/report.txt" "$out/net1.log" || {
+  echo "FAIL: --chaos net over the TCP fabric differs from standalone"; exit 1; }
+"$cli" shutdown --connect "$daddr" > /dev/null
+wait "$wpid" || { echo "FAIL: remote worker exited nonzero on drain"; exit 1; }
+wait "$dpid" || { echo "FAIL: coordinator exited nonzero"; cat "$out/dserve.log"; exit 1; }
+
 echo "== Checkpoint info: typed diagnostics, exit 2 on unreadable files =="
 if "$cli" checkpoint info "$out/does-not-exist.json" 2> "$out/ci.log"; then
   echo "FAIL: checkpoint info on a missing file exited 0"; exit 1
